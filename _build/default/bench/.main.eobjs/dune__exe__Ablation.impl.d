@@ -1,0 +1,1 @@
+bench/ablation.ml: Arch Dory Float Htvm List Models Printf Sim Tiling_layers Util

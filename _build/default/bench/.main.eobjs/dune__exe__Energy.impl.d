@@ -1,0 +1,1 @@
+bench/energy.ml: Arch Htvm List Models Printf Sim Util

@@ -1,0 +1,1 @@
+bench/fig2.ml: Arch Htvm List Models Printf Sim String

@@ -1,0 +1,1 @@
+bench/fig4.ml: Arch Dory Htvm List Printf Sim Tiling_layers Util

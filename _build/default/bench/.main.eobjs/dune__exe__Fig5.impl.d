@@ -1,0 +1,1 @@
+bench/fig5.ml: Arch Dory Htvm Ir List Printf Tensor Tiling_layers Util

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Energy Fig2 Fig4 Fig5 List Micro Printf Quantization String Sys Table1 Table2

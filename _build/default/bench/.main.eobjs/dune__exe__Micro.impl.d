@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Arch Bechamel Benchmark Byoc Dory Hashtbl Htvm Instance Lazy List Measure Models Printf Staged Test Tiling_layers Time Toolkit Util

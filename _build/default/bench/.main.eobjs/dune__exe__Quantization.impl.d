@@ -1,0 +1,1 @@
+bench/quantization.ml: Arch Htvm Ir List Printf Quant Util

@@ -1,0 +1,1 @@
+bench/table1.ml: Arch Codegen Htvm List Models Printf String Util

@@ -1,0 +1,1 @@
+bench/table2.ml: Arch Htvm List Models Printf Util

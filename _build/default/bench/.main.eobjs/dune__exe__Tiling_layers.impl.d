@@ -1,0 +1,1 @@
+bench/tiling_layers.ml: Ir Nn Tensor Util

@@ -1,0 +1,130 @@
+(* Ablations over HTVM's own design choices (DESIGN.md ABL1/ABL2):
+   - DMA/compute double buffering on vs off,
+   - tiling heuristics on vs off at network scale,
+   - L2 activation planning with vs without buffer reuse. *)
+
+module C = Htvm.Compile
+
+let full_ms cfg g =
+  match C.compile cfg g with
+  | Error e -> Error e
+  | Ok artifact ->
+      let _, report = C.run artifact ~inputs:(Models.Zoo.random_input g) in
+      Ok (C.latency_ms cfg (C.full_cycles report), artifact)
+
+(* The MLPerf nets fit DIANA's 256 kB L1 untiled, so the tiling knobs only
+   matter on a smaller-L1 variant of the SoC (8 kB forces every large
+   layer through the tiler). *)
+let constrained_digital =
+  {
+    Arch.Diana.digital_only with
+    Arch.Platform.l1 = { Arch.Memory.level_name = "L1"; size_bytes = Util.Ints.kib 8 };
+  }
+
+let run () =
+  print_endline "=== Ablations ===";
+  print_endline
+    "\n-- double buffering & tiling heuristics (CPU+Digital, 8 kB L1 variant) --";
+  let rows =
+    List.map
+      (fun (e : Models.Zoo.entry) ->
+        let g = e.Models.Zoo.build Models.Policy.All_int8 in
+        let base = C.default_config constrained_digital in
+        let ms cfg = match full_ms cfg g with Ok (v, _) -> Printf.sprintf "%.2f" v | Error _ -> "-" in
+        [ e.Models.Zoo.display_name;
+          ms base;
+          ms { base with C.double_buffer = false };
+          ms { base with C.use_pe_heuristics = false; use_dma_heuristic = false } ])
+      Models.Zoo.all
+  in
+  print_string
+    (Util.Table.render
+       ~align:[ Util.Table.Left; Right; Right; Right ]
+       ~header:[ "model"; "htvm ms"; "no double-buffer"; "no heuristics" ]
+       rows);
+  print_endline "\n-- L2 activation planner: liveness reuse vs plain-TVM no-reuse --";
+  let rows =
+    List.map
+      (fun (e : Models.Zoo.entry) ->
+        let g = e.Models.Zoo.build Models.Policy.All_int8 in
+        let peak cfg =
+          match C.compile cfg g with
+          | Ok a -> Printf.sprintf "%d" a.C.program.Sim.Program.l2_activation_peak
+          | Error _ -> "OoM"
+        in
+        [ e.Models.Zoo.display_name;
+          peak (C.default_config Arch.Diana.cpu_only);
+          peak (C.tvm_baseline_config Arch.Diana.cpu_only) ])
+      Models.Zoo.all
+  in
+  print_string
+    (Util.Table.render
+       ~align:[ Util.Table.Left; Right; Right ]
+       ~header:[ "model"; "reuse peak B"; "no-reuse peak B" ]
+       rows);
+  print_endline
+    "\n-- TVM-style autotuning of CPU kernels vs HTVM's tuning-free accel path --";
+  let rows =
+    List.map
+      (fun (e : Models.Zoo.entry) ->
+        let g = e.Models.Zoo.build Models.Policy.All_int8 in
+        let base = C.default_config Arch.Diana.cpu_only in
+        let tuned = { base with C.autotune_budget = Some 64 } in
+        let measure cfg =
+          match full_ms cfg g with
+          | Ok (ms, a) -> (ms, a.C.tuning_trials)
+          | Error _ -> (Float.nan, 0)
+        in
+        let base_ms, _ = measure base in
+        let tuned_ms, trials = measure tuned in
+        let dig_ms, _ = measure (C.default_config Arch.Diana.digital_only) in
+        [ e.Models.Zoo.display_name;
+          (if Float.is_nan base_ms then "OoM" else Printf.sprintf "%.2f" base_ms);
+          (if Float.is_nan tuned_ms then "OoM" else Printf.sprintf "%.2f" tuned_ms);
+          string_of_int trials;
+          Printf.sprintf "%.2f" dig_ms ])
+      Models.Zoo.all
+  in
+  print_string
+    (Util.Table.render
+       ~align:[ Util.Table.Left; Right; Right; Right; Right ]
+       ~header:
+         [ "model"; "cpu ms"; "cpu tuned ms"; "device trials"; "htvm digital ms (0 trials)" ]
+       rows);
+  print_endline
+    "\n-- depth-first fusion of conv pairs: peak L2 vs recompute (extension) --";
+  let chain_row name first second budget_kib =
+    match Dory.Chain.plan ~l1_budget:(Util.Ints.kib budget_kib) first second with
+    | Error e -> [ name; "-"; "-"; "-"; "-"; e ]
+    | Ok plan ->
+        let seq = Dory.Chain.l2_peak_sequential plan in
+        let fused = Dory.Chain.l2_peak_fused plan in
+        [ name;
+          string_of_int seq;
+          string_of_int fused;
+          Printf.sprintf "%.2fx" (float_of_int seq /. float_of_int fused);
+          Printf.sprintf "%.2fx" (Dory.Chain.recompute_factor plan);
+          Printf.sprintf "%d stripes" plan.Dory.Chain.stripes ]
+  in
+  let rows =
+    [
+      chain_row "resnet stem pair"
+        (Tiling_layers.conv ~c:16 ~k:16 ~hw:32 ())
+        (Tiling_layers.conv ~c:16 ~k:16 ~hw:32 ~seed:2026 ())
+        16;
+      chain_row "fat intermediate"
+        (Tiling_layers.conv ~c:8 ~k:64 ~hw:32 ())
+        (Tiling_layers.conv ~c:64 ~k:8 ~hw:32 ~seed:2027 ())
+        32;
+      chain_row "downscaling pair"
+        (Tiling_layers.conv ~c:16 ~k:32 ~hw:48 ())
+        (Tiling_layers.conv ~c:32 ~k:32 ~hw:48 ~stride:2 ~seed:2028 ())
+        24;
+    ]
+  in
+  print_string
+    (Util.Table.render
+       ~align:[ Util.Table.Left; Right; Right; Right; Right; Right ]
+       ~header:[ "pair"; "seq peak B"; "fused peak B"; "saving"; "recompute"; "plan" ]
+       rows);
+  print_newline ()

@@ -1,0 +1,45 @@
+(* Energy-per-inference estimates (the paper's motivating metric): fold
+   the simulator's per-component cycle counters with DIANA's published
+   efficiency class. Not a paper table — an extension experiment showing
+   where each configuration's energy goes. *)
+
+module C = Htvm.Compile
+
+let configs =
+  [
+    ("CPU (TVM)", Arch.Diana.cpu_only, Models.Policy.All_int8);
+    ("CPU+Digital", Arch.Diana.digital_only, Models.Policy.All_int8);
+    ("CPU+Analog", Arch.Diana.analog_only, Models.Policy.All_ternary);
+    ("CPU+Both", Arch.Diana.platform, Models.Policy.Mixed);
+  ]
+
+let run () =
+  print_endline "=== Energy per inference (model, DIANA efficiency class) ===";
+  List.iter
+    (fun (e : Models.Zoo.entry) ->
+      Printf.printf "\n%s\n" e.Models.Zoo.display_name;
+      let rows =
+        List.filter_map
+          (fun (label, platform, policy) ->
+            let g = e.Models.Zoo.build policy in
+            match C.compile (C.default_config platform) g with
+            | Error _ -> Some [ label; "OoM"; "-"; "-"; "-" ]
+            | Ok artifact ->
+                let _, report = C.run artifact ~inputs:(Models.Zoo.random_input g) in
+                let b = Sim.Energy.of_report Sim.Energy.diana_defaults report in
+                Some
+                  [ label;
+                    Printf.sprintf "%.1f" b.Sim.Energy.total_uj;
+                    Printf.sprintf "%.1f" b.Sim.Energy.cpu_uj;
+                    Printf.sprintf "%.1f" b.Sim.Energy.accel_uj;
+                    Printf.sprintf "%.1f"
+                      (b.Sim.Energy.dma_uj +. b.Sim.Energy.weight_load_uj) ])
+          configs
+      in
+      print_string
+        (Util.Table.render
+           ~align:[ Util.Table.Left; Right; Right; Right; Right ]
+           ~header:[ "config"; "total uJ"; "cpu"; "accel"; "mem" ]
+           rows))
+    Models.Zoo.all;
+  print_newline ()

@@ -1,0 +1,37 @@
+(* Fig. 2: time diagram of a network deployed with HTVM — kernels execute
+   sequentially, alternating between accelerator calls (with their DMA and
+   weight-load phases inside) and fused CPU kernels. Rendered as an ASCII
+   Gantt chart over the simulator's per-step wall cycles. *)
+
+module C = Htvm.Compile
+
+let bar_width = 46
+
+let run () =
+  print_endline "=== Fig. 2: time diagram of DS-CNN on DIANA (CPU + both accelerators) ===";
+  let g = (Models.Zoo.find "ds_cnn").Models.Zoo.build Models.Policy.Mixed in
+  let cfg = C.default_config Arch.Diana.platform in
+  match C.compile cfg g with
+  | Error e -> print_endline ("compile error: " ^ e)
+  | Ok artifact ->
+      let _, report = C.run artifact ~inputs:(Models.Zoo.random_input g) in
+      let total = C.full_cycles report in
+      let t = ref 0 in
+      Printf.printf "total %d cycles = %.3f ms @260 MHz; bar spans the whole inference\n\n"
+        total (C.latency_ms cfg total);
+      List.iter
+        (fun (name, (c : Sim.Counters.t)) ->
+          let start = !t in
+          let stop = !t + c.Sim.Counters.wall in
+          t := stop;
+          let pos n = n * bar_width / max 1 total in
+          let a = pos start and b = max (pos start + 1) (pos stop) in
+          let lane = if String.contains name ':' then '#' else '0' in
+          let bar =
+            String.init bar_width (fun i -> if i >= a && i < b then lane else '.')
+          in
+          Printf.printf "%8d |%s| %s\n" start bar
+            (if String.length name > 60 then String.sub name 0 60 else name))
+        report.Sim.Machine.per_step;
+      print_endline "\nlegend: '#' accelerator kernel, '0' CPU kernel (paper Fig. 2's";
+      print_endline "alternation of accelerator calls and CPU-fused operators)\n"

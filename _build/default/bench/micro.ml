@@ -1,0 +1,68 @@
+(* Bechamel micro-benchmarks: one Test.make per reproduced table/figure,
+   timing the computational core each experiment leans on. *)
+
+open Bechamel
+open Toolkit
+
+let resnet_graph = lazy ((Models.Zoo.find "resnet8").Models.Zoo.build Models.Policy.All_int8)
+
+let tiling = Dory.Tiling.default_config ~l1_budget:(Util.Ints.kib 16)
+
+let fig4_layer = Tiling_layers.conv ~c:32 ~k:32 ~hw:32 ()
+let fig5_layer = Tiling_layers.conv ~c:16 ~k:16 ~hw:8 ()
+
+let tests =
+  Test.make_grouped ~name:"htvm"
+    [
+      Test.make ~name:"fig4/tiling_solve"
+        (Staged.stage (fun () ->
+             ignore (Dory.Tiling.solve tiling Arch.Diana.digital fig4_layer)));
+      Test.make ~name:"fig5/single_layer_exec"
+        (Staged.stage (fun () ->
+             ignore
+               (Htvm.Lab.run_single_layer ~accel:Arch.Diana.digital
+                  ~tiling:(Dory.Tiling.default_config ~l1_budget:(Util.Ints.kib 256))
+                  fig5_layer)));
+      Test.make ~name:"table1/compile_resnet_digital"
+        (Staged.stage (fun () ->
+             ignore
+               (Htvm.Compile.compile
+                  (Htvm.Compile.default_config Arch.Diana.digital_only)
+                  (Lazy.force resnet_graph))));
+      Test.make ~name:"table2/rival_estimate"
+        (Staged.stage (fun () ->
+             ignore
+               (Arch.Rivals.estimate_graph_cycles Arch.Rivals.stm32_tvm
+                  (Lazy.force resnet_graph))));
+      Test.make ~name:"common/pattern_match_resnet"
+        (Staged.stage (fun () ->
+             ignore
+               (Byoc.Pattern.find_all (Lazy.force resnet_graph)
+                  Byoc.Library.conv2d_pattern)));
+    ]
+
+let run () =
+  print_endline "=== Micro-benchmarks (bechamel, one per experiment) ===";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~stabilize:true ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (v :: _) -> Printf.sprintf "%.0f" v
+        | Some [] | None -> "-"
+      in
+      rows := [ name; ns ] :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  print_string
+    (Util.Table.render
+       ~align:[ Util.Table.Left; Right ]
+       ~header:[ "benchmark"; "ns/run" ] rows);
+  print_newline ()

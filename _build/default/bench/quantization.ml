@@ -1,0 +1,47 @@
+(* Quantization-quality experiment (extension): the paper consumes
+   pre-quantized networks; this harness measures what our PTQ front end
+   costs in accuracy (SQNR vs the float reference) and buys in latency
+   when the result is deployed through HTVM. *)
+
+module C = Htvm.Compile
+
+let measure name model ~ternary =
+  let rng = Util.Rng.create 1 in
+  let calibration =
+    List.init 8 (fun _ -> Quant.Ftensor.random rng model.Quant.Fmodel.f_input_shape)
+  in
+  match Quant.Quantize.quantize ~ternary ~calibration model with
+  | Error e -> [ name; (if ternary then "ternary" else "int8"); "error: " ^ e; "-"; "-" ]
+  | Ok (g, meta) ->
+      let x = Quant.Ftensor.random (Util.Rng.create 42) model.Quant.Fmodel.f_input_shape in
+      let reference = Quant.Fmodel.infer model x in
+      let qx = Quant.Quantize.quantize_input meta x in
+      let deq =
+        Quant.Quantize.dequantize_output meta (Ir.Eval.run g ~inputs:[ ("input", qx) ])
+      in
+      let db = Quant.Ftensor.sqnr_db ~reference deq in
+      let platform = if ternary then Arch.Diana.platform else Arch.Diana.digital_only in
+      let cfg = C.default_config platform in
+      let lat =
+        match C.compile cfg g with
+        | Error _ -> "-"
+        | Ok artifact ->
+            let _, report = C.run artifact ~inputs:[ ("input", qx) ] in
+            Printf.sprintf "%.3f" (C.latency_ms cfg (C.full_cycles report))
+      in
+      [ name; (if ternary then "ternary" else "int8"); Printf.sprintf "%.1f dB" db;
+        lat; string_of_int (Ir.Graph.app_count g) ]
+
+let run () =
+  print_endline "=== Quantization front end: SQNR and deployed latency ===";
+  let rows =
+    List.concat_map
+      (fun (name, m) -> [ measure name m ~ternary:false; measure name m ~ternary:true ])
+      [ ("small-cnn", Quant.Fmodel.random_cnn ()); ("dae-mlp", Quant.Fmodel.random_mlp ()) ]
+  in
+  print_string
+    (Util.Table.render
+       ~align:[ Util.Table.Left; Left; Right; Right; Right ]
+       ~header:[ "model"; "weights"; "SQNR"; "latency ms"; "ops" ]
+       rows);
+  print_newline ()

@@ -1,0 +1,113 @@
+(* Table I: latency and binary size of the MLPerf Tiny suite on DIANA in
+   the four deployment configurations. Paper numbers are printed alongside
+   the measured ones so calibration error is visible. *)
+
+module C = Htvm.Compile
+
+type config_row = {
+  label : string;
+  platform : Arch.Platform.t;
+  policy : Models.Policy.t;
+  baseline : bool;  (* plain-TVM memory planner, no peak column *)
+}
+
+let configs =
+  [
+    { label = "CPU (TVM)"; platform = Arch.Diana.cpu_only; policy = Models.Policy.All_int8;
+      baseline = true };
+    { label = "CPU+Digital"; platform = Arch.Diana.digital_only;
+      policy = Models.Policy.All_int8; baseline = false };
+    { label = "CPU+Analog"; platform = Arch.Diana.analog_only;
+      policy = Models.Policy.All_ternary; baseline = false };
+    { label = "CPU+Both"; platform = Arch.Diana.platform; policy = Models.Policy.Mixed;
+      baseline = false };
+  ]
+
+(* Paper Table I: (peak ms, htvm ms, size kB); latency None = OoM. *)
+let paper : (string * (string * ((float * float) option * int)) list) list =
+  [
+    ( "ds_cnn",
+      [ ("CPU (TVM)", (Some (48.24, 48.24), 59));
+        ("CPU+Digital", (Some (1.70, 1.75), 60));
+        ("CPU+Analog", (Some (13.51, 13.51), 93));
+        ("CPU+Both", (Some (1.66, 1.69), 81)) ] );
+    ( "mobilenet_v1_025",
+      [ ("CPU (TVM)", (None, 289));
+        ("CPU+Digital", (Some (5.42, 5.68), 306));
+        ("CPU+Analog", (Some (40.67, 40.67), 239));
+        ("CPU+Both", (Some (5.39, 5.82), 293)) ] );
+    ( "resnet8",
+      [ ("CPU (TVM)", (Some (134.11, 134.11), 122));
+        ("CPU+Digital", (Some (0.66, 1.19), 107));
+        ("CPU+Analog", (Some (1.52, 1.53), 129));
+        ("CPU+Both", (Some (0.61, 1.12), 108)) ] );
+    ( "toyadmos_dae",
+      [ ("CPU (TVM)", (Some (4.70, 4.70), 287));
+        ("CPU+Digital", (Some (0.30, 0.36), 315));
+        ("CPU+Analog", (Some (0.80, 0.80), 171));
+        ("CPU+Both", (Some (0.49, 0.52), 275)) ] );
+  ]
+
+let run_config (e : Models.Zoo.entry) cfg =
+  let g = e.Models.Zoo.build ?seed:None cfg.policy in
+  let compile_cfg =
+    if cfg.baseline then C.tvm_baseline_config cfg.platform
+    else C.default_config cfg.platform
+  in
+  match C.compile compile_cfg g with
+  | Error e -> Error e
+  | Ok artifact ->
+      let inputs = Models.Zoo.random_input g in
+      let _, report = C.run artifact ~inputs in
+      let peak = C.latency_ms compile_cfg (C.peak_cycles report) in
+      let full = C.latency_ms compile_cfg (C.full_cycles report) in
+      Ok (peak, full, Codegen.Size.total_kb artifact.C.size)
+
+let fmt_ms v = Printf.sprintf "%.2f" v
+let fmt_kb v = Printf.sprintf "%.0f" v
+
+let run () =
+  print_endline "=== Table I: MLPerf(tm) Tiny on DIANA: latency & binary size ===";
+  print_endline "(paper columns reproduced from Van Delm et al., DAC 2023)";
+  List.iter
+    (fun (e : Models.Zoo.entry) ->
+      Printf.printf "\n%s (%s, %.2f M MACs)\n" e.Models.Zoo.display_name
+        e.Models.Zoo.model_name
+        (float_of_int (Models.Zoo.macs (e.Models.Zoo.build Models.Policy.All_int8))
+        /. 1.0e6);
+      let rows =
+        List.map
+          (fun cfg ->
+            let paper_peak, paper_full, paper_size =
+              match List.assoc_opt cfg.label (List.assoc e.Models.Zoo.model_name paper) with
+              | Some (Some (p, f), s) -> (fmt_ms p, fmt_ms f, string_of_int s)
+              | Some (None, s) -> ("OoM", "OoM", string_of_int s)
+              | None -> ("-", "-", "-")
+            in
+            match run_config e cfg with
+            | Error msg ->
+                let contains_oom =
+                  let n = "out of memory" in
+                  let rec go i =
+                    i + String.length n <= String.length msg
+                    && (String.sub msg i (String.length n) = n || go (i + 1))
+                  in
+                  go 0
+                in
+                let reason = if contains_oom then "OoM" else "error" in
+                [ cfg.label; "-"; reason; "-"; paper_peak; paper_full; paper_size ]
+            | Ok (peak, full, kb) ->
+                let peak = if cfg.baseline then "-" else fmt_ms peak in
+                [ cfg.label; peak; fmt_ms full; fmt_kb kb; paper_peak; paper_full;
+                  paper_size ])
+          configs
+      in
+      print_string
+        (Util.Table.render
+           ~align:[ Util.Table.Left; Right; Right; Right; Right; Right; Right ]
+           ~header:
+             [ "config"; "peak(ms)"; "htvm(ms)"; "size(kB)"; "paper peak"; "paper htvm";
+               "paper kB" ]
+           rows))
+    Models.Zoo.all;
+  print_newline ()

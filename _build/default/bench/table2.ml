@@ -1,0 +1,52 @@
+(* Table II: comparison with MLPerf Tiny submissions on rival platforms,
+   normalized to 260 MHz. Rival numbers come from calibrated cycle models
+   (lib/arch/rivals.ml); the HTVM column is measured on the simulator in
+   the CPU+Digital configuration. Published values are printed alongside. *)
+
+module C = Htvm.Compile
+
+(* Published Table II latencies in ms at 260 MHz. *)
+let paper =
+  [
+    ("ds_cnn", (66.6, 46.1, 0.68, 1.75));
+    ("mobilenet_v1_025", (155.0, 139.0, 1.61, 5.68));
+    ("resnet8", (180.0, 180.0, 0.88, 1.19));
+    ("toyadmos_dae", (5.4, 3.97, 0.256, 0.36));
+  ]
+
+let htvm_digital_ms (e : Models.Zoo.entry) =
+  let g = e.Models.Zoo.build Models.Policy.All_int8 in
+  let cfg = C.default_config Arch.Diana.digital_only in
+  match C.compile cfg g with
+  | Error msg -> failwith msg
+  | Ok artifact ->
+      let _, report = C.run artifact ~inputs:(Models.Zoo.random_input g) in
+      C.latency_ms cfg (C.full_cycles report)
+
+let run () =
+  print_endline "=== Table II: comparison with SotA tools and platforms (260 MHz) ===";
+  print_endline "model columns: measured | (paper)";
+  let rows =
+    List.map
+      (fun (e : Models.Zoo.entry) ->
+        let g = e.Models.Zoo.build Models.Policy.All_int8 in
+        let stm = Arch.Rivals.estimate_graph_ms Arch.Rivals.stm32_tvm g in
+        let cmsis = Arch.Rivals.estimate_graph_ms Arch.Rivals.stm32_cmsis g in
+        let gap9 = Arch.Rivals.estimate_graph_ms Arch.Rivals.gap9_gapflow g in
+        let ours = htvm_digital_ms e in
+        let p_stm, p_cmsis, p_gap9, p_ours =
+          List.assoc e.Models.Zoo.model_name paper
+        in
+        let cell v p = Printf.sprintf "%.2f (%.2f)" v p in
+        [ e.Models.Zoo.display_name; cell stm p_stm; cell cmsis p_cmsis;
+          cell gap9 p_gap9; cell ours p_ours ])
+      Models.Zoo.all
+  in
+  print_string
+    (Util.Table.render
+       ~align:[ Util.Table.Left; Right; Right; Right; Right ]
+       ~header:
+         [ "benchmark"; "TVM/STM32 ms"; "TVM+CMSIS/STM32 ms"; "GAPFlow/GAP9 ms";
+           "HTVM/DIANA-dig ms" ]
+       rows);
+  print_newline ()

@@ -1,0 +1,63 @@
+(* Seeded single-layer fixtures for the figure benches. *)
+
+module Dtype = Tensor.Dtype
+module L = Ir.Layer
+
+let bias rng n =
+  let t = Tensor.create Dtype.I32 [| n |] in
+  for i = 0 to n - 1 do
+    Tensor.set_flat t i (Util.Rng.int_in rng (-16384) 16383)
+  done;
+  t
+
+let conv ?(c = 16) ?(k = 32) ?(hw = 32) ?(f = 3) ?(stride = 1) ?(pad = 1)
+    ?(wdtype = Dtype.I8) ?(seed = 2023) () =
+  let rng = Util.Rng.create seed in
+  let p = { Nn.Kernels.stride = (stride, stride); padding = (pad, pad); groups = 1 } in
+  let oh, ow = Nn.Kernels.conv_out_dims ~in_dims:(hw, hw) ~kernel:(f, f) p in
+  {
+    L.kind = L.Conv p;
+    fused_pool = None;
+    weights = Some (Tensor.random rng wdtype [| k; c; f; f |]);
+    bias = Some (bias rng k);
+    shift = Some (Util.Ints.log2_ceil (c * f * f) + 6);
+    relu = true;
+    in_shape = [| c; hw; hw |];
+    in2_shape = None;
+    out_shape = [| k; oh; ow |];
+    in_dtype = Dtype.I8;
+    out_dtype = Dtype.I8;
+  }
+
+let depthwise ?(c = 64) ?(hw = 16) ?(seed = 2024) () =
+  let rng = Util.Rng.create seed in
+  let p = { Nn.Kernels.stride = (1, 1); padding = (1, 1); groups = c } in
+  {
+    L.kind = L.Conv p;
+    fused_pool = None;
+    weights = Some (Tensor.random rng Dtype.I8 [| c; 1; 3; 3 |]);
+    bias = Some (bias rng c);
+    shift = Some 9;
+    relu = true;
+    in_shape = [| c; hw; hw |];
+    in2_shape = None;
+    out_shape = [| c; hw; hw |];
+    in_dtype = Dtype.I8;
+    out_dtype = Dtype.I8;
+  }
+
+let dense ?(c = 256) ?(k = 256) ?(seed = 2025) () =
+  let rng = Util.Rng.create seed in
+  {
+    L.kind = L.Dense;
+    fused_pool = None;
+    weights = Some (Tensor.random rng Dtype.I8 [| k; c |]);
+    bias = Some (bias rng k);
+    shift = Some (Util.Ints.log2_ceil c + 6);
+    relu = false;
+    in_shape = [| c |];
+    in2_shape = None;
+    out_shape = [| k |];
+    in_dtype = Dtype.I8;
+    out_dtype = Dtype.I8;
+  }

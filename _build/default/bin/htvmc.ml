@@ -1,0 +1,320 @@
+(* htvmc — the HTVM command-line compiler driver.
+
+   Subcommands:
+     export    write an MLPerf Tiny zoo model to a .htvm file
+     inspect   print a model's graph and statistics
+     compile   compile a model for a DIANA configuration; optionally emit C
+     run       compile and execute on the simulated SoC
+
+   Examples:
+     htvmc export resnet8 --policy mixed -o resnet8.htvm
+     htvmc inspect resnet8.htvm
+     htvmc compile resnet8.htvm --config both --emit-c resnet8.c
+     htvmc run resnet8.htvm --config both *)
+
+open Cmdliner
+
+let contains s needle =
+  let n = String.length needle and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let load_graph path =
+  match Ir.Text.load path with
+  | Ok g -> g
+  | Error e ->
+      Printf.eprintf "htvmc: cannot load %s: %s\n" path e;
+      exit 1
+
+let config_of_name = function
+  | "cpu" -> Htvm.Compile.tvm_baseline_config Arch.Diana.cpu_only
+  | "digital" -> Htvm.Compile.default_config Arch.Diana.digital_only
+  | "analog" -> Htvm.Compile.default_config Arch.Diana.analog_only
+  | "both" -> Htvm.Compile.default_config Arch.Diana.platform
+  | other ->
+      Printf.eprintf "htvmc: unknown config %S (cpu|digital|analog|both)\n" other;
+      exit 1
+
+let compile_or_die cfg g =
+  match Htvm.Compile.compile cfg g with
+  | Ok a -> a
+  | Error e ->
+      Printf.eprintf "htvmc: compilation failed: %s\n" e;
+      exit 1
+
+(* --- export --- *)
+
+let export model policy out =
+  let entry =
+    try Models.Zoo.find model
+    with Not_found ->
+      Printf.eprintf "htvmc: unknown model %S; known: %s\n" model
+        (String.concat ", " (List.map (fun e -> e.Models.Zoo.model_name) Models.Zoo.all));
+      exit 1
+  in
+  let policy =
+    match policy with
+    | "int8" -> Models.Policy.All_int8
+    | "ternary" -> Models.Policy.All_ternary
+    | "mixed" -> Models.Policy.Mixed
+    | other ->
+        Printf.eprintf "htvmc: unknown policy %S (int8|ternary|mixed)\n" other;
+        exit 1
+  in
+  let g = entry.Models.Zoo.build policy in
+  Ir.Text.save out g;
+  Printf.printf "wrote %s (%d ops, %.2f M MACs)\n" out (Ir.Graph.app_count g)
+    (float_of_int (Models.Zoo.macs g) /. 1.0e6)
+
+(* --- inspect --- *)
+
+let inspect path verbose =
+  let g = load_graph path in
+  Printf.printf "%s: %d nodes, %d ops, %.2f M MACs\n" path (Ir.Graph.length g)
+    (Ir.Graph.app_count g)
+    (float_of_int (Models.Zoo.macs g) /. 1.0e6);
+  List.iter
+    (fun (_, name, dtype, shape) ->
+      Printf.printf "input %s : %s[%s]\n" name
+        (Tensor.Dtype.to_string dtype)
+        (Array.to_list shape |> List.map string_of_int |> String.concat "x"))
+    (Ir.Graph.inputs g);
+  let ty = Ir.Infer.output_ty g in
+  Format.printf "output : %a@." Ir.Infer.pp_ty ty;
+  if verbose then print_string (Ir.Graph.to_string g ^ "\n")
+
+(* --- compile --- *)
+
+let compile path config emit_c =
+  let g = load_graph path in
+  let cfg = config_of_name config in
+  let artifact = compile_or_die cfg g in
+  Printf.printf "compiled %s for %s\n" path
+    cfg.Htvm.Compile.platform.Arch.Platform.platform_name;
+  List.iter
+    (fun (li : Htvm.Compile.layer_info) ->
+      Printf.printf "  [%s] %s%s\n" li.Htvm.Compile.li_target li.Htvm.Compile.li_desc
+        (if li.Htvm.Compile.li_tiled then " (tiled)" else ""))
+    artifact.Htvm.Compile.layers;
+  Format.printf "%a@." Codegen.Size.pp artifact.Htvm.Compile.size;
+  Printf.printf "L2: %d B weights resident, %d B activation arena\n"
+    artifact.Htvm.Compile.l2_static_bytes artifact.Htvm.Compile.l2_arena_bytes;
+  match emit_c with
+  | None -> ()
+  | Some out ->
+      Out_channel.with_open_text out (fun oc ->
+          output_string oc artifact.Htvm.Compile.c_source);
+      Printf.printf "wrote %s\n" out
+
+(* --- run --- *)
+
+let run path config seed =
+  let g = load_graph path in
+  let cfg = config_of_name config in
+  let artifact = compile_or_die cfg g in
+  let inputs = Models.Zoo.random_input ~seed g in
+  let out, report = Htvm.Compile.run artifact ~inputs in
+  let reference = Ir.Eval.run g ~inputs in
+  Printf.printf "bit-exact vs interpreter: %b\n" (Tensor.equal out reference);
+  let full = Htvm.Compile.full_cycles report in
+  let peak = Htvm.Compile.peak_cycles report in
+  Printf.printf "latency: %.3f ms (peak %.3f ms) at %d MHz — %d cycles\n"
+    (Htvm.Compile.latency_ms cfg full)
+    (Htvm.Compile.latency_ms cfg peak)
+    cfg.Htvm.Compile.platform.Arch.Platform.freq_mhz full;
+  Printf.printf "output: %s\n" (Tensor.to_string out)
+
+(* --- report --- *)
+
+let report path config out =
+  let g = load_graph path in
+  let cfg = config_of_name config in
+  let artifact = compile_or_die cfg g in
+  let run_report = snd (Htvm.Compile.run artifact ~inputs:(Models.Zoo.random_input g)) in
+  let md = Htvm.Report.to_markdown artifact run_report in
+  match out with
+  | None -> print_string md
+  | Some path ->
+      Out_channel.with_open_text path (fun oc -> output_string oc md);
+      Printf.printf "wrote %s\n" path
+
+(* --- quantize --- *)
+
+let quantize path ternary samples out =
+  match Quant.Ftext.load path with
+  | Error e ->
+      Printf.eprintf "htvmc: cannot load float model %s: %s\n" path e;
+      exit 1
+  | Ok model ->
+      let rng = Util.Rng.create 1 in
+      let calibration =
+        List.init samples (fun _ ->
+            Quant.Ftensor.random rng model.Quant.Fmodel.f_input_shape)
+      in
+      (match Quant.Quantize.quantize ~ternary ~calibration model with
+      | Error e ->
+          Printf.eprintf "htvmc: quantization failed: %s\n" e;
+          exit 1
+      | Ok (g, meta) ->
+          Ir.Text.save out g;
+          Printf.printf
+            "wrote %s (%d ops; input scale %gx, output scale %gx, %s weights)\n" out
+            (Ir.Graph.app_count g) meta.Quant.Quantize.input_scale
+            meta.Quant.Quantize.output_scale
+            (if ternary then "ternary" else "int8"))
+
+let export_float which out =
+  let model =
+    match which with
+    | "small-cnn" -> Quant.Fmodel.random_cnn ()
+    | "dae-mlp" -> Quant.Fmodel.random_mlp ()
+    | other ->
+        Printf.eprintf "htvmc: unknown float model %S (small-cnn|dae-mlp)\n" other;
+        exit 1
+  in
+  Quant.Ftext.save out model;
+  Printf.printf "wrote %s\n" out
+
+(* --- verify --- *)
+
+let verify path config trials =
+  let g = load_graph path in
+  let cfg = config_of_name config in
+  let artifact = compile_or_die cfg g in
+  let failures = ref 0 in
+  for seed = 1 to trials do
+    let inputs = Models.Zoo.random_input ~seed g in
+    let out, _ = Htvm.Compile.run artifact ~inputs in
+    if not (Tensor.equal out (Ir.Eval.run g ~inputs)) then begin
+      incr failures;
+      Printf.printf "seed %d: MISMATCH\n" seed
+    end
+  done;
+  if !failures = 0 then
+    Printf.printf "verified: %d random inputs bit-exact vs the reference interpreter\n"
+      trials
+  else begin
+    Printf.printf "%d/%d inputs mismatched\n" !failures trials;
+    exit 1
+  end
+
+(* --- dot --- *)
+
+let dot path config out =
+  let g = load_graph path in
+  let highlight =
+    match config with
+    | None -> fun _ -> None
+    | Some name ->
+        let cfg = config_of_name name in
+        let simplified = Ir.Rewrite.simplify g in
+        let plan =
+          Byoc.Partition.run simplified
+            ~targets:
+              (List.map
+                 (fun (a : Arch.Accel.t) ->
+                   {
+                     Byoc.Partition.name = a.Arch.Accel.accel_name;
+                     patterns = Byoc.Library.all;
+                     accept = a.Arch.Accel.supports;
+                     priority = 1;
+                     estimate = None;
+                   })
+                 cfg.Htvm.Compile.platform.Arch.Platform.accels)
+        in
+        let color_of = Hashtbl.create 16 in
+        List.iter
+          (fun seg ->
+            match seg with
+            | Byoc.Partition.Offload { target; output; _ } ->
+                let color =
+                  if contains target "analog" then "lightsalmon" else "lightblue"
+                in
+                List.iter
+                  (fun p -> Hashtbl.replace color_of p color)
+                  (Byoc.Partition.segment_inputs simplified seg @ [ output ])
+            | Byoc.Partition.Host _ -> ())
+          plan.Byoc.Partition.segments;
+        fun id -> Hashtbl.find_opt color_of id
+  in
+  let src = Ir.Dot.to_dot ~highlight g in
+  match out with
+  | None -> print_string src
+  | Some p ->
+      Out_channel.with_open_text p (fun oc -> output_string oc src);
+      Printf.printf "wrote %s\n" p
+
+(* --- cmdliner wiring --- *)
+
+let path_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL.htvm")
+let config_arg =
+  Arg.(value & opt string "digital" & info [ "config"; "c" ] ~doc:"cpu|digital|analog|both")
+
+let export_cmd =
+  let model = Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL") in
+  let policy = Arg.(value & opt string "int8" & info [ "policy"; "p" ] ~doc:"int8|ternary|mixed") in
+  let out = Arg.(value & opt string "model.htvm" & info [ "o" ] ~doc:"Output path.") in
+  Cmd.v (Cmd.info "export" ~doc:"Export a zoo model to a .htvm file")
+    Term.(const export $ model $ policy $ out)
+
+let inspect_cmd =
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the full graph.") in
+  Cmd.v (Cmd.info "inspect" ~doc:"Print a model's statistics")
+    Term.(const inspect $ path_arg $ verbose)
+
+let compile_cmd =
+  let emit_c =
+    Arg.(value & opt (some string) None & info [ "emit-c" ] ~doc:"Write generated C here.")
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a model for DIANA")
+    Term.(const compile $ path_arg $ config_arg $ emit_c)
+
+let run_cmd =
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Input seed.") in
+  Cmd.v (Cmd.info "run" ~doc:"Compile and simulate a model")
+    Term.(const run $ path_arg $ config_arg $ seed)
+
+let dot_cmd =
+  let out = Arg.(value & opt (some string) None & info [ "o" ] ~doc:"Write DOT here.") in
+  let config =
+    Arg.(value & opt (some string) None
+         & info [ "config"; "c" ] ~doc:"Color offloaded regions for this config.")
+  in
+  Cmd.v (Cmd.info "dot" ~doc:"Export a model as Graphviz DOT")
+    Term.(const dot $ path_arg $ config $ out)
+
+let quantize_cmd =
+  let ternary = Arg.(value & flag & info [ "ternary" ] ~doc:"Ternarize conv weights.") in
+  let samples = Arg.(value & opt int 8 & info [ "samples" ] ~doc:"Calibration samples.") in
+  let out = Arg.(value & opt string "model.htvm" & info [ "o" ] ~doc:"Output path.") in
+  Cmd.v (Cmd.info "quantize" ~doc:"Post-training quantize a .fhtvm float model")
+    Term.(const quantize $ path_arg $ ternary $ samples $ out)
+
+let export_float_cmd =
+  let which = Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL") in
+  let out = Arg.(value & opt string "model.fhtvm" & info [ "o" ] ~doc:"Output path.") in
+  Cmd.v (Cmd.info "export-float" ~doc:"Write a sample float model to a .fhtvm file")
+    Term.(const export_float $ which $ out)
+
+let verify_cmd =
+  let trials = Arg.(value & opt int 10 & info [ "trials"; "n" ] ~doc:"Random inputs to check.") in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Differentially verify the compiled artifact against the interpreter")
+    Term.(const verify $ path_arg $ config_arg $ trials)
+
+let report_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "o" ] ~doc:"Write the markdown here.")
+  in
+  Cmd.v (Cmd.info "report" ~doc:"Compile, simulate and print a deployment report")
+    Term.(const report $ path_arg $ config_arg $ out)
+
+let () =
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "htvmc" ~version:"1.0"
+             ~doc:"HTVM compiler driver for heterogeneous TinyML platforms")
+          [ export_cmd; export_float_cmd; quantize_cmd; inspect_cmd; compile_cmd;
+            run_cmd; verify_cmd; report_cmd; dot_cmd ]))

@@ -1,0 +1,1 @@
+examples/deploy_mlperf_tiny.ml: Arch Arg Cmd Cmdliner Codegen Format Htvm Ir List Models Printf Sim String Tensor Term Util

@@ -1,0 +1,1 @@
+examples/deploy_mlperf_tiny.mli:

@@ -1,0 +1,1 @@
+examples/float_to_diana.ml: Arch Format Htvm Ir List Printf Quant Sim Tensor Util

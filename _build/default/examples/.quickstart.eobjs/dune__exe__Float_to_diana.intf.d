@@ -1,0 +1,1 @@
+examples/float_to_diana.mli:

@@ -1,0 +1,1 @@
+examples/mixed_precision_dispatch.ml: Arch Htvm List Models Printf

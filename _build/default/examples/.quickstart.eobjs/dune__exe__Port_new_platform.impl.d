@@ -1,0 +1,1 @@
+examples/port_new_platform.ml: Arch Htvm Ir List Models Printf Tensor

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Arch Codegen Format Htvm Ir List Printf Tensor Util

@@ -1,0 +1,1 @@
+examples/tiling_explorer.ml: Arch Array Dory Htvm Ir List Nn Printf Sim Sys Tensor Util

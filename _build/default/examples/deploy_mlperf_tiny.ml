@@ -1,0 +1,82 @@
+(* Deploy an MLPerf Tiny network to a DIANA configuration and report
+   per-step latency, the memory plan and optionally the generated C.
+
+   Run with, e.g.:
+     dune exec examples/deploy_mlperf_tiny.exe -- --model resnet8 --config both
+     dune exec examples/deploy_mlperf_tiny.exe -- --model ds_cnn --emit-c *)
+
+open Cmdliner
+
+let deploy model config emit_c =
+  let entry = try Models.Zoo.find model with Not_found ->
+    Printf.eprintf "unknown model %S; known: %s\n" model
+      (String.concat ", " (List.map (fun e -> e.Models.Zoo.model_name) Models.Zoo.all));
+    exit 2
+  in
+  let platform, policy =
+    match config with
+    | "cpu" -> (Arch.Diana.cpu_only, Models.Policy.All_int8)
+    | "digital" -> (Arch.Diana.digital_only, Models.Policy.All_int8)
+    | "analog" -> (Arch.Diana.analog_only, Models.Policy.All_ternary)
+    | "both" -> (Arch.Diana.platform, Models.Policy.Mixed)
+    | other ->
+        Printf.eprintf "unknown config %S (cpu|digital|analog|both)\n" other;
+        exit 2
+  in
+  let g = entry.Models.Zoo.build policy in
+  Printf.printf "%s (%s policy): %d ops, %.2f M MACs\n" entry.Models.Zoo.display_name
+    (Models.Policy.to_string policy) (Ir.Graph.app_count g)
+    (float_of_int (Models.Zoo.macs g) /. 1.0e6);
+  let cfg = Htvm.Compile.default_config platform in
+  match Htvm.Compile.compile cfg g with
+  | Error e ->
+      Printf.printf "compilation failed: %s\n" e;
+      exit 1
+  | Ok artifact ->
+      let inputs = Models.Zoo.random_input g in
+      let out, report = Htvm.Compile.run artifact ~inputs in
+      let reference = Ir.Eval.run g ~inputs in
+      Printf.printf "simulated on %s: bit-exact vs interpreter = %b\n"
+        platform.Arch.Platform.platform_name (Tensor.equal out reference);
+      print_endline "\nper-step cycles:";
+      let rows =
+        List.map
+          (fun (name, c) ->
+            [ name; string_of_int c.Sim.Counters.wall;
+              string_of_int (Sim.Counters.peak c);
+              string_of_int (c.Sim.Counters.dma_in + c.Sim.Counters.dma_out);
+              string_of_int c.Sim.Counters.cpu_compute ])
+          report.Sim.Machine.per_step
+      in
+      print_string
+        (Util.Table.render
+           ~align:[ Util.Table.Left; Right; Right; Right; Right ]
+           ~header:[ "step"; "wall"; "accel peak"; "dma"; "cpu" ]
+           rows);
+      let full = Htvm.Compile.full_cycles report in
+      Printf.printf "\ntotal: %.3f ms (peak %.3f ms) @260 MHz\n"
+        (Htvm.Compile.latency_ms cfg full)
+        (Htvm.Compile.latency_ms cfg (Htvm.Compile.peak_cycles report));
+      Printf.printf "L2: %d B static weights, %d B activation arena (peak use %d B)\n"
+        artifact.Htvm.Compile.l2_static_bytes artifact.Htvm.Compile.l2_arena_bytes
+        artifact.Htvm.Compile.program.Sim.Program.l2_activation_peak;
+      Format.printf "binary size:@.%a@." Codegen.Size.pp artifact.Htvm.Compile.size;
+      if emit_c then begin
+        print_endline "\n--- generated C (DORY backend) ---";
+        print_string artifact.Htvm.Compile.c_source
+      end
+
+let model =
+  Arg.(value & opt string "resnet8" & info [ "model"; "m" ] ~doc:"MLPerf Tiny model name.")
+
+let config =
+  Arg.(value & opt string "digital" & info [ "config"; "c" ] ~doc:"cpu|digital|analog|both.")
+
+let emit_c = Arg.(value & flag & info [ "emit-c" ] ~doc:"Print the generated C driver code.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "deploy_mlperf_tiny" ~doc:"Deploy an MLPerf Tiny network on simulated DIANA")
+    Term.(const deploy $ model $ config $ emit_c)
+
+let () = exit (Cmd.eval cmd)

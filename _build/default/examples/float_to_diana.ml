@@ -1,0 +1,47 @@
+(* The full pipeline from a floating-point model: post-training quantize
+   with power-of-two scales (lib/quant), compile the resulting Listing-1
+   graph with HTVM, execute on simulated DIANA, and report quantization
+   quality (SQNR vs the float reference) next to latency.
+
+   Run with: dune exec examples/float_to_diana.exe *)
+
+let () =
+  let model = Quant.Fmodel.random_cnn ~seed:2023 () in
+  let rng = Util.Rng.create 1 in
+  let calibration =
+    List.init 8 (fun _ -> Quant.Ftensor.random rng model.Quant.Fmodel.f_input_shape)
+  in
+  print_endline "1. post-training quantization (power-of-two scales)";
+  let g, meta =
+    match Quant.Quantize.quantize ~calibration model with
+    | Ok r -> r
+    | Error e -> failwith e
+  in
+  Printf.printf "   input scale %gx, output scale %gx, %d quantized ops\n"
+    meta.Quant.Quantize.input_scale meta.Quant.Quantize.output_scale
+    (Ir.Graph.app_count g);
+
+  print_endline "2. HTVM compilation for DIANA (CPU + digital)";
+  let cfg = Htvm.Compile.default_config Arch.Diana.digital_only in
+  let artifact =
+    match Htvm.Compile.compile cfg g with Ok a -> a | Error e -> failwith e
+  in
+  List.iter
+    (fun (li : Htvm.Compile.layer_info) ->
+      Printf.printf "   [%s] %s\n" li.Htvm.Compile.li_target li.Htvm.Compile.li_desc)
+    artifact.Htvm.Compile.layers;
+
+  print_endline "3. simulated inference vs float reference";
+  let x = Quant.Ftensor.random (Util.Rng.create 7) model.Quant.Fmodel.f_input_shape in
+  let float_out = Quant.Fmodel.infer model x in
+  let qx = Quant.Quantize.quantize_input meta x in
+  let qout, report = Htvm.Compile.run artifact ~inputs:[ ("input", qx) ] in
+  let deq = Quant.Quantize.dequantize_output meta qout in
+  Printf.printf "   SQNR vs float: %.1f dB\n"
+    (Quant.Ftensor.sqnr_db ~reference:float_out deq);
+  Printf.printf "   bit-exact vs int interpreter: %b\n"
+    (Tensor.equal qout (Ir.Eval.run g ~inputs:[ ("input", qx) ]));
+  Printf.printf "   latency: %.3f ms; energy: %s\n"
+    (Htvm.Compile.latency_ms cfg (Htvm.Compile.full_cycles report))
+    (Format.asprintf "%a" Sim.Energy.pp
+       (Sim.Energy.of_report Sim.Energy.diana_defaults report))

@@ -1,0 +1,44 @@
+(* Porting HTVM to a new platform (paper Sec. III-C / Sec. V): provide the
+   hardware description — supported operations + rules, utilization
+   heuristics, and invocation cycle models — and the whole flow works
+   unchanged. lib/arch/nova.ml is such a description: a single systolic
+   GEMM accelerator whose weights share L1, with stride-1-only support so
+   some layers legitimately fall back to the host.
+
+   Run with: dune exec examples/port_new_platform.exe *)
+
+let deploy name platform g =
+  let cfg = Htvm.Compile.default_config platform in
+  match Htvm.Compile.compile cfg g with
+  | Error e -> Printf.printf "%s: compile error: %s\n" name e
+  | Ok artifact ->
+      let inputs = Models.Zoo.random_input g in
+      let out, report = Htvm.Compile.run artifact ~inputs in
+      let exact = Tensor.equal out (Ir.Eval.run g ~inputs) in
+      let offloaded =
+        List.length
+          (List.filter
+             (fun (li : Htvm.Compile.layer_info) -> li.Htvm.Compile.li_target <> "cpu")
+             artifact.Htvm.Compile.layers)
+      in
+      Printf.printf "%-8s %2d/%2d layers offloaded, %.3f ms @%d MHz, bit-exact %b\n" name
+        offloaded
+        (List.length artifact.Htvm.Compile.layers)
+        (Htvm.Compile.latency_ms cfg (Htvm.Compile.full_cycles report))
+        platform.Arch.Platform.freq_mhz exact
+
+let () =
+  print_endline "The same network compiled for two different SoCs:";
+  let g = (Models.Zoo.find "resnet8").Models.Zoo.build Models.Policy.All_int8 in
+  deploy "diana" Arch.Diana.digital_only g;
+  deploy "nova" Arch.Nova.platform g;
+  print_endline "";
+  print_endline "NOVA's dispatch (stride-2 and depthwise layers stay on the host):";
+  let cfg = Htvm.Compile.default_config Arch.Nova.platform in
+  match Htvm.Compile.compile cfg g with
+  | Error e -> print_endline e
+  | Ok artifact ->
+      List.iter
+        (fun (li : Htvm.Compile.layer_info) ->
+          Printf.printf "  [%s] %s\n" li.Htvm.Compile.li_target li.Htvm.Compile.li_desc)
+        artifact.Htvm.Compile.layers

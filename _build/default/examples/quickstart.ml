@@ -1,0 +1,51 @@
+(* Quickstart: build a small quantized CNN with the graph builder, compile
+   it for DIANA with HTVM, execute it on the simulated SoC, and check the
+   result against the reference interpreter.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module B = Ir.Graph.Builder
+module Dtype = Tensor.Dtype
+
+let () =
+  (* 1. Build a quantized graph: conv -> requant -> maxpool -> dense. *)
+  let rng = Util.Rng.create 42 in
+  let b = B.create () in
+  let x = B.input b ~name:"image" Dtype.I8 [| 3; 16; 16 |] in
+  let w1 = B.const b (Tensor.random rng Dtype.I8 [| 16; 3; 3; 3 |]) in
+  let conv = B.conv2d b ~padding:(1, 1) x ~weights:w1 in
+  let q1 = B.requantize b ~relu:true ~shift:11 ~out_dtype:Dtype.I8 conv in
+  let pooled = B.max_pool b ~pool:(2, 2) ~stride:(2, 2) q1 in
+  let flat = B.reshape b [| 16 * 8 * 8 |] pooled in
+  let w2 = B.const b (Tensor.random rng Dtype.I8 [| 10; 1024 |]) in
+  let fc = B.dense b flat ~weights:w2 in
+  let logits = B.requantize b ~shift:13 ~out_dtype:Dtype.I8 fc in
+  let g = B.finish b ~output:logits in
+  Printf.printf "graph: %d operator applications\n" (Ir.Graph.app_count g);
+
+  (* 2. Compile for DIANA (CPU + digital accelerator). *)
+  let cfg = Htvm.Compile.default_config Arch.Diana.digital_only in
+  let artifact =
+    match Htvm.Compile.compile cfg g with
+    | Ok a -> a
+    | Error e -> failwith ("compile failed: " ^ e)
+  in
+  List.iter
+    (fun (li : Htvm.Compile.layer_info) ->
+      Printf.printf "  step %d [%s] %s%s\n" li.Htvm.Compile.li_index
+        li.Htvm.Compile.li_target li.Htvm.Compile.li_desc
+        (if li.Htvm.Compile.li_tiled then " (tiled)" else ""))
+    artifact.Htvm.Compile.layers;
+
+  (* 3. Run on the simulated SoC and compare with the interpreter. *)
+  let input = Tensor.random (Util.Rng.create 1) Dtype.I8 [| 3; 16; 16 |] in
+  let out, report = Htvm.Compile.run artifact ~inputs:[ ("image", input) ] in
+  let reference = Ir.Eval.run g ~inputs:[ ("image", input) ] in
+  Printf.printf "bit-exact vs interpreter: %b\n" (Tensor.equal out reference);
+
+  (* 4. Report latency and binary size. *)
+  let full = Htvm.Compile.full_cycles report in
+  Printf.printf "latency: %d cycles = %.3f ms @260 MHz (peak %d cycles)\n" full
+    (Htvm.Compile.latency_ms cfg full)
+    (Htvm.Compile.peak_cycles report);
+  Format.printf "binary size:@.%a@." Codegen.Size.pp artifact.Htvm.Compile.size

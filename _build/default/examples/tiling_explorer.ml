@@ -1,0 +1,53 @@
+(* Explore DORY's tiling decisions for a convolution as the L1 budget
+   shrinks: which tile the Eq. 1 objective picks, its utilization, and
+   the measured cycles on the digital accelerator.
+
+   Run with: dune exec examples/tiling_explorer.exe -- [C] [K] [HW] *)
+
+let () =
+  let arg n default = if Array.length Sys.argv > n then int_of_string Sys.argv.(n) else default in
+  let c = arg 1 32 and k = arg 2 32 and hw = arg 3 32 in
+  let rng = Util.Rng.create 11 in
+  let p = { Nn.Kernels.stride = (1, 1); padding = (1, 1); groups = 1 } in
+  let bias = Tensor.create Tensor.Dtype.I32 [| k |] in
+  Tensor.iteri_flat (fun i _ -> Tensor.set_flat bias i (Util.Rng.int_in rng (-9000) 9000)) bias;
+  let layer =
+    {
+      Ir.Layer.kind = Ir.Layer.Conv p;
+      fused_pool = None;
+      weights = Some (Tensor.random rng Tensor.Dtype.I8 [| k; c; 3; 3 |]);
+      bias = Some bias;
+      shift = Some (Util.Ints.log2_ceil (c * 9) + 6);
+      relu = true;
+      in_shape = [| c; hw; hw |];
+      in2_shape = None;
+      out_shape = [| k; hw; hw |];
+      in_dtype = Tensor.Dtype.I8;
+      out_dtype = Tensor.Dtype.I8;
+    }
+  in
+  Printf.printf "layer: %s (%d MACs)\n\n" (Ir.Layer.describe layer) (Ir.Layer.macs layer);
+  let rows =
+    List.filter_map
+      (fun kib ->
+        let tiling = Dory.Tiling.default_config ~l1_budget:(Util.Ints.kib kib) in
+        match Htvm.Lab.run_single_layer ~accel:Arch.Diana.digital ~tiling layer with
+        | Error _ -> Some [ Printf.sprintf "%d kB" kib; "-"; "-"; "-"; "-"; "-" ]
+        | Ok r ->
+            let s = r.Htvm.Lab.solution in
+            Some
+              [ Printf.sprintf "%d kB" kib;
+                Arch.Tile.to_string s.Dory.Tiling.tile;
+                string_of_int s.Dory.Tiling.tile_count;
+                Printf.sprintf "%.0f%%"
+                  (100.0
+                  *. Arch.Accel.utilization Arch.Diana.digital layer s.Dory.Tiling.tile);
+                string_of_int r.Htvm.Lab.counters.Sim.Counters.wall;
+                Printf.sprintf "%.1f" (Htvm.Lab.full_throughput layer r) ])
+      [ 256; 128; 64; 32; 16; 8; 4; 2 ]
+  in
+  print_string
+    (Util.Table.render
+       ~align:[ Util.Table.Right; Left; Right; Right; Right; Right ]
+       ~header:[ "L1"; "chosen tile"; "tiles"; "PE util"; "cycles"; "MAC/cyc" ]
+       rows)

@@ -1,0 +1,1 @@
+lib/arch/accel.ml: Ir Tile

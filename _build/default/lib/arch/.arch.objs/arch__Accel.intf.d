@@ -1,0 +1,1 @@
+lib/arch/accel.mli: Ir Tile

@@ -1,0 +1,1 @@
+lib/arch/cpu_model.ml: Array Float Ir List Nn

@@ -1,0 +1,1 @@
+lib/arch/cpu_model.mli: Ir

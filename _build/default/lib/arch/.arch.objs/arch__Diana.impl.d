@@ -1,0 +1,1 @@
+lib/arch/diana.ml: Accel Array Cpu_model Ir Memory Nn Platform Tensor Tile Util

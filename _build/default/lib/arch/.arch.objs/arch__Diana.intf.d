@@ -1,0 +1,1 @@
+lib/arch/diana.mli: Accel Cpu_model Platform

@@ -1,0 +1,1 @@
+lib/arch/memory.ml: Array Ir Tile Util

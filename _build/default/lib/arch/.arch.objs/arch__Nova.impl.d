@@ -1,0 +1,1 @@
+lib/arch/nova.ml: Accel Array Cpu_model Ir Memory Nn Platform Tensor Tile Util

@@ -1,0 +1,1 @@
+lib/arch/nova.mli: Accel Cpu_model Platform

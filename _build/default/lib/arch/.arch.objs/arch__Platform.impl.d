@@ -1,0 +1,1 @@
+lib/arch/platform.ml: Accel Cpu_model List Memory

@@ -1,0 +1,1 @@
+lib/arch/platform.mli: Accel Cpu_model Memory

@@ -1,0 +1,1 @@
+lib/arch/rivals.ml: Array Cpu_model Ir List

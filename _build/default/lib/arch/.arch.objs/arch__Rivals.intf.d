@@ -1,0 +1,1 @@
+lib/arch/rivals.mli: Cpu_model Ir

@@ -1,0 +1,1 @@
+lib/arch/tile.ml: Array Format Ir Nn Tensor Util

@@ -1,0 +1,27 @@
+type heuristic = {
+  h_name : string;
+  beta : float;
+  score : Ir.Layer.t -> Tile.t -> float;
+}
+
+type t = {
+  accel_name : string;
+  weight_mem_bytes : int option;
+  supports : Ir.Layer.t -> bool;
+  tile_ok : Ir.Layer.t -> Tile.t -> bool;
+  compute_cycles : Ir.Layer.t -> Tile.t -> int;
+  weight_load_cycles : Ir.Layer.t -> Tile.t -> int;
+  setup_cycles : int;
+  tile_overhead_cycles : int;
+  heuristics : heuristic list;
+}
+
+let macs_per_cycle a l tile =
+  let cycles = a.compute_cycles l tile in
+  if cycles <= 0 then 0.0 else float_of_int (Tile.macs l tile) /. float_of_int cycles
+
+let peak_macs_per_cycle a l = macs_per_cycle a l (Tile.full l)
+
+let utilization a l tile =
+  let peak = peak_macs_per_cycle a l in
+  if peak <= 0.0 then 0.0 else macs_per_cycle a l tile /. peak

@@ -1,0 +1,97 @@
+module L = Ir.Layer
+
+let cd = Util.Ints.ceil_div
+let array_dim = 16
+
+let supports (l : L.t) =
+  match l.L.kind with
+  | L.Conv p ->
+      let fy, fx = L.kernel_dims l in
+      L.weight_dtype l = Some Tensor.Dtype.I8
+      && l.L.fused_pool = None
+      && p.Nn.Kernels.groups = 1
+      && p.Nn.Kernels.stride = (1, 1)
+      && fy <= 3 && fx <= 3
+  | L.Dense -> L.weight_dtype l = Some Tensor.Dtype.I8
+  | L.Add | L.Pool _ -> false
+
+(* Systolic GEMM: C and K unroll over the array; spatial positions and
+   filter taps stream through. *)
+let compute_cycles (l : L.t) (t : Tile.t) =
+  let fy, fx = L.kernel_dims l in
+  match l.L.kind with
+  | L.Conv _ ->
+      let cy, cx = Tile.conv_extent l t.Tile.oy t.Tile.ox in
+      cy * cx * fy * fx * cd t.Tile.c array_dim * cd t.Tile.k array_dim
+  | L.Dense -> cd t.Tile.c array_dim * cd t.Tile.k array_dim
+  | L.Add | L.Pool _ -> 0
+
+(* Weights stream from L1 with the activations: loading is one pass over
+   the tile's weight bytes at the array's ingest width. *)
+let weight_load_cycles (l : L.t) (t : Tile.t) =
+  match l.L.weights with
+  | None -> 0
+  | Some _ -> 16 + cd (Tile.bytes_weights l t) 8
+
+let h_k_align =
+  {
+    Accel.h_name = "gemm_k_align";
+    beta = 1.0;
+    score = (fun _ t -> float_of_int ((t.Tile.k - 1) mod array_dim) /. 15.0);
+  }
+
+let h_c_align =
+  {
+    Accel.h_name = "gemm_c_align";
+    beta = 1.0;
+    score = (fun _ t -> float_of_int ((t.Tile.c - 1) mod array_dim) /. 15.0);
+  }
+
+let gemm16 =
+  {
+    Accel.accel_name = "nova_gemm16";
+    weight_mem_bytes = None;
+    supports;
+    tile_ok =
+      (fun l t ->
+        match l.L.kind with
+        | L.Conv _ | L.Dense -> t.Tile.c = l.L.in_shape.(0)
+        | L.Add | L.Pool _ -> true);
+    compute_cycles;
+    weight_load_cycles;
+    setup_cycles = 1200;
+    tile_overhead_cycles = 60;
+    heuristics = [ h_k_align; h_c_align ];
+  }
+
+let cpu =
+  {
+    Cpu_model.cpu_name = "cortex-m7-class";
+    conv_cycles_per_mac = 2.0;
+    dense_cycles_per_mac = 2.4;
+    depthwise_cycles_per_mac = 4.0;
+    elementwise_cycles_per_elt = 1.2;
+    pool_cycles_per_elt = 1.5;
+    softmax_cycles_per_elt = 35.0;
+    data_move_cycles_per_byte = 0.5;
+    kernel_call_overhead = 300;
+  }
+
+let platform =
+  {
+    Platform.platform_name = "nova";
+    freq_mhz = 400;
+    l1 = { Memory.level_name = "L1"; size_bytes = Util.Ints.kib 96 };
+    l2 = { Memory.level_name = "L2"; size_bytes = Util.Ints.kib 1024 };
+    dma = { Memory.setup_cycles = 48; per_chunk_cycles = 6; bytes_per_cycle = 16 };
+    cpu;
+    accels = [ gemm16 ];
+    size_model =
+      {
+        Platform.runtime_base_bytes = 30_000;
+        cpu_kernel_bytes = 1_600;
+        cpu_op_bytes = 280;
+        accel_call_bytes = 420;
+        accel_tile_loop_bytes = 560;
+      };
+  }

@@ -1,0 +1,30 @@
+type size_model = {
+  runtime_base_bytes : int;
+  cpu_kernel_bytes : int;
+  cpu_op_bytes : int;
+  accel_call_bytes : int;
+  accel_tile_loop_bytes : int;
+}
+
+type t = {
+  platform_name : string;
+  freq_mhz : int;
+  l1 : Memory.level;
+  l2 : Memory.level;
+  dma : Memory.dma;
+  cpu : Cpu_model.t;
+  accels : Accel.t list;
+  size_model : size_model;
+}
+
+let find_accel t name =
+  match List.find_opt (fun a -> a.Accel.accel_name = name) t.accels with
+  | Some a -> a
+  | None -> raise Not_found
+
+let with_accels t names =
+  let accels = List.map (find_accel t) names in
+  { t with accels }
+
+let ms_of_cycles t cycles =
+  float_of_int cycles /. (float_of_int t.freq_mhz *. 1000.0)

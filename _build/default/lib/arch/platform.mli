@@ -1,0 +1,32 @@
+(** Whole-platform description: host CPU + memory hierarchy + DMA +
+    accelerators, and the code/binary size model parameters. *)
+
+type size_model = {
+  runtime_base_bytes : int;       (** runtime, startup, allocator, drivers *)
+  cpu_kernel_bytes : int;         (** generated C code per fused CPU kernel *)
+  cpu_op_bytes : int;             (** extra code per additional fused op *)
+  accel_call_bytes : int;         (** driver sequence per offloaded layer *)
+  accel_tile_loop_bytes : int;    (** extra code when the layer is tiled *)
+}
+
+type t = {
+  platform_name : string;
+  freq_mhz : int;
+  l1 : Memory.level;   (** shared accelerator activation memory *)
+  l2 : Memory.level;   (** main on-chip memory: code + weights + activations *)
+  dma : Memory.dma;
+  cpu : Cpu_model.t;
+  accels : Accel.t list;
+  size_model : size_model;
+}
+
+val find_accel : t -> string -> Accel.t
+(** @raise Not_found if no accelerator has that name. *)
+
+val with_accels : t -> string list -> t
+(** Restrict the platform to the named accelerators (Table I's CPU-only /
+    CPU+Digital / CPU+Analog / CPU+Both configurations).
+    @raise Not_found if a name does not exist. *)
+
+val ms_of_cycles : t -> int -> float
+(** Convert a cycle count to milliseconds at the platform frequency. *)

@@ -1,0 +1,95 @@
+type t = { c : int; k : int; oy : int; ox : int; iy : int; ix : int }
+
+(* Pre-pool spatial extent of a (pooled-space) tile span. *)
+let conv_extent (l : Ir.Layer.t) n_y n_x =
+  match l.Ir.Layer.fused_pool with
+  | None -> (n_y, n_x)
+  | Some { Ir.Op.pool = pwy, pwx; pool_stride = psy, psx } ->
+      (((n_y - 1) * psy) + pwy, ((n_x - 1) * psx) + pwx)
+
+let for_layer (l : Ir.Layer.t) ~c ~k ~oy ~ox =
+  if c <= 0 || k <= 0 || oy <= 0 || ox <= 0 then invalid_arg "Tile.for_layer: bad dims";
+  match l.Ir.Layer.kind with
+  | Ir.Layer.Conv p ->
+      let fy, fx = Ir.Layer.kernel_dims l in
+      let sy, sx = p.Nn.Kernels.stride in
+      let cy, cx = conv_extent l oy ox in
+      let iy = ((cy - 1) * sy) + fy and ix = ((cx - 1) * sx) + fx in
+      let c = if Ir.Layer.is_depthwise l then k else c in
+      { c; k; oy; ox; iy; ix }
+  | Ir.Layer.Dense -> { c; k; oy = 1; ox = 1; iy = 1; ix = 1 }
+  | Ir.Layer.Add -> { c; k = c; oy; ox; iy = oy; ix = ox }
+  | Ir.Layer.Pool { attrs = { Ir.Op.pool = py, px; pool_stride = sy, sx }; _ } ->
+      let iy = ((oy - 1) * sy) + py and ix = ((ox - 1) * sx) + px in
+      { c; k = c; oy; ox; iy; ix }
+
+let full (l : Ir.Layer.t) =
+  match l.Ir.Layer.kind with
+  | Ir.Layer.Conv _ | Ir.Layer.Pool _ ->
+      for_layer l ~c:l.in_shape.(0) ~k:l.out_shape.(0) ~oy:l.out_shape.(1)
+        ~ox:l.out_shape.(2)
+  | Ir.Layer.Dense -> for_layer l ~c:l.in_shape.(0) ~k:l.out_shape.(0) ~oy:1 ~ox:1
+  | Ir.Layer.Add ->
+      for_layer l ~c:l.in_shape.(0) ~k:l.in_shape.(0) ~oy:l.in_shape.(1)
+        ~ox:l.in_shape.(2)
+
+let is_full l t = t = full l
+
+let dtype_bytes dt = Tensor.Dtype.sim_bytes dt
+
+let bytes_in (l : Ir.Layer.t) t =
+  let per = dtype_bytes l.in_dtype in
+  match l.Ir.Layer.kind with
+  | Ir.Layer.Conv _ | Ir.Layer.Pool _ -> t.c * t.iy * t.ix * per
+  | Ir.Layer.Dense -> t.c * per
+  | Ir.Layer.Add -> 2 * t.c * t.oy * t.ox * per
+
+let bytes_out (l : Ir.Layer.t) t =
+  let per = dtype_bytes l.out_dtype in
+  match l.Ir.Layer.kind with
+  | Ir.Layer.Conv _ | Ir.Layer.Pool _ | Ir.Layer.Add -> t.k * t.oy * t.ox * per
+  | Ir.Layer.Dense -> t.k * per
+
+let bytes_weights (l : Ir.Layer.t) t =
+  match l.Ir.Layer.weights with
+  | None -> 0
+  | Some w ->
+      let fy, fx = Ir.Layer.kernel_dims l in
+      let per = dtype_bytes (Tensor.dtype w) in
+      let per_out_channel =
+        match l.Ir.Layer.kind with
+        | Ir.Layer.Conv _ when Ir.Layer.is_depthwise l -> fy * fx * per
+        | Ir.Layer.Conv _ -> t.c * fy * fx * per
+        | Ir.Layer.Dense -> t.c * per
+        | Ir.Layer.Add | Ir.Layer.Pool _ -> 0
+      in
+      let bias = if l.Ir.Layer.bias = None then 0 else 4 in
+      t.k * (per_out_channel + bias)
+
+let macs (l : Ir.Layer.t) t =
+  let fy, fx = Ir.Layer.kernel_dims l in
+  match l.Ir.Layer.kind with
+  | Ir.Layer.Conv _ when Ir.Layer.is_depthwise l ->
+      let cy, cx = conv_extent l t.oy t.ox in
+      t.k * cy * cx * fy * fx
+  | Ir.Layer.Conv _ ->
+      let cy, cx = conv_extent l t.oy t.ox in
+      t.k * cy * cx * t.c * fy * fx
+  | Ir.Layer.Dense -> t.c * t.k
+  | Ir.Layer.Add -> t.c * t.oy * t.ox
+  | Ir.Layer.Pool { attrs = { Ir.Op.pool = py, px; _ }; _ } -> t.k * t.oy * t.ox * py * px
+
+let count (l : Ir.Layer.t) t =
+  let f = full l in
+  let cd = Util.Ints.ceil_div in
+  match l.Ir.Layer.kind with
+  | Ir.Layer.Conv _ when Ir.Layer.is_depthwise l -> cd f.k t.k * cd f.oy t.oy * cd f.ox t.ox
+  | Ir.Layer.Conv _ | Ir.Layer.Pool _ ->
+      cd f.c t.c * cd f.k t.k * cd f.oy t.oy * cd f.ox t.ox
+  | Ir.Layer.Dense -> cd f.c t.c * cd f.k t.k
+  | Ir.Layer.Add -> cd f.c t.c * cd f.oy t.oy * cd f.ox t.ox
+
+let pp fmt t =
+  Format.fprintf fmt "tile{c=%d k=%d oy=%d ox=%d iy=%d ix=%d}" t.c t.k t.oy t.ox t.iy t.ix
+
+let to_string t = Format.asprintf "%a" pp t

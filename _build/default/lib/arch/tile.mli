@@ -1,0 +1,49 @@
+(** Tile geometry.
+
+    A tile is the unit of work DORY schedules onto an accelerator: a slice
+    of the layer's output (k x oy x ox) together with the input slice
+    (c x iy x ix, halo included) needed to produce it. Cycle models and
+    the L1 constraint are both functions of this record. *)
+
+type t = {
+  c : int;   (** input channels in the tile *)
+  k : int;   (** output channels in the tile *)
+  oy : int;  (** output rows *)
+  ox : int;  (** output columns *)
+  iy : int;  (** input rows incl. convolution halo *)
+  ix : int;  (** input columns incl. halo *)
+}
+
+val for_layer : Ir.Layer.t -> c:int -> k:int -> oy:int -> ox:int -> t
+(** Derive the full tile record for an output slice of the given layer;
+    [iy]/[ix] account for kernel size, stride, halo and any fused output
+    pooling ([oy]/[ox] are in the layer's pooled output space). For layers
+    without spatial extent (dense) pass [oy = ox = 1]. *)
+
+val conv_extent : Ir.Layer.t -> int -> int -> int * int
+(** Pre-pool rows/columns the accelerator computes for a pooled-space tile
+    span — identity for layers without a fused pool. *)
+
+val full : Ir.Layer.t -> t
+(** The untiled layer as a single tile. *)
+
+val is_full : Ir.Layer.t -> t -> bool
+
+val bytes_in : Ir.Layer.t -> t -> int
+(** L1 bytes of the input slice (doubled for [Add], which streams two
+    operands). *)
+
+val bytes_out : Ir.Layer.t -> t -> int
+val bytes_weights : Ir.Layer.t -> t -> int
+(** Weight-memory bytes for the tile's weight slice plus per-channel bias,
+    in simulator (unpacked) storage. Zero for weight-less layers. *)
+
+val macs : Ir.Layer.t -> t -> int
+(** Multiply-accumulates the tile performs. *)
+
+val count : Ir.Layer.t -> t -> int
+(** Number of such tiles needed to cover the whole layer (ceil in every
+    tiled dimension). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/codegen/fuse.ml: Arch Array Hashtbl Ir List Printf String

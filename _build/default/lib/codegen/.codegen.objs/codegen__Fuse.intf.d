@@ -1,0 +1,1 @@
+lib/codegen/fuse.mli: Arch Ir

@@ -1,0 +1,1 @@
+lib/codegen/size.ml: Arch Format Fuse Ir List Tensor Util

@@ -1,0 +1,61 @@
+type section = { section_name : string; bytes : int }
+
+type report = {
+  sections : section list;
+  total_bytes : int;
+}
+
+let accel_const_bytes (l : Ir.Layer.t) ~accel_name =
+  let bias_bytes = match l.Ir.Layer.bias with None -> 0 | Some b -> Tensor.packed_bytes b in
+  let weight_bytes =
+    match l.Ir.Layer.weights with
+    | None -> 0
+    | Some w -> (
+        let fy, fx = Ir.Layer.kernel_dims l in
+        match Tensor.dtype w with
+        | Tensor.Dtype.Ternary when fy * fx > 1 && accel_name = "diana_analog" ->
+            (* Each output channel occupies a full macro column; unused
+               rows are stored as zero padding. *)
+            let k = Tensor.dim w 0 in
+            Util.Ints.ceil_div (Arch.Diana.imc_rows * 2) 8 * k
+        | _ -> Tensor.packed_bytes w)
+  in
+  weight_bytes + bias_bytes
+
+let report ~size_model ~cpu_kernels ~accel_layers ~cpu_const_bytes =
+  let sm = size_model in
+  let cpu_code =
+    List.fold_left (fun acc k -> acc + k.Fuse.code_bytes) 0 cpu_kernels
+  in
+  let accel_code =
+    List.fold_left
+      (fun acc (_, _, tiled) ->
+        acc + sm.Arch.Platform.accel_call_bytes
+        + if tiled then sm.Arch.Platform.accel_tile_loop_bytes else 0)
+      0 accel_layers
+  in
+  let accel_consts =
+    List.fold_left
+      (fun acc (l, accel_name, _) -> acc + accel_const_bytes l ~accel_name)
+      0 accel_layers
+  in
+  let sections =
+    [
+      { section_name = "runtime"; bytes = sm.Arch.Platform.runtime_base_bytes };
+      { section_name = "cpu kernels"; bytes = cpu_code };
+      { section_name = "accelerator drivers"; bytes = accel_code };
+      { section_name = "accelerator constants"; bytes = accel_consts };
+      { section_name = "cpu constants"; bytes = cpu_const_bytes };
+    ]
+  in
+  let total_bytes = List.fold_left (fun acc s -> acc + s.bytes) 0 sections in
+  { sections; total_bytes }
+
+let total_kb r = float_of_int r.total_bytes /. 1024.0
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun s -> Format.fprintf fmt "%-22s %8d B@," s.section_name s.bytes)
+    r.sections;
+  Format.fprintf fmt "%-22s %8d B (%.1f kB)@]" "total" r.total_bytes (total_kb r)

@@ -1,0 +1,1 @@
+lib/dory/chain.ml: Array Format Ir Nn Option Printf Tensor Util

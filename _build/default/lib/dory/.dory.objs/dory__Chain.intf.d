@@ -1,0 +1,1 @@
+lib/dory/chain.mli: Ir

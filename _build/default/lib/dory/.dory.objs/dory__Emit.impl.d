@@ -1,0 +1,1 @@
+lib/dory/emit.ml: Arch Buffer Ir List Printf Schedule

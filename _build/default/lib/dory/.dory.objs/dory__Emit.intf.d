@@ -1,0 +1,1 @@
+lib/dory/emit.mli: Schedule

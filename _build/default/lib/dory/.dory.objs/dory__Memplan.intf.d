@@ -1,0 +1,1 @@
+lib/dory/memplan.mli: Stdlib

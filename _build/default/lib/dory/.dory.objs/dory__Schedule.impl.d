@@ -1,0 +1,1 @@
+lib/dory/schedule.ml: Arch Array Format Ir List Nn

@@ -1,0 +1,1 @@
+lib/dory/schedule.mli: Arch Ir

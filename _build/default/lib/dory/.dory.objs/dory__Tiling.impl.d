@@ -1,0 +1,1 @@
+lib/dory/tiling.ml: Arch Ir List Printf Util

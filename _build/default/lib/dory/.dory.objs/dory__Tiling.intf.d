@@ -1,0 +1,1 @@
+lib/dory/tiling.mli: Arch Ir

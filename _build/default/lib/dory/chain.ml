@@ -1,0 +1,106 @@
+module L = Ir.Layer
+
+type t = {
+  first : L.t;
+  second : L.t;
+  stripe_rows : int;
+  stripes : int;
+}
+
+let conv_params (l : L.t) =
+  match l.L.kind with L.Conv p -> Some p | _ -> None
+
+let compatible (a : L.t) (b : L.t) =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  match (conv_params a, conv_params b) with
+  | None, _ | _, None -> err "depth-first fusion needs two convolutions"
+  | Some _, Some _ ->
+      if a.L.fused_pool <> None || b.L.fused_pool <> None then
+        err "fused output pooling is not supported in a chain"
+      else if a.L.out_shape <> b.L.in_shape then err "layer shapes do not chain"
+      else if Tensor.Dtype.sim_bytes a.L.out_dtype <> 1 then
+        err "intermediate must be a 1-byte activation type"
+      else Ok ()
+
+(* Rows of the producer needed for rows [o0, o0+n) of a convolution's
+   output, clipped against the producer's height. *)
+let window ~o0 ~n ~stride ~kernel ~pad ~dim =
+  let lo = (o0 * stride) - pad in
+  let hi = ((o0 + n - 1) * stride) - pad + kernel - 1 in
+  let lo_c = max 0 lo and hi_c = min (dim - 1) hi in
+  (lo_c, hi_c - lo_c + 1, lo_c - lo, hi - hi_c)
+
+let layer_window (l : L.t) ~o0 ~n =
+  let p = Option.get (conv_params l) in
+  let fy, _ = L.kernel_dims l in
+  window ~o0 ~n
+    ~stride:(fst p.Nn.Kernels.stride)
+    ~kernel:fy
+    ~pad:(fst p.Nn.Kernels.padding)
+    ~dim:l.L.in_shape.(1)
+
+let mid_rows_for t o0 =
+  let n = min t.stripe_rows (t.second.L.out_shape.(1) - o0) in
+  layer_window t.second ~o0 ~n
+
+let in_rows_for t o0 =
+  let mid_lo, mid_n, _, _ = mid_rows_for t o0 in
+  layer_window t.first ~o0:mid_lo ~n:mid_n
+
+let stripe_bytes_at t o0 =
+  let n = min t.stripe_rows (t.second.L.out_shape.(1) - o0) in
+  let _, in_n, _, _ = in_rows_for t o0 in
+  let _, mid_n, _, _ = mid_rows_for t o0 in
+  let w0 = t.first.L.in_shape.(2)
+  and c0 = t.first.L.in_shape.(0)
+  and k1 = t.first.L.out_shape.(0)
+  and w1 = t.first.L.out_shape.(2)
+  and k2 = t.second.L.out_shape.(0)
+  and w2 = t.second.L.out_shape.(2) in
+  (c0 * in_n * w0) + (k1 * mid_n * w1) + (k2 * n * w2)
+
+let with_stripe first second stripe_rows =
+  let oh = second.L.out_shape.(1) in
+  { first; second; stripe_rows; stripes = Util.Ints.ceil_div oh stripe_rows }
+
+let l1_stripe_bytes t =
+  let rec worst o0 acc =
+    if o0 >= t.second.L.out_shape.(1) then acc
+    else worst (o0 + t.stripe_rows) (max acc (stripe_bytes_at t o0))
+  in
+  worst 0 0
+
+let plan ~l1_budget first second =
+  match compatible first second with
+  | Error e -> Error e
+  | Ok () ->
+      let oh = second.L.out_shape.(1) in
+      let rec down n =
+        if n < 1 then
+          Error
+            (Printf.sprintf "no stripe of the fused pair fits %d B of L1" l1_budget)
+        else
+          let t = with_stripe first second n in
+          if l1_stripe_bytes t <= l1_budget then Ok t else down (n - 1)
+      in
+      down oh
+
+let recompute_factor t =
+  let h1 = t.first.L.out_shape.(1) in
+  let rec total o0 acc =
+    if o0 >= t.second.L.out_shape.(1) then acc
+    else
+      let _, mid_n, _, _ = mid_rows_for t o0 in
+      total (o0 + t.stripe_rows) (acc + mid_n)
+  in
+  float_of_int (total 0 0) /. float_of_int h1
+
+let numel shape = Array.fold_left ( * ) 1 shape
+
+let l2_peak_fused t = numel t.first.L.in_shape + numel t.second.L.out_shape
+
+let l2_peak_sequential t =
+  let a = numel t.first.L.in_shape
+  and m = numel t.first.L.out_shape
+  and b = numel t.second.L.out_shape in
+  max (a + m) (m + b)

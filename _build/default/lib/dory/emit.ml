@@ -1,0 +1,56 @@
+module L = Ir.Layer
+module Tile = Arch.Tile
+
+let layer_function_name i = Printf.sprintf "htvm_layer_%d" i
+
+let kind_name (l : L.t) =
+  match l.L.kind with
+  | L.Conv _ when L.is_depthwise l -> "dwconv2d"
+  | L.Conv _ -> "conv2d"
+  | L.Dense -> "dense"
+  | L.Add -> "add"
+  | L.Pool { max = true; _ } -> "maxpool"
+  | L.Pool { max = false; _ } -> "avgpool"
+
+let emit_layer ~index (s : Schedule.t) =
+  let b = Buffer.create 1024 in
+  let l = s.layer in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string b s) fmt in
+  add "// %s on %s — %d tile(s), nominal %s\n" (L.describe l) s.accel_name
+    (Schedule.tile_count s) (Tile.to_string s.nominal);
+  add "void %s(const int8_t *l2_in, int8_t *l2_out, const uint8_t *l2_weights) {\n"
+    (layer_function_name index);
+  if s.double_buffer && Schedule.is_tiled s then
+    add "  l1_buffers_t buf = l1_double_buffers(%d);\n"
+      (Tile.bytes_in l s.nominal + Tile.bytes_out l s.nominal)
+  else add "  l1_buffers_t buf = l1_single_buffers();\n";
+  List.iteri
+    (fun ti (inst : Schedule.instance) ->
+      let c, iy, ix = Schedule.input_slice_dims s inst in
+      if inst.Schedule.load_weights then
+        add "  %s_load_weights(l2_weights + w_off_k%d, /*k=*/%d);\n" s.accel_name
+          inst.Schedule.k0 inst.Schedule.dims.Tile.k;
+      add "  dma_in(buf.in[%d], l2_in, /*c=%d iy=%d ix=%d at (%d,%d)*/);\n" (ti land 1) c
+        iy ix inst.Schedule.iy0 inst.Schedule.ix0;
+      add "  %s_%s(buf.in[%d], buf.out[%d], /*k=%d oy=%d ox=%d pad=%d%d%d%d*/);\n"
+        s.accel_name (kind_name l) (ti land 1) (ti land 1) inst.Schedule.dims.Tile.k
+        inst.Schedule.dims.Tile.oy inst.Schedule.dims.Tile.ox inst.Schedule.pad_top
+        inst.Schedule.pad_left inst.Schedule.pad_bottom inst.Schedule.pad_right;
+      add "  dma_out(l2_out, buf.out[%d], /*k=%d oy=%d ox=%d at (%d,%d,%d)*/);\n"
+        (ti land 1) inst.Schedule.dims.Tile.k inst.Schedule.dims.Tile.oy
+        inst.Schedule.dims.Tile.ox inst.Schedule.k0 inst.Schedule.oy0 inst.Schedule.ox0)
+    s.instances;
+  add "}\n";
+  Buffer.contents b
+
+let emit_network schedules =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "#include \"htvm_runtime.h\"\n\n";
+  List.iter (fun (i, s) -> Buffer.add_string b (emit_layer ~index:i s); Buffer.add_char b '\n')
+    schedules;
+  Buffer.add_string b "void htvm_network_run(void) {\n";
+  List.iter
+    (fun (i, _) -> Buffer.add_string b (Printf.sprintf "  %s(...);\n" (layer_function_name i)))
+    schedules;
+  Buffer.add_string b "}\n";
+  Buffer.contents b

@@ -1,0 +1,18 @@
+(** DORY-style C source emission.
+
+    Renders a tiled schedule as the C driver function DORY would generate:
+    weight-load calls, a tile loop with explicit DMA in/out transfers and
+    accelerator invocations, using double-buffered L1 halves when enabled.
+    The text is a faithful, inspectable artifact of the compilation (the
+    simulator executes the schedule structure itself, so the two cannot
+    drift apart). *)
+
+val layer_function_name : int -> string
+(** Name for the [n]-th generated layer function. *)
+
+val emit_layer : index:int -> Schedule.t -> string
+(** C source of one layer's driver function. *)
+
+val emit_network : (int * Schedule.t) list -> string
+(** Concatenated translation unit with a network run function calling each
+    layer in order. *)

@@ -1,0 +1,62 @@
+type request = { buffer_id : int; bytes : int; birth : int; death : int }
+type placement = { p_buffer_id : int; offset : int; size : int }
+type strategy = Reuse | No_reuse
+
+type result = { placements : placement list; peak_bytes : int }
+
+let overlap_in_time a b = a.birth <= b.death && b.birth <= a.death
+
+(* First-fit: scan candidate offsets at the end of every time-overlapping
+   placement (and offset 0), take the lowest that collides with none. *)
+let place_reuse ~align placed req =
+  let conflicting =
+    List.filter_map
+      (fun (r, p) -> if overlap_in_time r req then Some p else None)
+      placed
+  in
+  let candidates =
+    0
+    :: List.map (fun p -> Util.Ints.round_up (p.offset + p.size) align) conflicting
+    |> List.sort_uniq compare
+  in
+  let fits off =
+    List.for_all
+      (fun p -> off + req.bytes <= p.offset || p.offset + p.size <= off)
+      conflicting
+  in
+  List.find fits candidates
+
+let plan strategy ~capacity ~align requests =
+  if align <= 0 then invalid_arg "Memplan.plan: align must be positive";
+  let requests = List.sort (fun a b -> compare a.birth b.birth) requests in
+  let rec go placed peak = function
+    | [] -> Ok { placements = List.rev_map snd placed; peak_bytes = peak }
+    | req :: rest ->
+        if req.bytes < 0 || req.death < req.birth then
+          Error (Printf.sprintf "buffer %d: malformed request" req.buffer_id)
+        else
+          let offset =
+            match strategy with
+            | No_reuse -> (
+                match placed with
+                | [] -> 0
+                | (_, p) :: _ -> Util.Ints.round_up (p.offset + p.size) align)
+            | Reuse -> place_reuse ~align placed req
+          in
+          let top = offset + req.bytes in
+          if top > capacity then
+            Error
+              (Printf.sprintf
+                 "out of memory: buffer %d (%d B) needs [%d, %d) but capacity is %d B"
+                 req.buffer_id req.bytes offset top capacity)
+          else
+            go
+              ((req, { p_buffer_id = req.buffer_id; offset; size = req.bytes }) :: placed)
+              (max peak top) rest
+  in
+  go [] 0 requests
+
+let find r id =
+  match List.find_opt (fun p -> p.p_buffer_id = id) r.placements with
+  | Some p -> p
+  | None -> raise Not_found

@@ -1,0 +1,39 @@
+(** L2 activation-memory planning.
+
+    HTVM emits a static schedule for allocating and freeing intermediate
+    activation tensors in main memory (paper Sec. III). Buffers are
+    intervals over the segment index (birth = producing segment, death =
+    last consuming segment); the planner packs them into a fixed-capacity
+    arena. Two strategies:
+
+    - [Reuse]: first-fit with liveness-based reuse — HTVM's planner.
+    - [No_reuse]: every buffer gets a distinct region — models the plain
+      TVM baseline whose MobileNet deployment runs out of memory in
+      Table I. *)
+
+type request = {
+  buffer_id : int;
+  bytes : int;
+  birth : int;  (** index of the producing step *)
+  death : int;  (** index of the last consuming step; >= birth *)
+}
+
+type placement = { p_buffer_id : int; offset : int; size : int }
+
+type strategy = Reuse | No_reuse
+
+type result = {
+  placements : placement list;
+  peak_bytes : int;  (** high-water mark of the arena *)
+}
+
+val plan :
+  strategy -> capacity:int -> align:int -> request list ->
+  (result, string) Stdlib.result
+(** Pack all requests into [capacity] bytes. [Error] describes the first
+    buffer that does not fit (the out-of-memory diagnosis). Placements of
+    overlapping lifetimes never overlap in space — tested property. *)
+
+val find : result -> int -> placement
+(** Placement of a buffer id.
+    @raise Not_found if the id was not planned. *)

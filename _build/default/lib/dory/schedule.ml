@@ -1,0 +1,187 @@
+module L = Ir.Layer
+module Tile = Arch.Tile
+
+type instance = {
+  k0 : int;
+  oy0 : int;
+  ox0 : int;
+  dims : Tile.t;
+  iy0 : int;
+  ix0 : int;
+  pad_top : int;
+  pad_left : int;
+  pad_bottom : int;
+  pad_right : int;
+  load_weights : bool;
+}
+
+type t = {
+  layer : L.t;
+  accel_name : string;
+  nominal : Tile.t;
+  instances : instance list;
+  double_buffer : bool;
+}
+
+let grid total step =
+  let rec go o acc = if o >= total then List.rev acc else go (o + step) (o :: acc) in
+  go 0 []
+
+(* Input window of an output span [o0, o0+n) along one axis: origin, valid
+   extent and leading/trailing padding against a dimension of size [dim]. *)
+let window ~o0 ~n ~stride ~kernel ~pad ~dim =
+  let lo = (o0 * stride) - pad in
+  let hi = ((o0 + n - 1) * stride) - pad + kernel - 1 in
+  let lo_c = max 0 lo and hi_c = min (dim - 1) hi in
+  let origin = lo_c in
+  let valid = hi_c - lo_c + 1 in
+  (origin, valid, lo_c - lo, hi - hi_c)
+
+let conv_like_instances (l : L.t) ~kernel:(fy, fx) ~stride:(sy, sx) ~pad:(py, px)
+    (nominal : Tile.t) =
+  let kk = l.L.out_shape.(0) and oh = l.L.out_shape.(1) and ow = l.L.out_shape.(2) in
+  let h = l.L.in_shape.(1) and w = l.L.in_shape.(2) in
+  let dw = L.is_depthwise l in
+  (* A fused output pool makes tile coordinates live in pooled space; the
+     input window is computed through the pre-pool (convolution) span. *)
+  let pool_params =
+    match l.L.fused_pool with
+    | None -> ((1, 1), (1, 1))
+    | Some { Ir.Op.pool; pool_stride } -> (pool, pool_stride)
+  in
+  let (pwy, pwx), (psy, psx) = pool_params in
+  List.concat_map
+    (fun k0 ->
+      let kdim = min nominal.Tile.k (kk - k0) in
+      let first = ref true in
+      List.concat_map
+        (fun oy0 ->
+          let oydim = min nominal.Tile.oy (oh - oy0) in
+          let conv_oy0 = oy0 * psy and conv_ny = ((oydim - 1) * psy) + pwy in
+          let iy0, iyv, pt, pb =
+            window ~o0:conv_oy0 ~n:conv_ny ~stride:sy ~kernel:fy ~pad:py ~dim:h
+          in
+          List.map
+            (fun ox0 ->
+              let oxdim = min nominal.Tile.ox (ow - ox0) in
+              let conv_ox0 = ox0 * psx and conv_nx = ((oxdim - 1) * psx) + pwx in
+              let ix0, ixv, pl, pr =
+                window ~o0:conv_ox0 ~n:conv_nx ~stride:sx ~kernel:fx ~pad:px ~dim:w
+              in
+              let load_weights = l.L.weights <> None && !first in
+              first := false;
+              {
+                k0;
+                oy0;
+                ox0;
+                dims =
+                  {
+                    Tile.c = (if dw then kdim else nominal.Tile.c);
+                    k = kdim;
+                    oy = oydim;
+                    ox = oxdim;
+                    iy = iyv;
+                    ix = ixv;
+                  };
+                iy0;
+                ix0;
+                pad_top = pt;
+                pad_left = pl;
+                pad_bottom = pb;
+                pad_right = pr;
+                load_weights;
+              })
+            (grid ow nominal.Tile.ox))
+        (grid oh nominal.Tile.oy))
+    (grid kk nominal.Tile.k)
+
+let build (l : L.t) ~accel_name ~tile ~double_buffer =
+  let instances =
+    match l.L.kind with
+    | L.Conv p ->
+        conv_like_instances l ~kernel:(L.kernel_dims l) ~stride:p.Nn.Kernels.stride
+          ~pad:p.Nn.Kernels.padding tile
+    | L.Pool { attrs = { Ir.Op.pool; pool_stride }; _ } ->
+        conv_like_instances l ~kernel:pool ~stride:pool_stride ~pad:(0, 0) tile
+    | L.Dense ->
+        let kk = l.L.out_shape.(0) in
+        List.map
+          (fun k0 ->
+            let kdim = min tile.Tile.k (kk - k0) in
+            {
+              k0;
+              oy0 = 0;
+              ox0 = 0;
+              dims = { tile with Tile.k = kdim };
+              iy0 = 0;
+              ix0 = 0;
+              pad_top = 0;
+              pad_left = 0;
+              pad_bottom = 0;
+              pad_right = 0;
+              load_weights = true;
+            })
+          (grid kk tile.Tile.k)
+    | L.Add ->
+        let oh = l.L.in_shape.(1) in
+        List.map
+          (fun oy0 ->
+            let oydim = min tile.Tile.oy (oh - oy0) in
+            {
+              k0 = 0;
+              oy0;
+              ox0 = 0;
+              dims = { tile with Tile.oy = oydim; Tile.iy = oydim };
+              iy0 = oy0;
+              ix0 = 0;
+              pad_top = 0;
+              pad_left = 0;
+              pad_bottom = 0;
+              pad_right = 0;
+              load_weights = false;
+            })
+          (grid oh tile.Tile.oy)
+  in
+  { layer = l; accel_name; nominal = tile; instances; double_buffer }
+
+let tile_count t = List.length t.instances
+let is_tiled t = tile_count t > 1
+
+let input_slice_dims t inst =
+  match t.layer.L.kind with
+  | L.Dense -> (inst.dims.Tile.c, 1, 1)
+  | L.Conv _ | L.Pool _ | L.Add -> (inst.dims.Tile.c, inst.dims.Tile.iy, inst.dims.Tile.ix)
+
+let validate t =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let l = t.layer in
+  let out_elems =
+    List.fold_left
+      (fun acc i -> acc + (i.dims.Tile.k * i.dims.Tile.oy * i.dims.Tile.ox))
+      0 t.instances
+  in
+  let expected =
+    match l.L.kind with
+    | L.Dense -> l.L.out_shape.(0)
+    | L.Conv _ | L.Pool _ | L.Add -> Array.fold_left ( * ) 1 l.L.out_shape
+  in
+  if out_elems <> expected then
+    err "instances cover %d output elements, layer has %d" out_elems expected
+  else
+    let window_ok =
+      match l.L.kind with
+      | L.Conv _ ->
+          let fy, fx = L.kernel_dims l in
+          let sy, sx =
+            match l.L.kind with L.Conv p -> p.Nn.Kernels.stride | _ -> (1, 1)
+          in
+          List.for_all
+            (fun i ->
+              let cy, cx = Tile.conv_extent l i.dims.Tile.oy i.dims.Tile.ox in
+              i.pad_top + i.dims.Tile.iy + i.pad_bottom = ((cy - 1) * sy) + fy
+              && i.pad_left + i.dims.Tile.ix + i.pad_right = ((cx - 1) * sx) + fx)
+            t.instances
+      | L.Dense | L.Add | L.Pool _ -> true
+    in
+    if not window_ok then err "an instance's input window does not cover its output"
+    else Ok ()

@@ -1,0 +1,45 @@
+(** Tiled execution schedules — the structured equivalent of DORY's
+    generated C.
+
+    A schedule unrolls a tiling solution into concrete tile instances:
+    which output slice each tile produces, which (clipped) input window it
+    needs, how much zero padding the window carries at the layer borders,
+    and whether the accelerator's weight memory must be refilled before
+    the tile runs. The SoC simulator executes schedules directly; the C
+    emitter prints them as DORY-style driver code. *)
+
+type instance = {
+  k0 : int;  (** first output channel of the tile *)
+  oy0 : int;
+  ox0 : int;  (** output-space origin *)
+  dims : Arch.Tile.t;  (** clipped dims of this instance *)
+  iy0 : int;
+  ix0 : int;  (** input-window origin in valid-input coordinates *)
+  pad_top : int;
+  pad_left : int;
+  pad_bottom : int;
+  pad_right : int;  (** zero rows/cols the window extends past the edges *)
+  load_weights : bool;  (** weight memory refill needed (k-tile changed) *)
+}
+
+type t = {
+  layer : Ir.Layer.t;
+  accel_name : string;
+  nominal : Arch.Tile.t;
+  instances : instance list;  (** k-major, then rows, then columns *)
+  double_buffer : bool;
+}
+
+val build : Ir.Layer.t -> accel_name:string -> tile:Arch.Tile.t -> double_buffer:bool -> t
+(** Unroll a tiling solution over the layer's full output space. *)
+
+val tile_count : t -> int
+val is_tiled : t -> bool
+
+val input_slice_dims : t -> instance -> int * int * int
+(** (channels, rows, cols) of the valid input data the instance reads
+    (padding excluded) — the extent of its DMA-in transfer. *)
+
+val validate : t -> (unit, string) result
+(** Coverage check: instances partition the output space exactly (no gaps,
+    no overlaps) and all windows stay within the padded input. *)

@@ -1,0 +1,153 @@
+module L = Ir.Layer
+module Tile = Arch.Tile
+module Accel = Arch.Accel
+
+type config = {
+  alpha : float;
+  use_pe_heuristics : bool;
+  use_dma_heuristic : bool;
+  double_buffer : bool;
+  l1_budget : int;
+}
+
+let default_config ~l1_budget =
+  {
+    alpha = 1.0;
+    use_pe_heuristics = true;
+    use_dma_heuristic = true;
+    double_buffer = true;
+    l1_budget;
+  }
+
+type solution = {
+  tile : Tile.t;
+  objective : float;
+  mem_utilization : float;
+  tiled : bool;
+  tile_count : int;
+}
+
+let l1_bytes_needed cfg l tile =
+  let per_buffer = Tile.bytes_in l tile + Tile.bytes_out l tile in
+  (* A layer that runs as a single tile has nothing to overlap with, so
+     double buffering only costs L1 when the layer is actually tiled. *)
+  if cfg.double_buffer && not (Tile.is_full l tile) then 2 * per_buffer else per_buffer
+
+let weight_mem_ok accel l tile =
+  match accel.Accel.weight_mem_bytes with
+  | None -> true (* charged against L1 below *)
+  | Some cap -> Tile.bytes_weights l tile <= cap
+
+let feasible cfg accel l tile =
+  let act = l1_bytes_needed cfg l tile in
+  let act =
+    if accel.Accel.weight_mem_bytes = None then act + Tile.bytes_weights l tile else act
+  in
+  act <= cfg.l1_budget && weight_mem_ok accel l tile && accel.Accel.tile_ok l tile
+
+let mem_utilization cfg accel l tile =
+  let act = l1_bytes_needed cfg l tile in
+  let act_frac = float_of_int act /. float_of_int cfg.l1_budget in
+  match accel.Accel.weight_mem_bytes with
+  | None -> act_frac
+  | Some cap ->
+      (* Weights have their own memory; give them a smaller say so the
+         activation tiles dominate the Eq. 1 balance, as in DORY. *)
+      act_frac +. (0.3 *. float_of_int (Tile.bytes_weights l tile) /. float_of_int cap)
+
+(* "k_reuse" is part of the base objective (it compensates for weights
+   living outside L1 in the Eq. 1 memory term), so it stays on in every
+   Fig. 4 heuristic setting; "dma_iy" is Eq. 5; the rest are the
+   PE-alignment terms of Eqs. 3-4. *)
+let heuristic_enabled cfg (h : Accel.heuristic) =
+  match h.Accel.h_name with
+  | "dma_iy" -> cfg.use_dma_heuristic
+  | "k_reuse" -> true
+  | _ -> cfg.use_pe_heuristics
+
+let objective cfg accel l tile =
+  let mem = cfg.alpha *. mem_utilization cfg accel l tile in
+  List.fold_left
+    (fun acc h ->
+      if heuristic_enabled cfg h then acc +. (h.Accel.beta *. h.Accel.score l tile)
+      else acc)
+    mem accel.Accel.heuristics
+
+(* Candidate tile extents for a dimension of size [n]: every value when the
+   range is small, otherwise divisors, multiples of 16, and the extremes. *)
+let candidates n =
+  if n <= 96 then List.init n (fun i -> i + 1)
+  else
+    let div = Util.Ints.divisors n in
+    let mult16 = List.init (n / 16) (fun i -> (i + 1) * 16) in
+    List.sort_uniq compare (1 :: n :: (div @ mult16))
+
+(* Largest feasible oy for fixed other dims; the objective is monotone in
+   oy (memory use and H_DMA both grow, other terms constant), so the
+   tallest feasible tile is optimal for that column of the search. *)
+let best_oy cfg accel l ~build ~oy_max =
+  let rec down oy = if oy < 1 then None
+    else
+      let tile = build oy in
+      if feasible cfg accel l tile then Some tile else down (oy - 1)
+  in
+  down oy_max
+
+let solution_of cfg accel l tile =
+  {
+    tile;
+    objective = objective cfg accel l tile;
+    mem_utilization = mem_utilization cfg accel l tile;
+    tiled = not (Tile.is_full l tile);
+    tile_count = Tile.count l tile;
+  }
+
+let search cfg accel l =
+  let full = Tile.full l in
+  let consider best tile =
+    let obj = objective cfg accel l tile in
+    match best with
+    | Some (_, best_obj) when best_obj >= obj -> best
+    | _ -> Some (tile, obj)
+  in
+  let best = ref None in
+  let try_tile tile = best := consider !best tile in
+  (match l.L.kind with
+  | L.Dense ->
+      List.iter
+        (fun k ->
+          let tile = Tile.for_layer l ~c:full.Tile.c ~k ~oy:1 ~ox:1 in
+          if feasible cfg accel l tile then try_tile tile)
+        (candidates full.Tile.k)
+  | L.Add ->
+      List.iter
+        (fun oy ->
+          let tile = Tile.for_layer l ~c:full.Tile.c ~k:full.Tile.c ~oy ~ox:full.Tile.ox in
+          if feasible cfg accel l tile then try_tile tile)
+        (candidates full.Tile.oy)
+  | L.Conv _ | L.Pool _ ->
+      let ks = candidates full.Tile.k in
+      let oxs = candidates full.Tile.ox in
+      List.iter
+        (fun k ->
+          List.iter
+            (fun ox ->
+              let build oy = Tile.for_layer l ~c:full.Tile.c ~k ~oy ~ox in
+              match best_oy cfg accel l ~build ~oy_max:full.Tile.oy with
+              | Some tile -> try_tile tile
+              | None -> ())
+            oxs)
+        ks);
+  match !best with
+  | None ->
+      Error
+        (Printf.sprintf "no feasible tile for %s on %s within %d B of L1"
+           (L.describe l) accel.Accel.accel_name cfg.l1_budget)
+  | Some (tile, _) -> Ok (solution_of cfg accel l tile)
+
+(* Tiling is only invoked when the whole layer does not fit (paper
+   Sec. III-B / Fig. 4's grey region): a feasible full tile wins outright. *)
+let solve cfg accel l =
+  let full = Tile.full l in
+  if feasible cfg accel l full then Ok (solution_of cfg accel l full)
+  else search cfg accel l

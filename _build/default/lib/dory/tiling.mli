@@ -1,0 +1,51 @@
+(** DORY's tiling solver (paper Sec. III-B, Eqs. 1-5).
+
+    Given a layer and an accelerator, find the tile geometry that
+    maximizes
+
+    {v alpha * (L1_weight + L1_out + L1_in) + sum_i beta_i * H_i v}
+
+    subject to the L1 capacity constraint (Eq. 2), the accelerator's
+    weight-memory capacity and its per-tile hardware rules. The H_i are
+    the accelerator's registered heuristics (for DIANA's digital core:
+    Eqs. 3-5). The solver enumerates output-channel and output-column
+    candidates and, for each, takes the tallest feasible tile — the
+    objective is monotone in tile height, so this is exact. *)
+
+type config = {
+  alpha : float;  (** weight of the memory-utilization term *)
+  use_pe_heuristics : bool;
+      (** enable the PE-alignment terms (Eqs. 3-4); off = Fig. 4 round
+          markers *)
+  use_dma_heuristic : bool;  (** enable the DMA term (Eq. 5) *)
+  double_buffer : bool;
+      (** reserve two L1 slots per activation buffer so DMA can overlap
+          compute *)
+  l1_budget : int;  (** activation L1 bytes available to this layer *)
+}
+
+val default_config : l1_budget:int -> config
+(** alpha = 1, all heuristics on, double buffering on. *)
+
+type solution = {
+  tile : Arch.Tile.t;
+  objective : float;
+  mem_utilization : float;  (** activation-memory fraction used, 0..1 *)
+  tiled : bool;             (** false when the whole layer fits L1 *)
+  tile_count : int;
+}
+
+val l1_bytes_needed : config -> Ir.Layer.t -> Arch.Tile.t -> int
+(** Activation bytes the tile occupies in L1 under the configured
+    buffering policy. *)
+
+val feasible : config -> Arch.Accel.t -> Ir.Layer.t -> Arch.Tile.t -> bool
+(** Does the tile satisfy Eq. 2, the weight-memory capacity and the
+    accelerator's [tile_ok] rules? *)
+
+val objective : config -> Arch.Accel.t -> Ir.Layer.t -> Arch.Tile.t -> float
+(** The Eq. 1 objective for a candidate tile. *)
+
+val solve : config -> Arch.Accel.t -> Ir.Layer.t -> (solution, string) result
+(** [Error] when no feasible tile exists (layer cannot run on this
+    accelerator within the memory budget). *)

@@ -1,0 +1,1 @@
+lib/htvm/compile.ml: Arch Array Byoc Codegen Dory Float Hashtbl Ir List Printf Result Sim Tensor Tune Util

@@ -1,0 +1,1 @@
+lib/htvm/compile.mli: Arch Codegen Dory Ir Sim Tensor

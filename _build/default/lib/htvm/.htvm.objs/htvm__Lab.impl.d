@@ -1,0 +1,1 @@
+lib/htvm/lab.ml: Arch Array Dory Ir List Printf Sim Tensor Util

@@ -1,0 +1,1 @@
+lib/htvm/lab.mli: Arch Dory Ir Sim Stdlib Tensor

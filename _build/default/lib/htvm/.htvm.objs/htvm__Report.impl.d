@@ -1,0 +1,1 @@
+lib/htvm/report.ml: Arch Buffer Codegen Compile Dory Format List Printf Sim String Util

@@ -1,0 +1,1 @@
+lib/htvm/report.mli: Compile Sim

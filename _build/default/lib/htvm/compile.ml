@@ -1,0 +1,481 @@
+module G = Ir.Graph
+module P = Sim.Program
+module L = Ir.Layer
+
+type config = {
+  platform : Arch.Platform.t;
+  memory_strategy : Dory.Memplan.strategy;
+  double_buffer : bool;
+  use_pe_heuristics : bool;
+  use_dma_heuristic : bool;
+  autotune_budget : int option;
+}
+
+let default_config platform =
+  {
+    platform;
+    memory_strategy = Dory.Memplan.Reuse;
+    double_buffer = true;
+    use_pe_heuristics = true;
+    use_dma_heuristic = true;
+    autotune_budget = None;
+  }
+
+let tvm_baseline_config platform =
+  { (default_config platform) with memory_strategy = Dory.Memplan.No_reuse }
+
+type layer_info = {
+  li_index : int;
+  li_target : string;
+  li_desc : string;
+  li_tiled : bool;
+  li_tile : Arch.Tile.t option;
+}
+
+type artifact = {
+  cfg : config;
+  program : Sim.Program.t;
+  size : Codegen.Size.report;
+  layers : layer_info list;
+  c_source : string;
+  l2_static_bytes : int;
+  l2_arena_bytes : int;
+  tuning_trials : int;
+}
+
+(* One lowered execution unit, before buffer assignment. *)
+type lowered =
+  | LAccel of {
+      accel : Arch.Accel.t;
+      layer : L.t;
+      schedule : Dory.Schedule.t;
+      in_nodes : G.id list;
+      out_node : G.id;
+    }
+  | LCpu of { kernel : Codegen.Fuse.kernel; in_nodes : G.id list; out_node : G.id }
+
+let lowered_out = function
+  | LAccel { out_node; _ } | LCpu { out_node; _ } -> out_node
+
+let lowered_ins = function
+  | LAccel { in_nodes; _ } | LCpu { in_nodes; _ } -> in_nodes
+
+let targets_of platform =
+  let n = List.length platform.Arch.Platform.accels in
+  List.mapi
+    (fun i (a : Arch.Accel.t) ->
+      (* Untiled busy-cycle estimate: enough to rank accelerators per
+         layer when several accept it (paper Sec. III-A). *)
+      let estimate layer =
+        let full = Arch.Tile.full layer in
+        a.Arch.Accel.setup_cycles
+        + a.Arch.Accel.compute_cycles layer full
+        + a.Arch.Accel.weight_load_cycles layer full
+      in
+      {
+        Byoc.Partition.name = a.Arch.Accel.accel_name;
+        patterns = Byoc.Library.all;
+        accept = a.Arch.Accel.supports;
+        priority = n - i;
+        estimate = Some estimate;
+      })
+    platform.Arch.Platform.accels
+
+let region_nodes g output =
+  match
+    List.find_map (fun p -> Byoc.Pattern.matches g p ~at:output) Byoc.Library.all
+  with
+  | Some m -> m.Byoc.Pattern.matched
+  | None -> [ output ]
+
+let external_cpu_inputs g kernel_nodes =
+  List.concat_map
+    (fun id ->
+      match G.node g id with
+      | G.App { args; _ } ->
+          List.filter
+            (fun a ->
+              (not (List.mem a kernel_nodes))
+              && match G.node g a with G.Const _ -> false | _ -> true)
+            args
+      | G.Input _ | G.Const _ -> [])
+    kernel_nodes
+  |> List.sort_uniq compare
+
+(* A fused CPU kernel is autotune-eligible when its anchor is a heavy
+   conv/dense with constant weights: the tuner needs the layer geometry. *)
+let tuneable_layer_of g (tys : Ir.Infer.ty array) (k : Codegen.Fuse.kernel) =
+  match k.Codegen.Fuse.nodes with
+  | [] -> None
+  | anchor :: _ -> (
+      match G.node g anchor with
+      | G.App { op = Ir.Op.Conv2d p; args = [ data; w ] } -> (
+          match G.node g w with
+          | G.Const wt ->
+              Some
+                {
+                  L.kind = L.Conv p;
+                  fused_pool = None;
+                  weights = Some wt;
+                  bias = None;
+                  shift = None;
+                  relu = false;
+                  in_shape = tys.(data).Ir.Infer.shape;
+                  in2_shape = None;
+                  out_shape = tys.(anchor).Ir.Infer.shape;
+                  in_dtype = tys.(data).Ir.Infer.dtype;
+                  out_dtype = Tensor.Dtype.I32;
+                }
+          | G.Input _ | G.App _ -> None)
+      | G.App { op = Ir.Op.Dense; args = [ data; w ] } -> (
+          match G.node g w with
+          | G.Const wt ->
+              Some
+                {
+                  L.kind = L.Dense;
+                  fused_pool = None;
+                  weights = Some wt;
+                  bias = None;
+                  shift = None;
+                  relu = false;
+                  in_shape = tys.(data).Ir.Infer.shape;
+                  in2_shape = None;
+                  out_shape = tys.(anchor).Ir.Infer.shape;
+                  in_dtype = tys.(data).Ir.Infer.dtype;
+                  out_dtype = Tensor.Dtype.I32;
+                }
+          | G.Input _ | G.App _ -> None)
+      | G.App _ | G.Input _ | G.Const _ -> None)
+
+(* TVM-style autotuning of the host kernels: measure schedule variants on
+   the device model and scale each kernel's cycle estimate by the best
+   found variant. The accelerated path is untouched — HTVM's argument is
+   precisely that it needs none of this. *)
+let autotune_kernels cfg g tys kernels =
+  match cfg.autotune_budget with
+  | None -> (kernels, 0)
+  | Some budget ->
+      let total_trials = ref 0 in
+      let kernels =
+        List.map
+          (fun (k : Codegen.Fuse.kernel) ->
+            match tuneable_layer_of g tys k with
+            | None -> k
+            | Some layer ->
+                let r =
+                  Tune.Search.tune
+                    ~seed:(Hashtbl.hash k.Codegen.Fuse.kernel_name)
+                    ~budget ~device:Tune.Device.xpulpv2 layer
+                in
+                total_trials := !total_trials + r.Tune.Search.trials;
+                let factor =
+                  float_of_int r.Tune.Search.best_cycles
+                  /. float_of_int (max 1 r.Tune.Search.default_cycles)
+                in
+                {
+                  k with
+                  Codegen.Fuse.cycles =
+                    max 1
+                      (int_of_float
+                         (Float.round (float_of_int k.Codegen.Fuse.cycles *. factor)));
+                })
+          kernels
+      in
+      (kernels, !total_trials)
+
+let cpu_const_bytes g kernels =
+  let ids =
+    List.concat_map
+      (fun (k : Codegen.Fuse.kernel) ->
+        List.concat_map
+          (fun id ->
+            match G.node g id with G.App { args; _ } -> args | _ -> [])
+          k.Codegen.Fuse.nodes)
+      kernels
+    |> List.sort_uniq compare
+  in
+  List.fold_left
+    (fun acc id ->
+      match G.node g id with G.Const t -> acc + Tensor.packed_bytes t | _ -> acc)
+    0 ids
+
+let compile cfg graph =
+  let ( let* ) = Result.bind in
+  let g = Ir.Rewrite.simplify graph in
+  let platform = cfg.platform in
+  let plan = Byoc.Partition.run g ~targets:(targets_of platform) in
+  let tys = plan.Byoc.Partition.tys in
+  let tiling_cfg =
+    {
+      Dory.Tiling.alpha = 1.0;
+      use_pe_heuristics = cfg.use_pe_heuristics;
+      use_dma_heuristic = cfg.use_dma_heuristic;
+      double_buffer = cfg.double_buffer;
+      l1_budget = platform.Arch.Platform.l1.Arch.Memory.size_bytes;
+    }
+  in
+  (* Lower offloaded segments; layers the tiler cannot place fall back to
+     the host path. *)
+  let host_pool = ref [] in
+  let accel_units = ref [] in
+  List.iter
+    (fun seg ->
+      match seg with
+      | Byoc.Partition.Host { id } -> host_pool := id :: !host_pool
+      | Byoc.Partition.Offload { target; layer; inputs; output } -> (
+          let accel = Arch.Platform.find_accel platform target in
+          match Dory.Tiling.solve tiling_cfg accel layer with
+          | Ok sol ->
+              let schedule =
+                Dory.Schedule.build layer ~accel_name:target ~tile:sol.Dory.Tiling.tile
+                  ~double_buffer:cfg.double_buffer
+              in
+              accel_units :=
+                LAccel { accel; layer; schedule; in_nodes = inputs; out_node = output }
+                :: !accel_units
+          | Error _ -> host_pool := region_nodes g output @ !host_pool))
+    plan.Byoc.Partition.segments;
+  let kernels =
+    Codegen.Fuse.kernels ~cpu:platform.Arch.Platform.cpu
+      ~size:platform.Arch.Platform.size_model g tys ~host_nodes:!host_pool
+  in
+  let kernels, tuning_trials = autotune_kernels cfg g tys kernels in
+  let cpu_units =
+    List.map
+      (fun (k : Codegen.Fuse.kernel) ->
+        let nodes = k.Codegen.Fuse.nodes in
+        let out_node = List.nth nodes (List.length nodes - 1) in
+        LCpu { kernel = k; in_nodes = external_cpu_inputs g nodes; out_node })
+      kernels
+  in
+  let units =
+    List.sort (fun a b -> compare (lowered_out a) (lowered_out b))
+      (!accel_units @ cpu_units)
+  in
+  let* () =
+    match units with
+    | [] -> Error "nothing to execute: graph has no operator applications"
+    | _ ->
+        if lowered_out (List.nth units (List.length units - 1)) <> G.output g then
+          Error "graph output is not produced by any step"
+        else Ok ()
+  in
+  (* Buffers: one per graph input and one per unit output. *)
+  let buf_of_node = Hashtbl.create 16 in
+  let buffers = ref [] in
+  let fresh_buffer node =
+    let id = Hashtbl.length buf_of_node in
+    let ty = tys.(node) in
+    Hashtbl.add buf_of_node node id;
+    buffers :=
+      {
+        P.buf_id = id;
+        b_dtype = ty.Ir.Infer.dtype;
+        b_shape = ty.Ir.Infer.shape;
+        l2_offset = 0 (* placed below *);
+      }
+      :: !buffers;
+    id
+  in
+  let input_buffers =
+    List.map (fun (id, name, _, _) -> (name, fresh_buffer id)) (G.inputs g)
+  in
+  List.iter (fun u -> ignore (fresh_buffer (lowered_out u))) units;
+  let* () =
+    (* Every step input must resolve to a buffer (i.e. not a constant). *)
+    let ok =
+      List.for_all
+        (fun u -> List.for_all (fun n -> Hashtbl.mem buf_of_node n) (lowered_ins u))
+        units
+    in
+    if ok then Ok () else Error "a kernel input is not a planned buffer"
+  in
+  (* Static L2 region: accelerator weight and bias images. *)
+  let images = ref [] in
+  let cursor = ref 0 in
+  let place tensor =
+    let off = !cursor in
+    images := (off, tensor) :: !images;
+    cursor := Util.Ints.round_up (off + Tensor.sim_bytes tensor) 4;
+    off
+  in
+  let steps =
+    List.map
+      (fun u ->
+        match u with
+        | LAccel { layer; schedule; in_nodes; out_node; accel = _ } ->
+            let weights_offset =
+              match layer.L.weights with Some w -> place w | None -> -1
+            in
+            let bias_offset = match layer.L.bias with Some b -> place b | None -> -1 in
+            P.Accel
+              {
+                accel_name = schedule.Dory.Schedule.accel_name;
+                schedule;
+                ins = List.map (Hashtbl.find buf_of_node) in_nodes;
+                out = Hashtbl.find buf_of_node out_node;
+                weights_offset;
+                bias_offset;
+              }
+        | LCpu { kernel; in_nodes; out_node } ->
+            P.Cpu
+              {
+                kernel_name = kernel.Codegen.Fuse.kernel_name;
+                nodes = kernel.Codegen.Fuse.nodes;
+                ins = List.map (fun n -> (n, Hashtbl.find buf_of_node n)) in_nodes;
+                out = Hashtbl.find buf_of_node out_node;
+                cycles = kernel.Codegen.Fuse.cycles;
+              }
+      )
+      units
+  in
+  let l2_static_bytes = !cursor in
+  (* Binary size accounting. *)
+  let accel_layer_list =
+    List.filter_map
+      (function
+        | LAccel { layer; schedule; _ } ->
+            Some
+              ( layer,
+                schedule.Dory.Schedule.accel_name,
+                Dory.Schedule.is_tiled schedule )
+        | LCpu _ -> None)
+      units
+  in
+  let size =
+    Codegen.Size.report ~size_model:platform.Arch.Platform.size_model
+      ~cpu_kernels:kernels ~accel_layers:accel_layer_list
+      ~cpu_const_bytes:(cpu_const_bytes g kernels)
+  in
+  (* Activation arena: what is left of L2 after the resident weight images
+     and the binary's code + CPU constant sections. *)
+  let l2_size = platform.Arch.Platform.l2.Arch.Memory.size_bytes in
+  let code_bytes =
+    List.fold_left
+      (fun acc (s : Codegen.Size.section) ->
+        if s.Codegen.Size.section_name = "accelerator constants" then acc
+        else acc + s.Codegen.Size.bytes)
+      0 size.Codegen.Size.sections
+  in
+  let arena_capacity = l2_size - l2_static_bytes - code_bytes in
+  let* () =
+    if arena_capacity <= 0 then
+      Error
+        (Printf.sprintf
+           "out of memory: weights (%d B) and code (%d B) leave no L2 for activations"
+           l2_static_bytes code_bytes)
+    else Ok ()
+  in
+  (* Liveness over step indices: inputs are born before step 0; the network
+     output stays live to the end. *)
+  let n_steps = List.length steps in
+  let death = Hashtbl.create 16 in
+  let note_use buf step_idx =
+    let cur = try Hashtbl.find death buf with Not_found -> -1 in
+    Hashtbl.replace death buf (max cur step_idx)
+  in
+  List.iteri
+    (fun i u -> List.iter (fun n -> note_use (Hashtbl.find buf_of_node n) (i + 1)) (lowered_ins u))
+    units;
+  let requests =
+    List.map
+      (fun (b : P.buffer) ->
+        let birth =
+          if List.exists (fun (_, id) -> id = b.P.buf_id) input_buffers then 0
+          else
+            let idx = ref 0 in
+            List.iteri
+              (fun i u ->
+                if Hashtbl.find buf_of_node (lowered_out u) = b.P.buf_id then idx := i + 1)
+              units;
+            !idx
+        in
+        let death =
+          let d = try Hashtbl.find death b.P.buf_id with Not_found -> birth in
+          if
+            b.P.buf_id = Hashtbl.find buf_of_node (G.output g)
+          then n_steps + 1
+          else max d birth
+        in
+        {
+          Dory.Memplan.buffer_id = b.P.buf_id;
+          bytes = P.buffer_bytes b;
+          birth;
+          death;
+        })
+      (List.rev !buffers)
+  in
+  let* placed =
+    match Dory.Memplan.plan cfg.memory_strategy ~capacity:arena_capacity ~align:4 requests with
+    | Ok p -> Ok p
+    | Error e -> Error e
+  in
+  let buffers =
+    List.map
+      (fun (b : P.buffer) ->
+        let p = Dory.Memplan.find placed b.P.buf_id in
+        { b with P.l2_offset = l2_static_bytes + p.Dory.Memplan.offset })
+      (List.rev !buffers)
+  in
+  let program =
+    {
+      P.graph = g;
+      buffers;
+      steps;
+      input_buffers;
+      output_buffer = Hashtbl.find buf_of_node (G.output g);
+      weight_images = List.rev !images;
+      l2_activation_peak = placed.Dory.Memplan.peak_bytes;
+    }
+  in
+  let* () = P.validate program in
+  let schedules =
+    List.filteri (fun _ _ -> true) steps
+    |> List.mapi (fun i s -> (i, s))
+    |> List.filter_map (fun (i, s) ->
+           match s with P.Accel { schedule; _ } -> Some (i, schedule) | P.Cpu _ -> None)
+  in
+  let layers =
+    List.mapi
+      (fun i u ->
+        match u with
+        | LAccel { layer; schedule; _ } ->
+            {
+              li_index = i;
+              li_target = schedule.Dory.Schedule.accel_name;
+              li_desc = L.describe layer;
+              li_tiled = Dory.Schedule.is_tiled schedule;
+              li_tile = Some schedule.Dory.Schedule.nominal;
+            }
+        | LCpu { kernel; _ } ->
+            {
+              li_index = i;
+              li_target = "cpu";
+              li_desc = kernel.Codegen.Fuse.kernel_name;
+              li_tiled = false;
+              li_tile = None;
+            })
+      units
+  in
+  Ok
+    {
+      cfg;
+      program;
+      size;
+      layers;
+      c_source = Dory.Emit.emit_network schedules;
+      l2_static_bytes;
+      l2_arena_bytes = arena_capacity;
+      tuning_trials;
+    }
+
+let run artifact ~inputs =
+  Sim.Machine.run ~platform:artifact.cfg.platform artifact.program ~inputs
+
+let full_cycles (r : Sim.Machine.report) = r.Sim.Machine.totals.Sim.Counters.wall
+
+let peak_cycles (r : Sim.Machine.report) =
+  let t = r.Sim.Machine.totals in
+  Sim.Counters.peak t + t.Sim.Counters.cpu_compute
+
+let latency_ms cfg cycles = Arch.Platform.ms_of_cycles cfg.platform cycles

@@ -1,0 +1,66 @@
+(** The HTVM compilation driver (paper Fig. 1).
+
+    [compile] takes a quantized graph through the whole hybrid flow:
+    graph optimizations, accelerator-aware pattern dispatch (BYOC), DORY
+    tiling + schedule generation for matched layers, TVM-style fused
+    lowering for the rest, L2 memory planning, C emission and binary-size
+    accounting. The result is a simulator-runnable artifact. *)
+
+type config = {
+  platform : Arch.Platform.t;
+      (** which accelerators exist decides dispatch (Table I's columns) *)
+  memory_strategy : Dory.Memplan.strategy;
+      (** [Reuse] = HTVM's planner; [No_reuse] = plain-TVM baseline *)
+  double_buffer : bool;
+  use_pe_heuristics : bool;
+  use_dma_heuristic : bool;
+  autotune_budget : int option;
+      (** when set, TVM-style autotuning refines every heavy CPU kernel
+          with up to this many simulated device measurements (paper
+          Sec. II-B); [None] = the paper's fully ahead-of-time flow *)
+}
+
+val default_config : Arch.Platform.t -> config
+(** Reuse planner, double buffering and all tiling heuristics on. *)
+
+val tvm_baseline_config : Arch.Platform.t -> config
+(** Plain-TVM deployment model: no buffer reuse (and accelerators are
+    whatever the platform carries — pass {!Arch.Diana.cpu_only} for the
+    Table I baseline). *)
+
+type layer_info = {
+  li_index : int;  (** step index in the program *)
+  li_target : string;  (** accelerator name or ["cpu"] *)
+  li_desc : string;
+  li_tiled : bool;
+  li_tile : Arch.Tile.t option;
+}
+
+type artifact = {
+  cfg : config;
+  program : Sim.Program.t;
+  size : Codegen.Size.report;
+  layers : layer_info list;
+  c_source : string;  (** DORY-style C for every offloaded layer *)
+  l2_static_bytes : int;  (** weight images resident in L2 *)
+  l2_arena_bytes : int;   (** activation arena capacity after statics *)
+  tuning_trials : int;    (** device measurements spent by autotuning (0 without) *)
+}
+
+val compile : config -> Ir.Graph.t -> (artifact, string) result
+(** [Error] carries a diagnosis (e.g. the out-of-memory message that
+    reproduces Table I's MobileNet OoM under the TVM baseline). *)
+
+val run :
+  artifact -> inputs:(string * Tensor.t) list -> Tensor.t * Sim.Machine.report
+(** Execute the artifact on the simulated SoC. *)
+
+val full_cycles : Sim.Machine.report -> int
+(** End-to-end wall cycles — the paper's "HTVM" latency. *)
+
+val peak_cycles : Sim.Machine.report -> int
+(** Accelerator busy cycles plus (unavoidable) CPU kernel cycles — the
+    paper's "Peak" latency, which excludes DMA and runtime overhead. *)
+
+val latency_ms : config -> int -> float
+(** Cycles to milliseconds at the platform clock. *)

@@ -1,0 +1,72 @@
+module L = Ir.Layer
+module Dtype = Tensor.Dtype
+
+type result = {
+  output : Tensor.t;
+  counters : Sim.Counters.t;
+  solution : Dory.Tiling.solution;
+  schedule : Dory.Schedule.t;
+}
+
+let numel shape = Array.fold_left ( * ) 1 shape
+
+let run_single_layer ?(platform = Arch.Diana.platform) ~accel ~tiling ?(input_seed = 7)
+    (layer : L.t) =
+  match Dory.Tiling.solve tiling accel layer with
+  | Error e -> Error e
+  | Ok solution ->
+      let schedule =
+        Dory.Schedule.build layer ~accel_name:accel.Arch.Accel.accel_name
+          ~tile:solution.Dory.Tiling.tile ~double_buffer:tiling.Dory.Tiling.double_buffer
+      in
+      let l2 = Sim.Mem.create "L2" platform.Arch.Platform.l2.Arch.Memory.size_bytes in
+      let l1 = Sim.Mem.create "L1" platform.Arch.Platform.l1.Arch.Memory.size_bytes in
+      Sim.Mem.fill l1 0x5A;
+      let rng = Util.Rng.create input_seed in
+      let input = Tensor.random rng layer.L.in_dtype layer.L.in_shape in
+      let second =
+        match layer.L.kind with
+        | L.Add -> Some (Tensor.random rng layer.L.in_dtype layer.L.in_shape)
+        | L.Conv _ | L.Dense | L.Pool _ -> None
+      in
+      let in_bytes = numel layer.L.in_shape * Dtype.sim_bytes layer.L.in_dtype in
+      Sim.Mem.write_tensor l2 0 input;
+      let in_offsets =
+        match second with
+        | None -> [ 0 ]
+        | Some s ->
+            Sim.Mem.write_tensor l2 in_bytes s;
+            [ 0; in_bytes ]
+      in
+      let out_offset = in_bytes * List.length in_offsets in
+      let out_bytes = numel layer.L.out_shape * Dtype.sim_bytes layer.L.out_dtype in
+      let weights_offset, bias_offset =
+        let woff = out_offset + out_bytes in
+        match layer.L.weights with
+        | None -> (-1, -1)
+        | Some w ->
+            Sim.Mem.write_tensor l2 woff w;
+            let boff = woff + Tensor.sim_bytes w in
+            (match layer.L.bias with
+            | None -> ()
+            | Some b -> Sim.Mem.write_tensor l2 boff b);
+            (woff, if layer.L.bias = None then -1 else boff)
+      in
+      let counters =
+        Sim.Exec_accel.run ~platform ~accel ~l2 ~l1
+          ~buffers:{ Sim.Exec_accel.in_offsets; out_offset; weights_offset; bias_offset }
+          schedule
+      in
+      let output = Sim.Mem.read_tensor l2 out_offset layer.L.out_dtype layer.L.out_shape in
+      let reference = L.execute layer ?second input in
+      if not (Tensor.equal reference output) then
+        Error
+          (Printf.sprintf "tiled execution diverged from reference for %s"
+             (L.describe layer))
+      else Ok { output; counters; solution; schedule }
+
+let peak_throughput layer r =
+  float_of_int (L.macs layer) /. float_of_int (Sim.Counters.peak r.counters)
+
+let full_throughput layer r =
+  float_of_int (L.macs layer) /. float_of_int r.counters.Sim.Counters.wall

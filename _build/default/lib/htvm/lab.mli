@@ -1,0 +1,32 @@
+(** Single-layer experiment harness.
+
+    Fig. 4 (tiling-heuristic sweeps) and Fig. 5 (single-layer overhead
+    characterization) run individual layers on one accelerator under a
+    controlled tiling configuration. This module packages the common
+    plumbing: solve the tiling, build the schedule, place the layer's
+    buffers in a fresh L2, execute on the simulator, and return both the
+    output and the counters. *)
+
+type result = {
+  output : Tensor.t;
+  counters : Sim.Counters.t;
+  solution : Dory.Tiling.solution;
+  schedule : Dory.Schedule.t;
+}
+
+val run_single_layer :
+  ?platform:Arch.Platform.t ->
+  accel:Arch.Accel.t ->
+  tiling:Dory.Tiling.config ->
+  ?input_seed:int ->
+  Ir.Layer.t ->
+  (result, string) Stdlib.result
+(** Defaults: the full DIANA platform, input seed 7. [Error] propagates
+    tiling infeasibility. Functional correctness against
+    {!Ir.Layer.execute} is asserted on every run. *)
+
+val peak_throughput : Ir.Layer.t -> result -> float
+(** MACs per accelerator-busy cycle (the paper's "peak"). *)
+
+val full_throughput : Ir.Layer.t -> result -> float
+(** MACs per wall cycle of the full kernel call. *)

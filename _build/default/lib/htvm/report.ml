@@ -1,0 +1,63 @@
+let to_markdown ?(energy = Sim.Energy.diana_defaults) (artifact : Compile.artifact)
+    (report : Sim.Machine.report) =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s) fmt in
+  let cfg = artifact.Compile.cfg in
+  let platform = cfg.Compile.platform in
+  add "# HTVM deployment report\n\n";
+  add "- platform: **%s** @ %d MHz (accelerators: %s)\n"
+    platform.Arch.Platform.platform_name platform.Arch.Platform.freq_mhz
+    (match platform.Arch.Platform.accels with
+    | [] -> "none"
+    | accels ->
+        String.concat ", " (List.map (fun a -> a.Arch.Accel.accel_name) accels));
+  add "- memory plan: %s; double buffering: %b; heuristics: pe=%b dma=%b\n"
+    (match cfg.Compile.memory_strategy with
+    | Dory.Memplan.Reuse -> "liveness reuse"
+    | Dory.Memplan.No_reuse -> "no reuse (TVM baseline)")
+    cfg.Compile.double_buffer cfg.Compile.use_pe_heuristics cfg.Compile.use_dma_heuristic;
+  (match cfg.Compile.autotune_budget with
+  | None -> add "- autotuning: off (fully ahead-of-time)\n"
+  | Some b ->
+      add "- autotuning: on (budget %d, %d device trials spent)\n" b
+        artifact.Compile.tuning_trials);
+  let full = Compile.full_cycles report and peak = Compile.peak_cycles report in
+  add "\n## Latency\n\n";
+  add "- full kernel calls: **%.3f ms** (%d cycles)\n" (Compile.latency_ms cfg full) full;
+  add "- accelerator peak + CPU: %.3f ms (%d cycles)\n" (Compile.latency_ms cfg peak) peak;
+  add "\n## Steps\n\n";
+  let rows =
+    List.map2
+      (fun (li : Compile.layer_info) (name, (c : Sim.Counters.t)) ->
+        ignore name;
+        [ string_of_int li.Compile.li_index;
+          li.Compile.li_target;
+          li.Compile.li_desc
+          ^ (match li.Compile.li_tile with
+            | Some t when li.Compile.li_tiled -> " " ^ Arch.Tile.to_string t
+            | _ -> "");
+          string_of_int c.Sim.Counters.wall;
+          string_of_int (Sim.Counters.peak c);
+          string_of_int (c.Sim.Counters.dma_in + c.Sim.Counters.dma_out) ])
+      artifact.Compile.layers report.Sim.Machine.per_step
+  in
+  Buffer.add_string buf
+    (Util.Table.render_markdown
+       ~header:[ "#"; "target"; "kernel"; "wall"; "accel peak"; "dma" ]
+       rows);
+  add "\n## Binary size\n\n";
+  Buffer.add_string buf
+    (Util.Table.render_markdown ~header:[ "section"; "bytes" ]
+       (List.map
+          (fun (s : Codegen.Size.section) ->
+            [ s.Codegen.Size.section_name; string_of_int s.Codegen.Size.bytes ])
+          artifact.Compile.size.Codegen.Size.sections));
+  add "\ntotal: **%.1f kB**\n" (Codegen.Size.total_kb artifact.Compile.size);
+  add "\n## L2 memory\n\n";
+  add "- resident weights: %d B\n" artifact.Compile.l2_static_bytes;
+  add "- activation arena: %d B (peak use %d B)\n" artifact.Compile.l2_arena_bytes
+    artifact.Compile.program.Sim.Program.l2_activation_peak;
+  add "\n## Energy (modeled)\n\n";
+  add "%s\n"
+    (Format.asprintf "%a" Sim.Energy.pp (Sim.Energy.of_report energy report));
+  Buffer.contents buf

@@ -1,0 +1,13 @@
+(** Human-readable deployment reports.
+
+    Renders everything a deployment engineer asks about an artifact — the
+    dispatch decisions, tiling, per-step cycle breakdown, latency,
+    binary-size sections, L2 memory plan and estimated energy — as one
+    markdown document ([htvmc report] prints it). *)
+
+val to_markdown :
+  ?energy:Sim.Energy.params ->
+  Compile.artifact ->
+  Sim.Machine.report ->
+  string
+(** Defaults to {!Sim.Energy.diana_defaults} for the energy section. *)

@@ -1,0 +1,1 @@
+lib/ir/dot.ml: Array Buffer Graph List Op Printf String Tensor

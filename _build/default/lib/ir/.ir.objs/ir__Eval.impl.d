@@ -1,0 +1,1 @@
+lib/ir/eval.ml: Array Graph Hashtbl List Nn Op Printf Tensor Util

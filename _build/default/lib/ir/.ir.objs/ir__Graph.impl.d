@@ -1,0 +1,1 @@
+lib/ir/graph.ml: Array Format Hashtbl List Op Printf String Tensor

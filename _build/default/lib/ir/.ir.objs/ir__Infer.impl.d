@@ -1,0 +1,1 @@
+lib/ir/infer.ml: Array Format Graph List Nn Op Printf String Tensor

@@ -1,0 +1,1 @@
+lib/ir/layer.ml: Array Format List Nn Op Option Printf String Tensor

@@ -1,0 +1,1 @@
+lib/ir/layer.mli: Nn Op Tensor

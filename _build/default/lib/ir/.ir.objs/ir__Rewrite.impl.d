@@ -1,0 +1,1 @@
+lib/ir/rewrite.ml: Array Eval Graph Hashtbl Infer List Op Option Tensor

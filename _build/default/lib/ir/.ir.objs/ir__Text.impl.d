@@ -1,0 +1,1 @@
+lib/ir/text.ml: Array Buffer Char Fun Graph Hashtbl In_channel List Op Printf String Sys Tensor

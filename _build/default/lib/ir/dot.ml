@@ -1,0 +1,38 @@
+let escape s =
+  String.concat "" (List.map (function '"' -> "\\\"" | c -> String.make 1 c)
+                      (List.init (String.length s) (String.get s)))
+
+let to_dot ?(highlight = fun _ -> None) g =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "digraph htvm {\n  rankdir=TB;\n  node [fontsize=10];\n";
+  List.iter
+    (fun i ->
+      let shape, label =
+        match Graph.node g i with
+        | Graph.Input { name; dtype; shape } ->
+            ( "ellipse",
+              Printf.sprintf "%s : %s[%s]" name
+                (Tensor.Dtype.to_string dtype)
+                (Array.to_list shape |> List.map string_of_int |> String.concat "x") )
+        | Graph.Const t -> ("note", Tensor.to_string t)
+        | Graph.App { op; _ } -> ("box", Op.to_string op)
+      in
+      let fill =
+        match highlight i with
+        | Some color -> Printf.sprintf ", style=filled, fillcolor=\"%s\"" color
+        | None -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [shape=%s, label=\"%%%d %s\"%s];\n" i shape i
+           (escape label) fill))
+    (Graph.node_ids g);
+  List.iter
+    (fun i ->
+      match Graph.node g i with
+      | Graph.App { args; _ } ->
+          List.iter (fun a -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" a i)) args
+      | Graph.Input _ | Graph.Const _ -> ())
+    (Graph.node_ids g);
+  Buffer.add_string buf (Printf.sprintf "  out [shape=doublecircle, label=\"output\"];\n");
+  Buffer.add_string buf (Printf.sprintf "  n%d -> out;\n}\n" (Graph.output g));
+  Buffer.contents buf

@@ -1,0 +1,6 @@
+(** Graphviz export for visual inspection of graphs and partitions. *)
+
+val to_dot : ?highlight:(Graph.id -> string option) -> Graph.t -> string
+(** DOT source for the graph: operator nodes as boxes labelled with their
+    attributes, inputs as ellipses, constants as small notes.
+    [highlight] may assign a fill color (e.g. per dispatch target). *)

@@ -1,0 +1,56 @@
+module Dtype = Tensor.Dtype
+module K = Nn.Kernels
+
+let eval_op (op : Op.t) (args : Tensor.t list) =
+  match (op, args) with
+  | Op.Conv2d p, [ input; weights ] -> K.conv2d ~input ~weights p
+  | Op.Dense, [ input; weights ] -> K.dense ~input ~weights
+  | Op.Bias_add, [ acc; bias ] -> K.bias_add acc bias
+  | Op.Right_shift, [ acc; amount ] ->
+      let s = Tensor.get amount [||] in
+      if s < 0 then invalid_arg "eval: negative right_shift";
+      Tensor.map (fun v -> v asr s) acc
+  | Op.Clip { lo; hi }, [ t ] -> Tensor.map (Util.Ints.clamp ~lo ~hi) t
+  | Op.Cast dt, [ t ] -> Tensor.cast dt t
+  | Op.Relu, [ t ] -> K.relu t
+  | Op.Add, [ a; b ] -> K.add a b
+  | Op.Max_pool { pool; pool_stride }, [ t ] -> K.max_pool ~pool ~stride:pool_stride t
+  | Op.Avg_pool { pool; pool_stride }, [ t ] -> K.avg_pool ~pool ~stride:pool_stride t
+  | Op.Global_avg_pool, [ t ] -> K.global_avg_pool t
+  | Op.Softmax, [ t ] -> K.softmax t
+  | Op.Reshape shape, [ t ] -> Tensor.reshape t shape
+  | Op.Concat, [ a; b ] -> K.concat_channels a b
+  | _ -> invalid_arg (Printf.sprintf "eval: arity mismatch for %s" (Op.name op))
+
+let run_all g ~inputs =
+  let bound = Hashtbl.create 8 in
+  List.iter
+    (fun (name, t) ->
+      if Hashtbl.mem bound name then invalid_arg ("eval: duplicate input binding " ^ name);
+      Hashtbl.add bound name t)
+    inputs;
+  let needed = List.map (fun (_, name, _, _) -> name) (Graph.inputs g) in
+  List.iter
+    (fun name ->
+      if not (Hashtbl.mem bound name) then invalid_arg ("eval: missing input " ^ name))
+    needed;
+  Hashtbl.iter
+    (fun name _ ->
+      if not (List.mem name needed) then invalid_arg ("eval: unknown input " ^ name))
+    bound;
+  let values = Array.make (Graph.length g) (Tensor.scalar Dtype.I32 0) in
+  List.iter
+    (fun i ->
+      values.(i) <-
+        (match Graph.node g i with
+        | Graph.Input { name; dtype; shape } ->
+            let t = Hashtbl.find bound name in
+            if not (Dtype.equal (Tensor.dtype t) dtype) || Tensor.shape t <> shape then
+              invalid_arg ("eval: input " ^ name ^ " has wrong type");
+            t
+        | Graph.Const t -> t
+        | Graph.App { op; args } -> eval_op op (List.map (fun a -> values.(a)) args)))
+    (Graph.node_ids g);
+  values
+
+let run g ~inputs = (run_all g ~inputs).(Graph.output g)

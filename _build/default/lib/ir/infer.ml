@@ -1,0 +1,106 @@
+module Dtype = Tensor.Dtype
+
+type ty = { dtype : Dtype.t; shape : int array }
+
+exception Type_error of string
+
+let ty_equal a b = Dtype.equal a.dtype b.dtype && a.shape = b.shape
+
+let pp_ty fmt { dtype; shape } =
+  Format.fprintf fmt "%s[%s]" (Dtype.to_string dtype)
+    (Array.to_list shape |> List.map string_of_int |> String.concat "x")
+
+let fail i fmt =
+  Format.kasprintf (fun s -> raise (Type_error (Printf.sprintf "node %d: %s" i s))) fmt
+
+let numel shape = Array.fold_left ( * ) 1 shape
+
+let narrow_int = function
+  | Dtype.I8 | Dtype.U7 -> true
+  | Dtype.I16 | Dtype.I32 | Dtype.Ternary -> false
+
+let infer_app i op (args : ty list) =
+  let arg n = List.nth args n in
+  match (op : Op.t) with
+  | Op.Conv2d p ->
+      let data = arg 0 and w = arg 1 in
+      if Array.length data.shape <> 3 then fail i "conv2d: data must be rank 3 (CHW)";
+      if Array.length w.shape <> 4 then fail i "conv2d: weights must be rank 4 (KCFyFx)";
+      if not (narrow_int data.dtype) then
+        fail i "conv2d: data dtype %s not supported" (Dtype.to_string data.dtype);
+      let c = data.shape.(0) and h = data.shape.(1) and wdt = data.shape.(2) in
+      let k = w.shape.(0) and cg = w.shape.(1) and fy = w.shape.(2) and fx = w.shape.(3) in
+      let g = p.Nn.Kernels.groups in
+      if g <= 0 || c mod g <> 0 || k mod g <> 0 || cg <> c / g then
+        fail i "conv2d: groups=%d incompatible with c=%d k=%d cg=%d" g c k cg;
+      let oh, ow = Nn.Kernels.conv_out_dims ~in_dims:(h, wdt) ~kernel:(fy, fx) p in
+      if oh <= 0 || ow <= 0 then fail i "conv2d: empty output (%dx%d)" oh ow;
+      { dtype = Dtype.I32; shape = [| k; oh; ow |] }
+  | Op.Dense ->
+      let data = arg 0 and w = arg 1 in
+      if Array.length data.shape <> 1 then fail i "dense: data must be rank 1";
+      if Array.length w.shape <> 2 then fail i "dense: weights must be rank 2";
+      if w.shape.(1) <> data.shape.(0) then
+        fail i "dense: weights expect %d inputs, data has %d" w.shape.(1) data.shape.(0);
+      { dtype = Dtype.I32; shape = [| w.shape.(0) |] }
+  | Op.Bias_add ->
+      let data = arg 0 and bias = arg 1 in
+      if Array.length data.shape < 1 then fail i "bias_add: data must have a channel axis";
+      if Array.length bias.shape <> 1 || bias.shape.(0) <> data.shape.(0) then
+        fail i "bias_add: bias must be [|%d|]" data.shape.(0);
+      if not (Dtype.equal bias.dtype Dtype.I32) then fail i "bias_add: bias must be i32";
+      data
+  | Op.Right_shift ->
+      let data = arg 0 and amount = arg 1 in
+      if Array.length amount.shape <> 0 then fail i "right_shift: shift must be scalar";
+      data
+  | Op.Clip _ -> arg 0
+  | Op.Cast dt -> { (arg 0) with dtype = dt }
+  | Op.Relu -> arg 0
+  | Op.Add ->
+      let a = arg 0 and b = arg 1 in
+      if a.shape <> b.shape then fail i "add: shape mismatch";
+      { dtype = Dtype.I32; shape = a.shape }
+  | Op.Max_pool { pool = ph, pw; pool_stride = sy, sx }
+  | Op.Avg_pool { pool = ph, pw; pool_stride = sy, sx } ->
+      let data = arg 0 in
+      if Array.length data.shape <> 3 then fail i "pool: data must be rank 3 (CHW)";
+      let h = data.shape.(1) and w = data.shape.(2) in
+      let oh = ((h - ph) / sy) + 1 and ow = ((w - pw) / sx) + 1 in
+      if oh <= 0 || ow <= 0 then fail i "pool: empty output";
+      { data with shape = [| data.shape.(0); oh; ow |] }
+  | Op.Global_avg_pool ->
+      let data = arg 0 in
+      if Array.length data.shape <> 3 then fail i "global_avg_pool: data must be rank 3";
+      { data with shape = [| data.shape.(0); 1; 1 |] }
+  | Op.Softmax ->
+      let data = arg 0 in
+      if Array.length data.shape <> 1 then fail i "softmax: data must be rank 1";
+      { dtype = Dtype.I8; shape = data.shape }
+  | Op.Concat ->
+      let a = arg 0 and b = arg 1 in
+      if Array.length a.shape <> 3 || Array.length b.shape <> 3 then
+        fail i "concatenate: both inputs must be rank 3 (CHW)";
+      if a.shape.(1) <> b.shape.(1) || a.shape.(2) <> b.shape.(2) then
+        fail i "concatenate: spatial dims must match";
+      if not (Dtype.equal a.dtype b.dtype) then fail i "concatenate: dtype mismatch";
+      { a with shape = [| a.shape.(0) + b.shape.(0); a.shape.(1); a.shape.(2) |] }
+  | Op.Reshape shape ->
+      let data = arg 0 in
+      if numel shape <> numel data.shape then
+        fail i "reshape: element count mismatch (%d vs %d)" (numel shape) (numel data.shape);
+      { data with shape }
+
+let infer g =
+  let n = Graph.length g in
+  let tys = Array.make n { dtype = Dtype.I8; shape = [||] } in
+  for i = 0 to n - 1 do
+    tys.(i) <-
+      (match Graph.node g i with
+      | Graph.Input { dtype; shape; _ } -> { dtype; shape }
+      | Graph.Const t -> { dtype = Tensor.dtype t; shape = Tensor.shape t }
+      | Graph.App { op; args } -> infer_app i op (List.map (fun a -> tys.(a)) args))
+  done;
+  tys
+
+let output_ty g = (infer g).(Graph.output g)

@@ -1,0 +1,21 @@
+(** Shape and dtype inference.
+
+    Runs over a graph once and assigns every node a type (dtype + shape).
+    The partitioner's accelerator rules, the DORY tiler and the memory
+    planner all consume these types; networks that violate an operator's
+    typing rule are rejected here, before any lowering. *)
+
+type ty = { dtype : Tensor.Dtype.t; shape : int array }
+
+exception Type_error of string
+(** Raised with a node-indexed explanation when typing fails. *)
+
+val ty_equal : ty -> ty -> bool
+val pp_ty : Format.formatter -> ty -> unit
+
+val infer : Graph.t -> ty array
+(** Types for every node, indexed by node id.
+    @raise Type_error on any ill-typed application. *)
+
+val output_ty : Graph.t -> ty
+(** Type of the graph output. *)

@@ -1,0 +1,59 @@
+type pool_attrs = {
+  pool : int * int;
+  pool_stride : int * int;
+}
+
+type t =
+  | Conv2d of Nn.Kernels.conv_params
+  | Dense
+  | Bias_add
+  | Right_shift
+  | Clip of { lo : int; hi : int }
+  | Cast of Tensor.Dtype.t
+  | Relu
+  | Add
+  | Max_pool of pool_attrs
+  | Avg_pool of pool_attrs
+  | Global_avg_pool
+  | Softmax
+  | Reshape of int array
+  | Concat
+
+let name = function
+  | Conv2d _ -> "nn.conv2d"
+  | Dense -> "nn.dense"
+  | Bias_add -> "nn.bias_add"
+  | Right_shift -> "right_shift"
+  | Clip _ -> "clip"
+  | Cast _ -> "cast"
+  | Relu -> "nn.relu"
+  | Add -> "add"
+  | Max_pool _ -> "nn.max_pool2d"
+  | Avg_pool _ -> "nn.avg_pool2d"
+  | Global_avg_pool -> "nn.global_avg_pool2d"
+  | Softmax -> "nn.softmax"
+  | Reshape _ -> "reshape"
+  | Concat -> "concatenate"
+
+let arity = function
+  | Conv2d _ | Dense | Bias_add | Right_shift | Add | Concat -> 2
+  | Clip _ | Cast _ | Relu | Max_pool _ | Avg_pool _ | Global_avg_pool | Softmax | Reshape _ -> 1
+
+let equal (a : t) (b : t) = a = b
+
+let pp fmt op =
+  match op with
+  | Conv2d { stride = sy, sx; padding = py, px; groups } ->
+      Format.fprintf fmt "nn.conv2d{stride=%dx%d pad=%dx%d groups=%d}" sy sx py px groups
+  | Clip { lo; hi } -> Format.fprintf fmt "clip{%d,%d}" lo hi
+  | Cast dt -> Format.fprintf fmt "cast{%s}" (Tensor.Dtype.to_string dt)
+  | Max_pool { pool = ph, pw; pool_stride = sy, sx } ->
+      Format.fprintf fmt "nn.max_pool2d{%dx%d stride=%dx%d}" ph pw sy sx
+  | Avg_pool { pool = ph, pw; pool_stride = sy, sx } ->
+      Format.fprintf fmt "nn.avg_pool2d{%dx%d stride=%dx%d}" ph pw sy sx
+  | Reshape shape ->
+      Format.fprintf fmt "reshape{%s}"
+        (Array.to_list shape |> List.map string_of_int |> String.concat "x")
+  | op -> Format.pp_print_string fmt (name op)
+
+let to_string op = Format.asprintf "%a" pp op

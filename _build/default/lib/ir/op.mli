@@ -1,0 +1,42 @@
+(** Operator vocabulary of the graph IR.
+
+    The set mirrors the quantized Relay operators HTVM's pattern matcher
+    works over (paper Listing 1 and Sec. IV-C): convolutions, dense,
+    bias-add, the right-shift/clip/cast requantization triple, ReLU,
+    residual add, poolings, softmax and reshape. *)
+
+type pool_attrs = {
+  pool : int * int;         (** window (h, w) *)
+  pool_stride : int * int;  (** stride (y, x) *)
+}
+
+type t =
+  | Conv2d of Nn.Kernels.conv_params
+      (** args: data [|c;h;w|], weights [|k;c/g;fy;fx|]; result I32 *)
+  | Dense  (** args: data [|c|], weights [|k;c|]; result I32 *)
+  | Bias_add  (** args: acc, bias [|k|] *)
+  | Right_shift  (** args: acc, scalar shift constant *)
+  | Clip of { lo : int; hi : int }  (** saturate accumulator values *)
+  | Cast of Tensor.Dtype.t  (** saturating dtype conversion *)
+  | Relu
+  | Add  (** residual addition, widens to I32 *)
+  | Max_pool of pool_attrs
+  | Avg_pool of pool_attrs
+  | Global_avg_pool
+  | Softmax
+  | Reshape of int array
+  | Concat  (** channel-axis concatenation of two CHW activations *)
+
+val name : t -> string
+(** Relay-style operator name used by the pattern language, e.g.
+    ["nn.conv2d"], ["right_shift"], ["clip"]. *)
+
+val arity : t -> int
+(** Number of graph arguments the operator consumes. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Operator with its attributes, e.g. [nn.conv2d{stride=2x2 pad=1x1}]. *)
+
+val to_string : t -> string

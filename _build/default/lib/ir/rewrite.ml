@@ -1,0 +1,141 @@
+(* Rebuild helpers: transformations construct a fresh node list while
+   remapping argument ids through [map]. *)
+
+let constant_fold g =
+  let n = Graph.length g in
+  let builder = Graph.Builder.create () in
+  let map = Array.make n (-1) in
+  let const_value = Array.make n None in
+  for i = 0 to n - 1 do
+    match Graph.node g i with
+    | Graph.Input { name; dtype; shape } ->
+        map.(i) <- Graph.Builder.input builder ~name dtype shape
+    | Graph.Const t ->
+        const_value.(i) <- Some t;
+        map.(i) <- Graph.Builder.const builder t
+    | Graph.App { op; args } ->
+        let args_const = List.map (fun a -> const_value.(a)) args in
+        if List.for_all Option.is_some args_const then begin
+          let t = Eval.eval_op op (List.map Option.get args_const) in
+          const_value.(i) <- Some t;
+          map.(i) <- Graph.Builder.const builder t
+        end
+        else map.(i) <- Graph.Builder.app builder op (List.map (fun a -> map.(a)) args)
+  done;
+  Graph.Builder.finish builder ~output:map.(Graph.output g)
+
+let dead_code_elimination g =
+  let n = Graph.length g in
+  let live = Array.make n false in
+  let rec mark i =
+    if not live.(i) then begin
+      live.(i) <- true;
+      match Graph.node g i with
+      | Graph.App { args; _ } -> List.iter mark args
+      | Graph.Input _ | Graph.Const _ -> ()
+    end
+  in
+  mark (Graph.output g);
+  let builder = Graph.Builder.create () in
+  let map = Array.make n (-1) in
+  for i = 0 to n - 1 do
+    if live.(i) then
+      map.(i) <-
+        (match Graph.node g i with
+        | Graph.Input { name; dtype; shape } -> Graph.Builder.input builder ~name dtype shape
+        | Graph.Const t -> Graph.Builder.const builder t
+        | Graph.App { op; args } ->
+            Graph.Builder.app builder op (List.map (fun a -> map.(a)) args))
+  done;
+  Graph.Builder.finish builder ~output:map.(Graph.output g)
+
+(* Structural key for value numbering. Constants compare by payload, so
+   equal weight tensors unify and their consumers can in turn unify. *)
+type vn_key =
+  | KInput of string
+  | KConst of Tensor.t
+  | KApp of Op.t * int list
+
+let common_subexpression_elimination g =
+  let n = Graph.length g in
+  let builder = Graph.Builder.create () in
+  let map = Array.make n (-1) in
+  let seen : (vn_key, int) Hashtbl.t = Hashtbl.create 32 in
+  let intern key fresh =
+    match Hashtbl.find_opt seen key with
+    | Some id -> id
+    | None ->
+        let id = fresh () in
+        Hashtbl.add seen key id;
+        id
+  in
+  for i = 0 to n - 1 do
+    map.(i) <-
+      (match Graph.node g i with
+      | Graph.Input { name; dtype; shape } ->
+          intern (KInput name) (fun () -> Graph.Builder.input builder ~name dtype shape)
+      | Graph.Const t -> intern (KConst t) (fun () -> Graph.Builder.const builder t)
+      | Graph.App { op; args } ->
+          let args = List.map (fun a -> map.(a)) args in
+          intern (KApp (op, args)) (fun () -> Graph.Builder.app builder op args))
+  done;
+  Graph.Builder.finish builder ~output:map.(Graph.output g)
+
+let scalar_const g id =
+  match Graph.node g id with
+  | Graph.Const t when Tensor.numel t = 1 -> Some (Tensor.get_flat t 0)
+  | Graph.Const _ | Graph.Input _ | Graph.App _ -> None
+
+let peephole g =
+  let tys = Infer.infer g in
+  let n = Graph.length g in
+  let builder = Graph.Builder.create () in
+  let map = Array.make n (-1) in
+  for i = 0 to n - 1 do
+    let default () =
+      match Graph.node g i with
+      | Graph.Input { name; dtype; shape } -> Graph.Builder.input builder ~name dtype shape
+      | Graph.Const t -> Graph.Builder.const builder t
+      | Graph.App { op; args } ->
+          Graph.Builder.app builder op (List.map (fun a -> map.(a)) args)
+    in
+    map.(i) <-
+      (match Graph.node g i with
+      | Graph.App { op = Op.Right_shift; args = [ a; s2 ] } -> (
+          match (Graph.node g a, scalar_const g s2) with
+          | Graph.App { op = Op.Right_shift; args = [ x; s1 ] }, Some v2 -> (
+              match scalar_const g s1 with
+              | Some v1 when v1 >= 0 && v2 >= 0 ->
+                  (* asr composes additively. *)
+                  let s =
+                    Graph.Builder.const builder
+                      (Tensor.scalar Tensor.Dtype.I32 (v1 + v2))
+                  in
+                  Graph.Builder.app builder Op.Right_shift [ map.(x); s ]
+              | Some _ | None -> default ())
+          | _ -> default ())
+      | Graph.App { op = Op.Relu; args = [ a ] } -> (
+          match Graph.node g a with
+          | Graph.App { op = Op.Relu; _ } -> map.(a)
+          | _ -> default ())
+      | Graph.App { op = Op.Reshape shape; args = [ a ] } -> (
+          match Graph.node g a with
+          | Graph.App { op = Op.Reshape _; args = [ x ] } ->
+              Graph.Builder.app builder (Op.Reshape shape) [ map.(x) ]
+          | _ -> default ())
+      | Graph.App { op = Op.Clip { lo = l2; hi = h2 }; args = [ a ] } -> (
+          match Graph.node g a with
+          | Graph.App { op = Op.Clip { lo = l1; hi = h1 }; _ }
+            when l1 >= l2 && h1 <= h2 ->
+              (* The inner clip already lands inside the outer range. *)
+              map.(a)
+          | _ -> default ())
+      | Graph.App { op = Op.Cast dt; args = [ a ] }
+        when Tensor.Dtype.equal tys.(a).Infer.dtype dt ->
+          map.(a)
+      | Graph.Input _ | Graph.Const _ | Graph.App _ -> default ())
+  done;
+  Graph.Builder.finish builder ~output:map.(Graph.output g)
+
+let simplify g =
+  dead_code_elimination (peephole (common_subexpression_elimination (constant_fold g)))

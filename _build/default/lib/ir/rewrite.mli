@@ -1,0 +1,29 @@
+(** Graph-level optimizations run before partitioning (TVM's "initial
+    optimizations" in the HTVM flow, Sec. III). *)
+
+val constant_fold : Graph.t -> Graph.t
+(** Replace every application whose arguments are all constants by the
+    constant it evaluates to. Iterates to a fixed point in one topological
+    pass. *)
+
+val dead_code_elimination : Graph.t -> Graph.t
+(** Drop nodes not reachable from the output; remaining ids are compacted
+    but keep their relative order. *)
+
+val common_subexpression_elimination : Graph.t -> Graph.t
+(** Share structurally identical applications of the same operator to the
+    same arguments (weights dedup across reused constants comes out of
+    this too, since equal constants unify first). *)
+
+val peephole : Graph.t -> Graph.t
+(** Local exact rewrites in one pass:
+    - [right_shift(right_shift(x, a), b) -> right_shift(x, a + b)]
+    - [relu(relu x) -> relu x]
+    - [reshape(reshape x) -> reshape x] (outer shape wins)
+    - drop a [clip] whose range contains its operand's clip range
+    - drop a [cast] to the operand's own dtype.
+    All rewrites preserve values exactly (tested by fuzzing). *)
+
+val simplify : Graph.t -> Graph.t
+(** [constant_fold], [common_subexpression_elimination], [peephole] and
+    [dead_code_elimination], in that order. *)

@@ -1,0 +1,228 @@
+module Dtype = Tensor.Dtype
+
+let header = "htvm-graph v1"
+
+(* --- encoding ----------------------------------------------------------- *)
+
+let dims_to_string shape =
+  if Array.length shape = 0 then "scalar"
+  else Array.to_list shape |> List.map string_of_int |> String.concat "x"
+
+let hex_digit = "0123456789abcdef"
+
+let payload_to_hex t =
+  let dt = Tensor.dtype t in
+  let width = Dtype.sim_bytes dt in
+  let buf = Buffer.create (Tensor.numel t * width * 2) in
+  Tensor.iteri_flat
+    (fun _ v ->
+      for byte = 0 to width - 1 do
+        let b = (v asr (8 * byte)) land 0xFF in
+        Buffer.add_char buf hex_digit.[b lsr 4];
+        Buffer.add_char buf hex_digit.[b land 0xF]
+      done)
+    t;
+  Buffer.contents buf
+
+let op_to_tokens (op : Op.t) =
+  match op with
+  | Op.Conv2d { stride = sy, sx; padding = py, px; groups } ->
+      Printf.sprintf "nn.conv2d stride %d %d pad %d %d groups %d" sy sx py px groups
+  | Op.Clip { lo; hi } -> Printf.sprintf "clip lo %d hi %d" lo hi
+  | Op.Cast dt -> Printf.sprintf "cast %s" (Dtype.to_string dt)
+  | Op.Max_pool { pool = ph, pw; pool_stride = sy, sx } ->
+      Printf.sprintf "nn.max_pool2d pool %d %d stride %d %d" ph pw sy sx
+  | Op.Avg_pool { pool = ph, pw; pool_stride = sy, sx } ->
+      Printf.sprintf "nn.avg_pool2d pool %d %d stride %d %d" ph pw sy sx
+  | Op.Reshape shape -> Printf.sprintf "reshape %s" (dims_to_string shape)
+  | Op.Dense | Op.Bias_add | Op.Right_shift | Op.Relu | Op.Add | Op.Global_avg_pool
+  | Op.Softmax | Op.Concat ->
+      Op.name op
+
+let to_string g =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun i ->
+      (match Graph.node g i with
+      | Graph.Input { name; dtype; shape } ->
+          if String.contains name ' ' then
+            invalid_arg "Text.to_string: input names must not contain spaces";
+          Buffer.add_string buf
+            (Printf.sprintf "input %%%d %s %s %s" i name (Dtype.to_string dtype)
+               (dims_to_string shape))
+      | Graph.Const t ->
+          Buffer.add_string buf
+            (Printf.sprintf "const %%%d %s %s %s" i
+               (Dtype.to_string (Tensor.dtype t))
+               (dims_to_string (Tensor.shape t))
+               (payload_to_hex t))
+      | Graph.App { op; args } ->
+          Buffer.add_string buf
+            (Printf.sprintf "app %%%d %s args %s" i (op_to_tokens op)
+               (List.map (Printf.sprintf "%%%d") args |> String.concat " ")));
+      Buffer.add_char buf '\n')
+    (Graph.node_ids g);
+  Buffer.add_string buf (Printf.sprintf "output %%%d\n" (Graph.output g));
+  Buffer.contents buf
+
+(* --- decoding ----------------------------------------------------------- *)
+
+exception Parse of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse s)) fmt
+
+let dtype_of_string = function
+  | "i8" -> Dtype.I8
+  | "u7" -> Dtype.U7
+  | "i16" -> Dtype.I16
+  | "i32" -> Dtype.I32
+  | "ternary" -> Dtype.Ternary
+  | s -> fail "unknown dtype %S" s
+
+let dims_of_string s =
+  if s = "scalar" then [||]
+  else
+    String.split_on_char 'x' s
+    |> List.map (fun d ->
+           match int_of_string_opt d with
+           | Some v when v > 0 -> v
+           | _ -> fail "bad dimension %S" d)
+    |> Array.of_list
+
+let node_ref s =
+  if String.length s < 2 || s.[0] <> '%' then fail "expected node reference, got %S" s
+  else
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some v when v >= 0 -> v
+    | _ -> fail "bad node reference %S" s
+
+let int_tok s =
+  match int_of_string_opt s with Some v -> v | None -> fail "expected integer, got %S" s
+
+let hex_val c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> fail "bad hex digit %C" c
+
+let payload_of_hex dt shape hex =
+  let width = Dtype.sim_bytes dt in
+  let n = Array.fold_left ( * ) 1 shape in
+  if String.length hex <> n * width * 2 then
+    fail "payload is %d hex digits, expected %d" (String.length hex) (n * width * 2);
+  let sign_extend bits v =
+    let shift = Sys.int_size - bits in
+    (v lsl shift) asr shift
+  in
+  let t = Tensor.create dt shape in
+  for i = 0 to n - 1 do
+    let raw = ref 0 in
+    for byte = 0 to width - 1 do
+      let pos = ((i * width) + byte) * 2 in
+      let b = (hex_val hex.[pos] lsl 4) lor hex_val hex.[pos + 1] in
+      raw := !raw lor (b lsl (8 * byte))
+    done;
+    let v =
+      match dt with
+      | Dtype.U7 -> !raw land 0x7F
+      | Dtype.I8 | Dtype.Ternary -> sign_extend 8 !raw
+      | Dtype.I16 -> sign_extend 16 !raw
+      | Dtype.I32 -> sign_extend 32 !raw
+    in
+    Tensor.set_flat t i v
+  done;
+  t
+
+(* Parse the operator tokens between the node id and "args". *)
+let op_of_tokens = function
+  | "nn.conv2d" :: "stride" :: sy :: sx :: "pad" :: py :: px :: "groups" :: g :: [] ->
+      Op.Conv2d
+        {
+          stride = (int_tok sy, int_tok sx);
+          padding = (int_tok py, int_tok px);
+          groups = int_tok g;
+        }
+  | [ "clip"; "lo"; lo; "hi"; hi ] -> Op.Clip { lo = int_tok lo; hi = int_tok hi }
+  | [ "cast"; dt ] -> Op.Cast (dtype_of_string dt)
+  | [ "nn.max_pool2d"; "pool"; ph; pw; "stride"; sy; sx ] ->
+      Op.Max_pool { pool = (int_tok ph, int_tok pw); pool_stride = (int_tok sy, int_tok sx) }
+  | [ "nn.avg_pool2d"; "pool"; ph; pw; "stride"; sy; sx ] ->
+      Op.Avg_pool { pool = (int_tok ph, int_tok pw); pool_stride = (int_tok sy, int_tok sx) }
+  | [ "reshape"; dims ] -> Op.Reshape (dims_of_string dims)
+  | [ "nn.dense" ] -> Op.Dense
+  | [ "nn.bias_add" ] -> Op.Bias_add
+  | [ "right_shift" ] -> Op.Right_shift
+  | [ "nn.relu" ] -> Op.Relu
+  | [ "add" ] -> Op.Add
+  | [ "nn.global_avg_pool2d" ] -> Op.Global_avg_pool
+  | [ "nn.softmax" ] -> Op.Softmax
+  | [ "concatenate" ] -> Op.Concat
+  | toks -> fail "cannot parse operator %S" (String.concat " " toks)
+
+let rec split_at_args acc = function
+  | "args" :: rest -> (List.rev acc, rest)
+  | tok :: rest -> split_at_args (tok :: acc) rest
+  | [] -> fail "missing 'args' keyword"
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let builder = Graph.Builder.create () in
+  (* Serialized ids may be sparse after transformations; remap. *)
+  let remap = Hashtbl.create 64 in
+  let resolve id =
+    match Hashtbl.find_opt remap id with
+    | Some v -> v
+    | None -> fail "node %%%d used before its definition" id
+  in
+  let output = ref None in
+  let parse_line line =
+    match String.split_on_char ' ' (String.trim line) with
+    | [ "" ] -> ()
+    | "input" :: id :: name :: dt :: dims :: [] ->
+        let id = node_ref id in
+        Hashtbl.replace remap id
+          (Graph.Builder.input builder ~name (dtype_of_string dt) (dims_of_string dims))
+    | "const" :: id :: dt :: dims :: hex :: [] ->
+        let id = node_ref id in
+        let dt = dtype_of_string dt in
+        Hashtbl.replace remap id
+          (Graph.Builder.const builder (payload_of_hex dt (dims_of_string dims) hex))
+    | "app" :: id :: rest ->
+        let id = node_ref id in
+        let op_toks, arg_toks = split_at_args [] rest in
+        let op = op_of_tokens op_toks in
+        let args = List.map (fun a -> resolve (node_ref a)) arg_toks in
+        Hashtbl.replace remap id (Graph.Builder.app builder op args)
+    | [ "output"; id ] -> output := Some (resolve (node_ref id))
+    | tok :: _ -> fail "unknown directive %S" tok
+    | [] -> ()
+  in
+  try
+    (match lines with
+    | first :: rest when String.trim first = header ->
+        List.iteri
+          (fun lineno line ->
+            try parse_line line
+            with Parse msg -> fail "line %d: %s" (lineno + 2) msg)
+          rest
+    | _ -> fail "missing %S header" header);
+    match !output with
+    | None -> Error "no output directive"
+    | Some out -> (
+        let g = Graph.Builder.finish builder ~output:out in
+        match Graph.validate g with Ok () -> Ok g | Error e -> Error ("invalid graph: " ^ e))
+  with
+  | Parse msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+let save path g =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string g))
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | contents -> of_string contents

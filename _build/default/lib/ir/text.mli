@@ -1,0 +1,28 @@
+(** Textual model format.
+
+    HTVM's front end ingests serialized quantized networks (TFLite/ONNX in
+    the paper); this module is our equivalent interchange format — a
+    line-oriented, versioned, fully self-contained description of a graph
+    including constant payloads (hex-encoded little-endian). Round-trip
+    identity is property-tested over the random-graph corpus.
+
+    Grammar (one node per line, ids must be topologically ordered):
+    {v
+    htvm-graph v1
+    input %0 image i8 3x32x32
+    const %1 i8 16x3x3x3 <hex>
+    app %2 nn.conv2d stride 1 1 pad 1 1 groups 1 args %0 %1
+    app %3 clip lo -128 hi 127 args %2
+    output %3
+    v} *)
+
+val to_string : Graph.t -> string
+
+val of_string : string -> (Graph.t, string) result
+(** Errors carry the offending line number and a diagnosis. *)
+
+val save : string -> Graph.t -> unit
+(** Write to a file path. *)
+
+val load : string -> (Graph.t, string) result
+(** Read from a file path; I/O problems are reported as [Error]. *)

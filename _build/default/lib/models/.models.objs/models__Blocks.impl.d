@@ -1,0 +1,1 @@
+lib/models/blocks.ml: Ir Policy Tensor Util

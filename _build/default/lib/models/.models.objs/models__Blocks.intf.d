@@ -1,0 +1,1 @@
+lib/models/blocks.mli: Ir Policy

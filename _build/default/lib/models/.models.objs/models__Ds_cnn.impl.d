@@ -1,0 +1,1 @@
+lib/models/ds_cnn.ml: Blocks Ir Policy

@@ -1,0 +1,1 @@
+lib/models/mobilenet.ml: Blocks Ir List Policy

@@ -1,0 +1,1 @@
+lib/models/policy.ml: Tensor

@@ -1,0 +1,1 @@
+lib/models/resnet8.ml: Blocks Ir Policy

@@ -1,0 +1,1 @@
+lib/models/toyadmos.ml: Blocks List Policy

@@ -1,0 +1,1 @@
+lib/models/toyadmos.mli: Ir Policy

@@ -1,0 +1,1 @@
+lib/models/zoo.ml: Array Ds_cnn Ir List Mobilenet Nn Policy Resnet8 Tensor Toyadmos Util

@@ -1,0 +1,30 @@
+module B = Ir.Graph.Builder
+
+let name = "ds_cnn"
+
+let build ?seed policy =
+  let ctx = Blocks.create ?seed policy in
+  let x = Blocks.input ctx ~name:"mfcc" [| 1; 49; 10 |] in
+  (* Stem: [7,5] kernel (DIANA-adapted), stride 2, "same"-ish padding:
+     49 -> 25, 10 -> 5. *)
+  let y =
+    Blocks.conv ctx ~role:Policy.First ~stride:(2, 2) ~padding:(3, 2) ~in_channels:1
+      ~out_channels:64 ~kernel:(7, 5) x
+  in
+  let rec blocks n y =
+    if n = 0 then y
+    else
+      let y = Blocks.depthwise ctx ~channels:64 ~kernel:(3, 3) ~padding:(1, 1) y in
+      let y =
+        Blocks.conv ctx ~role:Policy.Inner ~in_channels:64 ~out_channels:64
+          ~kernel:(1, 1) y
+      in
+      blocks (n - 1) y
+  in
+  let y = blocks 4 y in
+  let b = Blocks.builder ctx in
+  let pooled = B.global_avg_pool b y in
+  let flat = B.reshape b [| 64 |] pooled in
+  let logits = Blocks.dense ctx ~role:Policy.Last ~in_features:64 ~out_features:12 flat in
+  let out = B.softmax b logits in
+  Blocks.finish ctx ~output:out

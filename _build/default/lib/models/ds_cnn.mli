@@ -1,0 +1,9 @@
+(** MLPerf Tiny keyword spotting: DS-CNN.
+
+    Input [|1;49;10|] MFCC features; a 64-channel stem convolution with
+    the paper's DIANA-adapted [7,5] input filter (Table I footnote),
+    stride 2; four depthwise-separable blocks at 64 channels; global
+    average pooling; a 12-way classifier; softmax. *)
+
+val build : ?seed:int -> Policy.t -> Ir.Graph.t
+val name : string

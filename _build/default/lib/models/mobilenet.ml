@@ -1,0 +1,37 @@
+module B = Ir.Graph.Builder
+
+let name = "mobilenet_v1_025"
+
+(* (depthwise stride, pointwise output channels) for the 13 blocks at
+   width multiplier 0.25. *)
+let block_plan =
+  [ (1, 16); (2, 32); (1, 32); (2, 64); (1, 64); (2, 128); (1, 128); (1, 128);
+    (1, 128); (1, 128); (1, 128); (2, 256); (1, 256) ]
+
+let build ?seed policy =
+  let ctx = Blocks.create ?seed policy in
+  let x = Blocks.input ctx ~name:"image" [| 3; 96; 96 |] in
+  let y =
+    Blocks.conv ctx ~role:Policy.First ~stride:(2, 2) ~padding:(1, 1) ~in_channels:3
+      ~out_channels:8 ~kernel:(3, 3) x
+  in
+  let _, y =
+    List.fold_left
+      (fun (cin, y) (stride, cout) ->
+        let y =
+          Blocks.depthwise ctx ~stride:(stride, stride) ~padding:(1, 1) ~channels:cin
+            ~kernel:(3, 3) y
+        in
+        let y =
+          Blocks.conv ctx ~role:Policy.Inner ~in_channels:cin ~out_channels:cout
+            ~kernel:(1, 1) y
+        in
+        (cout, y))
+      (8, y) block_plan
+  in
+  let b = Blocks.builder ctx in
+  let pooled = B.global_avg_pool b y in
+  let flat = B.reshape b [| 256 |] pooled in
+  let logits = Blocks.dense ctx ~role:Policy.Last ~in_features:256 ~out_features:2 flat in
+  let out = B.softmax b logits in
+  Blocks.finish ctx ~output:out

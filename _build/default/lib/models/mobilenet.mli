@@ -1,0 +1,8 @@
+(** MLPerf Tiny visual wake words: MobileNetV1, width 0.25, 96x96 input.
+
+    A 3x3 stride-2 stem to 8 channels followed by 13 depthwise-separable
+    blocks climbing to 256 channels, global average pooling and a 2-way
+    person / no-person classifier. About 7.5 M MACs per inference. *)
+
+val build : ?seed:int -> Policy.t -> Ir.Graph.t
+val name : string

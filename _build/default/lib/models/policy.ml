@@ -1,0 +1,22 @@
+type t = All_int8 | All_ternary | Mixed
+
+type role = First | Last | Inner | Dw | Fc
+
+let weight_dtype policy role =
+  match (policy, role) with
+  | All_int8, _ -> Tensor.Dtype.I8
+  | All_ternary, (First | Last | Inner) -> Tensor.Dtype.Ternary
+  | All_ternary, Fc -> Tensor.Dtype.Ternary
+  | All_ternary, Dw -> Tensor.Dtype.I8 (* unsupported on analog: CPU in 8-bit *)
+  | Mixed, (First | Last | Dw | Fc) -> Tensor.Dtype.I8
+  | Mixed, Inner -> Tensor.Dtype.Ternary
+
+let fc_as_conv policy role =
+  match (policy, role) with
+  | All_ternary, (Fc | First | Last) -> true
+  | All_ternary, (Inner | Dw) | (All_int8 | Mixed), _ -> false
+
+let to_string = function
+  | All_int8 -> "int8"
+  | All_ternary -> "ternary"
+  | Mixed -> "mixed"

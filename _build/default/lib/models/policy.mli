@@ -1,0 +1,35 @@
+(** Per-layer weight-precision policies (paper Table I's configurations).
+
+    DIANA dispatches on weight bit-width: 8-bit weights go to the digital
+    accelerator, ternary weights to the analog one (Sec. III-C). The
+    deployment configuration is therefore expressed by choosing each
+    layer's weight dtype when the quantized graph is built. *)
+
+type t =
+  | All_int8
+      (** every layer in int8 — the CPU-only and CPU+Digital configs *)
+  | All_ternary
+      (** convolutions in ternary for the analog array; depthwise stays
+          int8 on the CPU (the analog core cannot run it) and
+          fully-connected layers are emitted as ternary 1x1 convolutions
+          (paper Sec. IV-C) *)
+  | Mixed
+      (** the paper's combined configuration: first and last
+          accelerator-eligible layers and all depthwise layers digital
+          (int8), remaining convolutions analog (ternary) *)
+
+type role =
+  | First  (** first accelerator-eligible layer of the network *)
+  | Last   (** last accelerator-eligible layer *)
+  | Inner  (** any other standard convolution *)
+  | Dw     (** depthwise convolution *)
+  | Fc     (** fully-connected layer *)
+
+val weight_dtype : t -> role -> Tensor.Dtype.t
+(** Weight dtype the policy assigns to a layer with the given role. *)
+
+val fc_as_conv : t -> role -> bool
+(** Whether a fully-connected layer must be emitted as a 1x1 convolution
+    (ternary FCs, which only the analog core can run). *)
+
+val to_string : t -> string

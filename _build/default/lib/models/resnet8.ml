@@ -1,0 +1,35 @@
+module B = Ir.Graph.Builder
+
+let name = "resnet8"
+
+(* One residual stack: conv-conv plus (optionally downsampled) shortcut. *)
+let stack ctx ~in_channels ~out_channels ~stride x =
+  let conv = Blocks.conv ctx ~role:Policy.Inner ~kernel:(3, 3) ~padding:(1, 1) in
+  let y =
+    conv ~stride:(stride, stride) ~in_channels ~out_channels ~relu:true x
+  in
+  let y = conv ~in_channels:out_channels ~out_channels ~relu:false y in
+  let shortcut =
+    if stride = 1 && in_channels = out_channels then x
+    else
+      Blocks.conv ctx ~role:Policy.Inner ~relu:false ~stride:(stride, stride)
+        ~padding:(0, 0) ~in_channels ~out_channels ~kernel:(1, 1) x
+  in
+  Blocks.residual_add ctx ~relu:true y shortcut
+
+let build ?seed policy =
+  let ctx = Blocks.create ?seed policy in
+  let x = Blocks.input ctx ~name:"image" [| 3; 32; 32 |] in
+  let stem =
+    Blocks.conv ctx ~role:Policy.First ~padding:(1, 1) ~in_channels:3 ~out_channels:16
+      ~kernel:(3, 3) x
+  in
+  let s1 = stack ctx ~in_channels:16 ~out_channels:16 ~stride:1 stem in
+  let s2 = stack ctx ~in_channels:16 ~out_channels:32 ~stride:2 s1 in
+  let s3 = stack ctx ~in_channels:32 ~out_channels:64 ~stride:2 s2 in
+  let b = Blocks.builder ctx in
+  let pooled = B.global_avg_pool b s3 in
+  let flat = B.reshape b [| 64 |] pooled in
+  let logits = Blocks.dense ctx ~role:Policy.Last ~in_features:64 ~out_features:10 flat in
+  let out = B.softmax b logits in
+  Blocks.finish ctx ~output:out

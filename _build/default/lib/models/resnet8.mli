@@ -1,0 +1,9 @@
+(** MLPerf Tiny image classification: CIFAR-10 ResNet-8.
+
+    Input [|3;32;32|]; a 16-channel 3x3 stem; three residual stacks at 16,
+    32 and 64 channels (the latter two stride-2 with 1x1 downsample
+    shortcuts); global average pooling; a 10-way classifier; softmax.
+    About 12.5 M MACs per inference. *)
+
+val build : ?seed:int -> Policy.t -> Ir.Graph.t
+val name : string

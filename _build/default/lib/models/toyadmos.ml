@@ -1,0 +1,21 @@
+let name = "toyadmos_dae"
+
+let widths = [ 128; 128; 128; 128; 8; 128; 128; 128; 128; 640 ]
+
+let build ?seed policy =
+  let ctx = Blocks.create ?seed policy in
+  let x = Blocks.input ctx ~name:"spectrogram" [| 640 |] in
+  let n = List.length widths in
+  let _, _, out =
+    List.fold_left
+      (fun (i, cin, y) cout ->
+        let role =
+          if i = 0 then Policy.First else if i = n - 1 then Policy.Last else Policy.Fc
+        in
+        let y =
+          Blocks.dense ctx ~role ~relu:(i < n - 1) ~in_features:cin ~out_features:cout y
+        in
+        (i + 1, cout, y))
+      (0, 640, x) widths
+  in
+  Blocks.finish ctx ~output:out

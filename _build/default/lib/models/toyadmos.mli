@@ -1,0 +1,10 @@
+(** MLPerf Tiny anomaly detection: the ToyADMOS deep autoencoder.
+
+    A 640-dimensional spectrogram window through a
+    128-128-128-128-8-128-128-128-128 bottleneck back to 640 outputs, all
+    fully connected. Under the ternary policy every FC layer is emitted
+    as a 1x1 convolution so the analog array can run it (paper
+    Sec. IV-C). *)
+
+val build : ?seed:int -> Policy.t -> Ir.Graph.t
+val name : string

@@ -1,0 +1,39 @@
+type entry = {
+  model_name : string;
+  display_name : string;
+  build : ?seed:int -> Policy.t -> Ir.Graph.t;
+}
+
+let all =
+  [
+    { model_name = Ds_cnn.name; display_name = "DSCNN"; build = Ds_cnn.build };
+    { model_name = Mobilenet.name; display_name = "MobileNet"; build = Mobilenet.build };
+    { model_name = Resnet8.name; display_name = "ResNet"; build = Resnet8.build };
+    { model_name = Toyadmos.name; display_name = "ToyAdmos"; build = Toyadmos.build };
+  ]
+
+let find name = List.find (fun e -> e.model_name = name) all
+
+let random_input ?(seed = 7) g =
+  let rng = Util.Rng.create seed in
+  List.map
+    (fun (_, name, dtype, shape) -> (name, Tensor.random rng dtype shape))
+    (Ir.Graph.inputs g)
+
+let macs g =
+  let tys = Ir.Infer.infer g in
+  List.fold_left
+    (fun acc id ->
+      match Ir.Graph.node g id with
+      | Ir.Graph.App { op = Ir.Op.Conv2d p; args } ->
+          let data = tys.(List.nth args 0) and w = tys.(List.nth args 1) in
+          let out = tys.(id) in
+          acc
+          + Array.fold_left ( * ) 1 out.Ir.Infer.shape
+            * (data.Ir.Infer.shape.(0) / p.Nn.Kernels.groups)
+            * w.Ir.Infer.shape.(2) * w.Ir.Infer.shape.(3)
+      | Ir.Graph.App { op = Ir.Op.Dense; args } ->
+          let w = tys.(List.nth args 1) in
+          acc + (w.Ir.Infer.shape.(0) * w.Ir.Infer.shape.(1))
+      | _ -> acc)
+    0 (Ir.Graph.node_ids g)

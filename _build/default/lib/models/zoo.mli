@@ -1,0 +1,23 @@
+(** The MLPerf Tiny v1.0 benchmark suite (paper Sec. IV-C), with
+    policy-selected per-layer weight precisions. *)
+
+type entry = {
+  model_name : string;
+  display_name : string;  (** as printed in the paper's tables *)
+  build : ?seed:int -> Policy.t -> Ir.Graph.t;
+}
+
+val all : entry list
+(** DS-CNN, MobileNet, ResNet, ToyAdmos — Table I's row order. *)
+
+val find : string -> entry
+(** Look up by [model_name].
+    @raise Not_found for unknown names. *)
+
+val random_input : ?seed:int -> Ir.Graph.t -> (string * Tensor.t) list
+(** A seeded random int8 binding for every graph input — the standard way
+    benches and examples feed the networks. *)
+
+val macs : Ir.Graph.t -> int
+(** Total multiply-accumulates of one inference (convolutions and dense
+    layers). *)

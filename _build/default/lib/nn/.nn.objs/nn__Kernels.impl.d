@@ -1,0 +1,1 @@
+lib/nn/kernels.ml: Array Float Tensor Util

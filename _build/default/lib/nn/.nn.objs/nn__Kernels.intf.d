@@ -1,0 +1,1 @@
+lib/nn/kernels.mli: Tensor

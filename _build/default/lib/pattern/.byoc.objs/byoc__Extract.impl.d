@@ -1,0 +1,1 @@
+lib/pattern/extract.ml: Array Format Ir List Option Pattern Tensor

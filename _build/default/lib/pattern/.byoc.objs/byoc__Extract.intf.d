@@ -1,0 +1,1 @@
+lib/pattern/extract.mli: Ir Pattern

@@ -1,0 +1,1 @@
+lib/pattern/library.ml: Pattern

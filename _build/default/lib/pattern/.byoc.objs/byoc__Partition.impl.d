@@ -1,0 +1,1 @@
+lib/pattern/partition.ml: Array Extract Format Ir List Pattern

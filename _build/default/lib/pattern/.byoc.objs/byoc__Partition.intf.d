@@ -1,0 +1,1 @@
+lib/pattern/partition.mli: Format Ir Pattern

@@ -1,0 +1,122 @@
+module G = Ir.Graph
+
+let const_tensor g id =
+  match G.node g id with G.Const t -> Some t | G.Input _ | G.App _ -> None
+
+let to_layer g tys (m : Pattern.match_result) =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let anchors = ref [] in
+  let pools = ref [] in
+  let bias = ref None in
+  let shift = ref None in
+  let clip = ref None in
+  let cast = ref None in
+  let relu_op = ref false in
+  let walk id =
+    match G.node g id with
+    | G.Input _ | G.Const _ -> ()
+    | G.App { op; args } -> (
+        match op with
+        | Ir.Op.Conv2d _ | Ir.Op.Dense | Ir.Op.Add | Ir.Op.Global_avg_pool ->
+            anchors := (id, op, args) :: !anchors
+        | Ir.Op.Max_pool _ | Ir.Op.Avg_pool _ ->
+            pools := (id, op, args) :: !pools
+        | Ir.Op.Bias_add -> bias := Some (List.nth args 1)
+        | Ir.Op.Right_shift -> shift := Some (List.nth args 1)
+        | Ir.Op.Clip { lo; hi } -> clip := Some (lo, hi)
+        | Ir.Op.Cast dt -> cast := Some dt
+        | Ir.Op.Relu -> relu_op := true
+        | Ir.Op.Softmax | Ir.Op.Reshape _ | Ir.Op.Concat -> ())
+  in
+  List.iter walk m.matched;
+  (* A pooling matched together with a conv is a fused output-stage pool;
+     standalone it is the region's anchor. *)
+  let fused_pool = ref None in
+  let pool_problem = ref None in
+  (match (!anchors, !pools) with
+  | _, [] -> ()
+  | _ :: _, [ (_, Ir.Op.Max_pool attrs, _) ] -> fused_pool := Some attrs
+  | _ :: _, _ -> pool_problem := Some "unsupported pooling fused into the region"
+  | [], ps -> anchors := ps @ !anchors);
+  match !pool_problem with
+  | Some msg -> err "%s" msg
+  | None -> (
+  match !anchors with
+  | [] -> err "region has no anchor operator"
+  | _ :: _ :: _ -> err "region has several anchor operators"
+  | [ (anchor_id, op, args) ] -> (
+      let data_ty id = tys.(id) in
+      let out_ty = data_ty m.root in
+      let shift_value =
+        match !shift with
+        | None -> Ok None
+        | Some id -> (
+            match const_tensor g id with
+            | Some t when Tensor.rank t = 0 -> Ok (Some (Tensor.get t [||]))
+            | Some _ -> err "shift amount must be scalar"
+            | None -> err "shift amount must be constant")
+      in
+      let bias_tensor =
+        match !bias with
+        | None -> Ok None
+        | Some id -> (
+            match const_tensor g id with
+            | Some t -> Ok (Some t)
+            | None -> err "bias must be constant")
+      in
+      let relu =
+        !relu_op || (match !clip with Some (0, hi) -> hi > 0 | Some _ | None -> false)
+      in
+      match (shift_value, bias_tensor) with
+      | Error e, _ | _, Error e -> Error e
+      | Ok shift, Ok bias -> (
+          let finish kind ~weights ~in_id ~in2_id =
+            let in_ty = data_ty in_id in
+            let layer =
+              {
+                Ir.Layer.kind;
+                fused_pool = !fused_pool;
+                weights;
+                bias;
+                shift;
+                relu;
+                in_shape = in_ty.Ir.Infer.shape;
+                in2_shape =
+                  Option.map (fun id -> (data_ty id).Ir.Infer.shape) in2_id;
+                out_shape = out_ty.Ir.Infer.shape;
+                in_dtype = in_ty.Ir.Infer.dtype;
+                out_dtype = out_ty.Ir.Infer.dtype;
+              }
+            in
+            match Ir.Layer.validate layer with
+            | Ok () -> Ok layer
+            | Error e -> Error ("extracted layer invalid: " ^ e)
+          in
+          ignore anchor_id;
+          match (op, args) with
+          | Ir.Op.Conv2d p, [ data; w ] -> (
+              match const_tensor g w with
+              | Some weights ->
+                  finish (Ir.Layer.Conv p) ~weights:(Some weights) ~in_id:data ~in2_id:None
+              | None -> err "conv weights must be constant")
+          | Ir.Op.Dense, [ data; w ] -> (
+              match const_tensor g w with
+              | Some weights ->
+                  finish Ir.Layer.Dense ~weights:(Some weights) ~in_id:data ~in2_id:None
+              | None -> err "dense weights must be constant")
+          | Ir.Op.Add, [ a; b ] ->
+              finish Ir.Layer.Add ~weights:None ~in_id:a ~in2_id:(Some b)
+          | Ir.Op.Max_pool attrs, [ data ] ->
+              finish (Ir.Layer.Pool { max = true; attrs }) ~weights:None ~in_id:data
+                ~in2_id:None
+          | Ir.Op.Avg_pool attrs, [ data ] ->
+              finish (Ir.Layer.Pool { max = false; attrs }) ~weights:None ~in_id:data
+                ~in2_id:None
+          | Ir.Op.Global_avg_pool, [ data ] ->
+              let ty = data_ty data in
+              let h = ty.Ir.Infer.shape.(1) and w = ty.Ir.Infer.shape.(2) in
+              finish
+                (Ir.Layer.Pool
+                   { max = false; attrs = { Ir.Op.pool = (h, w); pool_stride = (1, 1) } })
+                ~weights:None ~in_id:data ~in2_id:None
+          | _ -> err "unsupported anchor arity")))

@@ -1,0 +1,11 @@
+(** Turn a successful pattern match into a normalized {!Ir.Layer.t}.
+
+    The extraction is structural: it walks the matched operator nodes and
+    classifies them into anchor (conv/dense/add/pool), bias, shift, clip
+    and cast roles, so it works for every pattern in {!Library} and for
+    user-written patterns of the same shape. *)
+
+val to_layer :
+  Ir.Graph.t -> Ir.Infer.ty array -> Pattern.match_result -> (Ir.Layer.t, string) result
+(** [Error] explains which structural expectation failed (e.g. two anchors
+    in one region, non-scalar shift, missing weights). *)

@@ -1,0 +1,31 @@
+let requant_tail p =
+  let shifted = Pattern.is_op "right_shift" [ p; Pattern.is_constant ] in
+  let clipped = Pattern.is_op "clip" [ shifted ] in
+  Pattern.is_op "cast" [ clipped ]
+
+let conv2d_pattern =
+  let conv = Pattern.is_op "nn.conv2d" [ Pattern.wildcard; Pattern.is_constant ] in
+  let bias = Pattern.is_op "nn.bias_add" [ conv; Pattern.is_constant ] in
+  requant_tail bias
+
+let conv2d_no_bias_pattern =
+  requant_tail (Pattern.is_op "nn.conv2d" [ Pattern.wildcard; Pattern.is_constant ])
+
+let dense_pattern =
+  let dense = Pattern.is_op "nn.dense" [ Pattern.wildcard; Pattern.is_constant ] in
+  let bias = Pattern.is_op "nn.bias_add" [ dense; Pattern.is_constant ] in
+  requant_tail bias
+
+let conv2d_pool_pattern =
+  (* Conv2D - BiasAdd - ReQuant - MaxPool: DIANA's accelerators execute
+     some pooling at the output stage (Sec. III-C). *)
+  Pattern.is_op "nn.max_pool2d" [ conv2d_pattern ]
+
+let dense_no_bias_pattern =
+  requant_tail (Pattern.is_op "nn.dense" [ Pattern.wildcard; Pattern.is_constant ])
+
+let add_pattern = requant_tail (Pattern.is_op "add" [ Pattern.wildcard; Pattern.wildcard ])
+
+let all =
+  [ conv2d_pool_pattern; conv2d_pattern; conv2d_no_bias_pattern; dense_pattern;
+    dense_no_bias_pattern; add_pattern ]

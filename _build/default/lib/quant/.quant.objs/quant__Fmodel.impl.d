@@ -1,0 +1,1 @@
+lib/quant/fmodel.ml: Array Float Ftensor List Option Util

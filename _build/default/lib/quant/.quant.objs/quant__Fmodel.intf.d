@@ -1,0 +1,1 @@
+lib/quant/fmodel.mli: Ftensor

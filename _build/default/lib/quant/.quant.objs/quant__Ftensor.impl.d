@@ -1,0 +1,1 @@
+lib/quant/ftensor.ml: Array Float Util

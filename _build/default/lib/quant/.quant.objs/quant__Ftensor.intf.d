@@ -1,0 +1,1 @@
+lib/quant/ftensor.mli: Util

@@ -1,0 +1,1 @@
+lib/quant/ftext.ml: Array Buffer Fmodel Ftensor Fun In_channel Int64 List Printf String

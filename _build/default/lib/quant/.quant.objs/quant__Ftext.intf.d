@@ -1,0 +1,1 @@
+lib/quant/ftext.mli: Fmodel

@@ -1,0 +1,1 @@
+lib/quant/quantize.ml: Array Float Fmodel Ftensor Ir List Tensor Util

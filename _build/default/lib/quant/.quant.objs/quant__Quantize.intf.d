@@ -1,0 +1,1 @@
+lib/quant/quantize.mli: Fmodel Ftensor Ir Tensor

@@ -1,0 +1,174 @@
+type layer =
+  | Conv of {
+      w : Ftensor.t;
+      bias : float array;
+      stride : int * int;
+      padding : int * int;
+      groups : int;
+      relu : bool;
+    }
+  | Dense of { w : Ftensor.t; bias : float array; relu : bool }
+  | Max_pool of { pool : int * int; stride : int * int }
+  | Avg_pool of { pool : int * int; stride : int * int }
+  | Global_avg_pool
+  | Flatten
+
+type t = { f_input_shape : int array; f_layers : layer list }
+
+let conv_out ~h ~w ~fy ~fx ~stride:(sy, sx) ~padding:(py, px) =
+  ((((h + (2 * py) - fy) / sy) + 1), (((w + (2 * px) - fx) / sx) + 1))
+
+let infer_conv x ~w:wt ~bias ~stride ~padding ~groups ~relu =
+  let dims = Ftensor.dims x in
+  let c = dims.(0) and h = dims.(1) and wd = dims.(2) in
+  let wdims = Ftensor.dims wt in
+  let k = wdims.(0) and cg = wdims.(1) and fy = wdims.(2) and fx = wdims.(3) in
+  if groups <= 0 || c mod groups <> 0 || cg <> c / groups || k mod groups <> 0 then
+    invalid_arg "Fmodel: bad conv grouping";
+  let sy, sx = stride and py, px = padding in
+  let oh, ow = conv_out ~h ~w:wd ~fy ~fx ~stride ~padding in
+  if oh <= 0 || ow <= 0 then invalid_arg "Fmodel: empty conv output";
+  let out = Ftensor.create [| k; oh; ow |] in
+  let kpg = k / groups in
+  for ko = 0 to k - 1 do
+    let grp = ko / kpg in
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        let acc = ref bias.(ko) in
+        for ci = 0 to cg - 1 do
+          let cin = (grp * cg) + ci in
+          for ky = 0 to fy - 1 do
+            let iy = (oy * sy) + ky - py in
+            if iy >= 0 && iy < h then
+              for kx = 0 to fx - 1 do
+                let ix = (ox * sx) + kx - px in
+                if ix >= 0 && ix < wd then
+                  acc :=
+                    !acc
+                    +. Ftensor.get x [| cin; iy; ix |]
+                       *. Ftensor.get wt [| ko; ci; ky; kx |]
+              done
+          done
+        done;
+        Ftensor.set out [| ko; oy; ox |] (if relu then Float.max 0.0 !acc else !acc)
+      done
+    done
+  done;
+  out
+
+let infer_dense x ~w:wt ~bias ~relu =
+  let c = (Ftensor.dims x).(0) in
+  let wdims = Ftensor.dims wt in
+  if wdims.(1) <> c then invalid_arg "Fmodel: dense shape mismatch";
+  let k = wdims.(0) in
+  let out = Ftensor.create [| k |] in
+  for ko = 0 to k - 1 do
+    let acc = ref bias.(ko) in
+    for ci = 0 to c - 1 do
+      acc := !acc +. (Ftensor.get x [| ci |] *. Ftensor.get wt [| ko; ci |])
+    done;
+    Ftensor.set out [| ko |] (if relu then Float.max 0.0 !acc else !acc)
+  done;
+  out
+
+let infer_pool x ~pool:(py, px) ~stride:(sy, sx) ~combine ~finish =
+  let dims = Ftensor.dims x in
+  let c = dims.(0) and h = dims.(1) and w = dims.(2) in
+  let oh = ((h - py) / sy) + 1 and ow = ((w - px) / sx) + 1 in
+  if oh <= 0 || ow <= 0 then invalid_arg "Fmodel: empty pool output";
+  let out = Ftensor.create [| c; oh; ow |] in
+  for ci = 0 to c - 1 do
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        let acc = ref None in
+        for ky = 0 to py - 1 do
+          for kx = 0 to px - 1 do
+            let v = Ftensor.get x [| ci; (oy * sy) + ky; (ox * sx) + kx |] in
+            acc := Some (match !acc with None -> v | Some a -> combine a v)
+          done
+        done;
+        Ftensor.set out [| ci; oy; ox |] (finish (Option.get !acc) (py * px))
+      done
+    done
+  done;
+  out
+
+let infer_layer x = function
+  | Conv { w; bias; stride; padding; groups; relu } ->
+      infer_conv x ~w ~bias ~stride ~padding ~groups ~relu
+  | Dense { w; bias; relu } -> infer_dense x ~w ~bias ~relu
+  | Max_pool { pool; stride } ->
+      infer_pool x ~pool ~stride ~combine:Float.max ~finish:(fun v _ -> v)
+  | Avg_pool { pool; stride } ->
+      infer_pool x ~pool ~stride ~combine:( +. ) ~finish:(fun v n -> v /. float_of_int n)
+  | Global_avg_pool ->
+      let d = Ftensor.dims x in
+      infer_pool x ~pool:(d.(1), d.(2)) ~stride:(1, 1) ~combine:( +. )
+        ~finish:(fun v n -> v /. float_of_int n)
+  | Flatten -> Ftensor.of_array [| Ftensor.numel x |] (Array.init (Ftensor.numel x) (Ftensor.get_flat x))
+
+let infer m x =
+  if Ftensor.dims x <> m.f_input_shape then invalid_arg "Fmodel.infer: input shape";
+  List.fold_left infer_layer x m.f_layers
+
+let infer_all m x =
+  if Ftensor.dims x <> m.f_input_shape then invalid_arg "Fmodel.infer_all: input shape";
+  List.rev
+    (fst
+       (List.fold_left
+          (fun (acc, v) layer ->
+            let v = infer_layer v layer in
+            (v :: acc, v))
+          ([], x) m.f_layers))
+
+let validate m =
+  match infer m (Ftensor.create m.f_input_shape) with
+  | _ -> Ok ()
+  | exception Invalid_argument e -> Error e
+
+let random_cnn ?(seed = 1) () =
+  let rng = Util.Rng.create seed in
+  let wscale = 0.5 in
+  let conv ~c ~k ~f ~relu =
+    Conv
+      {
+        w = Ftensor.random rng ~scale:wscale [| k; c; f; f |];
+        bias = Array.init k (fun _ -> 0.1 *. float_of_int (Util.Rng.int_in rng (-5) 5));
+        stride = (1, 1);
+        padding = (f / 2, f / 2);
+        groups = 1;
+        relu;
+      }
+  in
+  {
+    f_input_shape = [| 3; 12; 12 |];
+    f_layers =
+      [
+        conv ~c:3 ~k:8 ~f:3 ~relu:true;
+        Max_pool { pool = (2, 2); stride = (2, 2) };
+        conv ~c:8 ~k:16 ~f:3 ~relu:true;
+        Global_avg_pool;
+        Flatten;
+        Dense
+          {
+            w = Ftensor.random rng ~scale:wscale [| 5; 16 |];
+            bias = Array.make 5 0.0;
+            relu = false;
+          };
+      ];
+  }
+
+let random_mlp ?(seed = 2) () =
+  let rng = Util.Rng.create seed in
+  let dense ~c ~k ~relu =
+    Dense
+      {
+        w = Ftensor.random rng ~scale:0.4 [| k; c |];
+        bias = Array.init k (fun _ -> 0.05 *. float_of_int (Util.Rng.int_in rng (-4) 4));
+        relu;
+      }
+  in
+  {
+    f_input_shape = [| 32 |];
+    f_layers = [ dense ~c:32 ~k:24 ~relu:true; dense ~c:24 ~k:8 ~relu:true; dense ~c:8 ~k:32 ~relu:false ];
+  }

@@ -1,0 +1,42 @@
+(** Floating-point sequential models.
+
+    The quantizer's input: a chain of float layers (the subset TinyML
+    networks use). [infer] is the float reference the quantized graph is
+    validated against. *)
+
+type layer =
+  | Conv of {
+      w : Ftensor.t;  (** [|k; c/groups; fy; fx|] *)
+      bias : float array;  (** length k *)
+      stride : int * int;
+      padding : int * int;
+      groups : int;
+      relu : bool;
+    }
+  | Dense of { w : Ftensor.t (** [|k; c|] *); bias : float array; relu : bool }
+  | Max_pool of { pool : int * int; stride : int * int }
+  | Avg_pool of { pool : int * int; stride : int * int }
+  | Global_avg_pool
+  | Flatten
+
+type t = {
+  f_input_shape : int array;  (** CHW, or [|c|] for dense-only models *)
+  f_layers : layer list;
+}
+
+val infer : t -> Ftensor.t -> Ftensor.t
+(** Float-exact forward pass.
+    @raise Invalid_argument on shape mismatches. *)
+
+val infer_all : t -> Ftensor.t -> Ftensor.t list
+(** The activation after every layer, in layer order (used by the
+    quantizer's calibration). *)
+
+val validate : t -> (unit, string) result
+(** Static shape check of the whole chain. *)
+
+val random_cnn : ?seed:int -> unit -> t
+(** A small random conv net (used by tests and the example). *)
+
+val random_mlp : ?seed:int -> unit -> t
+(** A small random dense autoencoder-style net. *)

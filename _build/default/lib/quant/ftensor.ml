@@ -1,0 +1,53 @@
+type t = { shape : int array; data : float array }
+
+let product shape = Array.fold_left ( * ) 1 shape
+
+let create shape =
+  if Array.exists (fun d -> d <= 0) shape then invalid_arg "Ftensor: bad shape";
+  { shape = Array.copy shape; data = Array.make (product shape) 0.0 }
+
+let of_array shape data =
+  if Array.length data <> product shape then invalid_arg "Ftensor.of_array: length";
+  { shape = Array.copy shape; data = Array.copy data }
+
+let dims t = Array.copy t.shape
+let numel t = Array.length t.data
+let get_flat t i = t.data.(i)
+let set_flat t i v = t.data.(i) <- v
+
+let flat_index t idx =
+  let n = Array.length t.shape in
+  if Array.length idx <> n then invalid_arg "Ftensor: rank mismatch";
+  let off = ref 0 in
+  for i = 0 to n - 1 do
+    if idx.(i) < 0 || idx.(i) >= t.shape.(i) then invalid_arg "Ftensor: out of bounds";
+    off := (!off * t.shape.(i)) + idx.(i)
+  done;
+  !off
+
+let get t idx = t.data.(flat_index t idx)
+let set t idx v = t.data.(flat_index t idx) <- v
+let map f t = { shape = Array.copy t.shape; data = Array.map f t.data }
+
+let abs_max t = Array.fold_left (fun m v -> Float.max m (Float.abs v)) 0.0 t.data
+
+let random rng ?(scale = 1.0) shape =
+  let n = product shape in
+  {
+    shape = Array.copy shape;
+    data =
+      Array.init n (fun _ ->
+          scale *. ((2.0 *. (float_of_int (Util.Rng.int rng 1_000_001) /. 1_000_000.0)) -. 1.0));
+  }
+
+let sqnr_db ~reference t =
+  if reference.shape <> t.shape then invalid_arg "Ftensor.sqnr_db: shape mismatch";
+  let signal = ref 0.0 and noise = ref 0.0 in
+  Array.iteri
+    (fun i r ->
+      signal := !signal +. (r *. r);
+      let d = r -. t.data.(i) in
+      noise := !noise +. (d *. d))
+    reference.data;
+  if !noise = 0.0 then infinity
+  else 10.0 *. (Float.log10 (!signal /. !noise))

@@ -1,0 +1,27 @@
+(** Dense float tensors for the floating-point reference path.
+
+    HTVM consumes already-quantized graphs; the quantizer in this library
+    produces them from float models, the way TFLite's converter did for
+    the paper's networks. This module is the float counterpart of
+    {!Tensor}. *)
+
+type t
+
+val create : int array -> t
+val of_array : int array -> float array -> t
+val dims : t -> int array
+val numel : t -> int
+val get_flat : t -> int -> float
+val set_flat : t -> int -> float -> unit
+val get : t -> int array -> float
+val set : t -> int array -> float -> unit
+val map : (float -> float) -> t -> t
+val abs_max : t -> float
+(** Largest absolute element (0 for the all-zero tensor). *)
+
+val random : Util.Rng.t -> ?scale:float -> int array -> t
+(** Uniform values in [\[-scale, scale\]] (default 1.0). *)
+
+val sqnr_db : reference:t -> t -> float
+(** Signal-to-quantization-noise ratio in dB of a tensor against a float
+    reference of the same shape; +inf when identical. *)

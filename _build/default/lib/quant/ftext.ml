@@ -1,0 +1,133 @@
+let header = "htvm-fmodel v1"
+
+exception Parse of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse s)) fmt
+
+let dims_to_string shape =
+  Array.to_list shape |> List.map string_of_int |> String.concat "x"
+
+let dims_of_string s =
+  String.split_on_char 'x' s
+  |> List.map (fun d ->
+         match int_of_string_opt d with
+         | Some v when v > 0 -> v
+         | _ -> fail "bad dimension %S" d)
+  |> Array.of_list
+
+let floats_to_hex values =
+  let buf = Buffer.create (Array.length values * 16) in
+  Array.iter
+    (fun v -> Buffer.add_string buf (Printf.sprintf "%016Lx" (Int64.bits_of_float v)))
+    values;
+  Buffer.contents buf
+
+let floats_of_hex n hex =
+  if String.length hex <> n * 16 then
+    fail "float payload is %d hex digits, expected %d" (String.length hex) (n * 16);
+  Array.init n (fun i ->
+      let chunk = String.sub hex (i * 16) 16 in
+      match Int64.of_string_opt ("0x" ^ chunk) with
+      | Some bits -> Int64.float_of_bits bits
+      | None -> fail "bad float hex %S" chunk)
+
+let ftensor_payload t = floats_to_hex (Array.init (Ftensor.numel t) (Ftensor.get_flat t))
+
+let layer_to_line (l : Fmodel.layer) =
+  match l with
+  | Fmodel.Conv { w; bias; stride = sy, sx; padding = py, px; groups; relu } ->
+      Printf.sprintf "conv %s stride %d %d pad %d %d groups %d relu %b w %s b %s"
+        (dims_to_string (Ftensor.dims w))
+        sy sx py px groups relu (ftensor_payload w) (floats_to_hex bias)
+  | Fmodel.Dense { w; bias; relu } ->
+      Printf.sprintf "dense %s relu %b w %s b %s"
+        (dims_to_string (Ftensor.dims w))
+        relu (ftensor_payload w) (floats_to_hex bias)
+  | Fmodel.Max_pool { pool = py, px; stride = sy, sx } ->
+      Printf.sprintf "maxpool %d %d stride %d %d" py px sy sx
+  | Fmodel.Avg_pool { pool = py, px; stride = sy, sx } ->
+      Printf.sprintf "avgpool %d %d stride %d %d" py px sy sx
+  | Fmodel.Global_avg_pool -> "gap"
+  | Fmodel.Flatten -> "flatten"
+
+let to_string (m : Fmodel.t) =
+  String.concat "\n"
+    ([ header; Printf.sprintf "input %s" (dims_to_string m.Fmodel.f_input_shape) ]
+    @ List.map layer_to_line m.Fmodel.f_layers
+    @ [ "" ])
+
+let bool_tok = function
+  | "true" -> true
+  | "false" -> false
+  | s -> fail "expected bool, got %S" s
+
+let int_tok s =
+  match int_of_string_opt s with Some v -> v | None -> fail "expected integer, got %S" s
+
+let weight_tensor dims hex =
+  let n = Array.fold_left ( * ) 1 dims in
+  Ftensor.of_array dims (floats_of_hex n hex)
+
+let layer_of_line line =
+  match String.split_on_char ' ' line with
+  | "conv" :: dims :: "stride" :: sy :: sx :: "pad" :: py :: px :: "groups" :: g
+    :: "relu" :: relu :: "w" :: whex :: "b" :: bhex :: [] ->
+      let dims = dims_of_string dims in
+      if Array.length dims <> 4 then fail "conv weights must be rank 4";
+      Some
+        (Fmodel.Conv
+           {
+             w = weight_tensor dims whex;
+             bias = floats_of_hex dims.(0) bhex;
+             stride = (int_tok sy, int_tok sx);
+             padding = (int_tok py, int_tok px);
+             groups = int_tok g;
+             relu = bool_tok relu;
+           })
+  | "dense" :: dims :: "relu" :: relu :: "w" :: whex :: "b" :: bhex :: [] ->
+      let dims = dims_of_string dims in
+      if Array.length dims <> 2 then fail "dense weights must be rank 2";
+      Some
+        (Fmodel.Dense
+           {
+             w = weight_tensor dims whex;
+             bias = floats_of_hex dims.(0) bhex;
+             relu = bool_tok relu;
+           })
+  | [ "maxpool"; py; px; "stride"; sy; sx ] ->
+      Some (Fmodel.Max_pool { pool = (int_tok py, int_tok px); stride = (int_tok sy, int_tok sx) })
+  | [ "avgpool"; py; px; "stride"; sy; sx ] ->
+      Some (Fmodel.Avg_pool { pool = (int_tok py, int_tok px); stride = (int_tok sy, int_tok sx) })
+  | [ "gap" ] -> Some Fmodel.Global_avg_pool
+  | [ "flatten" ] -> Some Fmodel.Flatten
+  | [ "" ] -> None
+  | tok :: _ -> fail "unknown layer %S" tok
+  | [] -> None
+
+let of_string s =
+  match String.split_on_char '\n' s with
+  | first :: input_line :: rest when String.trim first = header -> (
+      try
+        let input_shape =
+          match String.split_on_char ' ' (String.trim input_line) with
+          | [ "input"; dims ] -> dims_of_string dims
+          | _ -> fail "expected 'input <dims>' on line 2"
+        in
+        let layers =
+          List.filter_map (fun l -> layer_of_line (String.trim l)) rest
+        in
+        let m = { Fmodel.f_input_shape = input_shape; f_layers = layers } in
+        match Fmodel.validate m with
+        | Ok () -> Ok m
+        | Error e -> Error ("invalid model: " ^ e)
+      with Parse msg -> Error msg)
+  | _ -> Error (Printf.sprintf "missing %S header" header)
+
+let save path m =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string m))
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | contents -> of_string contents

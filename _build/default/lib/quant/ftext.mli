@@ -1,0 +1,11 @@
+(** Textual float-model format (.fhtvm).
+
+    The front half of the pipeline's interchange story: float models are
+    saved/loaded in a line-oriented format (weights as IEEE-754 hex), so
+    [htvmc quantize] can take a float model file to a quantized [.htvm]
+    graph. Round-trips are bit-exact. *)
+
+val to_string : Fmodel.t -> string
+val of_string : string -> (Fmodel.t, string) result
+val save : string -> Fmodel.t -> unit
+val load : string -> (Fmodel.t, string) result

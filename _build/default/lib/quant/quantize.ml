@@ -1,0 +1,170 @@
+module B = Ir.Graph.Builder
+module Dtype = Tensor.Dtype
+
+type meta = { input_scale : float; output_scale : float }
+
+(* Largest power of two p with p * absmax <= target. *)
+let pow2_scale ~target absmax =
+  if absmax <= 1e-12 then 1.0
+  else 2.0 ** Float.floor (Float.log2 (target /. absmax))
+
+let quantize_tensor_i8 sw (w : Ftensor.t) =
+  let t = Tensor.create Dtype.I8 (Ftensor.dims w) in
+  for i = 0 to Ftensor.numel w - 1 do
+    let q = int_of_float (Float.round (Ftensor.get_flat w i *. sw)) in
+    Tensor.set_flat t i (Util.Ints.clamp ~lo:(-127) ~hi:127 q)
+  done;
+  t
+
+(* TWN-style ternarization: threshold at 0.7 * mean |w|; the represented
+   magnitude alpha is the mean |w| of the surviving weights. *)
+let ternarize (w : Ftensor.t) =
+  let n = Ftensor.numel w in
+  let mean_abs = ref 0.0 in
+  for i = 0 to n - 1 do
+    mean_abs := !mean_abs +. Float.abs (Ftensor.get_flat w i)
+  done;
+  let mean_abs = !mean_abs /. float_of_int (max 1 n) in
+  let thr = 0.7 *. mean_abs in
+  let t = Tensor.create Dtype.Ternary (Ftensor.dims w) in
+  let alpha_sum = ref 0.0 and alpha_n = ref 0 in
+  for i = 0 to n - 1 do
+    let v = Ftensor.get_flat w i in
+    if Float.abs v > thr then begin
+      Tensor.set_flat t i (if v > 0.0 then 1 else -1);
+      alpha_sum := !alpha_sum +. Float.abs v;
+      incr alpha_n
+    end
+  done;
+  let alpha = if !alpha_n = 0 then mean_abs else !alpha_sum /. float_of_int !alpha_n in
+  (t, Float.max alpha 1e-9)
+
+let bias_tensor ~scale bias =
+  let k = Array.length bias in
+  let t = Tensor.create Dtype.I32 [| k |] in
+  Array.iteri
+    (fun i b ->
+      let q = int_of_float (Float.round (b *. scale)) in
+      Tensor.set_flat t i
+        (Util.Ints.clamp ~lo:(Dtype.min_value Dtype.I32) ~hi:(Dtype.max_value Dtype.I32) q))
+    bias;
+  t
+
+let quantize ?(ternary = false) ~calibration (m : Fmodel.t) =
+  match calibration with
+  | [] -> Error "quantize: empty calibration set"
+  | first :: _ -> (
+      match Fmodel.validate m with
+      | Error e -> Error ("quantize: invalid model: " ^ e)
+      | Ok () -> (
+          (* Calibrate: per-layer activation magnitudes and shapes. *)
+          let n_layers = List.length m.Fmodel.f_layers in
+          let absmax = Array.make n_layers 0.0 in
+          let input_absmax = ref 0.0 in
+          List.iter
+            (fun sample ->
+              input_absmax := Float.max !input_absmax (Ftensor.abs_max sample);
+              List.iteri
+                (fun i out -> absmax.(i) <- Float.max absmax.(i) (Ftensor.abs_max out))
+                (Fmodel.infer_all m sample))
+            calibration;
+          let shapes = List.map Ftensor.dims (Fmodel.infer_all m first) in
+          if !input_absmax <= 1e-12 then Error "quantize: calibration inputs are all zero"
+          else begin
+            let input_scale = pow2_scale ~target:127.0 !input_absmax in
+            let b = B.create () in
+            let x = B.input b ~name:"input" Dtype.I8 m.Fmodel.f_input_shape in
+            let emit_linear ~i ~scale ~emit_op ~w ~bias ~relu ~is_conv =
+              (* [sw] is the TRUE weight scale (int weight ~ float * sw).
+                 For ternary weights that is 1/alpha, not a power of two —
+                 only the requantization shifts must be powers of two, the
+                 tracked scales are bookkeeping and stay exact, so no
+                 systematic gain error accumulates across layers. *)
+              let wq, sw =
+                if ternary && is_conv then
+                  let t, alpha = ternarize w in
+                  (t, 1.0 /. alpha)
+                else
+                  let sw = pow2_scale ~target:127.0 (Ftensor.abs_max w) in
+                  (quantize_tensor_i8 sw w, sw)
+              in
+              let acc_scale = scale *. sw in
+              (* Smallest shift that brings the calibrated activation range
+                 inside int8. *)
+              let shift =
+                if absmax.(i) <= 1e-12 then 0
+                else
+                  max 0
+                    (int_of_float
+                       (Float.ceil (Float.log2 (acc_scale *. absmax.(i) /. 127.0))))
+              in
+              let out_scale = acc_scale /. (2.0 ** float_of_int shift) in
+              let wc = B.const b wq in
+              let acc = emit_op wc in
+              let acc = B.bias_add b acc ~bias:(B.const b (bias_tensor ~scale:acc_scale bias)) in
+              let q = B.requantize b ~relu ~shift ~out_dtype:Dtype.I8 acc in
+              (q, out_scale)
+            in
+            let _, out_id, out_scale =
+              List.fold_left2
+                (fun (i, v, scale) layer shape ->
+                  let v', scale' =
+                    match (layer : Fmodel.layer) with
+                    | Fmodel.Conv { w; bias; stride; padding; groups; relu } ->
+                        emit_linear ~i ~scale
+                          ~emit_op:(fun wc ->
+                            B.app b (Ir.Op.Conv2d { stride; padding; groups }) [ v; wc ])
+                          ~w ~bias ~relu ~is_conv:(groups = 1)
+                    | Fmodel.Dense { w; bias; relu } when ternary ->
+                        (* Ternary FCs are emitted as 1x1 convolutions so
+                           the analog array can run them (paper Sec. IV-C). *)
+                        let wd = Ftensor.dims w in
+                        let cin = wd.(1) and k = wd.(0) in
+                        let as_chw = B.reshape b [| cin; 1; 1 |] v in
+                        let w4 =
+                          Ftensor.of_array [| k; cin; 1; 1 |]
+                            (Array.init (Ftensor.numel w) (Ftensor.get_flat w))
+                        in
+                        let q, scale' =
+                          emit_linear ~i ~scale
+                            ~emit_op:(fun wc ->
+                              B.app b
+                                (Ir.Op.Conv2d
+                                   { stride = (1, 1); padding = (0, 0); groups = 1 })
+                                [ as_chw; wc ])
+                            ~w:w4 ~bias ~relu ~is_conv:true
+                        in
+                        (B.reshape b [| k |] q, scale')
+                    | Fmodel.Dense { w; bias; relu } ->
+                        emit_linear ~i ~scale
+                          ~emit_op:(fun wc -> B.dense b v ~weights:wc)
+                          ~w ~bias ~relu ~is_conv:false
+                    | Fmodel.Max_pool { pool; stride } ->
+                        (B.max_pool b ~pool ~stride v, scale)
+                    | Fmodel.Avg_pool { pool; stride } ->
+                        (B.avg_pool b ~pool ~stride v, scale)
+                    | Fmodel.Global_avg_pool -> (B.global_avg_pool b v, scale)
+                    | Fmodel.Flatten ->
+                        (B.reshape b [| Array.fold_left ( * ) 1 shape |] v, scale)
+                  in
+                  (i + 1, v', scale'))
+                (0, x, input_scale) m.Fmodel.f_layers shapes
+            in
+            let g = B.finish b ~output:out_id in
+            Ok (g, { input_scale; output_scale = out_scale })
+          end))
+
+let quantize_input meta (x : Ftensor.t) =
+  let t = Tensor.create Dtype.I8 (Ftensor.dims x) in
+  for i = 0 to Ftensor.numel x - 1 do
+    let q = int_of_float (Float.round (Ftensor.get_flat x i *. meta.input_scale)) in
+    Tensor.set_flat t i (Util.Ints.clamp ~lo:(-128) ~hi:127 q)
+  done;
+  t
+
+let dequantize_output meta (t : Tensor.t) =
+  let out = Ftensor.create (Tensor.shape t) in
+  Tensor.iteri_flat
+    (fun i v -> Ftensor.set_flat out i (float_of_int v /. meta.output_scale))
+    t;
+  out

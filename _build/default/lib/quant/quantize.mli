@@ -1,0 +1,32 @@
+(** Post-training quantization to HTVM's quantized graph IR.
+
+    Power-of-two scales throughout, so every rescaling is an exact
+    arithmetic right shift — precisely the
+    [right_shift -> clip -> cast] requantization idiom the paper's
+    pattern matcher (Listing 1) expects to find. Calibration runs the
+    float model over sample inputs and sizes each activation's scale from
+    its observed absolute maximum.
+
+    Ternary mode sign-quantizes convolution weights with the
+    0.7-mean-magnitude threshold (TWN-style) and folds the magnitude into
+    the layer's shift, producing analog-dispatchable layers. *)
+
+type meta = {
+  input_scale : float;   (** int8 input = round(float * input_scale) *)
+  output_scale : float;  (** float output ~= int8 output / output_scale *)
+}
+
+val quantize :
+  ?ternary:bool ->
+  calibration:Ftensor.t list ->
+  Fmodel.t ->
+  (Ir.Graph.t * meta, string) result
+(** Quantize a float model. The graph's single input is named ["input"].
+    [Error] on empty calibration sets or models that collapse to constant
+    zero (no usable signal to calibrate on). *)
+
+val quantize_input : meta -> Ftensor.t -> Tensor.t
+(** Quantize a float input for the compiled graph. *)
+
+val dequantize_output : meta -> Tensor.t -> Ftensor.t
+(** Map the graph's int8 output back to float. *)

@@ -1,0 +1,1 @@
+lib/sim/energy.ml: Counters Float Format List Machine String

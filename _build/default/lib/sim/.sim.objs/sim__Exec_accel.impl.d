@@ -1,0 +1,1 @@
+lib/sim/exec_accel.ml: Arch Array Counters Dory Ir List Mem Nn Tensor

@@ -1,0 +1,1 @@
+lib/sim/exec_accel.mli: Arch Counters Dory Mem

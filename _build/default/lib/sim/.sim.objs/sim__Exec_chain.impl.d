@@ -1,0 +1,1 @@
+lib/sim/exec_chain.ml: Arch Array Counters Dory Ir Mem Nn Option Tensor

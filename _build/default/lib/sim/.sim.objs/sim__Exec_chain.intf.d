@@ -1,0 +1,1 @@
+lib/sim/exec_chain.mli: Arch Counters Dory Mem

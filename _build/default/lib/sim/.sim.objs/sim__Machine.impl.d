@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Arch Counters Exec_accel Hashtbl Ir List Mem Printf Program String Tensor

@@ -1,0 +1,1 @@
+lib/sim/mem.ml: Array Bytes Char Printf Sys Tensor

@@ -1,0 +1,1 @@
+lib/sim/mem.mli: Tensor

@@ -1,0 +1,1 @@
+lib/sim/program.ml: Array Dory Format Ir List Printf Tensor

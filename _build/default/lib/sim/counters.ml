@@ -1,0 +1,40 @@
+type t = {
+  mutable accel_compute : int;
+  mutable weight_load : int;
+  mutable dma_in : int;
+  mutable dma_out : int;
+  mutable host_overhead : int;
+  mutable cpu_compute : int;
+  mutable wall : int;
+}
+
+let create () =
+  {
+    accel_compute = 0;
+    weight_load = 0;
+    dma_in = 0;
+    dma_out = 0;
+    host_overhead = 0;
+    cpu_compute = 0;
+    wall = 0;
+  }
+
+let add acc x =
+  acc.accel_compute <- acc.accel_compute + x.accel_compute;
+  acc.weight_load <- acc.weight_load + x.weight_load;
+  acc.dma_in <- acc.dma_in + x.dma_in;
+  acc.dma_out <- acc.dma_out + x.dma_out;
+  acc.host_overhead <- acc.host_overhead + x.host_overhead;
+  acc.cpu_compute <- acc.cpu_compute + x.cpu_compute;
+  acc.wall <- acc.wall + x.wall
+
+let peak t = t.accel_compute + t.weight_load
+
+let total_parts t =
+  t.accel_compute + t.weight_load + t.dma_in + t.dma_out + t.host_overhead
+  + t.cpu_compute
+
+let pp fmt t =
+  Format.fprintf fmt
+    "wall=%d (accel=%d wload=%d dma=%d+%d host=%d cpu=%d)" t.wall t.accel_compute
+    t.weight_load t.dma_in t.dma_out t.host_overhead t.cpu_compute

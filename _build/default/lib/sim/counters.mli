@@ -1,0 +1,31 @@
+(** Performance counters.
+
+    Mirrors the paper's measurement methodology (Sec. IV): "peak" is the
+    accelerator busy time including the weight transfer orchestrated by
+    the layer instruction; the "full kernel call" additionally includes
+    activation DMA, per-tile host overhead and the runtime's per-call
+    setup. CPU kernels accumulate separately. *)
+
+type t = {
+  mutable accel_compute : int;   (** array busy cycles *)
+  mutable weight_load : int;     (** weight-memory fill cycles *)
+  mutable dma_in : int;
+  mutable dma_out : int;
+  mutable host_overhead : int;   (** runtime setup + tile-loop bookkeeping *)
+  mutable cpu_compute : int;     (** host-executed kernel cycles *)
+  mutable wall : int;
+      (** end-to-end cycles; with double buffering this is less than the
+          sum of the parts because DMA hides behind compute *)
+}
+
+val create : unit -> t
+val add : t -> t -> unit
+(** [add acc x] accumulates [x] into [acc] (all fields, including wall). *)
+
+val peak : t -> int
+(** Accelerator busy cycles: compute + weight load. *)
+
+val total_parts : t -> int
+(** Sum of all component counters (an upper bound on [wall]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+type params = {
+  cpu_pj_per_cycle : float;
+  accel_pj_per_cycle : (string * float) list;
+  weight_load_pj_per_cycle : float;
+  dma_pj_per_cycle : float;
+  idle_pj_per_cycle : float;
+}
+
+(* Set from DIANA's published efficiency class: digital array ~4 TOPS/W at
+   260 MHz (~130 pJ/cycle busy), analog array an order of magnitude
+   better per operation but with comparable converter power per
+   activation cycle, a small in-order RISC-V host (~15 pJ/cycle). *)
+let diana_defaults =
+  {
+    cpu_pj_per_cycle = 15.0;
+    accel_pj_per_cycle = [ ("diana_digital", 130.0); ("diana_analog", 60.0) ];
+    weight_load_pj_per_cycle = 25.0;
+    dma_pj_per_cycle = 20.0;
+    idle_pj_per_cycle = 3.0;
+  }
+
+type breakdown = {
+  cpu_uj : float;
+  accel_uj : float;
+  weight_load_uj : float;
+  dma_uj : float;
+  idle_uj : float;
+  total_uj : float;
+}
+
+let accel_power params name =
+  let registered = params.accel_pj_per_cycle in
+  match List.find_opt (fun (n, _) -> n = name) registered with
+  | Some (_, p) -> p
+  | None ->
+      List.fold_left (fun acc (_, p) -> Float.max acc p) params.cpu_pj_per_cycle
+        registered
+
+let of_report params (r : Machine.report) =
+  let cpu = ref 0.0 and accel = ref 0.0 and wl = ref 0.0 and dma = ref 0.0 in
+  List.iter
+    (fun (name, (c : Counters.t)) ->
+      let accel_name =
+        match String.index_opt name ':' with
+        | Some i -> Some (String.sub name 0 i)
+        | None -> None
+      in
+      cpu := !cpu +. (float_of_int c.Counters.cpu_compute *. params.cpu_pj_per_cycle);
+      (match accel_name with
+      | Some a ->
+          accel :=
+            !accel +. (float_of_int c.Counters.accel_compute *. accel_power params a)
+      | None -> ());
+      wl := !wl +. (float_of_int c.Counters.weight_load *. params.weight_load_pj_per_cycle);
+      dma :=
+        !dma
+        +. float_of_int (c.Counters.dma_in + c.Counters.dma_out) *. params.dma_pj_per_cycle)
+    r.Machine.per_step;
+  let idle =
+    float_of_int r.Machine.totals.Counters.wall *. params.idle_pj_per_cycle
+  in
+  let to_uj v = v /. 1.0e6 in
+  let cpu_uj = to_uj !cpu
+  and accel_uj = to_uj !accel
+  and weight_load_uj = to_uj !wl
+  and dma_uj = to_uj !dma
+  and idle_uj = to_uj idle in
+  {
+    cpu_uj;
+    accel_uj;
+    weight_load_uj;
+    dma_uj;
+    idle_uj;
+    total_uj = cpu_uj +. accel_uj +. weight_load_uj +. dma_uj +. idle_uj;
+  }
+
+let pp fmt b =
+  Format.fprintf fmt
+    "%.1f uJ (cpu %.1f, accel %.1f, weight load %.1f, dma %.1f, idle %.1f)" b.total_uj
+    b.cpu_uj b.accel_uj b.weight_load_uj b.dma_uj b.idle_uj

@@ -1,0 +1,35 @@
+(** Per-inference energy accounting.
+
+    Energy efficiency is the paper's core motivation (Sec. I: accelerators
+    cut inference energy by an order of magnitude vs general-purpose
+    cores). The simulator's counters decompose cycles by component; this
+    module folds them with per-component power parameters into an energy
+    estimate and breakdown. Default parameters are set from DIANA's
+    published efficiency class (ISSCC 2022): the digital array around a
+    few TOPS/W, the analog array an order of magnitude better, a
+    microwatt-class RISC-V host. *)
+
+type params = {
+  cpu_pj_per_cycle : float;
+  accel_pj_per_cycle : (string * float) list;  (** by accelerator name *)
+  weight_load_pj_per_cycle : float;
+  dma_pj_per_cycle : float;
+  idle_pj_per_cycle : float;  (** leakage etc. over the whole wall time *)
+}
+
+val diana_defaults : params
+
+type breakdown = {
+  cpu_uj : float;
+  accel_uj : float;
+  weight_load_uj : float;
+  dma_uj : float;
+  idle_uj : float;
+  total_uj : float;
+}
+
+val of_report : params -> Machine.report -> breakdown
+(** Fold a run's per-step counters into microjoules. Steps on unknown
+    accelerators fall back to the highest registered accelerator power. *)
+
+val pp : Format.formatter -> breakdown -> unit

@@ -1,0 +1,34 @@
+(** Functional + timed execution of a DORY schedule on an accelerator.
+
+    Every tile instance really moves bytes: input windows are DMA-copied
+    from the L2 activation arena into L1, the tile is computed from the L1
+    bytes and the L2-resident weight/bias bytes, and the output slice is
+    DMA-copied back — so the produced activations are exactly what the
+    hardware would produce, and any offset error corrupts the output.
+
+    Timing follows the platform's DMA model and the accelerator's cycle
+    models; with double buffering the wall clock overlaps each tile's
+    compute with its neighbours' transfers. *)
+
+type buffers = {
+  in_offsets : int list;  (** L2 offsets of the data inputs (1, or 2 for Add) *)
+  out_offset : int;       (** L2 offset of the output buffer *)
+  weights_offset : int;   (** L2 offset of the packed weights; -1 when none *)
+  bias_offset : int;      (** L2 offset of the i32 bias; -1 when none *)
+}
+
+val l1_bytes_required : Dory.Schedule.t -> int
+(** L1 scratch the schedule needs under its buffering policy. *)
+
+val run :
+  platform:Arch.Platform.t ->
+  accel:Arch.Accel.t ->
+  l2:Mem.t ->
+  l1:Mem.t ->
+  buffers:buffers ->
+  Dory.Schedule.t ->
+  Counters.t
+(** Execute the layer in place (reads input buffers, writes the output
+    buffer) and return its counters.
+    @raise Mem.Fault on any out-of-bounds access.
+    @raise Invalid_argument on malformed buffer descriptors. *)

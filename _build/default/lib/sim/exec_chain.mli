@@ -1,0 +1,26 @@
+(** Executor for depth-first fused convolution pairs ({!Dory.Chain}).
+
+    Streams full-width stripes: DMA an input window into L1, run the first
+    convolution (halo rows recomputed per stripe), keep the intermediate
+    stripe in L1 only, run the second convolution, DMA the final stripe
+    back to L2. The intermediate tensor never exists in L2. Bit-exact
+    against the sequential execution of the two layers. *)
+
+type buffers = {
+  in_offset : int;   (** L2 offset of the pair's input *)
+  out_offset : int;  (** L2 offset of the pair's final output *)
+  w1_offset : int;
+  b1_offset : int;   (** -1 when the first layer has no bias *)
+  w2_offset : int;
+  b2_offset : int;
+}
+
+val run :
+  platform:Arch.Platform.t ->
+  accel:Arch.Accel.t ->
+  l2:Mem.t ->
+  l1:Mem.t ->
+  buffers:buffers ->
+  Dory.Chain.t ->
+  Counters.t
+(** @raise Mem.Fault on out-of-bounds plans. *)

@@ -1,0 +1,109 @@
+module P = Program
+
+type report = {
+  per_step : (string * Counters.t) list;
+  totals : Counters.t;
+}
+
+let accel_steps_peak r =
+  List.fold_left
+    (fun acc (name, c) ->
+      if String.contains name ':' then acc + Counters.peak c else acc)
+    0 r.per_step
+
+let read_buffer l2 (b : P.buffer) = Mem.read_tensor l2 b.P.l2_offset b.P.b_dtype b.P.b_shape
+
+let write_buffer l2 (b : P.buffer) tensor =
+  if Tensor.shape tensor <> b.P.b_shape
+     || not (Tensor.Dtype.equal (Tensor.dtype tensor) b.P.b_dtype)
+  then
+    invalid_arg
+      (Printf.sprintf "Machine: tensor %s does not fit buffer %d" (Tensor.to_string tensor)
+         b.P.buf_id);
+  Mem.write_tensor l2 b.P.l2_offset tensor
+
+(* Functional execution of a fused CPU kernel: external inputs come from L2
+   buffers, constants from the graph, intermediates stay in registers, the
+   last node's value is written back to L2. *)
+let run_cpu_step ~l2 ~(prog : P.t) ~nodes ~ins ~out =
+  let values = Hashtbl.create 16 in
+  let lookup id =
+    match Hashtbl.find_opt values id with
+    | Some v -> v
+    | None -> (
+        match List.assoc_opt id ins with
+        | Some buf -> read_buffer l2 (P.buffer prog buf)
+        | None -> (
+            match Ir.Graph.node prog.P.graph id with
+            | Ir.Graph.Const t -> t
+            | Ir.Graph.Input _ | Ir.Graph.App _ ->
+                invalid_arg
+                  (Printf.sprintf "Machine: node %%%d used before being computed" id)))
+  in
+  let last = ref None in
+  List.iter
+    (fun id ->
+      match Ir.Graph.node prog.P.graph id with
+      | Ir.Graph.App { op; args } ->
+          let v = Ir.Eval.eval_op op (List.map lookup args) in
+          Hashtbl.replace values id v;
+          last := Some v
+      | Ir.Graph.Input _ | Ir.Graph.Const _ ->
+          invalid_arg "Machine: CPU kernel may only contain operator nodes")
+    nodes;
+  match !last with
+  | Some v -> write_buffer l2 (P.buffer prog out) v
+  | None -> invalid_arg "Machine: empty CPU kernel"
+
+let run ~platform (prog : P.t) ~inputs =
+  (match P.validate prog with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Machine: invalid program: " ^ e));
+  let l2 = Mem.create "L2" platform.Arch.Platform.l2.Arch.Memory.size_bytes in
+  let l1 = Mem.create "L1" platform.Arch.Platform.l1.Arch.Memory.size_bytes in
+  (* Poison both memories so reads of never-written bytes surface as wrong
+     results in the differential tests rather than convenient zeros. *)
+  Mem.fill l1 0x5A;
+  List.iter (fun (off, t) -> Mem.write_tensor l2 off t) prog.P.weight_images;
+  List.iter
+    (fun (name, buf) ->
+      match List.assoc_opt name inputs with
+      | Some t -> write_buffer l2 (P.buffer prog buf) t
+      | None -> invalid_arg ("Machine: missing input " ^ name))
+    prog.P.input_buffers;
+  List.iter
+    (fun (name, _) ->
+      if not (List.exists (fun (n, _) -> n = name) prog.P.input_buffers) then
+        invalid_arg ("Machine: unknown input " ^ name))
+    inputs;
+  let totals = Counters.create () in
+  let per_step =
+    List.map
+      (fun step ->
+        let c =
+          match step with
+          | P.Accel { accel_name; schedule; ins; out; weights_offset; bias_offset } ->
+              let accel = Arch.Platform.find_accel platform accel_name in
+              let buffers =
+                {
+                  Exec_accel.in_offsets =
+                    List.map (fun id -> (P.buffer prog id).P.l2_offset) ins;
+                  out_offset = (P.buffer prog out).P.l2_offset;
+                  weights_offset;
+                  bias_offset;
+                }
+              in
+              Exec_accel.run ~platform ~accel ~l2 ~l1 ~buffers schedule
+          | P.Cpu { nodes; ins; out; cycles; _ } ->
+              run_cpu_step ~l2 ~prog ~nodes ~ins ~out;
+              let c = Counters.create () in
+              c.Counters.cpu_compute <- cycles;
+              c.Counters.wall <- cycles;
+              c
+        in
+        Counters.add totals c;
+        (P.step_name step, c))
+      prog.P.steps
+  in
+  let output = read_buffer l2 (P.buffer prog prog.P.output_buffer) in
+  (output, { per_step; totals })

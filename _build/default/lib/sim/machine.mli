@@ -1,0 +1,25 @@
+(** The SoC machine: runs a {!Program.t} on a platform.
+
+    Instantiates byte-level L1/L2 memories, preloads weight images, binds
+    the network inputs, executes every step (accelerator schedules through
+    {!Exec_accel}, fused CPU kernels through the reference interpreter
+    with modeled cycles), and reads the output buffer back. The returned
+    report carries per-step and aggregate counters for the latency tables. *)
+
+type report = {
+  per_step : (string * Counters.t) list;  (** in execution order *)
+  totals : Counters.t;
+}
+
+val accel_steps_peak : report -> int
+(** Sum of accelerator busy cycles (compute + weight load) over all
+    offloaded steps — the paper's "peak" number. *)
+
+val run :
+  platform:Arch.Platform.t ->
+  Program.t ->
+  inputs:(string * Tensor.t) list ->
+  Tensor.t * report
+(** Execute the program on fresh memories.
+    @raise Invalid_argument on missing/mistyped inputs or a malformed
+    program. @raise Mem.Fault on memory corruption (a compiler bug). *)

@@ -1,0 +1,86 @@
+type t = { mem_name : string; data : Bytes.t }
+
+exception Fault of string
+
+let create mem_name size =
+  if size <= 0 then invalid_arg "Mem.create: size must be positive";
+  { mem_name; data = Bytes.make size '\000' }
+
+let name t = t.mem_name
+let size t = Bytes.length t.data
+
+let check t off len =
+  if off < 0 || off + len > Bytes.length t.data then
+    raise
+      (Fault
+         (Printf.sprintf "%s: access of %d byte(s) at offset %d outside [0, %d)"
+            t.mem_name len off (Bytes.length t.data)))
+
+let read_byte t off =
+  check t off 1;
+  Char.code (Bytes.get t.data off)
+
+let write_byte t off v =
+  check t off 1;
+  Bytes.set t.data off (Char.chr (v land 0xFF))
+
+let sign_extend bits v =
+  let shift = Sys.int_size - bits in
+  (v lsl shift) asr shift
+
+let read_elt t (dt : Tensor.Dtype.t) off =
+  match dt with
+  | Tensor.Dtype.I8 | Tensor.Dtype.Ternary -> sign_extend 8 (read_byte t off)
+  | Tensor.Dtype.U7 -> read_byte t off land 0x7F
+  | Tensor.Dtype.I16 ->
+      check t off 2;
+      sign_extend 16 (read_byte t off lor (read_byte t (off + 1) lsl 8))
+  | Tensor.Dtype.I32 ->
+      check t off 4;
+      sign_extend 32
+        (read_byte t off
+        lor (read_byte t (off + 1) lsl 8)
+        lor (read_byte t (off + 2) lsl 16)
+        lor (read_byte t (off + 3) lsl 24))
+
+let write_elt t (dt : Tensor.Dtype.t) off v =
+  if not (Tensor.Dtype.in_range dt v) then
+    raise
+      (Fault
+         (Printf.sprintf "%s: value %d out of range for %s at offset %d" t.mem_name v
+            (Tensor.Dtype.to_string dt) off));
+  match dt with
+  | Tensor.Dtype.I8 | Tensor.Dtype.Ternary | Tensor.Dtype.U7 -> write_byte t off v
+  | Tensor.Dtype.I16 ->
+      check t off 2;
+      write_byte t off v;
+      write_byte t (off + 1) (v asr 8)
+  | Tensor.Dtype.I32 ->
+      check t off 4;
+      write_byte t off v;
+      write_byte t (off + 1) (v asr 8);
+      write_byte t (off + 2) (v asr 16);
+      write_byte t (off + 3) (v asr 24)
+
+let blit ~src ~src_off ~dst ~dst_off ~len =
+  check src src_off len;
+  check dst dst_off len;
+  Bytes.blit src.data src_off dst.data dst_off len
+
+let write_tensor t off tensor =
+  let dt = Tensor.dtype tensor in
+  let w = Tensor.Dtype.sim_bytes dt in
+  check t off (Tensor.numel tensor * w);
+  Tensor.iteri_flat (fun i v -> write_elt t dt (off + (i * w)) v) tensor
+
+let read_tensor t off dt shape =
+  let w = Tensor.Dtype.sim_bytes dt in
+  let n = Array.fold_left ( * ) 1 shape in
+  check t off (n * w);
+  let out = Tensor.create dt shape in
+  for i = 0 to n - 1 do
+    Tensor.set_flat out i (read_elt t dt (off + (i * w)))
+  done;
+  out
+
+let fill t v = Bytes.fill t.data 0 (Bytes.length t.data) (Char.chr (v land 0xFF))

@@ -1,0 +1,44 @@
+(** Byte-addressable simulated memories.
+
+    L1, L2 and the accelerator weight memories are real byte arrays in the
+    simulator: every activation, weight and bias round-trips through them,
+    so planner or codegen bugs (overlapping buffers, wrong offsets, bad
+    strides) corrupt data and fail the differential tests instead of going
+    unnoticed. Multi-byte values are little-endian; ternary elements are
+    stored one signed byte each (see DESIGN.md). *)
+
+type t
+
+val create : string -> int -> t
+(** [create name size_bytes] returns a zero-filled memory. *)
+
+val name : t -> string
+val size : t -> int
+
+exception Fault of string
+(** Raised on any out-of-bounds access, with the memory name, offset and
+    access size. *)
+
+val read_byte : t -> int -> int
+(** Unsigned byte at an offset. *)
+
+val write_byte : t -> int -> int -> unit
+(** Write the low 8 bits of the value. *)
+
+val read_elt : t -> Tensor.Dtype.t -> int -> int
+(** Decode one element of the dtype at a byte offset. *)
+
+val write_elt : t -> Tensor.Dtype.t -> int -> int -> unit
+(** Encode one (range-checked) element at a byte offset. *)
+
+val blit : src:t -> src_off:int -> dst:t -> dst_off:int -> len:int -> unit
+(** Raw byte copy (the DMA's contiguous-chunk primitive). *)
+
+val write_tensor : t -> int -> Tensor.t -> unit
+(** Serialize a whole tensor row-major at a byte offset. *)
+
+val read_tensor : t -> int -> Tensor.Dtype.t -> int array -> Tensor.t
+(** Deserialize a tensor of the given dtype/shape from a byte offset. *)
+
+val fill : t -> int -> unit
+(** Fill the whole memory with a byte value (tests use a poison pattern). *)

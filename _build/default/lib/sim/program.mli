@@ -1,0 +1,57 @@
+(** Deployable programs — the simulator-executable artifact HTVM emits.
+
+    A program is the analogue of the single C function TVM generates in
+    the HTVM flow (paper Fig. 1/2): a linear sequence of kernel calls over
+    planned L2 buffers, where each call is either a DORY schedule driving
+    an accelerator or a fused CPU kernel, plus the weight images to
+    preload into L2. *)
+
+type buffer = {
+  buf_id : int;
+  b_dtype : Tensor.Dtype.t;
+  b_shape : int array;
+  l2_offset : int;
+}
+
+val buffer_bytes : buffer -> int
+
+type step =
+  | Accel of {
+      accel_name : string;
+      schedule : Dory.Schedule.t;
+      ins : int list;  (** input buffer ids (two for Add) *)
+      out : int;
+      weights_offset : int;  (** L2 offset of the preloaded weights; -1 if none *)
+      bias_offset : int;
+    }
+  | Cpu of {
+      kernel_name : string;
+      nodes : Ir.Graph.id list;
+          (** the fused operator applications, topologically ordered; the
+              last one produces the kernel's result *)
+      ins : (Ir.Graph.id * int) list;  (** external data node -> buffer id *)
+      out : int;
+      cycles : int;  (** host cycles charged for the kernel call *)
+    }
+
+val step_name : step -> string
+
+type t = {
+  graph : Ir.Graph.t;  (** source graph (consts for CPU kernels live here) *)
+  buffers : buffer list;
+  steps : step list;
+  input_buffers : (string * int) list;  (** graph input name -> buffer id *)
+  output_buffer : int;
+  weight_images : (int * Tensor.t) list;
+      (** (L2 offset, tensor) pairs preloaded before execution: accelerator
+          weights and biases in their deployed layout *)
+  l2_activation_peak : int;  (** planner high-water mark, for reports *)
+}
+
+val buffer : t -> int -> buffer
+(** @raise Invalid_argument on an unknown buffer id. *)
+
+val validate : t -> (unit, string) result
+(** Structural checks: unique buffer ids, step references resolve, buffer
+    extents and weight images inside a given L2 size are checked by the
+    machine at run time. *)

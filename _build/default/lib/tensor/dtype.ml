@@ -1,0 +1,43 @@
+type t = I8 | U7 | I16 | I32 | Ternary
+
+let equal (a : t) b = a = b
+
+let to_string = function
+  | I8 -> "i8"
+  | U7 -> "u7"
+  | I16 -> "i16"
+  | I32 -> "i32"
+  | Ternary -> "ternary"
+
+let min_value = function
+  | I8 -> -128
+  | U7 -> 0
+  | I16 -> -32768
+  | I32 -> -2147483648
+  | Ternary -> -1
+
+let max_value = function
+  | I8 -> 127
+  | U7 -> 127
+  | I16 -> 32767
+  | I32 -> 2147483647
+  | Ternary -> 1
+
+let in_range t v = v >= min_value t && v <= max_value t
+
+let sim_bytes = function
+  | I8 | U7 | Ternary -> 1
+  | I16 -> 2
+  | I32 -> 4
+
+let packed_bits = function
+  | I8 -> 8
+  | U7 -> 7
+  | I16 -> 16
+  | I32 -> 32
+  | Ternary -> 2
+
+let clamp t v =
+  match t with
+  | Ternary -> if v > 0 then 1 else if v < 0 then -1 else 0
+  | _ -> Util.Ints.clamp ~lo:(min_value t) ~hi:(max_value t) v

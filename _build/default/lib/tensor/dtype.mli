@@ -1,0 +1,37 @@
+(** Element types of the quantized tensor universe.
+
+    DIANA's compute cores operate on narrow integer types: the digital
+    accelerator on 8-bit activations/weights with 32-bit accumulators, the
+    analog in-memory-compute array on 7-bit activations and ternary
+    weights. The simulator stores every element as an OCaml [int]; the
+    dtype fixes its legal range and its storage cost. *)
+
+type t =
+  | I8       (** signed 8-bit: activations and digital weights *)
+  | U7       (** unsigned 7-bit: analog accelerator input port *)
+  | I16      (** signed 16-bit: intermediate requantization *)
+  | I32      (** signed 32-bit: accumulators and biases *)
+  | Ternary  (** weights in [{-1;0;1}] for the analog IMC array *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+
+val min_value : t -> int
+(** Smallest representable value. *)
+
+val max_value : t -> int
+(** Largest representable value. *)
+
+val in_range : t -> int -> bool
+(** Whether a value is representable in the dtype. *)
+
+val sim_bytes : t -> int
+(** Bytes one element occupies in the simulator's byte memories. Ternary is
+    stored one byte per cell in simulation (see DESIGN.md). *)
+
+val packed_bits : t -> int
+(** Bits per element in the deployed binary's weight sections: ternary
+    weights pack to 2 bits, everything else to its natural width. *)
+
+val clamp : t -> int -> int
+(** Saturate a value into the dtype's range (ternary maps through sign). *)

@@ -1,0 +1,1 @@
+lib/tune/device.ml: Array Float Ir Nn Sched Util

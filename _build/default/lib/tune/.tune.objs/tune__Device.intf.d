@@ -1,0 +1,1 @@
+lib/tune/device.mli: Ir Sched

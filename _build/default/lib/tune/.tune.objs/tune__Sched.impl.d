@@ -1,0 +1,1 @@
+lib/tune/sched.ml: Array Ir List Printf Util

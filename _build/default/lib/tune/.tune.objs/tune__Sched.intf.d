@@ -1,0 +1,1 @@
+lib/tune/sched.mli: Ir Util

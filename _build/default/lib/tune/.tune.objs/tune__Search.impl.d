@@ -1,0 +1,1 @@
+lib/tune/search.ml: Device List Sched Util

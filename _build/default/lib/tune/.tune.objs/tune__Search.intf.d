@@ -1,0 +1,1 @@
+lib/tune/search.mli: Device Ir Sched

@@ -1,0 +1,109 @@
+type t = {
+  dcache_bytes : int;
+  miss_penalty_cycles : float;
+  line_bytes : int;
+  base_cycles_per_mac : float;
+  loop_overhead_cycles : float;
+}
+
+let xpulpv2 =
+  {
+    dcache_bytes = Util.Ints.kib 32;
+    miss_penalty_cycles = 8.0;
+    line_bytes = 16;
+    base_cycles_per_mac = 2.0;
+    loop_overhead_cycles = 1.0;
+  }
+
+(* Geometry of the kernel as the cost model sees it. *)
+type geom = {
+  outputs : int;        (** output elements *)
+  reduction : int;      (** MACs per output *)
+  k : int;              (** output channels *)
+  spatial : int;        (** output spatial positions *)
+  weight_bytes : int;
+  act_bytes : int;
+}
+
+let geom_of (l : Ir.Layer.t) =
+  let fy, fx = Ir.Layer.kernel_dims l in
+  let numel a = Array.fold_left ( * ) 1 a in
+  match l.Ir.Layer.kind with
+  | Ir.Layer.Conv p ->
+      let k = l.Ir.Layer.out_shape.(0) in
+      let spatial = l.Ir.Layer.out_shape.(1) * l.Ir.Layer.out_shape.(2) in
+      let cg = l.Ir.Layer.in_shape.(0) / p.Nn.Kernels.groups in
+      {
+        outputs = k * spatial;
+        reduction = cg * fy * fx;
+        k;
+        spatial;
+        weight_bytes = k * cg * fy * fx;
+        act_bytes = numel l.Ir.Layer.in_shape;
+      }
+  | Ir.Layer.Dense ->
+      let k = l.Ir.Layer.out_shape.(0) and c = l.Ir.Layer.in_shape.(0) in
+      {
+        outputs = k;
+        reduction = c;
+        k;
+        spatial = 1;
+        weight_bytes = k * c;
+        act_bytes = c;
+      }
+  | Ir.Layer.Add | Ir.Layer.Pool _ ->
+      { outputs = numel l.Ir.Layer.out_shape; reduction = 1; k = 1; spatial = 1;
+        weight_bytes = 0; act_bytes = numel l.Ir.Layer.in_shape }
+
+(* Memory traffic (bytes) induced by the blocking, by loop order. When the
+   whole working set fits the data cache everything is compulsory-only. *)
+let traffic_bytes g (s : Sched.t) =
+  if g.weight_bytes + g.act_bytes <= 0 then 0.0
+  else
+    let k_blocks = float_of_int (Util.Ints.ceil_div g.k (max 1 s.Sched.tile_k)) in
+    let x_blocks =
+      float_of_int (Util.Ints.ceil_div g.spatial (max 1 s.Sched.tile_x))
+    in
+    match s.Sched.order with
+    | Sched.Khw_c ->
+        (* weights streamed once; activations re-read per k block *)
+        float_of_int g.weight_bytes +. (k_blocks *. float_of_int g.act_bytes)
+    | Sched.Hw_kc ->
+        (* activations streamed once; weights re-read per spatial block *)
+        float_of_int g.act_bytes +. (x_blocks *. float_of_int g.weight_bytes)
+    | Sched.C_khw ->
+        (* reduction outermost: 4-byte partial sums spilled and reloaded
+           every reduction step *)
+        float_of_int g.weight_bytes +. float_of_int g.act_bytes
+        +. (2.0 *. 4.0 *. float_of_int g.outputs *. float_of_int g.reduction /. 8.0)
+
+let kernel_cycles d (l : Ir.Layer.t) (s : Sched.t) =
+  let g = geom_of l in
+  let red_steps = Util.Ints.ceil_div g.reduction (max 1 s.Sched.vector) in
+  let compute =
+    float_of_int g.outputs *. float_of_int red_steps
+    *. d.base_cycles_per_mac /. 2.0
+  in
+  (* Reduction-outermost keeps no accumulator in registers: every step
+     pays an extra load + store of the 32-bit partial sum, cache hit or
+     not. *)
+  let compute =
+    match s.Sched.order with
+    | Sched.C_khw -> compute +. (1.5 *. float_of_int g.outputs *. float_of_int red_steps)
+    | Sched.Khw_c | Sched.Hw_kc -> compute
+  in
+  (* Working sets that fit in-cache only pay compulsory traffic. *)
+  let ws_fits = g.weight_bytes + g.act_bytes <= d.dcache_bytes in
+  let traffic =
+    if ws_fits then float_of_int (g.weight_bytes + g.act_bytes)
+    else traffic_bytes g s
+  in
+  let cache = traffic /. float_of_int d.line_bytes *. d.miss_penalty_cycles in
+  let loop =
+    float_of_int g.outputs *. float_of_int red_steps
+    /. float_of_int (max 1 s.Sched.unroll)
+    *. d.loop_overhead_cycles
+  in
+  (* Very aggressive unroll x vector combinations blow the icache/regfile. *)
+  let bloat = if s.Sched.unroll * s.Sched.vector > 16 then 1.08 else 1.0 in
+  int_of_float (Float.round ((compute +. cache +. loop) *. bloat)) + 200

@@ -1,0 +1,26 @@
+(** The "device" schedules are measured on.
+
+    Autotuning measures candidate kernels on hardware; our hardware is a
+    cycle model, so the device is a schedule-sensitive refinement of the
+    host-CPU cost model: it prices SIMD efficiency (vector lanes vs
+    available data parallelism), cache behaviour of the chosen blocking
+    (a 32 kB L1-D model with weight and activation working sets), and
+    loop/unroll bookkeeping overhead. The coarse {!Arch.Cpu_model} is the
+    average this refines; tuned kernels beat the default schedule by
+    realistic (1.2-2.5x) factors, not magic ones. *)
+
+type t = {
+  dcache_bytes : int;
+  miss_penalty_cycles : float;  (** per missed line *)
+  line_bytes : int;
+  base_cycles_per_mac : float;  (** scalar issue rate *)
+  loop_overhead_cycles : float;  (** per loop-nest iteration step *)
+}
+
+val xpulpv2 : t
+(** Calibrated so the default schedule reproduces
+    {!Arch.Diana.cpu}'s conv rate (~2.8 cycles/MAC). *)
+
+val kernel_cycles : t -> Ir.Layer.t -> Sched.t -> int
+(** Simulated cycles of one layer execution under a schedule. Pure and
+    deterministic — the tuner's measurement oracle. *)

@@ -1,0 +1,73 @@
+type loop_order = Khw_c | Hw_kc | C_khw
+
+type t = {
+  order : loop_order;
+  tile_k : int;
+  tile_x : int;
+  vector : int;
+  unroll : int;
+}
+
+let default = { order = Khw_c; tile_k = 8; tile_x = 8; vector = 2; unroll = 1 }
+
+let all_orders = [ Khw_c; Hw_kc; C_khw ]
+
+let order_to_string = function
+  | Khw_c -> "khw_c"
+  | Hw_kc -> "hw_kc"
+  | C_khw -> "c_khw"
+
+let to_string s =
+  Printf.sprintf "{%s k=%d x=%d vec=%d unroll=%d}" (order_to_string s.order) s.tile_k
+    s.tile_x s.vector s.unroll
+
+let layer_extents (l : Ir.Layer.t) =
+  match l.Ir.Layer.kind with
+  | Ir.Layer.Conv _ | Ir.Layer.Pool _ | Ir.Layer.Add ->
+      (l.Ir.Layer.out_shape.(0), l.Ir.Layer.out_shape.(2))
+  | Ir.Layer.Dense -> (l.Ir.Layer.out_shape.(0), 1)
+
+let clamp_tiles l s =
+  let kmax, xmax = layer_extents l in
+  { s with tile_k = min s.tile_k kmax; tile_x = min s.tile_x xmax }
+
+let tile_candidates = [ 1; 2; 4; 8; 16; 32; 64 ]
+let vector_candidates = [ 1; 2; 4 ]
+let unroll_candidates = [ 1; 2; 4; 8 ]
+
+let pick rng l = List.nth l (Util.Rng.int rng (List.length l))
+
+let random rng l =
+  clamp_tiles l
+    {
+      order = pick rng all_orders;
+      tile_k = pick rng tile_candidates;
+      tile_x = pick rng tile_candidates;
+      vector = pick rng vector_candidates;
+      unroll = pick rng unroll_candidates;
+    }
+
+(* Previous and next values of [v] in a sorted candidate list. *)
+let adjacent cands v =
+  let rec go prev = function
+    | [] -> []
+    | x :: rest when x = v -> (
+        let after = match rest with n :: _ -> [ n ] | [] -> [] in
+        match prev with Some p -> p :: after | None -> after)
+    | x :: rest -> go (Some x) rest
+  in
+  go None cands
+
+let neighbours l s =
+  let step = adjacent in
+  let orders = List.filter (fun o -> o <> s.order) all_orders in
+  List.concat
+    [
+      List.map (fun order -> { s with order }) orders;
+      List.map (fun tile_k -> clamp_tiles l { s with tile_k }) (step tile_candidates s.tile_k);
+      List.map (fun tile_x -> clamp_tiles l { s with tile_x }) (step tile_candidates s.tile_x);
+      List.map (fun vector -> { s with vector }) (step vector_candidates s.vector);
+      List.map (fun unroll -> { s with unroll }) (step unroll_candidates s.unroll);
+    ]
+  |> List.filter (fun n -> n <> s)
+  |> List.sort_uniq compare

@@ -1,0 +1,37 @@
+(** CPU-kernel schedule space.
+
+    TVM's primary optimization mechanism is autotuning: compiling many
+    differently-scheduled but equivalent kernel variants and measuring
+    them on the device (paper Sec. II-B). We reproduce the mechanism for
+    the host-CPU convolution/dense kernels: a schedule fixes the loop
+    order, cache-blocking tile sizes, the SIMD vectorization width and
+    the innermost unroll factor. Semantics never change — only the cost
+    model's opinion of the variant (and hence the simulated cycles). *)
+
+type loop_order =
+  | Khw_c  (** output channels outer, spatial, then reduction — weight-reuse friendly *)
+  | Hw_kc  (** spatial outer, channels inner — activation-reuse friendly *)
+  | C_khw  (** reduction outermost — pathological for accumulators *)
+
+type t = {
+  order : loop_order;
+  tile_k : int;   (** output-channel cache block *)
+  tile_x : int;   (** output-column cache block *)
+  vector : int;   (** SIMD lanes used: 1, 2 or 4 (XpulpV2 dot-product units) *)
+  unroll : int;   (** innermost unroll: 1, 2, 4 or 8 *)
+}
+
+val default : t
+(** The untuned schedule TVM's fallback emits: Khw_c, modest blocks,
+    vector 2, unroll 1. *)
+
+val all_orders : loop_order list
+val order_to_string : loop_order -> string
+val to_string : t -> string
+
+val random : Util.Rng.t -> Ir.Layer.t -> t
+(** A random valid point of the space for the given layer (tile sizes are
+    clamped to the layer's extents). *)
+
+val neighbours : Ir.Layer.t -> t -> t list
+(** Single-knob mutations of a schedule (for local search). *)

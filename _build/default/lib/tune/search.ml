@@ -1,0 +1,41 @@
+type result = {
+  best : Sched.t;
+  best_cycles : int;
+  default_cycles : int;
+  trials : int;
+}
+
+let speedup r = float_of_int r.default_cycles /. float_of_int (max 1 r.best_cycles)
+
+let tune ?(seed = 0) ?(budget = 64) ~device layer =
+  let rng = Util.Rng.create seed in
+  let trials = ref 0 in
+  let measure s =
+    incr trials;
+    Device.kernel_cycles device layer s
+  in
+  let default_cycles = measure Sched.default in
+  let best = ref Sched.default and best_cycles = ref default_cycles in
+  let consider s =
+    if !trials < budget then begin
+      let c = measure s in
+      if c < !best_cycles then begin
+        best := s;
+        best_cycles := c
+      end
+    end
+  in
+  (* Phase 1: random sampling over the space. *)
+  let random_budget = budget / 2 in
+  while !trials < random_budget do
+    consider (Sched.random rng layer)
+  done;
+  (* Phase 2: greedy descent through single-knob neighbours. *)
+  let improved = ref true in
+  while !improved && !trials < budget do
+    improved := false;
+    let here = !best_cycles in
+    List.iter consider (Sched.neighbours layer !best);
+    if !best_cycles < here then improved := true
+  done;
+  { best = !best; best_cycles = !best_cycles; default_cycles; trials = !trials }

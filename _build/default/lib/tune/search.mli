@@ -1,0 +1,24 @@
+(** The autotuner: random sampling plus greedy local refinement.
+
+    Mirrors TVM's measure-and-select loop at small scale: draw random
+    schedules, measure each on the device, then hill-climb from the best
+    sample through single-knob neighbours. Deterministic given the seed.
+    The returned trial count is the "cost of tuning" the paper's
+    ahead-of-time argument is about (every trial would be a real on-device
+    measurement in TVM). *)
+
+type result = {
+  best : Sched.t;
+  best_cycles : int;
+  default_cycles : int;  (** the untuned fallback schedule's cycles *)
+  trials : int;  (** device measurements spent *)
+}
+
+val speedup : result -> float
+(** [default_cycles / best_cycles]; >= 1 by construction (the default
+    schedule is always among the candidates). *)
+
+val tune :
+  ?seed:int -> ?budget:int -> device:Device.t -> Ir.Layer.t -> result
+(** Tune one layer. [budget] bounds the number of measurements
+    (default 64). *)

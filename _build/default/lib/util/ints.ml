@@ -1,0 +1,21 @@
+let ceil_div a b =
+  assert (b > 0);
+  (a + b - 1) / b
+
+let round_up a b = ceil_div a b * b
+
+let clamp ~lo ~hi v = if v < lo then lo else if v > hi then hi else v
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2_ceil n =
+  assert (n >= 1);
+  let rec go k p = if p >= n then k else go (k + 1) (p * 2) in
+  go 0 1
+
+let divisors n =
+  assert (n > 0);
+  let rec go d acc = if d > n then List.rev acc else go (d + 1) (if n mod d = 0 then d :: acc else acc) in
+  go 1 []
+
+let kib n = n * 1024

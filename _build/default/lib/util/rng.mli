@@ -1,0 +1,35 @@
+(** Deterministic pseudo-random number generation.
+
+    All synthetic data in this repository (weights, inputs, fuzz cases that
+    are not driven by QCheck) flows through this SplitMix64 generator so
+    that every experiment is reproducible from a single integer seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output of the SplitMix64 sequence. *)
+
+val int : t -> int -> int
+(** [int t bound] draws a uniform integer in [\[0, bound)]. [bound] must be
+    positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] draws uniformly in the inclusive range [\[lo, hi\]]. *)
+
+val bool : t -> bool
+(** Uniform boolean. *)
+
+val ternary : t -> int
+(** Draws a ternary weight in [{-1; 0; 1}], with zero twice as likely as
+    either non-zero value (sparse-ish ternary networks). *)
+
+val int8 : t -> int
+(** Uniform int8 value in [\[-128, 127\]]. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t]. *)

@@ -1,0 +1,42 @@
+type align = Left | Right
+
+let pad_row width row =
+  if List.length row >= width then row
+  else row @ List.init (width - List.length row) (fun _ -> "")
+
+let column_widths header rows =
+  let ncols = List.length header in
+  let widths = Array.make ncols 0 in
+  let account row =
+    List.iteri (fun i cell -> if i < ncols then widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  account header;
+  List.iter account rows;
+  widths
+
+let pad align width s =
+  let fill = String.make (width - String.length s) ' ' in
+  match align with Left -> s ^ fill | Right -> fill ^ s
+
+let aligns_for ncols align =
+  let provided = match align with None -> [] | Some l -> l in
+  List.init ncols (fun i -> match List.nth_opt provided i with Some a -> a | None -> Left)
+
+let render ?align ~header rows =
+  let ncols = List.length header in
+  let rows = List.map (pad_row ncols) rows in
+  let widths = column_widths header rows in
+  let aligns = aligns_for ncols align in
+  let line row =
+    List.mapi (fun i cell -> pad (List.nth aligns i) widths.(i) cell) row
+    |> String.concat "  "
+  in
+  let rule = Array.to_list widths |> List.map (fun w -> String.make w '-') |> String.concat "  " in
+  String.concat "\n" (line header :: rule :: List.map line rows) ^ "\n"
+
+let render_markdown ~header rows =
+  let ncols = List.length header in
+  let rows = List.map (pad_row ncols) rows in
+  let line row = "| " ^ String.concat " | " row ^ " |" in
+  let rule = "|" ^ String.concat "|" (List.init ncols (fun _ -> "---")) ^ "|" in
+  String.concat "\n" (line header :: rule :: List.map line rows) ^ "\n"

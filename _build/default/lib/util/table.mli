@@ -1,0 +1,16 @@
+(** Plain-text table rendering for benchmark reports.
+
+    The bench harness reproduces the paper's tables as aligned ASCII rows;
+    this module owns the column layout logic. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays the header and rows out in aligned columns
+    separated by two spaces, with a rule under the header. [align] gives
+    per-column alignment (default all [Left]; shorter lists are padded with
+    [Left]). Rows shorter than the header are padded with empty cells. *)
+
+val render_markdown : header:string list -> string list list -> string
+(** Same data rendered as a GitHub-flavoured markdown table (used by
+    EXPERIMENTS.md regeneration). *)

@@ -1,0 +1,1 @@
+test/gen_graphs.ml: Arch Array Dory Htvm Ir List Tensor Util

@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Arch Helpers Ir List QCheck Tensor Tiling_fixtures Util

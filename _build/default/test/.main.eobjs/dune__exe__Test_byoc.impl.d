@@ -1,0 +1,1 @@
+test/test_byoc.ml: Alcotest Array Byoc Format Helpers Ir List QCheck Result Tensor Util

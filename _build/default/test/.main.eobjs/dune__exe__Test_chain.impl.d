@@ -1,0 +1,1 @@
+test/test_chain.ml: Alcotest Arch Array Dory Helpers Ir Option QCheck Result Sim Tensor Tiling_fixtures Util

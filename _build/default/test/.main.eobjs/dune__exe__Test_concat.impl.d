@@ -1,0 +1,1 @@
+test/test_concat.ml: Alcotest Arch Array Helpers Htvm Ir List Nn QCheck Result Tensor Util

@@ -1,0 +1,1 @@
+test/test_dory.ml: Alcotest Arch Dory Float Helpers List QCheck Tensor Tiling_fixtures Util

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Arch Dory Helpers Htvm Ir List Models Result Sim String Tiling_fixtures Util

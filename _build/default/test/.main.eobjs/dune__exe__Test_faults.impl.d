@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Arch Bytes Char Dory Helpers Htvm Ir List Models Result Sim Tensor Tiling_fixtures Util

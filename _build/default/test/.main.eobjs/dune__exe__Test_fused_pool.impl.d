@@ -1,0 +1,1 @@
+test/test_fused_pool.ml: Alcotest Arch Array Byoc Dory Helpers Htvm Ir List Nn QCheck Result Tensor Tiling_fixtures Util

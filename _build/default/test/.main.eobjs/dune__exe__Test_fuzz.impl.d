@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Gen_graphs Helpers Htvm Ir List Models Nn Printexc Sim Tensor

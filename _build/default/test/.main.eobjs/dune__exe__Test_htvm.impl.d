@@ -1,0 +1,1 @@
+test/test_htvm.ml: Alcotest Arch Codegen Helpers Htvm Ir List Models Printf Sim Tensor Util

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Helpers Ir List Nn Option QCheck Tensor Tiling_fixtures Util

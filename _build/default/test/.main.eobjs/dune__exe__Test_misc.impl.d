@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Arch Codegen Helpers Htvm Ir List Models Result Sim

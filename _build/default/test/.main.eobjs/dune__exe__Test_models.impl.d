@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Array Helpers Ir List Models Nn Tensor

@@ -1,0 +1,1 @@
+test/test_props.ml: Arch Codegen Dory Gen_graphs Helpers Ir List QCheck Tiling_fixtures Tune Util

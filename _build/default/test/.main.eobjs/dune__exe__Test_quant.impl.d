@@ -1,0 +1,1 @@
+test/test_quant.ml: Alcotest Arch Array Byoc Float Helpers Htvm Ir List QCheck Quant Tensor Util

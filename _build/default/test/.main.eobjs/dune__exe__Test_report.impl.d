@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Arch Byoc Codegen Dory Format Helpers Htvm Ir List Models Result String Tensor Tiling_fixtures Util

@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Array Gen_graphs Helpers Ir List Models QCheck Tensor Util

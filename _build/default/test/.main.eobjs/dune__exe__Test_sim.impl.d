@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Arch Array Byoc Dory Helpers Ir List Option QCheck Result Sim Tensor Tiling_fixtures Util

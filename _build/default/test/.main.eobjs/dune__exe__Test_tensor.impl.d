@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Helpers Printf QCheck Tensor Util

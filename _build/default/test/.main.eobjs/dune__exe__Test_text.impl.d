@@ -1,0 +1,1 @@
+test/test_text.ml: Alcotest Filename Fun Gen_graphs Helpers Ir List Models QCheck Sys Tensor Util

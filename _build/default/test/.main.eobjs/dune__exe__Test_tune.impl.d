@@ -1,0 +1,1 @@
+test/test_tune.ml: Alcotest Arch Helpers Htvm Ir List Models Printf QCheck Result Tiling_fixtures Tune Util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Helpers List QCheck String Util

@@ -1,0 +1,1 @@
+test/tiling_fixtures.ml: Ir Nn Tensor Util

@@ -1,0 +1,123 @@
+(* Tests for the channel-concatenation operator across the stack. *)
+
+module Dtype = Tensor.Dtype
+module B = Ir.Graph.Builder
+module K = Nn.Kernels
+
+let i8 shape data = Tensor.of_array Dtype.I8 shape data
+
+let test_kernel_hand_case () =
+  let a = i8 [| 1; 1; 2 |] [| 1; 2 |] in
+  let b = i8 [| 2; 1; 2 |] [| 3; 4; 5; 6 |] in
+  Helpers.check_tensor "concat" (i8 [| 3; 1; 2 |] [| 1; 2; 3; 4; 5; 6 |])
+    (K.concat_channels a b)
+
+let test_kernel_rejects_mismatch () =
+  let a = Tensor.create Dtype.I8 [| 1; 2; 2 |] in
+  let b = Tensor.create Dtype.I8 [| 1; 3; 2 |] in
+  Alcotest.check_raises "spatial mismatch"
+    (Invalid_argument "concat_channels: CHW spatial dims must match") (fun () ->
+      ignore (K.concat_channels a b));
+  let c = Tensor.create Dtype.I32 [| 1; 2; 2 |] in
+  Alcotest.check_raises "dtype mismatch"
+    (Invalid_argument "concat_channels: dtype mismatch") (fun () ->
+      ignore (K.concat_channels a c))
+
+let concat_net () =
+  let b = B.create () in
+  let rng = Util.Rng.create 13 in
+  let x = B.input b ~name:"x" Dtype.I8 [| 3; 8; 8 |] in
+  let w1 = B.const b (Tensor.random rng Dtype.I8 [| 5; 3; 3; 3 |]) in
+  let conv = B.conv2d b ~padding:(1, 1) x ~weights:w1 in
+  let q = B.requantize b ~relu:true ~shift:9 ~out_dtype:Dtype.I8 conv in
+  (* Skip connection: concat the input with the conv output. *)
+  let cat = B.app b Ir.Op.Concat [ q; x ] in
+  let w2 = B.const b (Tensor.random rng Dtype.I8 [| 4; 8; 1; 1 |]) in
+  let conv2 = B.conv2d b cat ~weights:w2 in
+  let out = B.requantize b ~shift:8 ~out_dtype:Dtype.I8 conv2 in
+  B.finish b ~output:out
+
+let test_infer_concat () =
+  let g = concat_net () in
+  let tys = Ir.Infer.infer g in
+  let cat_id =
+    List.find
+      (fun i ->
+        match Ir.Graph.node g i with
+        | Ir.Graph.App { op = Ir.Op.Concat; _ } -> true
+        | _ -> false)
+      (Ir.Graph.node_ids g)
+  in
+  Alcotest.(check (list int)) "5+3 channels" [ 8; 8; 8 ]
+    (Array.to_list tys.(cat_id).Ir.Infer.shape)
+
+let test_infer_rejects_spatial_mismatch () =
+  let b = B.create () in
+  let x = B.input b ~name:"x" Dtype.I8 [| 1; 4; 4 |] in
+  let y = B.input b ~name:"y" Dtype.I8 [| 1; 5; 4 |] in
+  let g = B.finish b ~output:(B.app b Ir.Op.Concat [ x; y ]) in
+  try
+    ignore (Ir.Infer.infer g);
+    Alcotest.fail "expected type error"
+  with Ir.Infer.Type_error _ -> ()
+
+let test_compile_run_exact () =
+  (* Concat is a CPU anchor; the convs around it still offload. *)
+  let g = concat_net () in
+  let cfg = Htvm.Compile.default_config Arch.Diana.digital_only in
+  let artifact = Result.get_ok (Htvm.Compile.compile cfg g) in
+  let on_cpu =
+    List.filter (fun (li : Htvm.Compile.layer_info) -> li.Htvm.Compile.li_target = "cpu")
+      artifact.Htvm.Compile.layers
+  in
+  Alcotest.(check bool) "concat on host" true
+    (List.exists
+       (fun (li : Htvm.Compile.layer_info) -> Helpers.contains li.Htvm.Compile.li_desc "concatenate")
+       on_cpu);
+  let offloaded =
+    List.length
+      (List.filter (fun (li : Htvm.Compile.layer_info) -> li.Htvm.Compile.li_target <> "cpu")
+         artifact.Htvm.Compile.layers)
+  in
+  Alcotest.(check int) "both convs offloaded" 2 offloaded;
+  let inputs = [ ("x", Tensor.random (Util.Rng.create 3) Dtype.I8 [| 3; 8; 8 |]) ] in
+  let out, _ = Htvm.Compile.run artifact ~inputs in
+  Helpers.check_tensor "exact" (Ir.Eval.run g ~inputs) out
+
+let test_text_roundtrip () =
+  let g = concat_net () in
+  match Ir.Text.of_string (Ir.Text.to_string g) with
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+  | Ok g' ->
+      let inputs = [ ("x", Tensor.random (Util.Rng.create 4) Dtype.I8 [| 3; 8; 8 |]) ] in
+      Helpers.check_tensor "same semantics" (Ir.Eval.run g ~inputs) (Ir.Eval.run g' ~inputs)
+
+let prop_concat_order_sensitive =
+  Helpers.qtest ~count:30 "concat(a,b) mirrors concat(b,a)" QCheck.int (fun seed ->
+      let rng = Util.Rng.create seed in
+      let a = Tensor.random rng Dtype.I8 [| 2; 3; 3 |] in
+      let b = Tensor.random rng Dtype.I8 [| 1; 3; 3 |] in
+      let ab = K.concat_channels a b and ba = K.concat_channels b a in
+      (* Channel c of ab equals channel (c+1 mod 3 mapping) of ba. *)
+      let ok = ref true in
+      for y = 0 to 2 do
+        for x = 0 to 2 do
+          for c = 0 to 1 do
+            if Tensor.get ab [| c; y; x |] <> Tensor.get ba [| c + 1; y; x |] then ok := false
+          done;
+          if Tensor.get ab [| 2; y; x |] <> Tensor.get ba [| 0; y; x |] then ok := false
+        done
+      done;
+      !ok)
+
+let suites =
+  [ ( "concat",
+      [ Alcotest.test_case "kernel hand case" `Quick test_kernel_hand_case;
+        Alcotest.test_case "kernel rejects mismatch" `Quick test_kernel_rejects_mismatch;
+        Alcotest.test_case "infer" `Quick test_infer_concat;
+        Alcotest.test_case "infer rejects mismatch" `Quick test_infer_rejects_spatial_mismatch;
+        Alcotest.test_case "compile + run exact" `Quick test_compile_run_exact;
+        Alcotest.test_case "text roundtrip" `Quick test_text_roundtrip;
+        prop_concat_order_sensitive;
+      ] )
+  ]

@@ -1,0 +1,194 @@
+(* Failure injection: corrupted programs, broken buffer plans and
+   malformed inputs must be diagnosed loudly (Mem.Fault / Invalid_argument
+   / validation errors), never silently tolerated. *)
+
+module Dtype = Tensor.Dtype
+module P = Sim.Program
+module T = Tiling_fixtures
+
+(* A small valid program to mutate: one digital conv step. *)
+let base_program () =
+  let g =
+    let b = Ir.Graph.Builder.create () in
+    let rng = Util.Rng.create 8 in
+    let x = Ir.Graph.Builder.input b ~name:"x" Dtype.I8 [| 4; 8; 8 |] in
+    let w = Ir.Graph.Builder.const b (Tensor.random rng Dtype.I8 [| 8; 4; 3; 3 |]) in
+    let conv = Ir.Graph.Builder.conv2d b ~padding:(1, 1) x ~weights:w in
+    let q = Ir.Graph.Builder.requantize b ~relu:true ~shift:9 ~out_dtype:Dtype.I8 conv in
+    Ir.Graph.Builder.finish b ~output:q
+  in
+  let artifact =
+    Result.get_ok (Htvm.Compile.compile (Htvm.Compile.default_config Arch.Diana.digital_only) g)
+  in
+  (g, artifact)
+
+let run_program prog =
+  Sim.Machine.run ~platform:Arch.Diana.digital_only prog
+    ~inputs:[ ("x", Tensor.random (Util.Rng.create 9) Dtype.I8 [| 4; 8; 8 |]) ]
+
+let test_weights_offset_out_of_bounds () =
+  let _, artifact = base_program () in
+  let prog = artifact.Htvm.Compile.program in
+  let corrupt =
+    {
+      prog with
+      P.steps =
+        List.map
+          (function
+            | P.Accel a -> P.Accel { a with weights_offset = Util.Ints.kib 512 - 2 }
+            | s -> s)
+          prog.P.steps;
+    }
+  in
+  match run_program corrupt with
+  | exception Sim.Mem.Fault _ -> ()
+  | _ -> Alcotest.fail "expected a memory fault for out-of-bounds weights"
+
+let test_buffer_beyond_l2 () =
+  let _, artifact = base_program () in
+  let prog = artifact.Htvm.Compile.program in
+  let corrupt =
+    {
+      prog with
+      P.buffers =
+        List.map
+          (fun (b : P.buffer) ->
+            if b.P.buf_id = prog.P.output_buffer then
+              { b with P.l2_offset = Util.Ints.kib 512 - 16 }
+            else b)
+          prog.P.buffers;
+    }
+  in
+  match run_program corrupt with
+  | exception Sim.Mem.Fault _ -> ()
+  | _ -> Alcotest.fail "expected a memory fault for a buffer past the end of L2"
+
+let test_corrupted_weight_offset_changes_output () =
+  (* A wrong-but-in-bounds weight pointer must corrupt the result — the
+     differential tests' ability to catch planner bugs depends on it. *)
+  let g, artifact = base_program () in
+  let prog = artifact.Htvm.Compile.program in
+  let corrupt =
+    {
+      prog with
+      P.steps =
+        List.map
+          (function
+            | P.Accel a -> P.Accel { a with weights_offset = a.weights_offset + 9 }
+            | s -> s)
+          prog.P.steps;
+    }
+  in
+  let inputs = [ ("x", Tensor.random (Util.Rng.create 10) Dtype.I8 [| 4; 8; 8 |]) ] in
+  let reference = Ir.Eval.run g ~inputs in
+  let out, _ = Sim.Machine.run ~platform:Arch.Diana.digital_only corrupt ~inputs in
+  Alcotest.(check bool) "shifted weights corrupt the output" false
+    (Tensor.equal reference out)
+
+let test_program_validation_duplicate_buffers () =
+  let _, artifact = base_program () in
+  let prog = artifact.Htvm.Compile.program in
+  let dup = { prog with P.buffers = prog.P.buffers @ [ List.hd prog.P.buffers ] } in
+  (match P.validate dup with
+  | Error e -> Alcotest.(check bool) "diagnosed" true (Helpers.contains e "duplicate")
+  | Ok () -> Alcotest.fail "duplicate buffer ids accepted");
+  match run_program dup with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "machine ran an invalid program"
+
+let test_program_validation_unknown_buffer () =
+  let _, artifact = base_program () in
+  let prog = artifact.Htvm.Compile.program in
+  let broken = { prog with P.output_buffer = 999 } in
+  match P.validate broken with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unknown output buffer accepted"
+
+let test_machine_rejects_wrong_input_shape () =
+  let _, artifact = base_program () in
+  match
+    Sim.Machine.run ~platform:Arch.Diana.digital_only artifact.Htvm.Compile.program
+      ~inputs:[ ("x", Tensor.create Dtype.I8 [| 4; 9; 9 |]) ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "wrong input shape accepted"
+
+let test_machine_rejects_wrong_input_dtype () =
+  let _, artifact = base_program () in
+  match
+    Sim.Machine.run ~platform:Arch.Diana.digital_only artifact.Htvm.Compile.program
+      ~inputs:[ ("x", Tensor.create Dtype.I32 [| 4; 8; 8 |]) ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "wrong input dtype accepted"
+
+let test_exec_rejects_missing_weight_buffer () =
+  let layer = T.conv_layer ~c:4 ~k:4 ~hw:8 () in
+  let schedule =
+    Dory.Schedule.build layer ~accel_name:"diana_digital"
+      ~tile:(Arch.Tile.full layer) ~double_buffer:false
+  in
+  let l2 = Sim.Mem.create "L2" (Util.Ints.kib 64) in
+  let l1 = Sim.Mem.create "L1" (Util.Ints.kib 64) in
+  match
+    Sim.Exec_accel.run ~platform:Arch.Diana.platform ~accel:Arch.Diana.digital ~l2 ~l1
+      ~buffers:
+        { Sim.Exec_accel.in_offsets = [ 0 ]; out_offset = 1024; weights_offset = -1;
+          bias_offset = -1 }
+      schedule
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "missing weight buffer accepted"
+
+let test_exec_rejects_oversized_l1_demand () =
+  let layer = T.conv_layer ~c:16 ~k:16 ~hw:32 () in
+  let schedule =
+    Dory.Schedule.build layer ~accel_name:"diana_digital"
+      ~tile:(Arch.Tile.full layer) ~double_buffer:false
+  in
+  let l2 = Sim.Mem.create "L2" (Util.Ints.kib 512) in
+  let tiny_l1 = Sim.Mem.create "L1" 512 in
+  match
+    Sim.Exec_accel.run ~platform:Arch.Diana.platform ~accel:Arch.Diana.digital ~l2
+      ~l1:tiny_l1
+      ~buffers:
+        { Sim.Exec_accel.in_offsets = [ 0 ]; out_offset = 65536; weights_offset = 131072;
+          bias_offset = 135000 }
+      schedule
+  with
+  | exception Sim.Mem.Fault _ -> ()
+  | _ -> Alcotest.fail "schedule exceeding L1 accepted"
+
+let test_tvm_text_fuzz_never_crashes () =
+  (* Mutated serialized models must parse or error, never raise. *)
+  let g = (Models.Zoo.find "ds_cnn").Models.Zoo.build Models.Policy.All_int8 in
+  let src = Ir.Text.to_string g in
+  let rng = Util.Rng.create 77 in
+  for _ = 1 to 200 do
+    let b = Bytes.of_string src in
+    for _ = 0 to Util.Rng.int rng 4 do
+      let pos = Util.Rng.int rng (Bytes.length b) in
+      Bytes.set b pos (Char.chr (Util.Rng.int rng 128))
+    done;
+    match Ir.Text.of_string (Bytes.to_string b) with
+    | Ok _ | Error _ -> ()
+  done
+
+let suites =
+  [ ( "faults",
+      [ Alcotest.test_case "weights offset OOB" `Quick test_weights_offset_out_of_bounds;
+        Alcotest.test_case "buffer beyond L2" `Quick test_buffer_beyond_l2;
+        Alcotest.test_case "corrupted weights corrupt output" `Quick
+          test_corrupted_weight_offset_changes_output;
+        Alcotest.test_case "duplicate buffers rejected" `Quick
+          test_program_validation_duplicate_buffers;
+        Alcotest.test_case "unknown buffer rejected" `Quick
+          test_program_validation_unknown_buffer;
+        Alcotest.test_case "wrong input shape" `Quick test_machine_rejects_wrong_input_shape;
+        Alcotest.test_case "wrong input dtype" `Quick test_machine_rejects_wrong_input_dtype;
+        Alcotest.test_case "missing weight buffer" `Quick
+          test_exec_rejects_missing_weight_buffer;
+        Alcotest.test_case "oversized L1 demand" `Quick test_exec_rejects_oversized_l1_demand;
+        Alcotest.test_case "text mutation fuzz" `Quick test_tvm_text_fuzz_never_crashes;
+      ] )
+  ]

@@ -1,0 +1,74 @@
+(* Differential fuzzing: random graphs x random deployment configurations.
+   Every graph that compiles must execute bit-identically to the reference
+   interpreter; compile errors must be real resource diagnoses, never
+   crashes. This is the strongest whole-stack correctness check in the
+   repository. *)
+
+let run_one seed =
+  let g = Gen_graphs.generate seed in
+  (match Ir.Graph.validate g with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "seed %d: generator produced invalid graph: %s" seed e);
+  let cfg = Gen_graphs.random_config seed in
+  match Htvm.Compile.compile cfg g with
+  | Error msg ->
+      (* Resource exhaustion is a legitimate outcome on shrunken L1/L2;
+         anything else indicates a compiler bug. *)
+      if not (Helpers.contains msg "out of memory" || Helpers.contains msg "no feasible tile")
+      then Alcotest.failf "seed %d: unexpected compile error: %s" seed msg
+  | Ok artifact -> (
+      let inputs = Models.Zoo.random_input ~seed g in
+      let reference = Ir.Eval.run g ~inputs in
+      match Htvm.Compile.run artifact ~inputs with
+      | exception e ->
+          Alcotest.failf "seed %d: execution crashed: %s" seed (Printexc.to_string e)
+      | out, report ->
+          if not (Tensor.equal reference out) then
+            Alcotest.failf "seed %d: output differs (max diff %d, %d ops)" seed
+              (Tensor.max_abs_diff reference out)
+              (Ir.Graph.app_count g);
+          let t = report.Sim.Machine.totals in
+          if t.Sim.Counters.wall <= 0 then Alcotest.failf "seed %d: no cycles counted" seed)
+
+let test_fuzz_range lo hi () =
+  for seed = lo to hi do
+    run_one seed
+  done
+
+let test_generator_diversity () =
+  (* The generator must actually produce ternary layers, depthwise layers,
+     residual adds and classifier heads across a seed range. *)
+  let seen_ternary = ref false
+  and seen_dw = ref false
+  and seen_add = ref false
+  and seen_dense = ref false in
+  for seed = 0 to 80 do
+    let g = Gen_graphs.generate seed in
+    List.iter
+      (fun id ->
+        match Ir.Graph.node g id with
+        | Ir.Graph.App { op = Ir.Op.Conv2d p; args } ->
+            if p.Nn.Kernels.groups > 1 then seen_dw := true;
+            (match Ir.Graph.node g (List.nth args 1) with
+            | Ir.Graph.Const t ->
+                if Tensor.dtype t = Tensor.Dtype.Ternary then seen_ternary := true
+            | _ -> ())
+        | Ir.Graph.App { op = Ir.Op.Add; _ } -> seen_add := true
+        | Ir.Graph.App { op = Ir.Op.Dense; _ } -> seen_dense := true
+        | _ -> ())
+      (Ir.Graph.node_ids g)
+  done;
+  Alcotest.(check bool) "ternary layers generated" true !seen_ternary;
+  Alcotest.(check bool) "depthwise generated" true !seen_dw;
+  Alcotest.(check bool) "residual adds generated" true !seen_add;
+  Alcotest.(check bool) "dense heads generated" true !seen_dense
+
+let suites =
+  [ ( "fuzz",
+      [ Alcotest.test_case "generator diversity" `Quick test_generator_diversity;
+        Alcotest.test_case "differential seeds 0-39" `Quick (test_fuzz_range 0 39);
+        Alcotest.test_case "differential seeds 40-79" `Quick (test_fuzz_range 40 79);
+        Alcotest.test_case "differential seeds 80-119" `Quick (test_fuzz_range 80 119);
+        Alcotest.test_case "differential seeds 120-199" `Slow (test_fuzz_range 120 199);
+      ] )
+  ]

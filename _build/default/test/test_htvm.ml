@@ -1,0 +1,164 @@
+(* End-to-end integration tests: HTVM-compiled artifacts running on the
+   simulated DIANA SoC must be bit-identical to the graph interpreter, in
+   every Table-I configuration, and reproduce the paper's qualitative
+   results (OoM, offload coverage, speedup orderings, binary size
+   directions). *)
+
+module C = Htvm.Compile
+
+(* Table I configurations: (label, platform, weight-precision policy). *)
+let configurations =
+  [
+    ("cpu", Arch.Diana.cpu_only, Models.Policy.All_int8);
+    ("digital", Arch.Diana.digital_only, Models.Policy.All_int8);
+    ("analog", Arch.Diana.analog_only, Models.Policy.All_ternary);
+    ("both", Arch.Diana.platform, Models.Policy.Mixed);
+  ]
+
+let compile_exn cfg g =
+  match C.compile cfg g with
+  | Ok a -> a
+  | Error e -> Alcotest.failf "compile failed: %s" e
+
+let check_model_config (e : Models.Zoo.entry) (label, platform, policy) =
+  let g = e.Models.Zoo.build ?seed:None policy in
+  let artifact = compile_exn (C.default_config platform) g in
+  let inputs = Models.Zoo.random_input g in
+  let reference = Ir.Eval.run g ~inputs in
+  let out, report = C.run artifact ~inputs in
+  if not (Tensor.equal reference out) then
+    Alcotest.failf "%s/%s: simulated output differs from interpreter (max diff %d)"
+      e.Models.Zoo.model_name label
+      (Tensor.max_abs_diff reference out);
+  report
+
+let test_exact name =
+  List.map
+    (fun ((label, _, _) as config) ->
+      Alcotest.test_case
+        (Printf.sprintf "%s %s exact" name label)
+        `Quick
+        (fun () -> ignore (check_model_config (Models.Zoo.find name) config)))
+    configurations
+
+let test_tvm_baseline_mobilenet_oom () =
+  (* Plain TVM (no buffer reuse) cannot fit MobileNet's activations plus
+     weights in DIANA's 512 kB L2 — Table I's OoM entry. *)
+  let g =
+    (Models.Zoo.find "mobilenet_v1_025").Models.Zoo.build Models.Policy.All_int8
+  in
+  match C.compile (C.tvm_baseline_config Arch.Diana.cpu_only) g with
+  | Error e -> Alcotest.(check bool) "oom" true (Helpers.contains e "out of memory")
+  | Ok _ -> Alcotest.fail "expected MobileNet to run out of memory under plain TVM"
+
+let test_tvm_baseline_others_fit () =
+  List.iter
+    (fun name ->
+      let g = (Models.Zoo.find name).Models.Zoo.build Models.Policy.All_int8 in
+      match C.compile (C.tvm_baseline_config Arch.Diana.cpu_only) g with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%s should fit under plain TVM: %s" name e)
+    [ "ds_cnn"; "resnet8"; "toyadmos_dae" ]
+
+let test_digital_offloads_everything_heavy () =
+  let g = (Models.Zoo.find "resnet8").Models.Zoo.build Models.Policy.All_int8 in
+  let artifact = compile_exn (C.default_config Arch.Diana.digital_only) g in
+  (* No convolution or dense may remain on the CPU. *)
+  List.iter
+    (fun (li : C.layer_info) ->
+      if li.C.li_target = "cpu" then
+        if
+          Helpers.contains li.C.li_desc "conv" || Helpers.contains li.C.li_desc "dense"
+        then Alcotest.failf "heavy kernel on CPU: %s" li.C.li_desc)
+    artifact.C.layers;
+  let offloaded =
+    List.length (List.filter (fun li -> li.C.li_target <> "cpu") artifact.C.layers)
+  in
+  (* 8 convs + 2 downsample convs... ResNet-8: stem + 3 stacks x (2 convs)
+     + 2 downsamples + 3 adds + 1 dense = 13 offloaded layers. *)
+  Alcotest.(check int) "13 offloaded layers" 13 offloaded
+
+let test_mixed_uses_both_accelerators () =
+  let g = (Models.Zoo.find "resnet8").Models.Zoo.build Models.Policy.Mixed in
+  let artifact = compile_exn (C.default_config Arch.Diana.platform) g in
+  let targets = List.map (fun li -> li.C.li_target) artifact.C.layers in
+  Alcotest.(check bool) "digital used" true (List.mem "diana_digital" targets);
+  Alcotest.(check bool) "analog used" true (List.mem "diana_analog" targets)
+
+let run_cycles name (label, platform, policy) =
+  let report = check_model_config (Models.Zoo.find name) (label, platform, policy) in
+  (C.full_cycles report, C.peak_cycles report)
+
+let test_speedup_orderings () =
+  (* The paper's headline results, as orderings rather than exact factors:
+     digital beats CPU by two orders of magnitude on ResNet; mixed beats
+     analog-only substantially on DS-CNN (8x in the paper). *)
+  let cpu_full, _ = run_cycles "resnet8" (List.nth configurations 0) in
+  let dig_full, dig_peak = run_cycles "resnet8" (List.nth configurations 1) in
+  Alcotest.(check bool) "resnet digital >50x over cpu" true (cpu_full > 50 * dig_full);
+  Alcotest.(check bool) "peak <= full" true (dig_peak <= dig_full);
+  let ana_full, _ = run_cycles "ds_cnn" (List.nth configurations 2) in
+  let both_full, _ = run_cycles "ds_cnn" (List.nth configurations 3) in
+  Alcotest.(check bool) "dscnn mixed >2x over analog-only" true
+    (ana_full > 2 * both_full)
+
+let binary_kb name (label, platform, policy) =
+  ignore label;
+  let g = (Models.Zoo.find name).Models.Zoo.build ?seed:None policy in
+  let artifact = compile_exn (C.default_config platform) g in
+  Codegen.Size.total_kb artifact.C.size
+
+let test_binary_size_directions () =
+  (* ResNet: the digital binary is smaller than the CPU one (coarse
+     accelerator calls replace conv kernels, paper: -12.3%). *)
+  let cpu = binary_kb "resnet8" (List.nth configurations 0) in
+  let dig = binary_kb "resnet8" (List.nth configurations 1) in
+  Alcotest.(check bool) "resnet digital smaller than cpu" true (dig < cpu);
+  (* ToyAdmos: ternary weights store far smaller than int8 (171 vs 315 kB
+     in the paper). *)
+  let dig_t = binary_kb "toyadmos_dae" (List.nth configurations 1) in
+  let ana_t = binary_kb "toyadmos_dae" (List.nth configurations 2) in
+  Alcotest.(check bool) "toyadmos ternary smaller" true (ana_t < dig_t);
+  (* DSCNN: IMC padding makes the analog binary bigger (93 vs 60 kB). *)
+  let dig_d = binary_kb "ds_cnn" (List.nth configurations 1) in
+  let ana_d = binary_kb "ds_cnn" (List.nth configurations 2) in
+  Alcotest.(check bool) "dscnn analog bigger (IMC padding)" true (ana_d > dig_d)
+
+let test_artifact_structure () =
+  let g = (Models.Zoo.find "resnet8").Models.Zoo.build Models.Policy.All_int8 in
+  let artifact = compile_exn (C.default_config Arch.Diana.digital_only) g in
+  Alcotest.(check bool) "C source emitted" true
+    (Helpers.contains artifact.C.c_source "htvm_network_run");
+  Alcotest.(check bool) "static weights resident" true (artifact.C.l2_static_bytes > 0);
+  Alcotest.(check bool) "arena positive" true (artifact.C.l2_arena_bytes > 0);
+  Alcotest.(check bool) "arena + static within L2" true
+    (artifact.C.l2_static_bytes + artifact.C.l2_arena_bytes
+    <= Util.Ints.kib 512);
+  match Sim.Program.validate artifact.C.program with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "program invalid: %s" e
+
+let suites =
+  [ ( "htvm-end-to-end",
+      List.concat
+        [
+          test_exact "resnet8";
+          test_exact "ds_cnn";
+          test_exact "toyadmos_dae";
+          test_exact "mobilenet_v1_025";
+          [
+            Alcotest.test_case "tvm baseline mobilenet OoM" `Quick
+              test_tvm_baseline_mobilenet_oom;
+            Alcotest.test_case "tvm baseline others fit" `Quick
+              test_tvm_baseline_others_fit;
+            Alcotest.test_case "digital offloads heavy ops" `Quick
+              test_digital_offloads_everything_heavy;
+            Alcotest.test_case "mixed uses both accels" `Quick
+              test_mixed_uses_both_accelerators;
+            Alcotest.test_case "speedup orderings" `Quick test_speedup_orderings;
+            Alcotest.test_case "binary size directions" `Quick
+              test_binary_size_directions;
+            Alcotest.test_case "artifact structure" `Quick test_artifact_structure;
+          ];
+        ] )
+  ]

@@ -1,0 +1,144 @@
+(* Tests for lib/models: topology, typing, MAC counts, precision policies. *)
+
+module Dtype = Tensor.Dtype
+
+let policies = [ Models.Policy.All_int8; Models.Policy.All_ternary; Models.Policy.Mixed ]
+
+let build (e : Models.Zoo.entry) policy = e.Models.Zoo.build ?seed:None policy
+
+let test_all_models_build_and_typecheck () =
+  List.iter
+    (fun (e : Models.Zoo.entry) ->
+      List.iter
+        (fun policy ->
+          let g = build e policy in
+          (match Ir.Graph.validate g with
+          | Ok () -> ()
+          | Error err ->
+              Alcotest.failf "%s/%s invalid: %s" e.Models.Zoo.model_name
+                (Models.Policy.to_string policy) err);
+          ignore (Ir.Infer.infer g))
+        policies)
+    Models.Zoo.all
+
+let out_dims name policy =
+  let e = Models.Zoo.find name in
+  let ty = Ir.Infer.output_ty (build e policy) in
+  Array.to_list ty.Ir.Infer.shape
+
+let test_output_shapes () =
+  Alcotest.(check (list int)) "resnet 10 classes" [ 10 ]
+    (out_dims "resnet8" Models.Policy.All_int8);
+  Alcotest.(check (list int)) "dscnn 12 keywords" [ 12 ]
+    (out_dims "ds_cnn" Models.Policy.All_int8);
+  Alcotest.(check (list int)) "mobilenet 2 classes" [ 2 ]
+    (out_dims "mobilenet_v1_025" Models.Policy.All_int8);
+  Alcotest.(check (list int)) "toyadmos reconstructs 640" [ 640 ]
+    (out_dims "toyadmos_dae" Models.Policy.All_int8);
+  (* Shapes are policy-invariant. *)
+  Alcotest.(check (list int)) "resnet ternary same" [ 10 ]
+    (out_dims "resnet8" Models.Policy.All_ternary)
+
+let macs_of name =
+  Models.Zoo.macs (build (Models.Zoo.find name) Models.Policy.All_int8)
+
+let check_macs name lo hi =
+  let m = macs_of name in
+  if m < lo || m > hi then Alcotest.failf "%s: %d MACs outside [%d, %d]" name m lo hi
+
+let test_mac_counts_match_paper_workloads () =
+  (* Published workload sizes for the MLPerf Tiny models. *)
+  check_macs "resnet8" 12_000_000 13_000_000;
+  check_macs "mobilenet_v1_025" 7_000_000 8_500_000;
+  check_macs "ds_cnn" 2_400_000 3_200_000;
+  check_macs "toyadmos_dae" 230_000 280_000
+
+let const_dtypes g =
+  List.filter_map
+    (fun id ->
+      match Ir.Graph.node g id with
+      | Ir.Graph.Const t when Tensor.rank t >= 2 -> Some (Tensor.dtype t)
+      | _ -> None)
+    (Ir.Graph.node_ids g)
+
+let test_policy_dtypes () =
+  let int8_g = build (Models.Zoo.find "resnet8") Models.Policy.All_int8 in
+  Alcotest.(check bool) "int8: no ternary weights" false
+    (List.exists (Dtype.equal Dtype.Ternary) (const_dtypes int8_g));
+  let tern_g = build (Models.Zoo.find "resnet8") Models.Policy.All_ternary in
+  Alcotest.(check bool) "ternary: has ternary weights" true
+    (List.exists (Dtype.equal Dtype.Ternary) (const_dtypes tern_g));
+  let mixed_g = build (Models.Zoo.find "resnet8") Models.Policy.Mixed in
+  let ds = const_dtypes mixed_g in
+  Alcotest.(check bool) "mixed: both precisions present" true
+    (List.exists (Dtype.equal Dtype.Ternary) ds
+    && List.exists (Dtype.equal Dtype.I8) ds)
+
+let test_mobilenet_dw_stays_int8_under_ternary () =
+  (* DW is unsupported on the analog core: even the all-ternary policy
+     keeps depthwise weights in int8 for the CPU. *)
+  let g = build (Models.Zoo.find "mobilenet_v1_025") Models.Policy.All_ternary in
+  let ok = ref true in
+  List.iter
+    (fun id ->
+      match Ir.Graph.node g id with
+      | Ir.Graph.App { op = Ir.Op.Conv2d p; args } when p.Nn.Kernels.groups > 1 -> (
+          match Ir.Graph.node g (List.nth args 1) with
+          | Ir.Graph.Const t ->
+              if Dtype.equal (Tensor.dtype t) Dtype.Ternary then ok := false
+          | _ -> ok := false)
+      | _ -> ())
+    (Ir.Graph.node_ids g);
+  Alcotest.(check bool) "dw weights int8" true !ok
+
+let test_toyadmos_ternary_has_no_dense () =
+  (* FC-as-conv: the ternary DAE must contain no dense ops at all. *)
+  let g = build (Models.Zoo.find "toyadmos_dae") Models.Policy.All_ternary in
+  let has_dense =
+    List.exists
+      (fun id ->
+        match Ir.Graph.node g id with
+        | Ir.Graph.App { op = Ir.Op.Dense; _ } -> true
+        | _ -> false)
+      (Ir.Graph.node_ids g)
+  in
+  Alcotest.(check bool) "all FC emitted as conv" false has_dense;
+  (* And the int8 variant keeps them dense. *)
+  let g8 = build (Models.Zoo.find "toyadmos_dae") Models.Policy.All_int8 in
+  let dense_count =
+    List.length
+      (List.filter
+         (fun id ->
+           match Ir.Graph.node g8 id with
+           | Ir.Graph.App { op = Ir.Op.Dense; _ } -> true
+           | _ -> false)
+         (Ir.Graph.node_ids g8))
+  in
+  Alcotest.(check int) "10 dense layers" 10 dense_count
+
+let test_models_deterministic () =
+  let e = Models.Zoo.find "ds_cnn" in
+  let g1 = e.Models.Zoo.build ~seed:5 Models.Policy.All_int8 in
+  let g2 = e.Models.Zoo.build ~seed:5 Models.Policy.All_int8 in
+  let inputs = Models.Zoo.random_input g1 in
+  Helpers.check_tensor "same seed, same network"
+    (Ir.Eval.run g1 ~inputs) (Ir.Eval.run g2 ~inputs)
+
+let test_random_input_binds_all () =
+  let g = build (Models.Zoo.find "resnet8") Models.Policy.All_int8 in
+  let inputs = Models.Zoo.random_input g in
+  Alcotest.(check int) "one input" 1 (List.length inputs);
+  ignore (Ir.Eval.run g ~inputs)
+
+let suites =
+  [ ( "models",
+      [ Alcotest.test_case "all build and typecheck" `Quick test_all_models_build_and_typecheck;
+        Alcotest.test_case "output shapes" `Quick test_output_shapes;
+        Alcotest.test_case "mac counts" `Quick test_mac_counts_match_paper_workloads;
+        Alcotest.test_case "policy dtypes" `Quick test_policy_dtypes;
+        Alcotest.test_case "dw stays int8" `Quick test_mobilenet_dw_stays_int8_under_ternary;
+        Alcotest.test_case "ternary DAE has no dense" `Quick test_toyadmos_ternary_has_no_dense;
+        Alcotest.test_case "deterministic" `Quick test_models_deterministic;
+        Alcotest.test_case "random input binds" `Quick test_random_input_binds_all;
+      ] )
+  ]

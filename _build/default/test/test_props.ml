@@ -1,0 +1,122 @@
+(* Additional cross-module property tests: solver feasibility/determinism,
+   schedule weight-reload arithmetic, planner strategy ordering, fusion
+   coverage, and serialization fixpoints. *)
+
+module Tile = Arch.Tile
+module T = Tiling_fixtures
+
+let digital = Arch.Diana.digital
+
+let prop_solution_always_feasible =
+  Helpers.qtest ~count:80 "solver output is feasible"
+    QCheck.(quad (int_range 1 24) (int_range 1 24) (int_range 4 24) (int_range 2 64))
+    (fun (c, k, hw, budget_kib) ->
+      let layer = T.conv_layer ~c ~k ~hw ~f:3 ~pad:1 () in
+      let cfg = Dory.Tiling.default_config ~l1_budget:(Util.Ints.kib budget_kib) in
+      match Dory.Tiling.solve cfg digital layer with
+      | Error _ -> true
+      | Ok s -> Dory.Tiling.feasible cfg digital layer s.Dory.Tiling.tile)
+
+let prop_solver_deterministic =
+  Helpers.qtest ~count:40 "solver is deterministic"
+    QCheck.(pair (int_range 1 16) (int_range 2 32))
+    (fun (k, budget_kib) ->
+      let layer = T.conv_layer ~c:8 ~k ~hw:16 () in
+      let cfg = Dory.Tiling.default_config ~l1_budget:(Util.Ints.kib budget_kib) in
+      Dory.Tiling.solve cfg digital layer = Dory.Tiling.solve cfg digital layer)
+
+let prop_weight_reloads_match_k_blocks =
+  Helpers.qtest ~count:60 "one weight reload per k block"
+    QCheck.(quad (int_range 1 16) (int_range 1 16) (int_range 1 8) (int_range 1 8))
+    (fun (k, kt, oyt, oxt) ->
+      let layer = T.conv_layer ~c:4 ~k ~hw:8 () in
+      let full = Tile.full layer in
+      let tile =
+        Tile.for_layer layer ~c:4 ~k:(min kt full.Tile.k) ~oy:(min oyt full.Tile.oy)
+          ~ox:(min oxt full.Tile.ox)
+      in
+      let s = Dory.Schedule.build layer ~accel_name:"d" ~tile ~double_buffer:true in
+      let reloads =
+        List.length
+          (List.filter (fun i -> i.Dory.Schedule.load_weights) s.Dory.Schedule.instances)
+      in
+      reloads = Util.Ints.ceil_div full.Tile.k tile.Tile.k)
+
+let prop_no_reuse_peak_dominates =
+  Helpers.qtest ~count:80 "no-reuse peak >= reuse peak"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 12) (triple (int_range 1 300) (int_range 0 7) (int_range 0 7)))
+    (fun specs ->
+      let reqs =
+        List.mapi
+          (fun i (bytes, a, b) ->
+            { Dory.Memplan.buffer_id = i; bytes; birth = min a b; death = max a b })
+          specs
+      in
+      match
+        ( Dory.Memplan.plan Dory.Memplan.Reuse ~capacity:1_000_000 ~align:4 reqs,
+          Dory.Memplan.plan Dory.Memplan.No_reuse ~capacity:1_000_000 ~align:4 reqs )
+      with
+      | Ok r, Ok n -> n.Dory.Memplan.peak_bytes >= r.Dory.Memplan.peak_bytes
+      | _ -> false)
+
+let prop_fusion_partitions_host_nodes =
+  Helpers.qtest ~count:40 "fused kernels partition the host pool"
+    QCheck.(int_range 0 5_000)
+    (fun seed ->
+      let g = Gen_graphs.generate seed in
+      let tys = Ir.Infer.infer g in
+      let host =
+        List.filter
+          (fun id -> match Ir.Graph.node g id with Ir.Graph.App _ -> true | _ -> false)
+          (Ir.Graph.node_ids g)
+      in
+      let kernels =
+        Codegen.Fuse.kernels ~cpu:Arch.Diana.cpu
+          ~size:Arch.Diana.platform.Arch.Platform.size_model g tys ~host_nodes:host
+      in
+      let covered =
+        List.concat_map (fun k -> k.Codegen.Fuse.nodes) kernels |> List.sort compare
+      in
+      covered = List.sort compare host)
+
+let prop_text_print_parse_fixpoint =
+  Helpers.qtest ~count:30 "print . parse . print is a fixpoint"
+    QCheck.(int_range 0 5_000)
+    (fun seed ->
+      let g = Gen_graphs.generate seed in
+      let s1 = Ir.Text.to_string g in
+      match Ir.Text.of_string s1 with
+      | Error _ -> false
+      | Ok g' -> Ir.Text.to_string g' = s1)
+
+let prop_chain_plan_fits =
+  Helpers.qtest ~count:40 "chain stripes fit their budget"
+    QCheck.(pair (int_range 2 12) (int_range 2 48))
+    (fun (k, budget_kib) ->
+      let first = T.conv_layer ~c:4 ~k ~hw:16 ~f:3 ~pad:1 () in
+      let second = T.conv_layer ~c:k ~k:4 ~hw:16 ~f:3 ~pad:1 ~seed:99 () in
+      match Dory.Chain.plan ~l1_budget:(Util.Ints.kib budget_kib) first second with
+      | Error _ -> true
+      | Ok plan -> Dory.Chain.l1_stripe_bytes plan <= Util.Ints.kib budget_kib)
+
+let prop_tune_speedup_bounded =
+  Helpers.qtest ~count:30 "tuning speedup is sane (1x..10x)"
+    QCheck.(pair (int_range 2 24) (int_range 2 24))
+    (fun (c, k) ->
+      let layer = T.conv_layer ~c ~k ~hw:12 () in
+      let r = Tune.Search.tune ~seed:(c + k) ~budget:48 ~device:Tune.Device.xpulpv2 layer in
+      let s = Tune.Search.speedup r in
+      s >= 1.0 && s < 10.0)
+
+let suites =
+  [ ( "cross-properties",
+      [ prop_solution_always_feasible;
+        prop_solver_deterministic;
+        prop_weight_reloads_match_k_blocks;
+        prop_no_reuse_peak_dominates;
+        prop_fusion_partitions_host_nodes;
+        prop_text_print_parse_fixpoint;
+        prop_chain_plan_fits;
+        prop_tune_speedup_bounded;
+      ] )
+  ]

@@ -1,0 +1,110 @@
+(* Tests for the textual model format: round-trips, payload encoding and
+   parser diagnostics. *)
+
+module Dtype = Tensor.Dtype
+module B = Ir.Graph.Builder
+
+let roundtrip g =
+  match Ir.Text.of_string (Ir.Text.to_string g) with
+  | Ok g' -> g'
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+
+let test_roundtrip_small () =
+  let b = B.create () in
+  let x = B.input b ~name:"x" Dtype.I8 [| 2; 4; 4 |] in
+  let w = B.const b (Tensor.random (Util.Rng.create 3) Dtype.I8 [| 3; 2; 3; 3 |]) in
+  let conv = B.conv2d b ~padding:(1, 1) x ~weights:w in
+  let q = B.requantize b ~relu:true ~shift:9 ~out_dtype:Dtype.I8 conv in
+  let g = B.finish b ~output:q in
+  let g' = roundtrip g in
+  let input = Tensor.random (Util.Rng.create 4) Dtype.I8 [| 2; 4; 4 |] in
+  Helpers.check_tensor "same semantics"
+    (Ir.Eval.run g ~inputs:[ ("x", input) ])
+    (Ir.Eval.run g' ~inputs:[ ("x", input) ])
+
+let test_roundtrip_all_dtypes () =
+  (* Payload codec check: a constant of each dtype survives serialization
+     bit-for-bit. *)
+  List.iter
+    (fun dt ->
+      let t = Tensor.random (Util.Rng.create 6) dt [| 3; 5 |] in
+      let b = B.create () in
+      let _ = B.input b ~name:"x" Dtype.I8 [| 1 |] in
+      let cid = B.const b t in
+      let g = B.finish b ~output:(B.app b (Ir.Op.Reshape [| 15 |]) [ cid ]) in
+      let g' = roundtrip g in
+      match Ir.Graph.node g' 1 with
+      | Ir.Graph.Const t' -> Helpers.check_tensor (Dtype.to_string dt) t t'
+      | _ -> Alcotest.fail "const lost")
+    [ Dtype.I8; Dtype.U7; Dtype.I16; Dtype.I32; Dtype.Ternary ]
+
+let test_roundtrip_mlperf_models () =
+  List.iter
+    (fun (e : Models.Zoo.entry) ->
+      let g = e.Models.Zoo.build Models.Policy.Mixed in
+      let g' = roundtrip g in
+      let inputs = Models.Zoo.random_input g in
+      Helpers.check_tensor e.Models.Zoo.model_name (Ir.Eval.run g ~inputs)
+        (Ir.Eval.run g' ~inputs))
+    Models.Zoo.all
+
+let test_save_load_file () =
+  let g = (Models.Zoo.find "resnet8").Models.Zoo.build Models.Policy.All_int8 in
+  let path = Filename.temp_file "htvm_model" ".htvm" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Ir.Text.save path g;
+      match Ir.Text.load path with
+      | Error e -> Alcotest.failf "load failed: %s" e
+      | Ok g' ->
+          let inputs = Models.Zoo.random_input g in
+          Helpers.check_tensor "file round-trip" (Ir.Eval.run g ~inputs)
+            (Ir.Eval.run g' ~inputs))
+
+let expect_error s needle =
+  match Ir.Text.of_string s with
+  | Ok _ -> Alcotest.failf "expected parse error mentioning %S" needle
+  | Error e ->
+      if not (Helpers.contains e needle) then
+        Alcotest.failf "error %S does not mention %S" e needle
+
+let test_parser_diagnostics () =
+  expect_error "bogus" "header";
+  expect_error "htvm-graph v1\nfrobnicate %0\n" "unknown directive";
+  expect_error "htvm-graph v1\ninput %0 x i9 4\noutput %0\n" "unknown dtype";
+  expect_error "htvm-graph v1\ninput %0 x i8 4\napp %1 nn.relu args %5\noutput %1\n"
+    "before its definition";
+  expect_error "htvm-graph v1\ninput %0 x i8 4\n" "no output";
+  expect_error "htvm-graph v1\nconst %0 i8 2 ff\noutput %0\n" "hex digits";
+  (* Line numbers point at the offender. *)
+  expect_error "htvm-graph v1\ninput %0 x i8 4\napp %1 mystery args %0\noutput %1\n"
+    "line 3"
+
+let test_missing_file () =
+  match Ir.Text.load "/nonexistent/path.htvm" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error for missing file"
+
+let prop_roundtrip_random_graphs =
+  Helpers.qtest ~count:40 "text round-trip preserves semantics"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = Gen_graphs.generate seed in
+      match Ir.Text.of_string (Ir.Text.to_string g) with
+      | Error _ -> false
+      | Ok g' ->
+          let inputs = Models.Zoo.random_input ~seed g in
+          Tensor.equal (Ir.Eval.run g ~inputs) (Ir.Eval.run g' ~inputs))
+
+let suites =
+  [ ( "text-format",
+      [ Alcotest.test_case "roundtrip small" `Quick test_roundtrip_small;
+        Alcotest.test_case "roundtrip dtypes" `Quick test_roundtrip_all_dtypes;
+        Alcotest.test_case "roundtrip mlperf models" `Quick test_roundtrip_mlperf_models;
+        Alcotest.test_case "save/load file" `Quick test_save_load_file;
+        Alcotest.test_case "parser diagnostics" `Quick test_parser_diagnostics;
+        Alcotest.test_case "missing file" `Quick test_missing_file;
+        prop_roundtrip_random_graphs;
+      ] )
+  ]

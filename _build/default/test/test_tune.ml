@@ -1,0 +1,129 @@
+(* Tests for lib/tune: schedule space, device cost model and the tuner,
+   plus the compile-pipeline integration. *)
+
+module S = Tune.Sched
+module D = Tune.Device
+module T = Tiling_fixtures
+
+let conv = T.conv_layer ~c:32 ~k:32 ~hw:16 ()
+let dense = T.dense_layer ~c:256 ~k:64 ()
+
+let test_sched_random_valid () =
+  let rng = Util.Rng.create 4 in
+  for _ = 1 to 200 do
+    let s = S.random rng conv in
+    Alcotest.(check bool) "tiles within extents" true
+      (s.S.tile_k >= 1 && s.S.tile_k <= 32 && s.S.tile_x >= 1 && s.S.tile_x <= 16);
+    Alcotest.(check bool) "vector legal" true (List.mem s.S.vector [ 1; 2; 4 ]);
+    Alcotest.(check bool) "unroll legal" true (List.mem s.S.unroll [ 1; 2; 4; 8 ])
+  done
+
+let test_sched_neighbours_differ () =
+  let n = S.neighbours conv S.default in
+  Alcotest.(check bool) "several neighbours" true (List.length n >= 5);
+  List.iter
+    (fun s -> Alcotest.(check bool) "neighbour differs" true (s <> S.default))
+    n
+
+let test_device_deterministic () =
+  Alcotest.(check int) "same schedule, same cycles"
+    (D.kernel_cycles D.xpulpv2 conv S.default)
+    (D.kernel_cycles D.xpulpv2 conv S.default)
+
+let test_device_vector_helps () =
+  let slow = D.kernel_cycles D.xpulpv2 conv { S.default with S.vector = 1 } in
+  let fast = D.kernel_cycles D.xpulpv2 conv { S.default with S.vector = 4 } in
+  Alcotest.(check bool) "simd faster" true (fast < slow)
+
+let test_device_reduction_outer_pathological () =
+  let normal = D.kernel_cycles D.xpulpv2 conv S.default in
+  let bad = D.kernel_cycles D.xpulpv2 conv { S.default with S.order = S.C_khw } in
+  Alcotest.(check bool) "accumulator spills cost" true (bad > normal)
+
+let test_device_default_matches_cpu_model_scale () =
+  (* The default schedule must land near the coarse Cpu_model rate the
+     rest of the system uses (~2-4 cycles/MAC), or the tuned/untuned
+     comparison would be apples to oranges. *)
+  let cycles = D.kernel_cycles D.xpulpv2 conv S.default in
+  let per_mac = float_of_int cycles /. float_of_int (Ir.Layer.macs conv) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.2f cycles/MAC plausible" per_mac)
+    true
+    (per_mac > 1.0 && per_mac < 6.0)
+
+let test_tuner_improves () =
+  let r = Tune.Search.tune ~seed:1 ~budget:64 ~device:D.xpulpv2 conv in
+  Alcotest.(check bool) "never worse than default" true
+    (r.Tune.Search.best_cycles <= r.Tune.Search.default_cycles);
+  Alcotest.(check bool) "finds a real improvement" true (Tune.Search.speedup r > 1.1);
+  Alcotest.(check bool) "respects budget" true (r.Tune.Search.trials <= 64)
+
+let test_tuner_deterministic () =
+  let a = Tune.Search.tune ~seed:9 ~budget:48 ~device:D.xpulpv2 dense in
+  let b = Tune.Search.tune ~seed:9 ~budget:48 ~device:D.xpulpv2 dense in
+  Alcotest.(check bool) "same result" true (a = b)
+
+let test_tuner_budget_one () =
+  (* With a single trial only the default is measured. *)
+  let r = Tune.Search.tune ~seed:2 ~budget:1 ~device:D.xpulpv2 conv in
+  Alcotest.(check int) "only default measured" 1 r.Tune.Search.trials;
+  Alcotest.(check int) "default is best" r.Tune.Search.default_cycles
+    r.Tune.Search.best_cycles
+
+let test_compile_with_autotuning () =
+  (* ResNet on CPU only: tuning must reduce the simulated latency and
+     report its measurement cost, without changing results. *)
+  let g = (Models.Zoo.find "resnet8").Models.Zoo.build Models.Policy.All_int8 in
+  let base_cfg = Htvm.Compile.default_config Arch.Diana.cpu_only in
+  let tuned_cfg = { base_cfg with Htvm.Compile.autotune_budget = Some 64 } in
+  let run cfg =
+    let artifact = Result.get_ok (Htvm.Compile.compile cfg g) in
+    let inputs = Models.Zoo.random_input g in
+    let out, report = Htvm.Compile.run artifact ~inputs in
+    (artifact, out, Htvm.Compile.full_cycles report)
+  in
+  let base_art, base_out, base_cycles = run base_cfg in
+  let tuned_art, tuned_out, tuned_cycles = run tuned_cfg in
+  Alcotest.(check int) "no trials without tuning" 0 base_art.Htvm.Compile.tuning_trials;
+  Alcotest.(check bool) "trials reported" true (tuned_art.Htvm.Compile.tuning_trials > 100);
+  Alcotest.(check bool) "tuning speeds the CPU path" true (tuned_cycles < base_cycles);
+  Helpers.check_tensor "results identical" base_out tuned_out
+
+let test_autotuning_leaves_accel_path_alone () =
+  (* The paper's point: the accelerated path needs no tuning. With all
+     heavy layers offloaded there is nothing to tune. *)
+  let g = (Models.Zoo.find "resnet8").Models.Zoo.build Models.Policy.All_int8 in
+  let cfg =
+    { (Htvm.Compile.default_config Arch.Diana.digital_only) with
+      Htvm.Compile.autotune_budget = Some 64 }
+  in
+  let artifact = Result.get_ok (Htvm.Compile.compile cfg g) in
+  Alcotest.(check int) "nothing to tune" 0 artifact.Htvm.Compile.tuning_trials
+
+let prop_tuner_never_worse =
+  Helpers.qtest ~count:40 "tuned schedule never worse than default"
+    QCheck.(pair (int_range 1 24) (int_range 1 24))
+    (fun (c, k) ->
+      let layer = T.conv_layer ~c ~k ~hw:12 () in
+      let r = Tune.Search.tune ~seed:(c + (31 * k)) ~budget:32 ~device:D.xpulpv2 layer in
+      r.Tune.Search.best_cycles <= r.Tune.Search.default_cycles)
+
+let suites =
+  [ ( "tune",
+      [ Alcotest.test_case "random schedules valid" `Quick test_sched_random_valid;
+        Alcotest.test_case "neighbours differ" `Quick test_sched_neighbours_differ;
+        Alcotest.test_case "device deterministic" `Quick test_device_deterministic;
+        Alcotest.test_case "vector helps" `Quick test_device_vector_helps;
+        Alcotest.test_case "reduction-outer pathological" `Quick
+          test_device_reduction_outer_pathological;
+        Alcotest.test_case "default matches cpu model" `Quick
+          test_device_default_matches_cpu_model_scale;
+        Alcotest.test_case "tuner improves" `Quick test_tuner_improves;
+        Alcotest.test_case "tuner deterministic" `Quick test_tuner_deterministic;
+        Alcotest.test_case "budget one" `Quick test_tuner_budget_one;
+        Alcotest.test_case "compile with autotuning" `Quick test_compile_with_autotuning;
+        Alcotest.test_case "accel path untouched" `Quick
+          test_autotuning_leaves_accel_path_alone;
+        prop_tuner_never_worse;
+      ] )
+  ]

@@ -1,0 +1,141 @@
+(* Tests for lib/util: PRNG determinism, integer helpers, table layout. *)
+
+let test_rng_deterministic () =
+  let a = Util.Rng.create 42 and b = Util.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Util.Rng.next_int64 a) (Util.Rng.next_int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Util.Rng.create 1 and b = Util.Rng.create 2 in
+  Alcotest.(check bool) "different seeds diverge"
+    true
+    (Util.Rng.next_int64 a <> Util.Rng.next_int64 b)
+
+let test_rng_split_independent () =
+  let a = Util.Rng.create 7 in
+  let b = Util.Rng.split a in
+  let xs = List.init 10 (fun _ -> Util.Rng.next_int64 a) in
+  let ys = List.init 10 (fun _ -> Util.Rng.next_int64 b) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_rng_bounds () =
+  let r = Util.Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Util.Rng.int r 17 in
+    Alcotest.(check bool) "int in bound" true (v >= 0 && v < 17);
+    let w = Util.Rng.int_in r (-5) 9 in
+    Alcotest.(check bool) "int_in in range" true (w >= -5 && w <= 9);
+    let t = Util.Rng.ternary r in
+    Alcotest.(check bool) "ternary in {-1,0,1}" true (t >= -1 && t <= 1);
+    let i8 = Util.Rng.int8 r in
+    Alcotest.(check bool) "int8 range" true (i8 >= -128 && i8 <= 127)
+  done
+
+let test_rng_ternary_distribution () =
+  let r = Util.Rng.create 11 in
+  let zeros = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    if Util.Rng.ternary r = 0 then incr zeros
+  done;
+  (* Zero is drawn with probability 1/2: allow a generous band. *)
+  Alcotest.(check bool) "about half zeros" true (!zeros > n * 4 / 10 && !zeros < n * 6 / 10)
+
+let test_ceil_div () =
+  Alcotest.(check int) "7/2" 4 (Util.Ints.ceil_div 7 2);
+  Alcotest.(check int) "8/2" 4 (Util.Ints.ceil_div 8 2);
+  Alcotest.(check int) "0/5" 0 (Util.Ints.ceil_div 0 5);
+  Alcotest.(check int) "1/5" 1 (Util.Ints.ceil_div 1 5)
+
+let test_round_up () =
+  Alcotest.(check int) "13 to 16" 16 (Util.Ints.round_up 13 16);
+  Alcotest.(check int) "16 to 16" 16 (Util.Ints.round_up 16 16);
+  Alcotest.(check int) "0 to 16" 0 (Util.Ints.round_up 0 16)
+
+let test_clamp () =
+  Alcotest.(check int) "below" (-3) (Util.Ints.clamp ~lo:(-3) ~hi:9 (-100));
+  Alcotest.(check int) "above" 9 (Util.Ints.clamp ~lo:(-3) ~hi:9 100);
+  Alcotest.(check int) "inside" 4 (Util.Ints.clamp ~lo:(-3) ~hi:9 4)
+
+let test_pow2_log2 () =
+  Alcotest.(check bool) "16 pow2" true (Util.Ints.is_pow2 16);
+  Alcotest.(check bool) "17 not" false (Util.Ints.is_pow2 17);
+  Alcotest.(check bool) "0 not" false (Util.Ints.is_pow2 0);
+  Alcotest.(check int) "log2 1" 0 (Util.Ints.log2_ceil 1);
+  Alcotest.(check int) "log2 9" 4 (Util.Ints.log2_ceil 9)
+
+let test_divisors () =
+  Alcotest.(check (list int)) "12" [ 1; 2; 3; 4; 6; 12 ] (Util.Ints.divisors 12);
+  Alcotest.(check (list int)) "1" [ 1 ] (Util.Ints.divisors 1);
+  Alcotest.(check (list int)) "7" [ 1; 7 ] (Util.Ints.divisors 7)
+
+let test_kib () = Alcotest.(check int) "256 KiB" 262144 (Util.Ints.kib 256)
+
+let test_table_render () =
+  let s =
+    Util.Table.render
+      ~align:[ Util.Table.Left; Util.Table.Right ]
+      ~header:[ "name"; "cycles" ]
+      [ [ "conv1"; "120" ]; [ "fc"; "8" ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "4 lines + trailing" 5 (List.length lines);
+  (* All non-empty lines share the same width (padded columns). *)
+  let widths = List.filter_map (fun l -> if l = "" then None else Some (String.length l)) lines in
+  List.iter (fun w -> Alcotest.(check int) "aligned" (List.hd widths) w) widths
+
+let test_table_right_alignment () =
+  let s =
+    Util.Table.render ~align:[ Util.Table.Right ] ~header:[ "n" ] [ [ "7" ]; [ "1234" ] ]
+  in
+  (match String.split_on_char '\n' s with
+  | _header :: _rule :: short :: long :: _ ->
+      Alcotest.(check int) "padded to width" (String.length long) (String.length short);
+      Alcotest.(check bool) "right aligned" true (short.[0] = ' ')
+  | _ -> Alcotest.fail "unexpected table shape");
+  ()
+
+let test_table_markdown () =
+  let s = Util.Table.render_markdown ~header:[ "a"; "b" ] [ [ "1" ] ] in
+  Alcotest.(check bool) "has rule" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> l = "|---|---|"));
+  Alcotest.(check bool) "pads short row" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> l = "| 1 |  |"))
+
+let prop_ceil_div_round_up =
+  Helpers.qtest "round_up = ceil_div * b"
+    QCheck.(pair (int_range 0 10000) (int_range 1 64))
+    (fun (a, b) -> Util.Ints.round_up a b = Util.Ints.ceil_div a b * b)
+
+let prop_divisors_divide =
+  Helpers.qtest "divisors all divide" QCheck.(int_range 1 500)
+    (fun n -> List.for_all (fun d -> n mod d = 0) (Util.Ints.divisors n))
+
+let prop_clamp_in_range =
+  Helpers.qtest "clamp lands inside" QCheck.(triple int (int_range (-100) 0) (int_range 1 100))
+    (fun (v, lo, hi) ->
+      let r = Util.Ints.clamp ~lo ~hi v in
+      r >= lo && r <= hi)
+
+let suites =
+  [ ( "util",
+      [ Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "rng seed sensitivity" `Quick test_rng_seed_sensitivity;
+        Alcotest.test_case "rng split independent" `Quick test_rng_split_independent;
+        Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+        Alcotest.test_case "rng ternary distribution" `Quick test_rng_ternary_distribution;
+        Alcotest.test_case "ceil_div" `Quick test_ceil_div;
+        Alcotest.test_case "round_up" `Quick test_round_up;
+        Alcotest.test_case "clamp" `Quick test_clamp;
+        Alcotest.test_case "pow2/log2" `Quick test_pow2_log2;
+        Alcotest.test_case "divisors" `Quick test_divisors;
+        Alcotest.test_case "kib" `Quick test_kib;
+        Alcotest.test_case "table render" `Quick test_table_render;
+        Alcotest.test_case "table right align" `Quick test_table_right_alignment;
+        Alcotest.test_case "table markdown" `Quick test_table_markdown;
+        prop_ceil_div_round_up;
+        prop_divisors_divide;
+        prop_clamp_in_range;
+      ] )
+  ]

@@ -1,0 +1,80 @@
+(* Shared layer fixtures for arch/dory/sim tests. *)
+
+module Dtype = Tensor.Dtype
+module L = Ir.Layer
+
+(* Bias values bounded well inside i32 so accumulator + bias cannot leave
+   the i32 range for any test geometry. *)
+let bias_tensor rng n =
+  let t = Tensor.create Dtype.I32 [| n |] in
+  for i = 0 to n - 1 do
+    Tensor.set_flat t i (Util.Rng.int_in rng (-1_000_000) 1_000_000)
+  done;
+  t
+
+let conv_layer ?(c = 16) ?(k = 32) ?(hw = 32) ?(f = 3) ?(stride = 1) ?(pad = 1)
+    ?(wdtype = Dtype.I8) ?(relu = true) ?(shift = 8) ?(seed = 33) () =
+  let rng = Util.Rng.create seed in
+  let p = { Nn.Kernels.stride = (stride, stride); padding = (pad, pad); groups = 1 } in
+  let oh, ow = Nn.Kernels.conv_out_dims ~in_dims:(hw, hw) ~kernel:(f, f) p in
+  {
+    L.kind = L.Conv p;
+    fused_pool = None;
+    weights = Some (Tensor.random rng wdtype [| k; c; f; f |]);
+    bias = Some (bias_tensor rng k);
+    shift = Some shift;
+    relu;
+    in_shape = [| c; hw; hw |];
+    in2_shape = None;
+    out_shape = [| k; oh; ow |];
+    in_dtype = Dtype.I8;
+    out_dtype = Dtype.I8;
+  }
+
+let dw_layer ?(c = 16) ?(hw = 16) ?(seed = 4) () =
+  let rng = Util.Rng.create seed in
+  let p = { Nn.Kernels.stride = (1, 1); padding = (1, 1); groups = c } in
+  {
+    L.kind = L.Conv p;
+    fused_pool = None;
+    weights = Some (Tensor.random rng Dtype.I8 [| c; 1; 3; 3 |]);
+    bias = None;
+    shift = Some 7;
+    relu = true;
+    in_shape = [| c; hw; hw |];
+    in2_shape = None;
+    out_shape = [| c; hw; hw |];
+    in_dtype = Dtype.I8;
+    out_dtype = Dtype.I8;
+  }
+
+let dense_layer ?(c = 640) ?(k = 128) ?(seed = 5) () =
+  let rng = Util.Rng.create seed in
+  {
+    L.kind = L.Dense;
+    fused_pool = None;
+    weights = Some (Tensor.random rng Dtype.I8 [| k; c |]);
+    bias = Some (bias_tensor rng k);
+    shift = Some 8;
+    relu = false;
+    in_shape = [| c |];
+    in2_shape = None;
+    out_shape = [| k |];
+    in_dtype = Dtype.I8;
+    out_dtype = Dtype.I8;
+  }
+
+let add_layer ?(c = 16) ?(hw = 16) () =
+  {
+    L.kind = L.Add;
+    fused_pool = None;
+    weights = None;
+    bias = None;
+    shift = Some 1;
+    relu = false;
+    in_shape = [| c; hw; hw |];
+    in2_shape = Some [| c; hw; hw |];
+    out_shape = [| c; hw; hw |];
+    in_dtype = Dtype.I8;
+    out_dtype = Dtype.I8;
+  }
