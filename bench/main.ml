@@ -13,6 +13,7 @@ let experiments =
     ("energy", Energy.run);
     ("quant", Quantization.run);
     ("micro", Micro.run);
+    ("trace", Trace_bench.run);
   ]
 
 let () =

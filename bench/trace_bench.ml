@@ -1,0 +1,61 @@
+(* "trace" experiment: profile the MLPerf Tiny suite on the full DIANA
+   platform and dump per-model wall cycles plus the counter breakdown to
+   BENCH_trace.json (machine-readable companion to the printed tables). *)
+
+module C = Htvm.Compile
+module J = Trace.Json
+
+let out_file = "BENCH_trace.json"
+
+let profile_model (entry : Models.Zoo.entry) =
+  let g = entry.Models.Zoo.build Models.Policy.Mixed in
+  let trace = Trace.create () in
+  match C.compile ~trace (C.default_config Arch.Diana.platform) g with
+  | Error e ->
+      Printf.printf "  %-18s compile error: %s\n%!" entry.Models.Zoo.model_name e;
+      (entry.Models.Zoo.model_name, J.Obj [ ("error", J.Str e) ])
+  | Ok artifact ->
+      let _, report = C.run ~trace artifact ~inputs:(Models.Zoo.random_input g) in
+      let t = report.Sim.Machine.totals in
+      Printf.printf "  %-18s wall %8d cycles (%.3f ms), %d trace events\n%!"
+        entry.Models.Zoo.model_name t.Sim.Counters.wall
+        (C.latency_ms artifact.C.cfg t.Sim.Counters.wall)
+        (List.length (Trace.events trace));
+      ( entry.Models.Zoo.model_name,
+        J.Obj
+          [
+            ("wall_cycles", J.Int t.Sim.Counters.wall);
+            ("latency_ms", J.Float (C.latency_ms artifact.C.cfg t.Sim.Counters.wall));
+            ( "breakdown",
+              J.Obj
+                [
+                  ("accel_compute", J.Int t.Sim.Counters.accel_compute);
+                  ("weight_load", J.Int t.Sim.Counters.weight_load);
+                  ("dma_in", J.Int t.Sim.Counters.dma_in);
+                  ("dma_out", J.Int t.Sim.Counters.dma_out);
+                  ("host_overhead", J.Int t.Sim.Counters.host_overhead);
+                  ("cpu_compute", J.Int t.Sim.Counters.cpu_compute);
+                  ("stall", J.Int t.Sim.Counters.stall);
+                ] );
+            ("dma_bytes_in", J.Int t.Sim.Counters.dma_bytes_in);
+            ("dma_bytes_out", J.Int t.Sim.Counters.dma_bytes_out);
+            ("utilization", J.Float (Sim.Counters.utilization t));
+            ("trace_events", J.Int (List.length (Trace.events trace)));
+          ] )
+
+let run () =
+  Printf.printf "== trace: profiling the suite on diana (CPU+Both) ==\n%!";
+  let rows = List.map profile_model Models.Zoo.all in
+  let doc =
+    J.Obj
+      [
+        ("platform", J.Str Arch.Diana.platform.Arch.Platform.platform_name);
+        ("config", J.Str "default (reuse + double buffering + heuristics)");
+        ("models", J.Obj rows);
+      ]
+  in
+  let oc = open_out out_file in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" out_file

@@ -5,12 +5,15 @@
      inspect   print a model's graph and statistics
      compile   compile a model for a DIANA configuration; optionally emit C
      run       compile and execute on the simulated SoC
+     profile   compile + run with tracing on; write a Perfetto-loadable trace
 
    Examples:
      htvmc export resnet8 --policy mixed -o resnet8.htvm
      htvmc inspect resnet8.htvm
      htvmc compile resnet8.htvm --config both --emit-c resnet8.c
-     htvmc run resnet8.htvm --config both *)
+     htvmc run resnet8.htvm --config both
+     htvmc profile resnet8.htvm --config both --trace out.json
+     htvmc report resnet8.htvm --config both --json *)
 
 open Cmdliner
 
@@ -35,12 +38,30 @@ let config_of_name = function
       Printf.eprintf "htvmc: unknown config %S (cpu|digital|analog|both)\n" other;
       exit 1
 
-let compile_or_die cfg g =
-  match Htvm.Compile.compile cfg g with
+let compile_or_die ?trace cfg g =
+  match Htvm.Compile.compile ?trace cfg g with
   | Ok a -> a
   | Error e ->
       Printf.eprintf "htvmc: compilation failed: %s\n" e;
       exit 1
+
+let write_file path contents =
+  try Out_channel.with_open_text path (fun oc -> output_string oc contents)
+  with Sys_error e ->
+    Printf.eprintf "htvmc: cannot write %s\n" e;
+    exit 1
+
+(* When --trace names a file, collect events and write Chrome trace-event
+   JSON there on exit (load it at https://ui.perfetto.dev). *)
+let with_trace trace_out f =
+  match trace_out with
+  | None -> f None
+  | Some path ->
+      let t = Trace.create () in
+      let r = f (Some t) in
+      write_file path (Trace.to_chrome_json t);
+      Printf.printf "wrote %s (%d trace events)\n" path (List.length (Trace.events t));
+      r
 
 (* --- export --- *)
 
@@ -85,10 +106,10 @@ let inspect path verbose =
 
 (* --- compile --- *)
 
-let compile path config emit_c =
+let compile path config emit_c trace_out =
   let g = load_graph path in
   let cfg = config_of_name config in
-  let artifact = compile_or_die cfg g in
+  let artifact = with_trace trace_out (fun trace -> compile_or_die ?trace cfg g) in
   Printf.printf "compiled %s for %s\n" path
     cfg.Htvm.Compile.platform.Arch.Platform.platform_name;
   List.iter
@@ -102,18 +123,21 @@ let compile path config emit_c =
   match emit_c with
   | None -> ()
   | Some out ->
-      Out_channel.with_open_text out (fun oc ->
-          output_string oc artifact.Htvm.Compile.c_source);
+      write_file out artifact.Htvm.Compile.c_source;
       Printf.printf "wrote %s\n" out
 
 (* --- run --- *)
 
-let run path config seed =
+let run path config seed trace_out =
   let g = load_graph path in
   let cfg = config_of_name config in
-  let artifact = compile_or_die cfg g in
+  let out, report =
+    with_trace trace_out (fun trace ->
+        let artifact = compile_or_die ?trace cfg g in
+        let inputs = Models.Zoo.random_input ~seed g in
+        Htvm.Compile.run ?trace artifact ~inputs)
+  in
   let inputs = Models.Zoo.random_input ~seed g in
-  let out, report = Htvm.Compile.run artifact ~inputs in
   let reference = Ir.Eval.run g ~inputs in
   Printf.printf "bit-exact vs interpreter: %b\n" (Tensor.equal out reference);
   let full = Htvm.Compile.full_cycles report in
@@ -126,17 +150,61 @@ let run path config seed =
 
 (* --- report --- *)
 
-let report path config out =
+let report path config out json =
   let g = load_graph path in
   let cfg = config_of_name config in
   let artifact = compile_or_die cfg g in
   let run_report = snd (Htvm.Compile.run artifact ~inputs:(Models.Zoo.random_input g)) in
-  let md = Htvm.Report.to_markdown artifact run_report in
+  let doc =
+    if json then Htvm.Report.to_json artifact run_report ^ "\n"
+    else Htvm.Report.to_markdown artifact run_report
+  in
   match out with
-  | None -> print_string md
+  | None -> print_string doc
   | Some path ->
-      Out_channel.with_open_text path (fun oc -> output_string oc md);
+      write_file path doc;
       Printf.printf "wrote %s\n" path
+
+(* --- profile --- *)
+
+let profile path config seed trace_out json_out =
+  let g = load_graph path in
+  let cfg = config_of_name config in
+  let trace = Trace.create () in
+  let artifact = compile_or_die ~trace cfg g in
+  let inputs = Models.Zoo.random_input ~seed g in
+  let out, report = Htvm.Compile.run ~trace artifact ~inputs in
+  if not (Tensor.equal out (Ir.Eval.run g ~inputs)) then begin
+    Printf.eprintf "htvmc: profiled run diverged from the reference interpreter\n";
+    exit 1
+  end;
+  let totals = report.Sim.Machine.totals in
+  Printf.printf "profiled %s on %s (%d steps, %d trace events)\n" path
+    cfg.Htvm.Compile.platform.Arch.Platform.platform_name
+    (List.length report.Sim.Machine.per_step)
+    (List.length (Trace.events trace));
+  Printf.printf "wall: %d cycles (%.3f ms) — accel %d, wload %d, dma %d+%d, host %d, cpu %d, stall %d\n"
+    totals.Sim.Counters.wall
+    (Htvm.Compile.latency_ms cfg totals.Sim.Counters.wall)
+    totals.Sim.Counters.accel_compute totals.Sim.Counters.weight_load
+    totals.Sim.Counters.dma_in totals.Sim.Counters.dma_out
+    totals.Sim.Counters.host_overhead totals.Sim.Counters.cpu_compute
+    totals.Sim.Counters.stall;
+  Printf.printf "dma traffic: %d B in, %d B out; utilization %.1f%%\n"
+    totals.Sim.Counters.dma_bytes_in totals.Sim.Counters.dma_bytes_out
+    (100.0 *. Sim.Counters.utilization totals);
+  print_newline ();
+  print_string (Trace.summary trace);
+  (match trace_out with
+  | None -> ()
+  | Some p ->
+      write_file p (Trace.to_chrome_json trace);
+      Printf.printf "wrote %s (open in https://ui.perfetto.dev)\n" p);
+  match json_out with
+  | None -> ()
+  | Some p ->
+      write_file p (Htvm.Report.to_json artifact report ^ "\n");
+      Printf.printf "wrote %s\n" p
 
 (* --- quantize --- *)
 
@@ -249,6 +317,10 @@ let dot path config out =
 let path_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL.htvm")
 let config_arg =
   Arg.(value & opt string "digital" & info [ "config"; "c" ] ~doc:"cpu|digital|analog|both")
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event JSON (Perfetto-loadable) here.")
 
 let export_cmd =
   let model = Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL") in
@@ -267,12 +339,23 @@ let compile_cmd =
     Arg.(value & opt (some string) None & info [ "emit-c" ] ~doc:"Write generated C here.")
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a model for DIANA")
-    Term.(const compile $ path_arg $ config_arg $ emit_c)
+    Term.(const compile $ path_arg $ config_arg $ emit_c $ trace_arg)
 
 let run_cmd =
   let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Input seed.") in
   Cmd.v (Cmd.info "run" ~doc:"Compile and simulate a model")
-    Term.(const run $ path_arg $ config_arg $ seed)
+    Term.(const run $ path_arg $ config_arg $ seed $ trace_arg)
+
+let profile_cmd =
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Input seed.") in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Also write the JSON report here.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Compile and simulate with tracing on; print a profile summary")
+    Term.(const profile $ path_arg $ config_arg $ seed $ trace_arg $ json_out)
 
 let dot_cmd =
   let out = Arg.(value & opt (some string) None & info [ "o" ] ~doc:"Write DOT here.") in
@@ -305,10 +388,14 @@ let verify_cmd =
 
 let report_cmd =
   let out =
-    Arg.(value & opt (some string) None & info [ "o" ] ~doc:"Write the markdown here.")
+    Arg.(value & opt (some string) None & info [ "o" ] ~doc:"Write the report here.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the machine-readable JSON report instead of markdown.")
   in
   Cmd.v (Cmd.info "report" ~doc:"Compile, simulate and print a deployment report")
-    Term.(const report $ path_arg $ config_arg $ out)
+    Term.(const report $ path_arg $ config_arg $ out $ json)
 
 let () =
   exit
@@ -317,4 +404,4 @@ let () =
           (Cmd.info "htvmc" ~version:"1.0"
              ~doc:"HTVM compiler driver for heterogeneous TinyML platforms")
           [ export_cmd; export_float_cmd; quantize_cmd; inspect_cmd; compile_cmd;
-            run_cmd; verify_cmd; report_cmd; dot_cmd ]))
+            run_cmd; profile_cmd; verify_cmd; report_cmd; dot_cmd ]))

@@ -73,6 +73,16 @@ let objective cfg accel l tile =
       else acc)
     mem accel.Accel.heuristics
 
+(* Search statistics surfaced through the trace: candidate tiles whose
+   feasibility was tested, and how many of them passed. *)
+type stats = { mutable explored : int; mutable kept : int }
+
+let tested stats cfg accel l tile =
+  stats.explored <- stats.explored + 1;
+  let ok = feasible cfg accel l tile in
+  if ok then stats.kept <- stats.kept + 1;
+  ok
+
 (* Candidate tile extents for a dimension of size [n]: every value when the
    range is small, otherwise divisors, multiples of 16, and the extremes. *)
 let candidates n =
@@ -85,11 +95,11 @@ let candidates n =
 (* Largest feasible oy for fixed other dims; the objective is monotone in
    oy (memory use and H_DMA both grow, other terms constant), so the
    tallest feasible tile is optimal for that column of the search. *)
-let best_oy cfg accel l ~build ~oy_max =
+let best_oy stats cfg accel l ~build ~oy_max =
   let rec down oy = if oy < 1 then None
     else
       let tile = build oy in
-      if feasible cfg accel l tile then Some tile else down (oy - 1)
+      if tested stats cfg accel l tile then Some tile else down (oy - 1)
   in
   down oy_max
 
@@ -102,7 +112,7 @@ let solution_of cfg accel l tile =
     tile_count = Tile.count l tile;
   }
 
-let search cfg accel l =
+let search_counted stats cfg accel l =
   let full = Tile.full l in
   let consider best tile =
     let obj = objective cfg accel l tile in
@@ -117,13 +127,13 @@ let search cfg accel l =
       List.iter
         (fun k ->
           let tile = Tile.for_layer l ~c:full.Tile.c ~k ~oy:1 ~ox:1 in
-          if feasible cfg accel l tile then try_tile tile)
+          if tested stats cfg accel l tile then try_tile tile)
         (candidates full.Tile.k)
   | L.Add ->
       List.iter
         (fun oy ->
           let tile = Tile.for_layer l ~c:full.Tile.c ~k:full.Tile.c ~oy ~ox:full.Tile.ox in
-          if feasible cfg accel l tile then try_tile tile)
+          if tested stats cfg accel l tile then try_tile tile)
         (candidates full.Tile.oy)
   | L.Conv _ | L.Pool _ ->
       let ks = candidates full.Tile.k in
@@ -133,7 +143,7 @@ let search cfg accel l =
           List.iter
             (fun ox ->
               let build oy = Tile.for_layer l ~c:full.Tile.c ~k ~oy ~ox in
-              match best_oy cfg accel l ~build ~oy_max:full.Tile.oy with
+              match best_oy stats cfg accel l ~build ~oy_max:full.Tile.oy with
               | Some tile -> try_tile tile
               | None -> ())
             oxs)
@@ -147,7 +157,33 @@ let search cfg accel l =
 
 (* Tiling is only invoked when the whole layer does not fit (paper
    Sec. III-B / Fig. 4's grey region): a feasible full tile wins outright. *)
-let solve cfg accel l =
-  let full = Tile.full l in
-  if feasible cfg accel l full then Ok (solution_of cfg accel l full)
-  else search cfg accel l
+let solve ?trace cfg accel l =
+  let stats = { explored = 0; kept = 0 } in
+  let result =
+    let full = Tile.full l in
+    if tested stats cfg accel l full then Ok (solution_of cfg accel l full)
+    else search_counted stats cfg accel l
+  in
+  (if Trace.enabled trace then
+     let common =
+       [
+         ("layer", Trace.Json.Str (L.describe l));
+         ("accel", Trace.Json.Str accel.Accel.accel_name);
+         ("explored", Trace.Json.Int stats.explored);
+         ("feasible", Trace.Json.Int stats.kept);
+         ("pruned", Trace.Json.Int (stats.explored - stats.kept));
+       ]
+     in
+     let args =
+       match result with
+       | Ok sol ->
+           common
+           @ [
+               ("tile", Trace.Json.Str (Tile.to_string sol.tile));
+               ("objective", Trace.Json.Float sol.objective);
+               ("tiles", Trace.Json.Int sol.tile_count);
+             ]
+       | Error e -> common @ [ ("error", Trace.Json.Str e) ]
+     in
+     Trace.event trace ~cat:"dory" ~args "tiling.solve");
+  result

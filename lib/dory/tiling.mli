@@ -46,6 +46,10 @@ val feasible : config -> Arch.Accel.t -> Ir.Layer.t -> Arch.Tile.t -> bool
 val objective : config -> Arch.Accel.t -> Ir.Layer.t -> Arch.Tile.t -> float
 (** The Eq. 1 objective for a candidate tile. *)
 
-val solve : config -> Arch.Accel.t -> Ir.Layer.t -> (solution, string) result
+val solve :
+  ?trace:Trace.t -> config -> Arch.Accel.t -> Ir.Layer.t -> (solution, string) result
 (** [Error] when no feasible tile exists (layer cannot run on this
-    accelerator within the memory budget). *)
+    accelerator within the memory budget). When [trace] is given, one
+    ["tiling.solve"] event is recorded per call with the candidates
+    explored, how many were feasible vs. pruned, and the chosen tile and
+    objective value. *)

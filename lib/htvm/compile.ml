@@ -199,11 +199,15 @@ let cpu_const_bytes g kernels =
       match G.node g id with G.Const t -> acc + Tensor.packed_bytes t | _ -> acc)
     0 ids
 
-let compile cfg graph =
+let compile ?trace cfg graph =
   let ( let* ) = Result.bind in
-  let g = Ir.Rewrite.simplify graph in
+  let g = Trace.span trace "simplify" (fun () -> Ir.Rewrite.simplify graph) in
   let platform = cfg.platform in
-  let plan = Byoc.Partition.run g ~targets:(targets_of platform) in
+  let plan =
+    Trace.span trace "partition"
+      ~args:[ ("platform", Trace.Json.Str platform.Arch.Platform.platform_name) ]
+      (fun () -> Byoc.Partition.run g ~targets:(targets_of platform))
+  in
   let tys = plan.Byoc.Partition.tys in
   let tiling_cfg =
     {
@@ -218,28 +222,37 @@ let compile cfg graph =
      the host path. *)
   let host_pool = ref [] in
   let accel_units = ref [] in
-  List.iter
-    (fun seg ->
-      match seg with
-      | Byoc.Partition.Host { id } -> host_pool := id :: !host_pool
-      | Byoc.Partition.Offload { target; layer; inputs; output } -> (
-          let accel = Arch.Platform.find_accel platform target in
-          match Dory.Tiling.solve tiling_cfg accel layer with
-          | Ok sol ->
-              let schedule =
-                Dory.Schedule.build layer ~accel_name:target ~tile:sol.Dory.Tiling.tile
-                  ~double_buffer:cfg.double_buffer
-              in
-              accel_units :=
-                LAccel { accel; layer; schedule; in_nodes = inputs; out_node = output }
-                :: !accel_units
-          | Error _ -> host_pool := region_nodes g output @ !host_pool))
-    plan.Byoc.Partition.segments;
+  Trace.span trace "lower" (fun () ->
+      List.iter
+        (fun seg ->
+          match seg with
+          | Byoc.Partition.Host { id } -> host_pool := id :: !host_pool
+          | Byoc.Partition.Offload { target; layer; inputs; output } -> (
+              let accel = Arch.Platform.find_accel platform target in
+              match Dory.Tiling.solve ?trace tiling_cfg accel layer with
+              | Ok sol ->
+                  let schedule =
+                    Dory.Schedule.build layer ~accel_name:target
+                      ~tile:sol.Dory.Tiling.tile ~double_buffer:cfg.double_buffer
+                  in
+                  accel_units :=
+                    LAccel
+                      { accel; layer; schedule; in_nodes = inputs; out_node = output }
+                    :: !accel_units
+              | Error _ -> host_pool := region_nodes g output @ !host_pool))
+        plan.Byoc.Partition.segments);
   let kernels =
-    Codegen.Fuse.kernels ~cpu:platform.Arch.Platform.cpu
-      ~size:platform.Arch.Platform.size_model g tys ~host_nodes:!host_pool
+    Trace.span trace "fuse" (fun () ->
+        Codegen.Fuse.kernels ~cpu:platform.Arch.Platform.cpu
+          ~size:platform.Arch.Platform.size_model g tys ~host_nodes:!host_pool)
   in
-  let kernels, tuning_trials = autotune_kernels cfg g tys kernels in
+  let kernels, tuning_trials =
+    Trace.span trace "autotune" (fun () -> autotune_kernels cfg g tys kernels)
+  in
+  if tuning_trials > 0 then
+    Trace.event trace ~cat:"tune"
+      ~args:[ ("trials", Trace.Json.Int tuning_trials) ]
+      "autotune.trials";
   let cpu_units =
     List.map
       (fun (k : Codegen.Fuse.kernel) ->
@@ -367,28 +380,26 @@ let compile cfg graph =
     else Ok ()
   in
   (* Liveness over step indices: inputs are born before step 0; the network
-     output stays live to the end. *)
+     output stays live to the end. One indexed pass over the units fills
+     both the birth and the last-use table. *)
   let n_steps = List.length steps in
   let death = Hashtbl.create 16 in
+  let birth_of = Hashtbl.create 16 in
   let note_use buf step_idx =
     let cur = try Hashtbl.find death buf with Not_found -> -1 in
     Hashtbl.replace death buf (max cur step_idx)
   in
+  List.iter (fun (_, id) -> Hashtbl.replace birth_of id 0) input_buffers;
   List.iteri
-    (fun i u -> List.iter (fun n -> note_use (Hashtbl.find buf_of_node n) (i + 1)) (lowered_ins u))
+    (fun i u ->
+      Hashtbl.replace birth_of (Hashtbl.find buf_of_node (lowered_out u)) (i + 1);
+      List.iter (fun n -> note_use (Hashtbl.find buf_of_node n) (i + 1)) (lowered_ins u))
     units;
   let requests =
     List.map
       (fun (b : P.buffer) ->
         let birth =
-          if List.exists (fun (_, id) -> id = b.P.buf_id) input_buffers then 0
-          else
-            let idx = ref 0 in
-            List.iteri
-              (fun i u ->
-                if Hashtbl.find buf_of_node (lowered_out u) = b.P.buf_id then idx := i + 1)
-              units;
-            !idx
+          match Hashtbl.find_opt birth_of b.P.buf_id with Some i -> i | None -> 0
         in
         let death =
           let d = try Hashtbl.find death b.P.buf_id with Not_found -> birth in
@@ -406,10 +417,19 @@ let compile cfg graph =
       (List.rev !buffers)
   in
   let* placed =
-    match Dory.Memplan.plan cfg.memory_strategy ~capacity:arena_capacity ~align:4 requests with
-    | Ok p -> Ok p
-    | Error e -> Error e
+    Trace.span trace "memplan"
+      ~args:[ ("buffers", Trace.Json.Int (List.length requests)) ]
+      (fun () ->
+        Dory.Memplan.plan cfg.memory_strategy ~capacity:arena_capacity ~align:4
+          requests)
   in
+  Trace.event trace ~cat:"memplan"
+    ~args:
+      [
+        ("arena_capacity", Trace.Json.Int arena_capacity);
+        ("peak_bytes", Trace.Json.Int placed.Dory.Memplan.peak_bytes);
+      ]
+    "memplan.peak";
   let buffers =
     List.map
       (fun (b : P.buffer) ->
@@ -430,8 +450,7 @@ let compile cfg graph =
   in
   let* () = P.validate program in
   let schedules =
-    List.filteri (fun _ _ -> true) steps
-    |> List.mapi (fun i s -> (i, s))
+    List.mapi (fun i s -> (i, s)) steps
     |> List.filter_map (fun (i, s) ->
            match s with P.Accel { schedule; _ } -> Some (i, schedule) | P.Cpu _ -> None)
   in
@@ -463,14 +482,14 @@ let compile cfg graph =
       program;
       size;
       layers;
-      c_source = Dory.Emit.emit_network schedules;
+      c_source = Trace.span trace "emit" (fun () -> Dory.Emit.emit_network schedules);
       l2_static_bytes;
       l2_arena_bytes = arena_capacity;
       tuning_trials;
     }
 
-let run artifact ~inputs =
-  Sim.Machine.run ~platform:artifact.cfg.platform artifact.program ~inputs
+let run ?trace artifact ~inputs =
+  Sim.Machine.run ~platform:artifact.cfg.platform ?trace artifact.program ~inputs
 
 let full_cycles (r : Sim.Machine.report) = r.Sim.Machine.totals.Sim.Counters.wall
 

@@ -47,13 +47,20 @@ type artifact = {
   tuning_trials : int;    (** device measurements spent by autotuning (0 without) *)
 }
 
-val compile : config -> Ir.Graph.t -> (artifact, string) result
+val compile : ?trace:Trace.t -> config -> Ir.Graph.t -> (artifact, string) result
 (** [Error] carries a diagnosis (e.g. the out-of-memory message that
-    reproduces Table I's MobileNet OoM under the TVM baseline). *)
+    reproduces Table I's MobileNet OoM under the TVM baseline). When
+    [trace] is given, every compiler phase (simplify, partition, lower
+    with per-layer {!Dory.Tiling.solve} events, fuse, autotune, memplan,
+    emit) is recorded as a span on the ["compiler"] track. *)
 
 val run :
-  artifact -> inputs:(string * Tensor.t) list -> Tensor.t * Sim.Machine.report
-(** Execute the artifact on the simulated SoC. *)
+  ?trace:Trace.t ->
+  artifact ->
+  inputs:(string * Tensor.t) list ->
+  Tensor.t * Sim.Machine.report
+(** Execute the artifact on the simulated SoC; [trace] is forwarded to
+    {!Sim.Machine.run}. *)
 
 val full_cycles : Sim.Machine.report -> int
 (** End-to-end wall cycles — the paper's "HTVM" latency. *)

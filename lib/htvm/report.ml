@@ -1,3 +1,123 @@
+module J = Trace.Json
+
+(* Machine-readable counterpart of [to_markdown]; the schema is documented
+   in DESIGN.md ("JSON report schema"). *)
+let to_json_value ?(energy = Sim.Energy.diana_defaults) (artifact : Compile.artifact)
+    (report : Sim.Machine.report) =
+  let cfg = artifact.Compile.cfg in
+  let platform = cfg.Compile.platform in
+  let counters_json (c : Sim.Counters.t) =
+    [
+      ("wall", J.Int c.Sim.Counters.wall);
+      ("accel_compute", J.Int c.Sim.Counters.accel_compute);
+      ("weight_load", J.Int c.Sim.Counters.weight_load);
+      ("dma_in", J.Int c.Sim.Counters.dma_in);
+      ("dma_out", J.Int c.Sim.Counters.dma_out);
+      ("host_overhead", J.Int c.Sim.Counters.host_overhead);
+      ("cpu_compute", J.Int c.Sim.Counters.cpu_compute);
+      ("stall", J.Int c.Sim.Counters.stall);
+      ("dma_bytes_in", J.Int c.Sim.Counters.dma_bytes_in);
+      ("dma_bytes_out", J.Int c.Sim.Counters.dma_bytes_out);
+      ("utilization", J.Float (Sim.Counters.utilization c));
+    ]
+  in
+  let layers =
+    List.map2
+      (fun (li : Compile.layer_info) (name, (c : Sim.Counters.t)) ->
+        J.Obj
+          ([
+             ("index", J.Int li.Compile.li_index);
+             ("target", J.Str li.Compile.li_target);
+             ("kernel", J.Str li.Compile.li_desc);
+             ("step", J.Str name);
+             ("tiled", J.Bool li.Compile.li_tiled);
+             ( "tile",
+               match li.Compile.li_tile with
+               | Some t -> J.Str (Arch.Tile.to_string t)
+               | None -> J.Null );
+           ]
+          @ counters_json c))
+      artifact.Compile.layers report.Sim.Machine.per_step
+  in
+  let totals = report.Sim.Machine.totals in
+  let e = Sim.Energy.of_report energy report in
+  J.Obj
+    [
+      ( "platform",
+        J.Obj
+          [
+            ("name", J.Str platform.Arch.Platform.platform_name);
+            ("freq_mhz", J.Int platform.Arch.Platform.freq_mhz);
+            ( "accels",
+              J.List
+                (List.map
+                   (fun (a : Arch.Accel.t) -> J.Str a.Arch.Accel.accel_name)
+                   platform.Arch.Platform.accels) );
+          ] );
+      ( "config",
+        J.Obj
+          [
+            ( "memory_strategy",
+              J.Str
+                (match cfg.Compile.memory_strategy with
+                | Dory.Memplan.Reuse -> "reuse"
+                | Dory.Memplan.No_reuse -> "no_reuse") );
+            ("double_buffer", J.Bool cfg.Compile.double_buffer);
+            ("pe_heuristics", J.Bool cfg.Compile.use_pe_heuristics);
+            ("dma_heuristic", J.Bool cfg.Compile.use_dma_heuristic);
+            ( "autotune_budget",
+              match cfg.Compile.autotune_budget with
+              | None -> J.Null
+              | Some b -> J.Int b );
+            ("tuning_trials", J.Int artifact.Compile.tuning_trials);
+          ] );
+      ( "totals",
+        J.Obj
+          (counters_json totals
+          @ [
+              ( "latency_ms",
+                J.Float (Compile.latency_ms cfg totals.Sim.Counters.wall) );
+              ( "peak_latency_ms",
+                J.Float (Compile.latency_ms cfg (Compile.peak_cycles report)) );
+            ]) );
+      ("layers", J.List layers);
+      ( "binary",
+        J.Obj
+          [
+            ( "sections",
+              J.List
+                (List.map
+                   (fun (s : Codegen.Size.section) ->
+                     J.Obj
+                       [
+                         ("name", J.Str s.Codegen.Size.section_name);
+                         ("bytes", J.Int s.Codegen.Size.bytes);
+                       ])
+                   artifact.Compile.size.Codegen.Size.sections) );
+            ("total_bytes", J.Int artifact.Compile.size.Codegen.Size.total_bytes);
+          ] );
+      ( "l2",
+        J.Obj
+          [
+            ("static_bytes", J.Int artifact.Compile.l2_static_bytes);
+            ("arena_bytes", J.Int artifact.Compile.l2_arena_bytes);
+            ( "activation_peak_bytes",
+              J.Int artifact.Compile.program.Sim.Program.l2_activation_peak );
+          ] );
+      ( "energy_uj",
+        J.Obj
+          [
+            ("cpu", J.Float e.Sim.Energy.cpu_uj);
+            ("accel", J.Float e.Sim.Energy.accel_uj);
+            ("weight_load", J.Float e.Sim.Energy.weight_load_uj);
+            ("dma", J.Float e.Sim.Energy.dma_uj);
+            ("idle", J.Float e.Sim.Energy.idle_uj);
+            ("total", J.Float e.Sim.Energy.total_uj);
+          ] );
+    ]
+
+let to_json ?energy artifact report = J.to_string (to_json_value ?energy artifact report)
+
 let to_markdown ?(energy = Sim.Energy.diana_defaults) (artifact : Compile.artifact)
     (report : Sim.Machine.report) =
   let buf = Buffer.create 4096 in

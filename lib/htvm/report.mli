@@ -11,3 +11,20 @@ val to_markdown :
   Sim.Machine.report ->
   string
 (** Defaults to {!Sim.Energy.diana_defaults} for the energy section. *)
+
+val to_json_value :
+  ?energy:Sim.Energy.params ->
+  Compile.artifact ->
+  Sim.Machine.report ->
+  Trace.Json.t
+(** The machine-readable report as a JSON document: platform, config,
+    totals (cycles per component, DMA bytes, stall, utilization,
+    latency), one object per layer, binary-size sections, L2 memory plan
+    and modeled energy. The schema is documented in DESIGN.md. *)
+
+val to_json :
+  ?energy:Sim.Energy.params ->
+  Compile.artifact ->
+  Sim.Machine.report ->
+  string
+(** [to_json_value] rendered as a compact JSON string. *)

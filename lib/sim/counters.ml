@@ -5,6 +5,9 @@ type t = {
   mutable dma_out : int;
   mutable host_overhead : int;
   mutable cpu_compute : int;
+  mutable stall : int;
+  mutable dma_bytes_in : int;
+  mutable dma_bytes_out : int;
   mutable wall : int;
 }
 
@@ -16,6 +19,9 @@ let create () =
     dma_out = 0;
     host_overhead = 0;
     cpu_compute = 0;
+    stall = 0;
+    dma_bytes_in = 0;
+    dma_bytes_out = 0;
     wall = 0;
   }
 
@@ -26,6 +32,9 @@ let add acc x =
   acc.dma_out <- acc.dma_out + x.dma_out;
   acc.host_overhead <- acc.host_overhead + x.host_overhead;
   acc.cpu_compute <- acc.cpu_compute + x.cpu_compute;
+  acc.stall <- acc.stall + x.stall;
+  acc.dma_bytes_in <- acc.dma_bytes_in + x.dma_bytes_in;
+  acc.dma_bytes_out <- acc.dma_bytes_out + x.dma_bytes_out;
   acc.wall <- acc.wall + x.wall
 
 let peak t = t.accel_compute + t.weight_load
@@ -33,6 +42,10 @@ let peak t = t.accel_compute + t.weight_load
 let total_parts t =
   t.accel_compute + t.weight_load + t.dma_in + t.dma_out + t.host_overhead
   + t.cpu_compute
+
+let utilization t =
+  if t.wall <= 0 then 0.0
+  else float_of_int (peak t + t.cpu_compute) /. float_of_int t.wall
 
 let pp fmt t =
   Format.fprintf fmt

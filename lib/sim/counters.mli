@@ -13,6 +13,11 @@ type t = {
   mutable dma_out : int;
   mutable host_overhead : int;   (** runtime setup + tile-loop bookkeeping *)
   mutable cpu_compute : int;     (** host-executed kernel cycles *)
+  mutable stall : int;
+      (** wall cycles where no engine was busy: exposed (non-overlapped)
+          DMA time and pipeline bubbles *)
+  mutable dma_bytes_in : int;    (** activation bytes moved L2 -> L1 *)
+  mutable dma_bytes_out : int;   (** activation bytes moved L1 -> L2 *)
   mutable wall : int;
       (** end-to-end cycles; with double buffering this is less than the
           sum of the parts because DMA hides behind compute *)
@@ -27,5 +32,9 @@ val peak : t -> int
 
 val total_parts : t -> int
 (** Sum of all component counters (an upper bound on [wall]). *)
+
+val utilization : t -> float
+(** Busy fraction of wall time: (accelerator busy + CPU compute) / wall,
+    0 when no cycles were counted. *)
 
 val pp : Format.formatter -> t -> unit

@@ -245,7 +245,7 @@ let dma_out ~l2 ~l1 ~buffers ~(s : S.t) ~layout ~slot (inst : S.instance) =
         ~l1_off:base ~full_h:l.L.out_shape.(1) ~full_w:l.L.out_shape.(2)
         ~ch0:inst.S.k0 ~y0:inst.S.oy0 ~x0:inst.S.ox0 ~chans ~rows ~cols
 
-let run ~platform ~accel ~l2 ~l1 ~buffers (s : S.t) =
+let run ~platform ~accel ~l2 ~l1 ~buffers ?trace ?(t0 = 0) (s : S.t) =
   let l = s.S.layer in
   (match (l.L.kind, buffers.in_offsets) with
   | L.Add, [ _; _ ] | (L.Conv _ | L.Dense | L.Pool _), [ _ ] -> ()
@@ -263,10 +263,13 @@ let run ~platform ~accel ~l2 ~l1 ~buffers (s : S.t) =
   let ccs = Array.make n 0 in
   let din = Array.make n 0 in
   let dout = Array.make n 0 in
+  let bin = Array.make n 0 in
+  let bout = Array.make n 0 in
   List.iteri
     (fun i (inst : S.instance) ->
       let chunks_in, bytes_in = dma_in ~l2 ~l1 ~buffers ~s ~layout ~slot:i inst in
       din.(i) <- Arch.Memory.transfer_cycles dma ~chunks:chunks_in ~bytes:bytes_in;
+      bin.(i) <- bytes_in;
       let wl =
         if inst.S.load_weights then accel.Arch.Accel.weight_load_cycles l inst.S.dims
         else 0
@@ -280,35 +283,72 @@ let run ~platform ~accel ~l2 ~l1 ~buffers (s : S.t) =
       c.Counters.weight_load <- c.Counters.weight_load + wl;
       let chunks_out, bytes_out = dma_out ~l2 ~l1 ~buffers ~s ~layout ~slot:i inst in
       dout.(i) <- Arch.Memory.transfer_cycles dma ~chunks:chunks_out ~bytes:bytes_out;
+      bout.(i) <- bytes_out;
       c.Counters.dma_in <- c.Counters.dma_in + din.(i);
-      c.Counters.dma_out <- c.Counters.dma_out + dout.(i))
+      c.Counters.dma_out <- c.Counters.dma_out + dout.(i);
+      c.Counters.dma_bytes_in <- c.Counters.dma_bytes_in + bytes_in;
+      c.Counters.dma_bytes_out <- c.Counters.dma_bytes_out + bytes_out)
     s.S.instances;
   let overhead =
     accel.Arch.Accel.setup_cycles + (n * accel.Arch.Accel.tile_overhead_cycles)
   in
   c.Counters.host_overhead <- overhead;
+  (* The wall-clock reconstruction below doubles as the trace timeline:
+     each engine interval is placed where the cost model says it runs. *)
+  let engine = accel.Arch.Accel.accel_name in
+  let on = Trace.enabled trace in
+  let emit ~track ~ts ~dur ~args name =
+    if on && dur > 0 then Trace.interval trace ~track ~ts ~dur ~args name
+  in
+  let tile_args i bytes = [ ("tile", Trace.Json.Int i); ("bytes", Trace.Json.Int bytes) ] in
+  emit ~track:"host" ~ts:t0 ~dur:overhead
+    ~args:[ ("tiles", Trace.Json.Int n) ]
+    (engine ^ " setup");
   let wall =
     if s.S.double_buffer && n > 1 then begin
       (* Two-stage pipeline: while tile i computes, tile i+1 prefetches and
          tile i-1 writes back. *)
-      let acc = ref (overhead + din.(0)) in
+      let cur = ref (t0 + overhead) in
+      emit ~track:"dma" ~ts:!cur ~dur:din.(0) ~args:(tile_args 0 bin.(0)) "dma_in";
+      cur := !cur + din.(0);
       for i = 0 to n - 1 do
-        let transfers =
-          (if i + 1 < n then din.(i + 1) else 0) + if i > 0 then dout.(i - 1) else 0
-        in
-        acc := !acc + max busy.(i) transfers
+        let prefetch = if i + 1 < n then din.(i + 1) else 0 in
+        let writeback = if i > 0 then dout.(i - 1) else 0 in
+        emit ~track:engine ~ts:!cur ~dur:wls.(i) ~args:(tile_args i 0) "weight_load";
+        emit ~track:engine ~ts:(!cur + wls.(i)) ~dur:ccs.(i) ~args:(tile_args i 0)
+          "compute";
+        if prefetch > 0 then
+          emit ~track:"dma" ~ts:!cur ~dur:prefetch ~args:(tile_args (i + 1) bin.(i + 1))
+            "dma_in";
+        if writeback > 0 then
+          emit ~track:"dma" ~ts:(!cur + prefetch) ~dur:writeback
+            ~args:(tile_args (i - 1) bout.(i - 1))
+            "dma_out";
+        cur := !cur + max busy.(i) (prefetch + writeback)
       done;
-      !acc + dout.(n - 1)
+      emit ~track:"dma" ~ts:!cur ~dur:dout.(n - 1)
+        ~args:(tile_args (n - 1) bout.(n - 1))
+        "dma_out";
+      cur := !cur + dout.(n - 1);
+      !cur - t0
     end
     else begin
       (* Sequential tiles; the weight-memory port is separate from L1, so
          each tile's weight fill still overlaps its input DMA. *)
-      let acc = ref overhead in
+      let cur = ref (t0 + overhead) in
       for i = 0 to n - 1 do
-        acc := !acc + max din.(i) wls.(i) + ccs.(i) + dout.(i)
+        emit ~track:"dma" ~ts:!cur ~dur:din.(i) ~args:(tile_args i bin.(i)) "dma_in";
+        emit ~track:engine ~ts:!cur ~dur:wls.(i) ~args:(tile_args i 0) "weight_load";
+        cur := !cur + max din.(i) wls.(i);
+        emit ~track:engine ~ts:!cur ~dur:ccs.(i) ~args:(tile_args i 0) "compute";
+        cur := !cur + ccs.(i);
+        emit ~track:"dma" ~ts:!cur ~dur:dout.(i) ~args:(tile_args i bout.(i)) "dma_out";
+        cur := !cur + dout.(i)
       done;
-      !acc
+      !cur - t0
     end
   in
   c.Counters.wall <- wall;
+  c.Counters.stall <-
+    max 0 (wall - overhead - c.Counters.accel_compute - c.Counters.weight_load);
   c

@@ -26,9 +26,14 @@ val run :
   l2:Mem.t ->
   l1:Mem.t ->
   buffers:buffers ->
+  ?trace:Trace.t ->
+  ?t0:int ->
   Dory.Schedule.t ->
   Counters.t
 (** Execute the layer in place (reads input buffers, writes the output
-    buffer) and return its counters.
+    buffer) and return its counters. When [trace] is given, per-tile
+    [dma_in]/[weight_load]/[compute]/[dma_out] intervals are recorded on
+    the DMA and engine tracks, placed on the simulated clock starting at
+    cycle [t0] (default 0) exactly as the wall-clock model overlaps them.
     @raise Mem.Fault on any out-of-bounds access.
     @raise Invalid_argument on malformed buffer descriptors. *)

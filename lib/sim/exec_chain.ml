@@ -73,7 +73,7 @@ let stripe_layer (l : L.t) ~in_rows ~out_rows =
     out_shape = [| l.L.out_shape.(0); out_rows; l.L.out_shape.(2) |];
   }
 
-let run ~platform ~accel ~l2 ~l1 ~buffers (t : C.t) =
+let run ~platform ~accel ~l2 ~l1 ~buffers ?trace ?(t0 = 0) (t : C.t) =
   let c = Counters.create () in
   let dma = platform.Arch.Platform.dma in
   let first = t.C.first and second = t.C.second in
@@ -87,6 +87,14 @@ let run ~platform ~accel ~l2 ~l1 ~buffers (t : C.t) =
     + accel.Arch.Accel.weight_load_cycles second (Arch.Tile.full second)
   in
   c.Counters.weight_load <- wl;
+  let engine = accel.Arch.Accel.accel_name in
+  let on = Trace.enabled trace in
+  let emit ~track ~ts ~dur ?(args = []) name =
+    if on && dur > 0 then Trace.interval trace ~track ~ts ~dur ~args name
+  in
+  emit ~track:"host" ~ts:t0 ~dur:(2 * accel.Arch.Accel.setup_cycles) (engine ^ " setup");
+  emit ~track:engine ~ts:(t0 + (2 * accel.Arch.Accel.setup_cycles)) ~dur:wl
+    "weight_load";
   let oh2 = second.L.out_shape.(1) in
   let o0 = ref 0 in
   let wall = ref ((2 * accel.Arch.Accel.setup_cycles) + wl) in
@@ -148,12 +156,32 @@ let run ~platform ~accel ~l2 ~l1 ~buffers (t : C.t) =
     c.Counters.accel_compute <- c.Counters.accel_compute + cc1 + cc2;
     c.Counters.dma_in <- c.Counters.dma_in + din;
     c.Counters.dma_out <- c.Counters.dma_out + dout;
+    c.Counters.dma_bytes_in <- c.Counters.dma_bytes_in + in_bytes;
+    c.Counters.dma_bytes_out <- c.Counters.dma_bytes_out + out_bytes;
     c.Counters.host_overhead <-
       c.Counters.host_overhead + (2 * accel.Arch.Accel.tile_overhead_cycles);
+    let stripe_args = [ ("stripe_row", Trace.Json.Int !o0) ] in
+    let cur = t0 + !wall in
+    emit ~track:"dma" ~ts:cur ~dur:din
+      ~args:(("bytes", Trace.Json.Int in_bytes) :: stripe_args)
+      "dma_in";
+    emit ~track:engine ~ts:(cur + din) ~dur:cc1 ~args:stripe_args "compute (first)";
+    emit ~track:engine ~ts:(cur + din + cc1) ~dur:cc2 ~args:stripe_args
+      "compute (second)";
+    emit ~track:"dma" ~ts:(cur + din + cc1 + cc2) ~dur:dout
+      ~args:(("bytes", Trace.Json.Int out_bytes) :: stripe_args)
+      "dma_out";
+    emit ~track:"host" ~ts:(cur + din + cc1 + cc2 + dout)
+      ~dur:(2 * accel.Arch.Accel.tile_overhead_cycles)
+      ~args:stripe_args "tile overhead";
     wall :=
       !wall + din + cc1 + cc2 + dout + (2 * accel.Arch.Accel.tile_overhead_cycles);
     o0 := !o0 + t.C.stripe_rows
   done;
   c.Counters.host_overhead <- c.Counters.host_overhead + (2 * accel.Arch.Accel.setup_cycles);
   c.Counters.wall <- !wall;
+  c.Counters.stall <-
+    max 0
+      (!wall - c.Counters.host_overhead - c.Counters.accel_compute
+     - c.Counters.weight_load);
   c

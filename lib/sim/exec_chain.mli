@@ -21,6 +21,10 @@ val run :
   l2:Mem.t ->
   l1:Mem.t ->
   buffers:buffers ->
+  ?trace:Trace.t ->
+  ?t0:int ->
   Dory.Chain.t ->
   Counters.t
-(** @raise Mem.Fault on out-of-bounds plans. *)
+(** When [trace] is given, per-stripe DMA/compute intervals are recorded
+    on the simulated clock starting at cycle [t0].
+    @raise Mem.Fault on out-of-bounds plans. *)

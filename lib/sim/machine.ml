@@ -55,7 +55,7 @@ let run_cpu_step ~l2 ~(prog : P.t) ~nodes ~ins ~out =
   | Some v -> write_buffer l2 (P.buffer prog out) v
   | None -> invalid_arg "Machine: empty CPU kernel"
 
-let run ~platform (prog : P.t) ~inputs =
+let run ~platform ?trace (prog : P.t) ~inputs =
   (match P.validate prog with
   | Ok () -> ()
   | Error e -> invalid_arg ("Machine: invalid program: " ^ e));
@@ -77,6 +77,8 @@ let run ~platform (prog : P.t) ~inputs =
         invalid_arg ("Machine: unknown input " ^ name))
     inputs;
   let totals = Counters.create () in
+  let on = Trace.enabled trace in
+  let clock = ref 0 in
   let per_step =
     List.map
       (fun step ->
@@ -93,15 +95,36 @@ let run ~platform (prog : P.t) ~inputs =
                   bias_offset;
                 }
               in
-              Exec_accel.run ~platform ~accel ~l2 ~l1 ~buffers schedule
-          | P.Cpu { nodes; ins; out; cycles; _ } ->
+              Exec_accel.run ~platform ~accel ~l2 ~l1 ~buffers ?trace ~t0:!clock
+                schedule
+          | P.Cpu { kernel_name; nodes; ins; out; cycles } ->
               run_cpu_step ~l2 ~prog ~nodes ~ins ~out;
               let c = Counters.create () in
               c.Counters.cpu_compute <- cycles;
               c.Counters.wall <- cycles;
+              if on && cycles > 0 then
+                Trace.interval trace ~track:"host" ~ts:!clock ~dur:cycles kernel_name;
               c
         in
         Counters.add totals c;
+        if on then begin
+          (* One interval per step on its own track: summed durations here
+             equal [totals.wall] exactly. *)
+          Trace.interval trace ~track:"steps" ~ts:!clock ~dur:c.Counters.wall
+            ~args:
+              [
+                ("dma_bytes_in", Trace.Json.Int c.Counters.dma_bytes_in);
+                ("dma_bytes_out", Trace.Json.Int c.Counters.dma_bytes_out);
+                ("stall", Trace.Json.Int c.Counters.stall);
+              ]
+            (P.step_name step);
+          let at = !clock + c.Counters.wall in
+          Trace.counter trace ~track:"mem" ~ts:at ~value:(Mem.high_water l2)
+            "L2 high-water (B)";
+          Trace.counter trace ~track:"mem" ~ts:at ~value:(Mem.high_water l1)
+            "L1 high-water (B)"
+        end;
+        clock := !clock + c.Counters.wall;
         (P.step_name step, c))
       prog.P.steps
   in

@@ -17,9 +17,15 @@ val accel_steps_peak : report -> int
 
 val run :
   platform:Arch.Platform.t ->
+  ?trace:Trace.t ->
   Program.t ->
   inputs:(string * Tensor.t) list ->
   Tensor.t * report
-(** Execute the program on fresh memories.
+(** Execute the program on fresh memories. When [trace] is given, each
+    step contributes one interval on the ["steps"] track (whose summed
+    durations equal [totals.wall]), per-tile engine/DMA intervals via
+    {!Exec_accel}, and L1/L2 occupancy high-water samples on the ["mem"]
+    track. Tracing never changes the computation: outputs and counters
+    are bit-identical with and without it.
     @raise Invalid_argument on missing/mistyped inputs or a malformed
     program. @raise Mem.Fault on memory corruption (a compiler bug). *)

@@ -1,13 +1,19 @@
-type t = { mem_name : string; data : Bytes.t }
+type t = { mem_name : string; data : Bytes.t; mutable hwm : int }
 
 exception Fault of string
 
 let create mem_name size =
   if size <= 0 then invalid_arg "Mem.create: size must be positive";
-  { mem_name; data = Bytes.make size '\000' }
+  { mem_name; data = Bytes.make size '\000'; hwm = 0 }
 
 let name t = t.mem_name
 let size t = Bytes.length t.data
+let high_water t = t.hwm
+let reset_high_water t = t.hwm <- 0
+
+(* Writes (not [fill]'s poison pattern) advance the occupancy high-water
+   mark: the trace's memory timeline samples it per step. *)
+let touch t off len = if off + len > t.hwm then t.hwm <- off + len
 
 let check t off len =
   if off < 0 || off + len > Bytes.length t.data then
@@ -22,6 +28,7 @@ let read_byte t off =
 
 let write_byte t off v =
   check t off 1;
+  touch t off 1;
   Bytes.set t.data off (Char.chr (v land 0xFF))
 
 let sign_extend bits v =
@@ -65,6 +72,7 @@ let write_elt t (dt : Tensor.Dtype.t) off v =
 let blit ~src ~src_off ~dst ~dst_off ~len =
   check src src_off len;
   check dst dst_off len;
+  touch dst dst_off len;
   Bytes.blit src.data src_off dst.data dst_off len
 
 let write_tensor t off tensor =

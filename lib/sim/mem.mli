@@ -15,6 +15,13 @@ val create : string -> int -> t
 val name : t -> string
 val size : t -> int
 
+val high_water : t -> int
+(** Highest byte offset ever written past (element writes and DMA blits;
+    {!fill}'s poison pattern does not count) — the occupancy high-water
+    mark sampled by the trace's memory timeline. *)
+
+val reset_high_water : t -> unit
+
 exception Fault of string
 (** Raised on any out-of-bounds access, with the memory name, offset and
     access size. *)

@@ -26,4 +26,5 @@ let () =
          Test_concat.suites;
          Test_misc.suites;
          Test_props.suites;
+         Test_trace.suites;
        ])

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Tier-1 verification: build + tests, plus a formatting check when the
+# toolchain provides ocamlformat (skipped otherwise so CI images without
+# it still pass).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune build @fmt =="
+  dune build @fmt
+else
+  echo "== dune build @fmt == (skipped: ocamlformat not installed)"
+fi
+
+echo "verify: OK"
