@@ -14,6 +14,8 @@ let experiments =
     ("quant", Quantization.run);
     ("micro", Micro.run);
     ("trace", Trace_bench.run);
+    ("parallel", Parallel.run);
+    ("parallel-smoke", Parallel.run_smoke);
   ]
 
 let () =

@@ -1,0 +1,194 @@
+(* "parallel" experiment: measure the compilation engine itself — domain
+   pool fan-out of tiling solves and autotune trials, the shape-keyed
+   solver cache, and the branch-and-bound pruning — and dump wall times
+   and explored-candidate counts to BENCH_parallel.json.
+
+   The MLPerf nets fit DIANA's 256 kB L1 untiled, so (as in the ablation
+   experiment) the engine is exercised on an 8 kB-L1 variant of the SoC
+   that forces every large layer through the tiler, with autotuning on so
+   the host kernels contribute pool work too. *)
+
+module C = Htvm.Compile
+module J = Trace.Json
+
+let out_file = "BENCH_parallel.json"
+
+let constrained platform =
+  {
+    platform with
+    Arch.Platform.l1 = { Arch.Memory.level_name = "L1"; size_bytes = Util.Ints.kib 8 };
+  }
+
+let engine_cfg ?cache ?(exhaustive = false) ~jobs () =
+  {
+    (C.default_config (constrained Arch.Diana.digital_only)) with
+    C.jobs;
+    solver_cache = cache;
+    exhaustive_tiling = exhaustive;
+    autotune_budget = Some 20_000;
+  }
+
+let compile_or_die cfg g =
+  match C.compile cfg g with
+  | Ok a -> a
+  | Error e ->
+      Printf.eprintf "parallel bench: compile failed: %s\n" e;
+      exit 1
+
+(* Wall time (not CPU time — the point is elapsed speedup from the pool),
+   best of [repeats]. *)
+let wall_ms ~repeats f =
+  let best = ref infinity in
+  for _ = 1 to repeats do
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    best := Float.min !best ((Unix.gettimeofday () -. t0) *. 1000.0)
+  done;
+  !best
+
+(* The (tile, objective) choice of every "tiling.solve" event, in segment
+   order — pruned search must reproduce the exhaustive choices exactly. *)
+let solve_choices trace =
+  List.filter_map
+    (fun (e : Trace.event) ->
+      if e.Trace.ev_name = "tiling.solve" then
+        Some
+          ( List.assoc_opt "tile" e.Trace.ev_args,
+            List.assoc_opt "objective" e.Trace.ev_args )
+      else None)
+    (Trace.events trace)
+
+let solver_tests f =
+  Dory.Tiling.reset_solver_work ();
+  let r = f () in
+  (r, (Dory.Tiling.solver_work ()).Dory.Tiling.tests)
+
+let bench_model ~repeats (entry : Models.Zoo.entry) =
+  let name = entry.Models.Zoo.model_name in
+  let g = entry.Models.Zoo.build Models.Policy.Mixed in
+  (* Wall time at jobs = 1/2/4, cache off and (fresh per compile) on. *)
+  let wall jobs cache_on =
+    wall_ms ~repeats (fun () ->
+        let cache = if cache_on then Some (Dory.Tiling_cache.create ()) else None in
+        compile_or_die (engine_cfg ?cache ~jobs ()) g)
+  in
+  let walls = List.map (fun j -> (j, wall j false, wall j true)) [ 1; 2; 4 ] in
+  let t1 = match walls with (_, t, _) :: _ -> t | [] -> nan in
+  let t4 = match List.rev walls with (_, t, _) :: _ -> t | [] -> nan in
+  let speedup_j4 = t1 /. t4 in
+  (* Explored candidates: exhaustive baseline vs pruned vs pruned+cached,
+     all at jobs = 1 so the work counters are easy to attribute. *)
+  let trace_ex = Trace.create () in
+  let art_ex, tests_ex =
+    solver_tests (fun () ->
+        match C.compile ~trace:trace_ex (engine_cfg ~exhaustive:true ~jobs:1 ()) g with
+        | Ok a -> a
+        | Error e ->
+            Printf.eprintf "parallel bench: compile failed: %s\n" e;
+            exit 1)
+  in
+  let trace_pr = Trace.create () in
+  let art_pr, tests_pr =
+    solver_tests (fun () ->
+        match C.compile ~trace:trace_pr (engine_cfg ~jobs:1 ()) g with
+        | Ok a -> a
+        | Error e ->
+            Printf.eprintf "parallel bench: compile failed: %s\n" e;
+            exit 1)
+  in
+  let cache = Dory.Tiling_cache.create () in
+  let art_ca, tests_cached =
+    solver_tests (fun () -> compile_or_die (engine_cfg ~cache ~jobs:1 ()) g)
+  in
+  let _, tests_warm =
+    solver_tests (fun () -> compile_or_die (engine_cfg ~cache ~jobs:1 ()) g)
+  in
+  let tiles_match = solve_choices trace_ex = solve_choices trace_pr in
+  let reduction base now =
+    if base = 0 then 0.0 else 1.0 -. (float_of_int now /. float_of_int base)
+  in
+  Printf.printf
+    "  %-12s wall j1 %7.1f ms, j4 %7.1f ms (%.2fx); tests %d -> %d pruned -> %d \
+     cached (warm %d); tiles match: %b\n\
+     %!"
+    name t1 t4 speedup_j4 tests_ex tests_pr tests_cached tests_warm tiles_match;
+  ( name,
+    J.Obj
+      [
+        ( "wall_ms",
+          J.Obj
+            (List.concat_map
+               (fun (j, off, on) ->
+                 [
+                   (Printf.sprintf "jobs%d" j, J.Float off);
+                   (Printf.sprintf "jobs%d_cached" j, J.Float on);
+                 ])
+               walls) );
+        ("speedup_jobs4", J.Float speedup_j4);
+        ( "solver",
+          J.Obj
+            [
+              ("exhaustive_tests", J.Int tests_ex);
+              ("pruned_tests", J.Int tests_pr);
+              ("cached_tests", J.Int tests_cached);
+              ("warm_cache_tests", J.Int tests_warm);
+              ("pruning_reduction", J.Float (reduction tests_ex tests_pr));
+              ("cache_reduction", J.Float (reduction tests_ex tests_cached));
+              ("explored_exhaustive", J.Int art_ex.C.solver.C.ss_explored);
+              ("explored_pruned", J.Int art_pr.C.solver.C.ss_explored);
+              ("pruned_candidates", J.Int art_pr.C.solver.C.ss_pruned);
+              ("cache_hits", J.Int art_ca.C.solver.C.ss_cache_hits);
+              ("cache_misses", J.Int art_ca.C.solver.C.ss_cache_misses);
+            ] );
+        ("tiles_match_exhaustive", J.Bool tiles_match);
+      ],
+    (speedup_j4, reduction tests_ex tests_cached, tiles_match) )
+
+let run_models ~repeats models =
+  Printf.printf
+    "== parallel: engine wall time & explored candidates (8 kB-L1 digital, autotune \
+     on) ==\n\
+     %!";
+  let rows = List.map (bench_model ~repeats) models in
+  let best_speedup =
+    List.fold_left (fun acc (_, _, (s, _, _)) -> Float.max acc s) 0.0 rows
+  in
+  let best_reduction =
+    List.fold_left (fun acc (_, _, (_, r, _)) -> Float.max acc r) 0.0 rows
+  in
+  let all_match = List.for_all (fun (_, _, (_, _, m)) -> m) rows in
+  let cores = Util.Pool.available () in
+  let doc =
+    J.Obj
+      [
+        ("platform", J.Str "diana-digital (8 kB L1 variant)");
+        ("config", J.Str "default engine + autotune budget 20000");
+        ("cores", J.Int cores);
+        ( "note",
+          J.Str
+            (if cores < 4 then
+               Printf.sprintf
+                 "only %d core(s) available: wall-clock scaling at jobs>1 is \
+                  bounded by the machine, not the engine (OCaml's stop-the-world \
+                  minor GC penalizes oversubscribed domains); the pruning and \
+                  cache reductions below are machine-independent"
+                 cores
+             else "jobs sweep ran on real hardware parallelism") );
+        ("jobs_measured", J.List [ J.Int 1; J.Int 2; J.Int 4 ]);
+        ("best_speedup_jobs4", J.Float best_speedup);
+        ("best_test_reduction", J.Float best_reduction);
+        ("tiles_match_everywhere", J.Bool all_match);
+        ("models", J.Obj (List.map (fun (n, j, _) -> (n, j)) rows));
+      ]
+  in
+  let oc = open_out out_file in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s (best j4 speedup %.2fx, best test reduction %.0f%%)\n%!"
+    out_file best_speedup (100.0 *. best_reduction)
+
+let run () = run_models ~repeats:3 Models.Zoo.all
+
+(* One small model, single repeat: the verify.sh smoke. *)
+let run_smoke () = run_models ~repeats:1 [ Models.Zoo.find Models.Resnet8.name ]

@@ -38,6 +38,19 @@ let config_of_name = function
       Printf.eprintf "htvmc: unknown config %S (cpu|digital|analog|both)\n" other;
       exit 1
 
+(* --jobs (or HTVM_JOBS, which cmdliner reads for the same option) beats
+   the machine's available domain count. The engine is deterministic at
+   every job count, so this is purely a compile-speed knob. *)
+let resolve_jobs = function
+  | None -> Util.Pool.available ()
+  | Some n when n >= 1 -> n
+  | Some n ->
+      Printf.eprintf "htvmc: --jobs/HTVM_JOBS must be >= 1 (got %d)\n" n;
+      exit 1
+
+let config_for name jobs =
+  { (config_of_name name) with Htvm.Compile.jobs = resolve_jobs jobs }
+
 let compile_or_die ?trace cfg g =
   match Htvm.Compile.compile ?trace cfg g with
   | Ok a -> a
@@ -106,9 +119,9 @@ let inspect path verbose =
 
 (* --- compile --- *)
 
-let compile path config emit_c trace_out =
+let compile path config jobs emit_c trace_out =
   let g = load_graph path in
-  let cfg = config_of_name config in
+  let cfg = config_for config jobs in
   let artifact = with_trace trace_out (fun trace -> compile_or_die ?trace cfg g) in
   Printf.printf "compiled %s for %s\n" path
     cfg.Htvm.Compile.platform.Arch.Platform.platform_name;
@@ -128,9 +141,9 @@ let compile path config emit_c trace_out =
 
 (* --- run --- *)
 
-let run path config seed trace_out =
+let run path config jobs seed trace_out =
   let g = load_graph path in
-  let cfg = config_of_name config in
+  let cfg = config_for config jobs in
   let out, report =
     with_trace trace_out (fun trace ->
         let artifact = compile_or_die ?trace cfg g in
@@ -150,9 +163,9 @@ let run path config seed trace_out =
 
 (* --- report --- *)
 
-let report path config out json =
+let report path config jobs out json =
   let g = load_graph path in
-  let cfg = config_of_name config in
+  let cfg = config_for config jobs in
   let artifact = compile_or_die cfg g in
   let run_report = snd (Htvm.Compile.run artifact ~inputs:(Models.Zoo.random_input g)) in
   let doc =
@@ -167,9 +180,9 @@ let report path config out json =
 
 (* --- profile --- *)
 
-let profile path config seed trace_out json_out =
+let profile path config jobs seed trace_out json_out =
   let g = load_graph path in
-  let cfg = config_of_name config in
+  let cfg = config_for config jobs in
   let trace = Trace.create () in
   let artifact = compile_or_die ~trace cfg g in
   let inputs = Models.Zoo.random_input ~seed g in
@@ -245,9 +258,9 @@ let export_float which out =
 
 (* --- verify --- *)
 
-let verify path config trials =
+let verify path config jobs trials =
   let g = load_graph path in
-  let cfg = config_of_name config in
+  let cfg = config_for config jobs in
   let artifact = compile_or_die cfg g in
   let failures = ref 0 in
   for seed = 1 to trials do
@@ -321,6 +334,17 @@ let trace_arg =
   Arg.(value & opt (some string) None
        & info [ "trace" ] ~docv:"FILE"
            ~doc:"Write a Chrome trace-event JSON (Perfetto-loadable) here.")
+let jobs_arg =
+  let env =
+    Cmd.Env.info "HTVM_JOBS"
+      ~doc:"Default worker-domain count when $(b,--jobs) is absent."
+  in
+  Arg.(value & opt (some int) None
+       & info [ "jobs"; "j" ] ~docv:"N" ~env
+           ~doc:"Worker domains for the compilation engine (tiling solves and \
+                 autotune trials); must be >= 1. Defaults to $(b,HTVM_JOBS), \
+                 then to the machine's available domain count. Compilation \
+                 results are bit-identical at every job count.")
 
 let export_cmd =
   let model = Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL") in
@@ -339,12 +363,12 @@ let compile_cmd =
     Arg.(value & opt (some string) None & info [ "emit-c" ] ~doc:"Write generated C here.")
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a model for DIANA")
-    Term.(const compile $ path_arg $ config_arg $ emit_c $ trace_arg)
+    Term.(const compile $ path_arg $ config_arg $ jobs_arg $ emit_c $ trace_arg)
 
 let run_cmd =
   let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Input seed.") in
   Cmd.v (Cmd.info "run" ~doc:"Compile and simulate a model")
-    Term.(const run $ path_arg $ config_arg $ seed $ trace_arg)
+    Term.(const run $ path_arg $ config_arg $ jobs_arg $ seed $ trace_arg)
 
 let profile_cmd =
   let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Input seed.") in
@@ -355,7 +379,7 @@ let profile_cmd =
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Compile and simulate with tracing on; print a profile summary")
-    Term.(const profile $ path_arg $ config_arg $ seed $ trace_arg $ json_out)
+    Term.(const profile $ path_arg $ config_arg $ jobs_arg $ seed $ trace_arg $ json_out)
 
 let dot_cmd =
   let out = Arg.(value & opt (some string) None & info [ "o" ] ~doc:"Write DOT here.") in
@@ -384,7 +408,7 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Differentially verify the compiled artifact against the interpreter")
-    Term.(const verify $ path_arg $ config_arg $ trials)
+    Term.(const verify $ path_arg $ config_arg $ jobs_arg $ trials)
 
 let report_cmd =
   let out =
@@ -395,7 +419,7 @@ let report_cmd =
          & info [ "json" ] ~doc:"Emit the machine-readable JSON report instead of markdown.")
   in
   Cmd.v (Cmd.info "report" ~doc:"Compile, simulate and print a deployment report")
-    Term.(const report $ path_arg $ config_arg $ out $ json)
+    Term.(const report $ path_arg $ config_arg $ jobs_arg $ out $ json)
 
 let () =
   exit

@@ -74,13 +74,39 @@ let objective cfg accel l tile =
     mem accel.Accel.heuristics
 
 (* Search statistics surfaced through the trace: candidate tiles whose
-   feasibility was tested, and how many of them passed. *)
-type stats = { mutable explored : int; mutable kept : int }
+   feasibility was tested, how many passed, and how many candidates the
+   branch-and-bound column bound skipped without testing. *)
+type stats = { explored : int; feasible : int; pruned : int }
 
-let tested stats cfg accel l tile =
-  stats.explored <- stats.explored + 1;
+type outcome = { result : (solution, string) result; stats : stats }
+
+type counters = {
+  mutable c_explored : int;
+  mutable c_kept : int;
+  mutable c_pruned : int;
+}
+
+(* Process-wide tally of feasibility tests actually performed — unlike the
+   per-solve [stats] (which a cache replays verbatim on a hit), this only
+   moves when the solver really runs, so benches can measure the work that
+   pruning and caching avoid. Atomic: solves run on pool domains. *)
+type work = { solves : int; tests : int }
+
+let work_solves = Atomic.make 0
+let work_tests = Atomic.make 0
+
+let reset_solver_work () =
+  Atomic.set work_solves 0;
+  Atomic.set work_tests 0
+
+let solver_work () =
+  { solves = Atomic.get work_solves; tests = Atomic.get work_tests }
+
+let tested counters cfg accel l tile =
+  counters.c_explored <- counters.c_explored + 1;
+  Atomic.incr work_tests;
   let ok = feasible cfg accel l tile in
-  if ok then stats.kept <- stats.kept + 1;
+  if ok then counters.c_kept <- counters.c_kept + 1;
   ok
 
 (* Candidate tile extents for a dimension of size [n]: every value when the
@@ -94,14 +120,63 @@ let candidates n =
 
 (* Largest feasible oy for fixed other dims; the objective is monotone in
    oy (memory use and H_DMA both grow, other terms constant), so the
-   tallest feasible tile is optimal for that column of the search. *)
-let best_oy stats cfg accel l ~build ~oy_max =
-  let rec down oy = if oy < 1 then None
+   tallest feasible tile is optimal for that column of the search.
+
+   Feasibility is monotone in oy below oy_max — activation bytes grow with
+   the tile height and every registered [tile_ok] rule depends only on
+   c/k/ox — so after probing the tallest candidate (which may enjoy the
+   single-tile double-buffering exemption and must therefore be tested
+   directly) the threshold is found by binary search instead of the
+   exhaustive downward scan. *)
+let best_oy ~exhaustive counters cfg accel l ~build ~oy_max =
+  if exhaustive then
+    let rec down oy =
+      if oy < 1 then None
+      else
+        let tile = build oy in
+        if tested counters cfg accel l tile then Some tile else down (oy - 1)
+    in
+    down oy_max
+  else
+    let top = build oy_max in
+    if tested counters cfg accel l top then Some top
     else
-      let tile = build oy in
-      if tested stats cfg accel l tile then Some tile else down (oy - 1)
+      let rec bsearch lo hi best =
+        if lo > hi then best
+        else
+          let mid = (lo + hi) / 2 in
+          let tile = build mid in
+          if tested counters cfg accel l tile then bsearch (mid + 1) hi (Some tile)
+          else bsearch lo (mid - 1) best
+      in
+      bsearch 1 (oy_max - 1) None
+
+(* Branch-and-bound: an upper bound on the objective any tile of a fixed
+   (k, ox) column can reach. The memory term is evaluated at the tallest
+   tile with double buffering charged unconditionally (>= the real cost of
+   every tile in the column, including a full tile's single-buffer
+   exemption); heuristic scores are constant or oy-monotone for every
+   registered accelerator, so their value at the tallest tile dominates.
+   The bound mirrors [objective]'s floating-point operation order so the
+   comparison stays conservative under rounding. *)
+let column_upper_bound cfg accel l tile =
+  let per_buffer = Tile.bytes_in l tile + Tile.bytes_out l tile in
+  let act = if cfg.double_buffer then 2 * per_buffer else per_buffer in
+  let act =
+    if accel.Accel.weight_mem_bytes = None then act + Tile.bytes_weights l tile else act
   in
-  down oy_max
+  let act_frac = float_of_int act /. float_of_int cfg.l1_budget in
+  let mem_ub =
+    match accel.Accel.weight_mem_bytes with
+    | None -> act_frac
+    | Some cap ->
+        act_frac +. (0.3 *. float_of_int (Tile.bytes_weights l tile) /. float_of_int cap)
+  in
+  List.fold_left
+    (fun acc h ->
+      if heuristic_enabled cfg h then acc +. (h.Accel.beta *. h.Accel.score l tile)
+      else acc)
+    (cfg.alpha *. mem_ub) accel.Accel.heuristics
 
 let solution_of cfg accel l tile =
   {
@@ -112,7 +187,7 @@ let solution_of cfg accel l tile =
     tile_count = Tile.count l tile;
   }
 
-let search_counted stats cfg accel l =
+let search_counted ~exhaustive counters cfg accel l =
   let full = Tile.full l in
   let consider best tile =
     let obj = objective cfg accel l tile in
@@ -127,13 +202,13 @@ let search_counted stats cfg accel l =
       List.iter
         (fun k ->
           let tile = Tile.for_layer l ~c:full.Tile.c ~k ~oy:1 ~ox:1 in
-          if tested stats cfg accel l tile then try_tile tile)
+          if tested counters cfg accel l tile then try_tile tile)
         (candidates full.Tile.k)
   | L.Add ->
       List.iter
         (fun oy ->
           let tile = Tile.for_layer l ~c:full.Tile.c ~k:full.Tile.c ~oy ~ox:full.Tile.ox in
-          if tested stats cfg accel l tile then try_tile tile)
+          if tested counters cfg accel l tile then try_tile tile)
         (candidates full.Tile.oy)
   | L.Conv _ | L.Pool _ ->
       let ks = candidates full.Tile.k in
@@ -143,9 +218,24 @@ let search_counted stats cfg accel l =
           List.iter
             (fun ox ->
               let build oy = Tile.for_layer l ~c:full.Tile.c ~k ~oy ~ox in
-              match best_oy stats cfg accel l ~build ~oy_max:full.Tile.oy with
-              | Some tile -> try_tile tile
-              | None -> ())
+              (* A column whose bound cannot beat the incumbent would never
+                 replace it (ties keep the earlier tile), so skip its
+                 [oy_max] candidates without testing any of them. *)
+              let dominated =
+                (not exhaustive)
+                &&
+                match !best with
+                | None -> false
+                | Some (_, best_obj) ->
+                    column_upper_bound cfg accel l (build full.Tile.oy) <= best_obj
+              in
+              if dominated then counters.c_pruned <- counters.c_pruned + full.Tile.oy
+              else
+                match
+                  best_oy ~exhaustive counters cfg accel l ~build ~oy_max:full.Tile.oy
+                with
+                | Some tile -> try_tile tile
+                | None -> ())
             oxs)
         ks);
   match !best with
@@ -157,33 +247,52 @@ let search_counted stats cfg accel l =
 
 (* Tiling is only invoked when the whole layer does not fit (paper
    Sec. III-B / Fig. 4's grey region): a feasible full tile wins outright. *)
-let solve ?trace cfg accel l =
-  let stats = { explored = 0; kept = 0 } in
+let solve_stats ?(exhaustive = false) cfg accel l =
+  Atomic.incr work_solves;
+  let counters = { c_explored = 0; c_kept = 0; c_pruned = 0 } in
   let result =
     let full = Tile.full l in
-    if tested stats cfg accel l full then Ok (solution_of cfg accel l full)
-    else search_counted stats cfg accel l
+    if tested counters cfg accel l full then Ok (solution_of cfg accel l full)
+    else search_counted ~exhaustive counters cfg accel l
   in
-  (if Trace.enabled trace then
-     let common =
-       [
-         ("layer", Trace.Json.Str (L.describe l));
-         ("accel", Trace.Json.Str accel.Accel.accel_name);
-         ("explored", Trace.Json.Int stats.explored);
-         ("feasible", Trace.Json.Int stats.kept);
-         ("pruned", Trace.Json.Int (stats.explored - stats.kept));
-       ]
-     in
-     let args =
-       match result with
-       | Ok sol ->
-           common
-           @ [
-               ("tile", Trace.Json.Str (Tile.to_string sol.tile));
-               ("objective", Trace.Json.Float sol.objective);
-               ("tiles", Trace.Json.Int sol.tile_count);
-             ]
-       | Error e -> common @ [ ("error", Trace.Json.Str e) ]
-     in
-     Trace.event trace ~cat:"dory" ~args "tiling.solve");
-  result
+  {
+    result;
+    stats =
+      {
+        explored = counters.c_explored;
+        feasible = counters.c_kept;
+        pruned = counters.c_pruned;
+      };
+  }
+
+let trace_solve_event trace accel l outcome =
+  if Trace.enabled trace then begin
+    let stats = outcome.stats in
+    let common =
+      [
+        ("layer", Trace.Json.Str (L.describe l));
+        ("accel", Trace.Json.Str accel.Accel.accel_name);
+        ("explored", Trace.Json.Int stats.explored);
+        ("feasible", Trace.Json.Int stats.feasible);
+        ("infeasible", Trace.Json.Int (stats.explored - stats.feasible));
+        ("pruned", Trace.Json.Int stats.pruned);
+      ]
+    in
+    let args =
+      match outcome.result with
+      | Ok sol ->
+          common
+          @ [
+              ("tile", Trace.Json.Str (Tile.to_string sol.tile));
+              ("objective", Trace.Json.Float sol.objective);
+              ("tiles", Trace.Json.Int sol.tile_count);
+            ]
+      | Error e -> common @ [ ("error", Trace.Json.Str e) ]
+    in
+    Trace.event trace ~cat:"dory" ~args "tiling.solve"
+  end
+
+let solve ?trace ?exhaustive cfg accel l =
+  let outcome = solve_stats ?exhaustive cfg accel l in
+  trace_solve_event trace accel l outcome;
+  outcome.result

@@ -46,10 +46,53 @@ val feasible : config -> Arch.Accel.t -> Ir.Layer.t -> Arch.Tile.t -> bool
 val objective : config -> Arch.Accel.t -> Ir.Layer.t -> Arch.Tile.t -> float
 (** The Eq. 1 objective for a candidate tile. *)
 
+type stats = {
+  explored : int;  (** candidate tiles whose feasibility was tested *)
+  feasible : int;  (** of those, how many passed *)
+  pruned : int;
+      (** candidate tiles skipped without testing by the branch-and-bound
+          column bound (the binary search over oy additionally shrinks
+          [explored] itself) *)
+}
+
+type outcome = { result : (solution, string) result; stats : stats }
+
+val solve_stats :
+  ?exhaustive:bool -> config -> Arch.Accel.t -> Ir.Layer.t -> outcome
+(** The solver proper: deterministic and side-effect free apart from the
+    process-wide work counters, so calls may run on pool domains and
+    outcomes may be memoized ({!Tiling_cache}). By default the search
+    binary-searches the tallest feasible oy of each (k, ox) column
+    (feasibility is monotone in oy) and skips columns whose objective
+    upper bound cannot beat the incumbent; [~exhaustive:true] restores
+    the full scan — same chosen tile and objective, more [explored]
+    candidates (benches use it as the pruning baseline). *)
+
+val trace_solve_event :
+  Trace.t option -> Arch.Accel.t -> Ir.Layer.t -> outcome -> unit
+(** Record the ["tiling.solve"] trace event for an outcome — emitted
+    separately from {!solve_stats} so parallel compilation can replay
+    events in deterministic order from the coordinating domain. *)
+
 val solve :
-  ?trace:Trace.t -> config -> Arch.Accel.t -> Ir.Layer.t -> (solution, string) result
-(** [Error] when no feasible tile exists (layer cannot run on this
-    accelerator within the memory budget). When [trace] is given, one
-    ["tiling.solve"] event is recorded per call with the candidates
-    explored, how many were feasible vs. pruned, and the chosen tile and
-    objective value. *)
+  ?trace:Trace.t ->
+  ?exhaustive:bool ->
+  config ->
+  Arch.Accel.t ->
+  Ir.Layer.t ->
+  (solution, string) result
+(** [solve_stats] + [trace_solve_event]: [Error] when no feasible tile
+    exists (layer cannot run on this accelerator within the memory
+    budget). When [trace] is given, one ["tiling.solve"] event is
+    recorded per call with the candidates explored, the feasible /
+    infeasible / pruned split, and the chosen tile and objective. *)
+
+type work = { solves : int; tests : int }
+
+val solver_work : unit -> work
+(** Process-wide count of solver invocations and feasibility tests
+    actually performed since the last reset — unlike the per-solve
+    {!stats} (which caches replay verbatim), this measures real work, so
+    benches can quantify what pruning and caching avoid. *)
+
+val reset_solver_work : unit -> unit

@@ -1,0 +1,79 @@
+(* Shape-keyed memoization of tiling solves.
+
+   ResNet-style networks re-solve identical convolution signatures many
+   times, and repeated compiles (benches, autotuning sweeps, serving many
+   requests for the same model family) re-solve whole networks. A solve's
+   outcome depends only on the canonical layer signature (kind, dims,
+   strides/pads, dtypes — never on tensor contents), the accelerator it
+   targets and the solver configuration, so that triple is the key.
+
+   The cached [Tiling.outcome] carries the search statistics alongside
+   the solution: replaying a hit emits exactly the trace payload an
+   uncached solve would have, keeping cached compilations bit-identical
+   to cold ones.
+
+   Not domain-safe by design: compile coordinates all lookups and
+   insertions from the submitting domain and fans only the (pure) misses
+   out to the pool. *)
+
+type t = {
+  table : (string, Tiling.outcome) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { table = Hashtbl.create 64; hits = 0; misses = 0 }
+
+let dims d = String.concat "x" (List.map string_of_int (Array.to_list d))
+
+let tensor_sig = function
+  | None -> "-"
+  | Some t -> Tensor.Dtype.to_string (Tensor.dtype t) ^ ":" ^ dims (Tensor.shape t)
+
+(* Everything [Tiling.solve_stats] can observe, except weight/bias tensor
+   contents (cycle models, capacity rules and heuristics only read
+   geometry and dtypes). Config floats are rendered in hex so distinct
+   alphas can never collide. *)
+let signature (cfg : Tiling.config) ~accel (l : Ir.Layer.t) =
+  let b = Buffer.create 160 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "%s|%h;%b;%b;%b;%d|" accel cfg.Tiling.alpha cfg.Tiling.use_pe_heuristics
+    cfg.Tiling.use_dma_heuristic cfg.Tiling.double_buffer cfg.Tiling.l1_budget;
+  (match l.Ir.Layer.kind with
+  | Ir.Layer.Conv p ->
+      let sy, sx = p.Nn.Kernels.stride and py, px = p.Nn.Kernels.padding in
+      add "conv:s%dx%d:p%dx%d:g%d" sy sx py px p.Nn.Kernels.groups
+  | Ir.Layer.Dense -> add "dense"
+  | Ir.Layer.Add -> add "add"
+  | Ir.Layer.Pool { max; attrs } ->
+      let py, px = attrs.Ir.Op.pool and sy, sx = attrs.Ir.Op.pool_stride in
+      add "pool:%b:%dx%d:s%dx%d" max py px sy sx);
+  (match l.Ir.Layer.fused_pool with
+  | None -> add "|-"
+  | Some a ->
+      let py, px = a.Ir.Op.pool and sy, sx = a.Ir.Op.pool_stride in
+      add "|fp%dx%d:s%dx%d" py px sy sx);
+  add "|%s|%s|%s" (dims l.Ir.Layer.in_shape)
+    (match l.Ir.Layer.in2_shape with None -> "-" | Some s -> dims s)
+    (dims l.Ir.Layer.out_shape);
+  add "|%s>%s"
+    (Tensor.Dtype.to_string l.Ir.Layer.in_dtype)
+    (Tensor.Dtype.to_string l.Ir.Layer.out_dtype);
+  add "|w:%s|b:%s" (tensor_sig l.Ir.Layer.weights) (tensor_sig l.Ir.Layer.bias);
+  add "|sh:%s|relu:%b"
+    (match l.Ir.Layer.shift with None -> "-" | Some s -> string_of_int s)
+    l.Ir.Layer.relu;
+  Buffer.contents b
+
+let find t key = Hashtbl.find_opt t.table key
+let add t key outcome = Hashtbl.replace t.table key outcome
+
+let note t ~hit = if hit then t.hits <- t.hits + 1 else t.misses <- t.misses + 1
+let hits t = t.hits
+let misses t = t.misses
+let length t = Hashtbl.length t.table
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.hits <- 0;
+  t.misses <- 0

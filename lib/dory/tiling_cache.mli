@@ -1,0 +1,34 @@
+(** Shape-keyed memoization of {!Tiling.solve_stats} outcomes.
+
+    Keys canonicalize everything the solver can observe — layer kind,
+    dims, strides/pads, dtypes (never tensor contents), the target
+    accelerator name and the solver config — so networks that repeat a
+    layer signature (ResNet blocks, model families, repeated compiles)
+    solve it once. Cached outcomes carry their search statistics, so a
+    hit replays the exact trace payload of an uncached solve and cached
+    compilations stay bit-identical to cold ones.
+
+    Not domain-safe: coordinate lookups/insertions from one domain (the
+    compile driver does) and fan only misses out to the pool. *)
+
+type t
+
+val create : unit -> t
+
+val signature : Tiling.config -> accel:string -> Ir.Layer.t -> string
+(** The canonical cache key for a (config, accelerator, layer) triple. *)
+
+val find : t -> string -> Tiling.outcome option
+val add : t -> string -> Tiling.outcome -> unit
+
+val note : t -> hit:bool -> unit
+(** Bump the cumulative hit/miss counters (callers decide what counts as
+    a hit so intra-compile deduplication is attributed deterministically). *)
+
+val hits : t -> int
+val misses : t -> int
+val length : t -> int
+(** Distinct signatures stored. *)
+
+val clear : t -> unit
+(** Drop all entries and reset the counters. *)

@@ -9,6 +9,9 @@ type config = {
   use_pe_heuristics : bool;
   use_dma_heuristic : bool;
   autotune_budget : int option;
+  jobs : int;
+  solver_cache : Dory.Tiling_cache.t option;
+  exhaustive_tiling : bool;
 }
 
 let default_config platform =
@@ -19,6 +22,9 @@ let default_config platform =
     use_pe_heuristics = true;
     use_dma_heuristic = true;
     autotune_budget = None;
+    jobs = Util.Pool.jobs_from_env ();
+    solver_cache = None;
+    exhaustive_tiling = false;
   }
 
 let tvm_baseline_config platform =
@@ -32,6 +38,14 @@ type layer_info = {
   li_tile : Arch.Tile.t option;
 }
 
+type solver_stats = {
+  ss_explored : int;
+  ss_infeasible : int;
+  ss_pruned : int;
+  ss_cache_hits : int;
+  ss_cache_misses : int;
+}
+
 type artifact = {
   cfg : config;
   program : Sim.Program.t;
@@ -41,6 +55,7 @@ type artifact = {
   l2_static_bytes : int;
   l2_arena_bytes : int;
   tuning_trials : int;
+  solver : solver_stats;
 }
 
 (* One lowered execution unit, before buffer assignment. *)
@@ -151,37 +166,38 @@ let tuneable_layer_of g (tys : Ir.Infer.ty array) (k : Codegen.Fuse.kernel) =
    the device model and scale each kernel's cycle estimate by the best
    found variant. The accelerated path is untouched — HTVM's argument is
    precisely that it needs none of this. *)
-let autotune_kernels cfg g tys kernels =
+(* Each kernel tunes independently (seeded by its name, so results do not
+   depend on scheduling) — fanned out across the pool. *)
+let autotune_kernels pool cfg g tys kernels =
   match cfg.autotune_budget with
   | None -> (kernels, 0)
   | Some budget ->
-      let total_trials = ref 0 in
-      let kernels =
-        List.map
+      let tuned =
+        Util.Pool.map pool
           (fun (k : Codegen.Fuse.kernel) ->
             match tuneable_layer_of g tys k with
-            | None -> k
+            | None -> (k, 0)
             | Some layer ->
                 let r =
                   Tune.Search.tune
                     ~seed:(Hashtbl.hash k.Codegen.Fuse.kernel_name)
                     ~budget ~device:Tune.Device.xpulpv2 layer
                 in
-                total_trials := !total_trials + r.Tune.Search.trials;
                 let factor =
                   float_of_int r.Tune.Search.best_cycles
                   /. float_of_int (max 1 r.Tune.Search.default_cycles)
                 in
-                {
-                  k with
-                  Codegen.Fuse.cycles =
-                    max 1
-                      (int_of_float
-                         (Float.round (float_of_int k.Codegen.Fuse.cycles *. factor)));
-                })
+                ( {
+                    k with
+                    Codegen.Fuse.cycles =
+                      max 1
+                        (int_of_float
+                           (Float.round (float_of_int k.Codegen.Fuse.cycles *. factor)));
+                  },
+                  r.Tune.Search.trials ))
           kernels
       in
-      (kernels, !total_trials)
+      (List.map fst tuned, List.fold_left (fun acc (_, t) -> acc + t) 0 tuned)
 
 let cpu_const_bytes g kernels =
   let ids =
@@ -201,6 +217,7 @@ let cpu_const_bytes g kernels =
 
 let compile ?trace cfg graph =
   let ( let* ) = Result.bind in
+  Util.Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
   let g = Trace.span trace "simplify" (fun () -> Ir.Rewrite.simplify graph) in
   let platform = cfg.platform in
   let plan =
@@ -219,17 +236,98 @@ let compile ?trace cfg graph =
     }
   in
   (* Lower offloaded segments; layers the tiler cannot place fall back to
-     the host path. *)
+     the host path. The solves themselves are pure, so they fan out
+     across the pool (deduplicated through the cache first, when one is
+     configured — lookups and insertions stay on this domain). The
+     sequential pass below then consumes the outcomes in segment order,
+     replaying each ["tiling.solve"] trace event from this domain, so
+     parallel and cached runs stay bit-identical to sequential cold
+     ones. *)
   let host_pool = ref [] in
   let accel_units = ref [] in
+  let cache_hits = ref 0 in
+  let cache_misses = ref 0 in
+  let seg_outcomes = ref [] in
   Trace.span trace "lower" (fun () ->
+      let offloads =
+        List.filter_map
+          (function
+            | Byoc.Partition.Offload { target; layer; _ } ->
+                Some (Arch.Platform.find_accel platform target, layer)
+            | Byoc.Partition.Host _ -> None)
+          plan.Byoc.Partition.segments
+      in
+      let solve (accel, layer) =
+        Dory.Tiling.solve_stats ~exhaustive:cfg.exhaustive_tiling tiling_cfg accel
+          layer
+      in
+      let solved =
+        match cfg.solver_cache with
+        | None -> Util.Pool.map pool solve offloads
+        | Some cache ->
+            (* Deterministic accounting regardless of pool scheduling: a
+               segment counts as a hit when its signature is already
+               cached or an earlier segment of this compile is about to
+               solve it; only distinct new signatures reach the pool. *)
+            let keyed =
+              List.map
+                (fun ((accel, layer) as task) ->
+                  ( Dory.Tiling_cache.signature tiling_cfg
+                      ~accel:accel.Arch.Accel.accel_name layer,
+                    task ))
+                offloads
+            in
+            let pending = Hashtbl.create 16 in
+            let fresh =
+              List.filter_map
+                (fun (key, task) ->
+                  let hit =
+                    Dory.Tiling_cache.find cache key <> None
+                    || Hashtbl.mem pending key
+                  in
+                  Dory.Tiling_cache.note cache ~hit;
+                  if hit then begin
+                    incr cache_hits;
+                    None
+                  end
+                  else begin
+                    incr cache_misses;
+                    Hashtbl.add pending key ();
+                    Some (key, task)
+                  end)
+                keyed
+            in
+            let solved_fresh =
+              Util.Pool.map pool (fun (_, task) -> solve task) fresh
+            in
+            List.iter2
+              (fun (key, _) outcome -> Dory.Tiling_cache.add cache key outcome)
+              fresh solved_fresh;
+            List.map
+              (fun (key, _) ->
+                match Dory.Tiling_cache.find cache key with
+                | Some o -> o
+                | None -> assert false)
+              keyed
+      in
+      let next = ref solved in
+      let take () =
+        match !next with
+        | o :: rest ->
+            next := rest;
+            o
+        | [] -> assert false
+      in
       List.iter
         (fun seg ->
           match seg with
           | Byoc.Partition.Host { id } -> host_pool := id :: !host_pool
           | Byoc.Partition.Offload { target; layer; inputs; output } -> (
               let accel = Arch.Platform.find_accel platform target in
-              match Dory.Tiling.solve ?trace tiling_cfg accel layer with
+              let outcome = take () in
+              Dory.Tiling.trace_solve_event trace accel layer outcome;
+              seg_outcomes := outcome :: !seg_outcomes;
+              match outcome.Dory.Tiling.result with
               | Ok sol ->
                   let schedule =
                     Dory.Schedule.build layer ~accel_name:target
@@ -241,13 +339,44 @@ let compile ?trace cfg graph =
                     :: !accel_units
               | Error _ -> host_pool := region_nodes g output @ !host_pool))
         plan.Byoc.Partition.segments);
+  let solver =
+    List.fold_left
+      (fun acc (o : Dory.Tiling.outcome) ->
+        let s = o.Dory.Tiling.stats in
+        {
+          acc with
+          ss_explored = acc.ss_explored + s.Dory.Tiling.explored;
+          ss_infeasible =
+            acc.ss_infeasible + (s.Dory.Tiling.explored - s.Dory.Tiling.feasible);
+          ss_pruned = acc.ss_pruned + s.Dory.Tiling.pruned;
+        })
+      {
+        ss_explored = 0;
+        ss_infeasible = 0;
+        ss_pruned = 0;
+        ss_cache_hits = !cache_hits;
+        ss_cache_misses = !cache_misses;
+      }
+      !seg_outcomes
+  in
+  (match cfg.solver_cache with
+  | Some cache ->
+      Trace.event trace ~cat:"dory"
+        ~args:
+          [
+            ("hits", Trace.Json.Int !cache_hits);
+            ("misses", Trace.Json.Int !cache_misses);
+            ("entries", Trace.Json.Int (Dory.Tiling_cache.length cache));
+          ]
+        "tiling_cache.stats"
+  | None -> ());
   let kernels =
     Trace.span trace "fuse" (fun () ->
         Codegen.Fuse.kernels ~cpu:platform.Arch.Platform.cpu
           ~size:platform.Arch.Platform.size_model g tys ~host_nodes:!host_pool)
   in
   let kernels, tuning_trials =
-    Trace.span trace "autotune" (fun () -> autotune_kernels cfg g tys kernels)
+    Trace.span trace "autotune" (fun () -> autotune_kernels pool cfg g tys kernels)
   in
   if tuning_trials > 0 then
     Trace.event trace ~cat:"tune"
@@ -486,6 +615,7 @@ let compile ?trace cfg graph =
       l2_static_bytes;
       l2_arena_bytes = arena_capacity;
       tuning_trials;
+      solver;
     }
 
 let run ?trace artifact ~inputs =

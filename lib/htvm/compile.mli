@@ -18,10 +18,24 @@ type config = {
       (** when set, TVM-style autotuning refines every heavy CPU kernel
           with up to this many simulated device measurements (paper
           Sec. II-B); [None] = the paper's fully ahead-of-time flow *)
+  jobs : int;
+      (** worker domains for tiling solves and autotune trials; 1 =
+          sequential (no domain is ever spawned). Results are
+          bit-identical at every job count. *)
+  solver_cache : Dory.Tiling_cache.t option;
+      (** when set, tiling solves are memoized across layers and across
+          compiles by canonical layer signature; cached compilations stay
+          bit-identical to cold ones *)
+  exhaustive_tiling : bool;
+      (** disable the solver's binary search + branch-and-bound pruning
+          and scan every candidate (same chosen tiles; benches use it as
+          the pruning baseline) *)
 }
 
 val default_config : Arch.Platform.t -> config
-(** Reuse planner, double buffering and all tiling heuristics on. *)
+(** Reuse planner, double buffering and all tiling heuristics on;
+    [jobs] honours the [HTVM_JOBS] environment variable (default 1), no
+    cache, pruned search. *)
 
 val tvm_baseline_config : Arch.Platform.t -> config
 (** Plain-TVM deployment model: no buffer reuse (and accelerators are
@@ -36,6 +50,18 @@ type layer_info = {
   li_tile : Arch.Tile.t option;
 }
 
+type solver_stats = {
+  ss_explored : int;  (** candidate tiles feasibility-tested, all solves *)
+  ss_infeasible : int;  (** of those, how many failed *)
+  ss_pruned : int;  (** candidates skipped by the branch-and-bound bound *)
+  ss_cache_hits : int;  (** this compile's {!Dory.Tiling_cache} hits (0 without) *)
+  ss_cache_misses : int;
+}
+(** Tiling-search totals summed over every offloaded segment. The
+    explored / infeasible / pruned totals are per-solve statistics, so
+    they are identical whether a solve ran or was replayed from the
+    cache; only the hit/miss split depends on caching. *)
+
 type artifact = {
   cfg : config;
   program : Sim.Program.t;
@@ -45,14 +71,20 @@ type artifact = {
   l2_static_bytes : int;  (** weight images resident in L2 *)
   l2_arena_bytes : int;   (** activation arena capacity after statics *)
   tuning_trials : int;    (** device measurements spent by autotuning (0 without) *)
+  solver : solver_stats;
 }
 
 val compile : ?trace:Trace.t -> config -> Ir.Graph.t -> (artifact, string) result
 (** [Error] carries a diagnosis (e.g. the out-of-memory message that
     reproduces Table I's MobileNet OoM under the TVM baseline). When
     [trace] is given, every compiler phase (simplify, partition, lower
-    with per-layer {!Dory.Tiling.solve} events, fuse, autotune, memplan,
-    emit) is recorded as a span on the ["compiler"] track. *)
+    with per-layer ["tiling.solve"] events, fuse, autotune, memplan,
+    emit) is recorded as a span on the ["compiler"] track.
+
+    With [cfg.jobs > 1] the per-segment tiling solves and per-kernel
+    autotune trials run on a domain pool; trace events are replayed in
+    segment order from the calling domain, so the artifact and the trace
+    are bit-identical (modulo timestamps) to a [jobs = 1] run. *)
 
 val run :
   ?trace:Trace.t ->

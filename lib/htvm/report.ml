@@ -80,6 +80,17 @@ let to_json_value ?(energy = Sim.Energy.diana_defaults) (artifact : Compile.arti
               ( "peak_latency_ms",
                 J.Float (Compile.latency_ms cfg (Compile.peak_cycles report)) );
             ]) );
+      (* Per-solve search totals only: these are identical whether solves
+         ran sequentially, on a pool, or were replayed from the cache, so
+         the report JSON stays byte-identical across engine settings
+         (cache hit/miss counts live in the markdown and the trace). *)
+      ( "solver",
+        J.Obj
+          [
+            ("explored", J.Int artifact.Compile.solver.Compile.ss_explored);
+            ("infeasible", J.Int artifact.Compile.solver.Compile.ss_infeasible);
+            ("pruned", J.Int artifact.Compile.solver.Compile.ss_pruned);
+          ] );
       ("layers", J.List layers);
       ( "binary",
         J.Obj
@@ -141,6 +152,12 @@ let to_markdown ?(energy = Sim.Energy.diana_defaults) (artifact : Compile.artifa
   | Some b ->
       add "- autotuning: on (budget %d, %d device trials spent)\n" b
         artifact.Compile.tuning_trials);
+  let sv = artifact.Compile.solver in
+  add "- tiling search: %d candidates explored (%d infeasible), %d pruned\n"
+    sv.Compile.ss_explored sv.Compile.ss_infeasible sv.Compile.ss_pruned;
+  if cfg.Compile.solver_cache <> None then
+    add "- solver cache: %d hits, %d misses this compile\n" sv.Compile.ss_cache_hits
+      sv.Compile.ss_cache_misses;
   let full = Compile.full_cycles report and peak = Compile.peak_cycles report in
   add "\n## Latency\n\n";
   add "- full kernel calls: **%.3f ms** (%d cycles)\n" (Compile.latency_ms cfg full) full;

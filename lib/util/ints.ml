@@ -13,9 +13,17 @@ let log2_ceil n =
   let rec go k p = if p >= n then k else go (k + 1) (p * 2) in
   go 0 1
 
+(* O(sqrt n): every divisor d <= sqrt n pairs with n / d >= sqrt n, so one
+   scan up to the root collects both halves of the list. *)
 let divisors n =
   assert (n > 0);
-  let rec go d acc = if d > n then List.rev acc else go (d + 1) (if n mod d = 0 then d :: acc else acc) in
-  go 1 []
+  let rec go d small large =
+    if d * d > n then List.rev_append small large
+    else if n mod d = 0 then
+      let q = n / d in
+      go (d + 1) (d :: small) (if q = d then large else q :: large)
+    else go (d + 1) small large
+  in
+  go 1 [] []
 
 let kib n = n * 1024

@@ -1,0 +1,162 @@
+(* Fixed-size domain pool.
+
+   Workers block on a condition variable until a batch is published,
+   then race down a shared atomic index, each writing results into its
+   task's own slot. The submitting domain participates in the drain, so
+   a pool of [jobs] runs [jobs] tasks at once with [jobs - 1] spawned
+   domains, and [jobs = 1] degenerates to plain [List.map] with no
+   domain ever created. *)
+
+type batch = {
+  run : int -> unit;  (* must not raise; exceptions are captured in slots *)
+  size : int;
+  next : int Atomic.t;
+  remaining : int Atomic.t;
+}
+
+type shared = {
+  mutex : Mutex.t;
+  work : Condition.t;      (* a batch was published or the pool is stopping *)
+  finished : Condition.t;  (* a batch's last task completed *)
+  mutable current : batch option;
+  mutable stop : bool;
+}
+
+type t = {
+  pool_jobs : int;
+  shared : shared option;  (* [None] iff [pool_jobs = 1] *)
+  mutable domains : unit Domain.t list;
+  mutable spawned : bool;
+      (* workers are spawned on the first multi-task batch, so an unused
+         pool costs nothing (Domain.spawn is milliseconds on small
+         machines) *)
+}
+
+let jobs t = t.pool_jobs
+
+(* Pull tasks until the batch's index is exhausted; whoever completes the
+   last task wakes the submitter. *)
+let drain sh b =
+  let rec pull () =
+    let i = Atomic.fetch_and_add b.next 1 in
+    if i < b.size then begin
+      b.run i;
+      if Atomic.fetch_and_add b.remaining (-1) = 1 then begin
+        Mutex.lock sh.mutex;
+        Condition.broadcast sh.finished;
+        Mutex.unlock sh.mutex
+      end;
+      pull ()
+    end
+  in
+  pull ()
+
+let worker sh () =
+  Mutex.lock sh.mutex;
+  let rec loop () =
+    if sh.stop then Mutex.unlock sh.mutex
+    else
+      match sh.current with
+      | Some b when Atomic.get b.next < b.size ->
+          Mutex.unlock sh.mutex;
+          drain sh b;
+          Mutex.lock sh.mutex;
+          loop ()
+      | _ ->
+          Condition.wait sh.work sh.mutex;
+          loop ()
+  in
+  loop ()
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  if jobs = 1 then { pool_jobs = 1; shared = None; domains = []; spawned = false }
+  else
+    let sh =
+      {
+        mutex = Mutex.create ();
+        work = Condition.create ();
+        finished = Condition.create ();
+        current = None;
+        stop = false;
+      }
+    in
+    { pool_jobs = jobs; shared = Some sh; domains = []; spawned = false }
+
+(* Only ever called from the owning domain (the one that submits maps). *)
+let ensure_spawned t sh =
+  if not t.spawned then begin
+    t.spawned <- true;
+    t.domains <- List.init (t.pool_jobs - 1) (fun _ -> Domain.spawn (worker sh))
+  end
+
+let shutdown t =
+  match t.shared with
+  | None -> ()
+  | Some sh ->
+      Mutex.lock sh.mutex;
+      sh.stop <- true;
+      Condition.broadcast sh.work;
+      Mutex.unlock sh.mutex;
+      List.iter Domain.join t.domains;
+      t.domains <- []
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let map t f xs =
+  match t.shared with
+  | None -> List.map f xs
+  | Some sh ->
+      let input = Array.of_list xs in
+      let n = Array.length input in
+      if n <= 1 then List.map f xs
+      else begin
+        ensure_spawned t sh;
+        let results = Array.make n None in
+        let run i =
+          let r =
+            match f input.(i) with
+            | v -> Ok v
+            | exception e -> Error (e, Printexc.get_raw_backtrace ())
+          in
+          results.(i) <- Some r
+        in
+        let b =
+          { run; size = n; next = Atomic.make 0; remaining = Atomic.make n }
+        in
+        Mutex.lock sh.mutex;
+        sh.current <- Some b;
+        Condition.broadcast sh.work;
+        Mutex.unlock sh.mutex;
+        drain sh b;
+        Mutex.lock sh.mutex;
+        while Atomic.get b.remaining > 0 do
+          Condition.wait sh.finished sh.mutex
+        done;
+        sh.current <- None;
+        Mutex.unlock sh.mutex;
+        Array.to_list
+          (Array.map
+             (function
+               | Some (Ok v) -> v
+               | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+               | None -> assert false)
+             results)
+      end
+
+let iter t f xs = ignore (map t (fun x -> f x) xs)
+
+let available () = Domain.recommended_domain_count ()
+
+let parse_jobs s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> Ok n
+  | Some n -> Error (Printf.sprintf "job count must be >= 1 (got %d)" n)
+  | None -> Error (Printf.sprintf "job count must be a positive integer (got %S)" s)
+
+let jobs_from_env ?(default = 1) () =
+  match Sys.getenv_opt "HTVM_JOBS" with
+  | None -> default
+  | Some s -> ( match parse_jobs s with Ok n -> n | Error _ -> default)

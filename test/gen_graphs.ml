@@ -156,4 +156,10 @@ let random_config seed =
     use_pe_heuristics = Util.Rng.bool rng;
     use_dma_heuristic = Util.Rng.bool rng;
     autotune_budget = (if Util.Rng.int rng 4 = 0 then Some 32 else None);
+    (* Exercise the parallel/memoized engine paths too: they must be
+       behaviorally invisible (bit-identical artifacts at any setting). *)
+    jobs = [| 1; 1; 2; 4 |].(Util.Rng.int rng 4);
+    solver_cache =
+      (if Util.Rng.int rng 3 = 0 then Some (Dory.Tiling_cache.create ()) else None);
+    exhaustive_tiling = Util.Rng.int rng 4 = 0;
   }

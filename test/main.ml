@@ -27,4 +27,6 @@ let () =
          Test_misc.suites;
          Test_props.suites;
          Test_trace.suites;
+         Test_pool.suites;
+         Test_parallel.suites;
        ])

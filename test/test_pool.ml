@@ -1,0 +1,98 @@
+(* Tests for Util.Pool: order preservation, sequential equivalence,
+   deterministic exception propagation, reuse across batches. *)
+
+exception Boom of int
+
+let test_map_preserves_order () =
+  Util.Pool.with_pool ~jobs:4 (fun p ->
+      let xs = List.init 100 (fun i -> i) in
+      Alcotest.(check (list int))
+        "parallel map = sequential map"
+        (List.map (fun x -> (x * x) + 1) xs)
+        (Util.Pool.map p (fun x -> (x * x) + 1) xs))
+
+let test_jobs1_is_list_map () =
+  Util.Pool.with_pool ~jobs:1 (fun p ->
+      Alcotest.(check int) "jobs clamps to >= 1" 1 (Util.Pool.jobs p);
+      let xs = List.init 20 (fun i -> i) in
+      Alcotest.(check (list int)) "identical" (List.map succ xs)
+        (Util.Pool.map p succ xs));
+  (* jobs below 1 degenerates to 1 rather than failing *)
+  Util.Pool.with_pool ~jobs:0 (fun p ->
+      Alcotest.(check int) "0 clamps" 1 (Util.Pool.jobs p))
+
+let test_exception_is_lowest_index () =
+  Util.Pool.with_pool ~jobs:4 (fun p ->
+      let completed = Atomic.make 0 in
+      let raised =
+        try
+          ignore
+            (Util.Pool.map p
+               (fun i ->
+                 if i = 3 || i = 7 then raise (Boom i)
+                 else begin
+                   Atomic.incr completed;
+                   i
+                 end)
+               (List.init 10 (fun i -> i)));
+          None
+        with Boom i -> Some i
+      in
+      Alcotest.(check (option int)) "lowest failing index wins" (Some 3) raised;
+      (* every non-failing task still ran to completion *)
+      Alcotest.(check int) "all other tasks completed" 8 (Atomic.get completed))
+
+let test_reuse_across_batches () =
+  Util.Pool.with_pool ~jobs:3 (fun p ->
+      for round = 1 to 5 do
+        let xs = List.init (10 * round) (fun i -> i) in
+        Alcotest.(check (list int))
+          (Printf.sprintf "round %d" round)
+          (List.map (fun x -> x * round) xs)
+          (Util.Pool.map p (fun x -> x * round) xs)
+      done)
+
+let test_iter_runs_everything () =
+  Util.Pool.with_pool ~jobs:4 (fun p ->
+      let sum = Atomic.make 0 in
+      Util.Pool.iter p (fun i -> ignore (Atomic.fetch_and_add sum i))
+        (List.init 101 (fun i -> i));
+      Alcotest.(check int) "all tasks observed" 5050 (Atomic.get sum))
+
+let test_shutdown_idempotent () =
+  let p = Util.Pool.create ~jobs:2 in
+  ignore (Util.Pool.map p succ [ 1; 2; 3 ]);
+  Util.Pool.shutdown p;
+  Util.Pool.shutdown p
+
+let test_parse_jobs () =
+  Alcotest.(check (result int string)) "4" (Ok 4) (Util.Pool.parse_jobs "4");
+  Alcotest.(check (result int string)) "padded" (Ok 2) (Util.Pool.parse_jobs " 2 ");
+  Alcotest.(check bool) "0 rejected" true (Result.is_error (Util.Pool.parse_jobs "0"));
+  Alcotest.(check bool) "negative rejected" true
+    (Result.is_error (Util.Pool.parse_jobs "-3"));
+  Alcotest.(check bool) "garbage rejected" true
+    (Result.is_error (Util.Pool.parse_jobs "four"))
+
+let test_stress_many_small_batches () =
+  Util.Pool.with_pool ~jobs:4 (fun p ->
+      for n = 0 to 40 do
+        let xs = List.init n (fun i -> i) in
+        Alcotest.(check (list int))
+          (Printf.sprintf "n=%d" n)
+          (List.map (fun x -> x * x) xs)
+          (Util.Pool.map p (fun x -> x * x) xs)
+      done)
+
+let suites =
+  [ ( "pool",
+      [ Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
+        Alcotest.test_case "jobs=1 is List.map" `Quick test_jobs1_is_list_map;
+        Alcotest.test_case "lowest-index exception" `Quick test_exception_is_lowest_index;
+        Alcotest.test_case "reuse across batches" `Quick test_reuse_across_batches;
+        Alcotest.test_case "iter runs everything" `Quick test_iter_runs_everything;
+        Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+        Alcotest.test_case "parse_jobs" `Quick test_parse_jobs;
+        Alcotest.test_case "stress small batches" `Slow test_stress_many_small_batches;
+      ] )
+  ]

@@ -70,6 +70,22 @@ let test_divisors () =
   Alcotest.(check (list int)) "1" [ 1 ] (Util.Ints.divisors 1);
   Alcotest.(check (list int)) "7" [ 1; 7 ] (Util.Ints.divisors 7)
 
+let test_divisors_edge_cases () =
+  (* perfect squares: the root appears exactly once *)
+  Alcotest.(check (list int)) "36" [ 1; 2; 3; 4; 6; 9; 12; 18; 36 ]
+    (Util.Ints.divisors 36);
+  Alcotest.(check (list int)) "49" [ 1; 7; 49 ] (Util.Ints.divisors 49);
+  Alcotest.(check (list int)) "4" [ 1; 2; 4 ] (Util.Ints.divisors 4);
+  (* primes: exactly the two trivial divisors, even for large inputs the
+     O(sqrt n) scan must terminate quickly on *)
+  Alcotest.(check (list int)) "9973" [ 1; 9973 ] (Util.Ints.divisors 9973);
+  Alcotest.(check (list int)) "big prime" [ 1; 104729 ] (Util.Ints.divisors 104729)
+
+let prop_divisors_complete_sorted =
+  Helpers.qtest "divisors = sorted naive scan" QCheck.(int_range 1 2000) (fun n ->
+      let naive = List.filter (fun d -> n mod d = 0) (List.init n (fun i -> i + 1)) in
+      Util.Ints.divisors n = naive)
+
 let test_kib () = Alcotest.(check int) "256 KiB" 262144 (Util.Ints.kib 256)
 
 let test_table_render () =
@@ -130,12 +146,14 @@ let suites =
         Alcotest.test_case "clamp" `Quick test_clamp;
         Alcotest.test_case "pow2/log2" `Quick test_pow2_log2;
         Alcotest.test_case "divisors" `Quick test_divisors;
+        Alcotest.test_case "divisors edge cases" `Quick test_divisors_edge_cases;
         Alcotest.test_case "kib" `Quick test_kib;
         Alcotest.test_case "table render" `Quick test_table_render;
         Alcotest.test_case "table right align" `Quick test_table_right_alignment;
         Alcotest.test_case "table markdown" `Quick test_table_markdown;
         prop_ceil_div_round_up;
         prop_divisors_divide;
+        prop_divisors_complete_sorted;
         prop_clamp_in_range;
       ] )
   ]

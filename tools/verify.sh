@@ -9,8 +9,16 @@ cd "$(dirname "$0")/.."
 echo "== dune build =="
 dune build
 
-echo "== dune runtest =="
-dune runtest
+echo "== dune runtest (HTVM_JOBS=1) =="
+HTVM_JOBS=1 dune runtest
+
+# Same suite again with the engine's domain pool on: results must not
+# depend on the job count. --force because the test binary is unchanged.
+echo "== dune runtest (HTVM_JOBS=4) =="
+HTVM_JOBS=4 dune runtest --force
+
+echo "== bench smoke: parallel engine on one small model =="
+dune exec bench/main.exe -- parallel-smoke
 
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune build @fmt =="
