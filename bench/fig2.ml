@@ -12,7 +12,7 @@ let run () =
   let g = (Models.Zoo.find "ds_cnn").Models.Zoo.build Models.Policy.Mixed in
   let cfg = C.default_config Arch.Diana.platform in
   match C.compile cfg g with
-  | Error e -> print_endline ("compile error: " ^ e)
+  | Error e -> print_endline ("compile error: " ^ C.error_to_string e)
   | Ok artifact ->
       let _, report = C.run artifact ~inputs:(Models.Zoo.random_input g) in
       let total = C.full_cycles report in

@@ -8,7 +8,7 @@ let tiling =
 
 let measure accel layer =
   match Htvm.Lab.run_single_layer ~accel ~tiling layer with
-  | Error e -> failwith e
+  | Error e -> failwith (Htvm.Lab.failure_to_string e)
   | Ok r ->
       let macs = Ir.Layer.macs layer in
       let peak = Htvm.Lab.peak_throughput layer r in

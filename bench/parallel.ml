@@ -32,7 +32,7 @@ let compile_or_die cfg g =
   match C.compile cfg g with
   | Ok a -> a
   | Error e ->
-      Printf.eprintf "parallel bench: compile failed: %s\n" e;
+      Printf.eprintf "parallel bench: compile failed: %s\n" (C.error_to_string e);
       exit 1
 
 (* Wall time (not CPU time — the point is elapsed speedup from the pool),
@@ -84,7 +84,7 @@ let bench_model ~repeats (entry : Models.Zoo.entry) =
         match C.compile ~trace:trace_ex (engine_cfg ~exhaustive:true ~jobs:1 ()) g with
         | Ok a -> a
         | Error e ->
-            Printf.eprintf "parallel bench: compile failed: %s\n" e;
+            Printf.eprintf "parallel bench: compile failed: %s\n" (C.error_to_string e);
             exit 1)
   in
   let trace_pr = Trace.create () in
@@ -93,7 +93,7 @@ let bench_model ~repeats (entry : Models.Zoo.entry) =
         match C.compile ~trace:trace_pr (engine_cfg ~jobs:1 ()) g with
         | Ok a -> a
         | Error e ->
-            Printf.eprintf "parallel bench: compile failed: %s\n" e;
+            Printf.eprintf "parallel bench: compile failed: %s\n" (C.error_to_string e);
             exit 1)
   in
   let cache = Dory.Tiling_cache.create () in

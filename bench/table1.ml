@@ -85,16 +85,10 @@ let run () =
               | None -> ("-", "-", "-")
             in
             match run_config e cfg with
-            | Error msg ->
-                let contains_oom =
-                  let n = "out of memory" in
-                  let rec go i =
-                    i + String.length n <= String.length msg
-                    && (String.sub msg i (String.length n) = n || go (i + 1))
-                  in
-                  go 0
+            | Error err ->
+                let reason =
+                  match err with C.Out_of_memory _ -> "OoM" | _ -> "error"
                 in
-                let reason = if contains_oom then "OoM" else "error" in
                 [ cfg.label; "-"; reason; "-"; paper_peak; paper_full; paper_size ]
             | Ok (peak, full, kb) ->
                 let peak = if cfg.baseline then "-" else fmt_ms peak in

@@ -18,7 +18,7 @@ let htvm_digital_ms (e : Models.Zoo.entry) =
   let g = e.Models.Zoo.build Models.Policy.All_int8 in
   let cfg = C.default_config Arch.Diana.digital_only in
   match C.compile cfg g with
-  | Error msg -> failwith msg
+  | Error msg -> failwith (C.error_to_string msg)
   | Ok artifact ->
       let _, report = C.run artifact ~inputs:(Models.Zoo.random_input g) in
       C.latency_ms cfg (C.full_cycles report)

@@ -12,8 +12,9 @@ let profile_model (entry : Models.Zoo.entry) =
   let trace = Trace.create () in
   match C.compile ~trace (C.default_config Arch.Diana.platform) g with
   | Error e ->
-      Printf.printf "  %-18s compile error: %s\n%!" entry.Models.Zoo.model_name e;
-      (entry.Models.Zoo.model_name, J.Obj [ ("error", J.Str e) ])
+      Printf.printf "  %-18s compile error: %s\n%!" entry.Models.Zoo.model_name
+        (C.error_to_string e);
+      (entry.Models.Zoo.model_name, J.Obj [ ("error", J.Str (C.error_to_string e)) ])
   | Ok artifact ->
       let _, report = C.run ~trace artifact ~inputs:(Models.Zoo.random_input g) in
       let t = report.Sim.Machine.totals in

@@ -6,6 +6,8 @@
      compile   compile a model for a DIANA configuration; optionally emit C
      run       compile and execute on the simulated SoC
      profile   compile + run with tracing on; write a Perfetto-loadable trace
+     check     differential conformance fuzzing with automatic shrinking;
+               also records the golden snapshots (--bless)
 
    Examples:
      htvmc export resnet8 --policy mixed -o resnet8.htvm
@@ -13,7 +15,10 @@
      htvmc compile resnet8.htvm --config both --emit-c resnet8.c
      htvmc run resnet8.htvm --config both
      htvmc profile resnet8.htvm --config both --trace out.json
-     htvmc report resnet8.htvm --config both --json *)
+     htvmc report resnet8.htvm --config both --json
+     htvmc check --seeds 500 -j 4
+     htvmc check --replay-seed 173
+     htvmc check --bless *)
 
 open Cmdliner
 
@@ -55,7 +60,7 @@ let compile_or_die ?trace cfg g =
   match Htvm.Compile.compile ?trace cfg g with
   | Ok a -> a
   | Error e ->
-      Printf.eprintf "htvmc: compilation failed: %s\n" e;
+      Printf.eprintf "htvmc: compilation failed: %s\n" (Htvm.Compile.error_to_string e);
       exit 1
 
 let write_file path contents =
@@ -279,6 +284,86 @@ let verify path config jobs trials =
     exit 1
   end
 
+(* --- check --- *)
+
+let bless_goldens golden_dir =
+  List.iter
+    (fun (model, config) ->
+      match Check.Golden.compute ~model ~config with
+      | Error e ->
+          Printf.eprintf "htvmc: %s\n" e;
+          exit 1
+      | Ok entry ->
+          Check.Golden.bless ~dir:golden_dir entry;
+          Printf.printf "blessed %s/%s\n%!" golden_dir
+            (Check.Golden.filename ~model ~config))
+    Check.Golden.cases;
+  Printf.printf "blessed %d golden snapshots\n" (List.length Check.Golden.cases)
+
+(* Minimize a failing case and write the replayable reproducer. *)
+let shrink_and_write ~max_checks ~out (c : Check.case) =
+  let g = Check.Gen.generate c.Check.seed in
+  let cfg = Check.Gen.random_config c.Check.seed in
+  Printf.printf "shrinking seed %d (class %s) ...\n%!" c.Check.seed
+    (Check.class_of c.Check.verdict);
+  let o =
+    Check.Shrink.shrink_failure ~max_checks ~input_seed:c.Check.seed cfg g
+      c.Check.verdict
+  in
+  Printf.printf "minimized: %d -> %d ops (%d reductions, %d re-checks)\n"
+    (Ir.Graph.app_count g)
+    (Ir.Graph.app_count o.Check.Shrink.graph)
+    o.Check.Shrink.accepted o.Check.Shrink.checks;
+  let verdict =
+    Check.run_case ~input_seed:c.Check.seed o.Check.Shrink.config o.Check.Shrink.graph
+  in
+  write_file out
+    (Check.reproducer ~seed:c.Check.seed ~config:o.Check.Shrink.config
+       ~graph:o.Check.Shrink.graph ~verdict);
+  Printf.printf "wrote %s — minimized verdict: %s\n" out (Check.describe verdict)
+
+let check seeds start jobs golden_dir bless replay_seed out max_shrink_checks =
+  if bless then bless_goldens golden_dir
+  else
+    match replay_seed with
+    | Some seed ->
+        let verdict = Check.run_seed seed in
+        Printf.printf "seed %d: %s\n" seed (Check.describe verdict);
+        if Check.is_failure verdict then begin
+          shrink_and_write ~max_checks:max_shrink_checks ~out
+            { Check.seed; verdict };
+          exit 1
+        end
+    | None ->
+        let jobs = resolve_jobs jobs in
+        Printf.printf "check: seeds [%d, %d) on %d job%s\n%!" start (start + seeds)
+          jobs
+          (if jobs = 1 then "" else "s");
+        let cases =
+          Check.fuzz ~jobs
+            ~progress:(fun ~completed ~total ->
+              Printf.printf "\r  %d/%d cases%!" completed total)
+            ~start ~count:seeds ()
+        in
+        print_newline ();
+        List.iter
+          (fun (cls, n) -> Printf.printf "  %-24s %d\n" cls n)
+          (Check.tally cases);
+        let failures =
+          List.filter (fun c -> Check.is_failure c.Check.verdict) cases
+        in
+        List.iter
+          (fun c ->
+            Printf.printf "seed %d: %s\n" c.Check.seed (Check.describe c.Check.verdict))
+          failures;
+        (match Check.first_failure cases with
+        | None -> Printf.printf "check: %d cases, no failures\n" seeds
+        | Some c ->
+            Printf.printf "check: %d of %d cases FAILED\n" (List.length failures)
+              seeds;
+            shrink_and_write ~max_checks:max_shrink_checks ~out c;
+            exit 1)
+
 (* --- dot --- *)
 
 let dot path config out =
@@ -410,6 +495,48 @@ let verify_cmd =
        ~doc:"Differentially verify the compiled artifact against the interpreter")
     Term.(const verify $ path_arg $ config_arg $ jobs_arg $ trials)
 
+let check_cmd =
+  let seeds =
+    Arg.(value & opt int 100
+         & info [ "seeds"; "n" ] ~docv:"N" ~doc:"Number of fuzz seeds to run.")
+  in
+  let start =
+    Arg.(value & opt int 0 & info [ "start" ] ~docv:"S" ~doc:"First seed of the range.")
+  in
+  let golden_dir =
+    Arg.(value & opt string "test/golden"
+         & info [ "golden-dir" ] ~docv:"DIR" ~doc:"Golden snapshot directory.")
+  in
+  let bless =
+    Arg.(value & flag
+         & info [ "bless" ]
+             ~doc:"Re-record the golden snapshots (model zoo x deployment \
+                   configs) instead of fuzzing.")
+  in
+  let replay_seed =
+    Arg.(value & opt (some int) None
+         & info [ "replay-seed" ] ~docv:"SEED"
+             ~doc:"Run exactly one fuzz case (from a reproducer header) instead \
+                   of a range.")
+  in
+  let out =
+    Arg.(value & opt string "htvm-repro.htvm"
+         & info [ "o"; "repro" ] ~docv:"FILE"
+             ~doc:"Where to write the minimized reproducer on failure.")
+  in
+  let max_shrink_checks =
+    Arg.(value & opt int 400
+         & info [ "max-shrink-checks" ] ~docv:"N"
+             ~doc:"Budget of failure-predicate re-checks for the shrinker.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Differential conformance check: fuzz random (graph, config) cases \
+             against the reference interpreter, auto-shrink the first failure \
+             to a minimal reproducer; --bless records golden snapshots")
+    Term.(const check $ seeds $ start $ jobs_arg $ golden_dir $ bless $ replay_seed
+          $ out $ max_shrink_checks)
+
 let report_cmd =
   let out =
     Arg.(value & opt (some string) None & info [ "o" ] ~doc:"Write the report here.")
@@ -428,4 +555,4 @@ let () =
           (Cmd.info "htvmc" ~version:"1.0"
              ~doc:"HTVM compiler driver for heterogeneous TinyML platforms")
           [ export_cmd; export_float_cmd; quantize_cmd; inspect_cmd; compile_cmd;
-            run_cmd; profile_cmd; verify_cmd; report_cmd; dot_cmd ]))
+            run_cmd; profile_cmd; verify_cmd; check_cmd; report_cmd; dot_cmd ]))

@@ -30,7 +30,7 @@ let deploy model config emit_c =
   let cfg = Htvm.Compile.default_config platform in
   match Htvm.Compile.compile cfg g with
   | Error e ->
-      Printf.printf "compilation failed: %s\n" e;
+      Printf.printf "compilation failed: %s\n" (Htvm.Compile.error_to_string e);
       exit 1
   | Ok artifact ->
       let inputs = Models.Zoo.random_input g in

@@ -24,7 +24,9 @@ let () =
   print_endline "2. HTVM compilation for DIANA (CPU + digital)";
   let cfg = Htvm.Compile.default_config Arch.Diana.digital_only in
   let artifact =
-    match Htvm.Compile.compile cfg g with Ok a -> a | Error e -> failwith e
+    match Htvm.Compile.compile cfg g with
+    | Ok a -> a
+    | Error e -> failwith (Htvm.Compile.error_to_string e)
   in
   List.iter
     (fun (li : Htvm.Compile.layer_info) ->

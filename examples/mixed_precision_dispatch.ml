@@ -10,7 +10,7 @@ let show policy =
   Printf.printf "\n== ResNet-8 under the %s policy ==\n" (Models.Policy.to_string policy);
   let cfg = Htvm.Compile.default_config Arch.Diana.platform in
   match Htvm.Compile.compile cfg g with
-  | Error e -> Printf.printf "compile error: %s\n" e
+  | Error e -> Printf.printf "compile error: %s\n" (Htvm.Compile.error_to_string e)
   | Ok artifact ->
       List.iter
         (fun (li : Htvm.Compile.layer_info) ->

@@ -10,7 +10,7 @@
 let deploy name platform g =
   let cfg = Htvm.Compile.default_config platform in
   match Htvm.Compile.compile cfg g with
-  | Error e -> Printf.printf "%s: compile error: %s\n" name e
+  | Error e -> Printf.printf "%s: compile error: %s\n" name (Htvm.Compile.error_to_string e)
   | Ok artifact ->
       let inputs = Models.Zoo.random_input g in
       let out, report = Htvm.Compile.run artifact ~inputs in
@@ -36,7 +36,7 @@ let () =
   print_endline "NOVA's dispatch (stride-2 and depthwise layers stay on the host):";
   let cfg = Htvm.Compile.default_config Arch.Nova.platform in
   match Htvm.Compile.compile cfg g with
-  | Error e -> print_endline e
+  | Error e -> print_endline (Htvm.Compile.error_to_string e)
   | Ok artifact ->
       List.iter
         (fun (li : Htvm.Compile.layer_info) ->

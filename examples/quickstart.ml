@@ -28,7 +28,7 @@ let () =
   let artifact =
     match Htvm.Compile.compile cfg g with
     | Ok a -> a
-    | Error e -> failwith ("compile failed: " ^ e)
+    | Error e -> failwith ("compile failed: " ^ Htvm.Compile.error_to_string e)
   in
   List.iter
     (fun (li : Htvm.Compile.layer_info) ->

@@ -1,0 +1,62 @@
+(** Differential conformance subsystem.
+
+    One library ties the pieces together: {!Gen} builds random valid
+    (graph, deployment config) cases from an integer seed, {!Verdict}
+    (included below) runs one case end to end — compile, execute on the
+    simulated SoC, compare bit-for-bit against the reference interpreter
+    — and classifies the outcome, {!Shrink} minimizes any failing case
+    to a small reproducer, and {!Golden} snapshots the compiler's
+    observable behaviour on the model zoo. [htvmc check] and the test
+    suites are thin drivers over this module. *)
+
+module Gen = Gen
+module Shrink = Shrink
+module Golden = Golden
+include Verdict
+
+type case = { seed : int; verdict : Verdict.t }
+(** One fuzz case: the seed and what running it produced. *)
+
+(** [fuzz ~start ~count ()] runs the seed range [[start, start+count)]
+    and returns every case in ascending seed order — the result is
+    identical at any [jobs] (the pool preserves order, and each case is
+    a pure function of its seed). [progress] is called after each
+    completed chunk from the submitting domain. *)
+let fuzz ?(jobs = 1) ?(chunk = 32) ?progress ~start ~count () =
+  Util.Pool.with_pool ~jobs (fun pool ->
+      let acc = ref [] in
+      let completed = ref 0 in
+      let rec loop s remaining =
+        if remaining > 0 then begin
+          let n = min chunk remaining in
+          let seeds = List.init n (fun i -> s + i) in
+          let results =
+            Util.Pool.map pool
+              (fun seed -> { seed; verdict = Verdict.run_seed seed })
+              seeds
+          in
+          List.iter (fun c -> acc := c :: !acc) results;
+          completed := !completed + n;
+          (match progress with
+          | Some f -> f ~completed:!completed ~total:count
+          | None -> ());
+          loop (s + n) (remaining - n)
+        end
+      in
+      loop start count;
+      List.rev !acc)
+
+(** Per-class counts, sorted by class label — a stable one-line summary
+    for reports and assertions. *)
+let tally cases =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      let k = Verdict.class_of c.verdict in
+      Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    cases;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(** First failing case of the range, if any (ascending seed order). *)
+let first_failure cases = List.find_opt (fun c -> Verdict.is_failure c.verdict) cases

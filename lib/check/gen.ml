@@ -1,11 +1,6 @@
-(* Random quantized-network generator for differential testing.
-
-   Builds arbitrary-but-valid graphs in the operator vocabulary the HTVM
-   flow supports: conv / depthwise / dense blocks with random geometry,
-   precision, stride and activation; residual adds; poolings; branches
-   where one activation feeds several consumers (which must block fusion);
-   softmax heads. Used to fuzz the whole compiler against the reference
-   interpreter. *)
+(* Random quantized-network generator for differential testing (see
+   gen.mli). Every choice flows through one SplitMix64 stream per seed, so
+   cases replay exactly from the integer seed alone. *)
 
 module B = Ir.Graph.Builder
 module Dtype = Tensor.Dtype
@@ -110,7 +105,9 @@ let generate seed =
     | None -> ()
   done;
   let out =
-    if Util.Rng.bool rng then begin
+    (* Force the head when every trunk block aborted: a generated case
+       must always contain at least one operator application. *)
+    if Util.Rng.bool rng || !v.id = x then begin
       (* classifier head: flatten -> dense -> softmax *)
       let features = Array.fold_left ( * ) 1 !v.shape in
       let flat = B.reshape b [| features |] !v.id in

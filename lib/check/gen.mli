@@ -1,0 +1,26 @@
+(** Random quantized-network and deployment-configuration generator.
+
+    The differential-conformance workhorse: builds arbitrary-but-valid
+    graphs in the operator vocabulary the HTVM flow supports (conv /
+    depthwise / dense blocks with random geometry, precision, stride and
+    activation; residual adds; poolings; channel concatenations; softmax
+    heads) and pairs them with random deployment configurations
+    (platform choice, shrunken L1, planner strategy, engine knobs).
+    Everything is a pure function of the integer seed, so any case — and
+    any failure — replays from one number.
+
+    Promoted out of [test/] so the library-level checker ({!Verdict},
+    {!Shrink}, [htvmc check]) and the test suites share one generator. *)
+
+val generate : int -> Ir.Graph.t
+(** A random valid graph: a spatial trunk of 2–6 blocks followed by an
+    optional flatten/dense/softmax classifier head (forced when every
+    trunk block aborts, so the result always has at least one operator
+    application). Deterministic per seed. *)
+
+val random_config : int -> Htvm.Compile.config
+(** A random deployment configuration for the same seed space: one of
+    the five platforms (DIANA cpu/digital/analog/full, NOVA), sometimes
+    with L1 shrunk to 2–32 KiB so tiling paths are exercised end to end,
+    random planner strategy, buffering, heuristic and engine (jobs /
+    cache / pruning) knobs. *)

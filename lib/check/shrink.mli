@@ -1,0 +1,50 @@
+(** Delta-debugging minimizer for failing (graph, config) pairs.
+
+    A 40-op fuzz failure is undebuggable; the interesting bug is almost
+    always reachable from a 1–3 op reproducer. [shrink] greedily applies
+    semantic reductions — truncate the graph at an earlier node, promote
+    an interior value to a fresh graph input (dropping its whole producer
+    chain), bypass a shape-preserving op, halve convolution output
+    channels, shrink input spatial/channel dims (re-slicing weight and
+    bias constants and
+    re-deriving reshape targets so the graph stays well-typed), and
+    simplify the deployment config toward {!Htvm.Compile.default_config}
+    — re-checking the failure predicate after each candidate and keeping
+    only candidates that still fail. Every kept candidate strictly
+    decreases the (op count, element count, config delta) measure, so
+    the process terminates; [max_checks] bounds the total number of
+    predicate evaluations regardless.
+
+    Candidate generation, ordering and acceptance are fully
+    deterministic: the same failing pair always minimizes to the same
+    reproducer in the same number of re-checks. *)
+
+type outcome = {
+  graph : Ir.Graph.t;     (** the minimized graph (still failing) *)
+  config : Htvm.Compile.config;  (** the simplified config *)
+  checks : int;           (** predicate evaluations spent *)
+  accepted : int;         (** reduction steps kept *)
+}
+
+val shrink :
+  ?max_checks:int ->
+  predicate:(Htvm.Compile.config -> Ir.Graph.t -> bool) ->
+  Htvm.Compile.config ->
+  Ir.Graph.t ->
+  outcome
+(** Minimize, assuming [predicate config graph] is [true] ("still
+    failing") on the given pair. The predicate is never called on an
+    invalid or ill-typed graph — candidates that break
+    {!Ir.Graph.validate} or {!Ir.Infer.infer} are discarded before the
+    re-check. A predicate that raises is treated as "no longer failing".
+    [max_checks] defaults to 400. *)
+
+val shrink_failure :
+  ?max_checks:int ->
+  ?input_seed:int ->
+  Htvm.Compile.config ->
+  Ir.Graph.t ->
+  Verdict.t ->
+  outcome
+(** [shrink] with the canonical predicate "running the case yields a
+    verdict of the same {!Verdict.class_of} as the original failure". *)

@@ -1,0 +1,100 @@
+type stage = Compiling | Executing | Referencing
+
+type t =
+  | Pass of { wall_cycles : int }
+  | Resource of Htvm.Compile.error
+  | Reject of Htvm.Compile.error
+  | Mismatch of { max_abs_diff : int }
+  | Crash of { stage : stage; message : string }
+
+let is_failure = function
+  | Pass _ | Resource _ -> false
+  | Reject _ | Mismatch _ | Crash _ -> true
+
+let stage_name = function
+  | Compiling -> "compiling"
+  | Executing -> "executing"
+  | Referencing -> "referencing"
+
+let error_class (e : Htvm.Compile.error) =
+  match e with
+  | Htvm.Compile.Out_of_memory _ -> "out-of-memory"
+  | Htvm.Compile.No_feasible_tile _ -> "no-feasible-tile"
+  | Htvm.Compile.Empty_graph -> "empty-graph"
+  | Htvm.Compile.Internal _ -> "internal"
+
+(* The class deliberately drops volatile detail (byte counts, diff
+   magnitudes, exception messages): the shrinker must treat "same kind of
+   failure, smaller numbers" as the same bug while it cuts the graph
+   down. *)
+let class_of = function
+  | Pass _ -> "pass"
+  | Resource e -> "resource:" ^ error_class e
+  | Reject e -> "reject:" ^ error_class e
+  | Mismatch _ -> "mismatch"
+  | Crash { stage; _ } -> "crash:" ^ stage_name stage
+
+let describe = function
+  | Pass { wall_cycles } -> Printf.sprintf "pass (%d cycles)" wall_cycles
+  | Resource e -> "resource diagnosis: " ^ Htvm.Compile.error_to_string e
+  | Reject e -> "compile reject: " ^ Htvm.Compile.error_to_string e
+  | Mismatch { max_abs_diff } ->
+      Printf.sprintf "output mismatch vs interpreter (max abs diff %d)" max_abs_diff
+  | Crash { stage; message } ->
+      Printf.sprintf "crash while %s: %s" (stage_name stage) message
+
+let run_case ?(input_seed = 0) cfg g =
+  match Htvm.Compile.compile cfg g with
+  | exception e -> Crash { stage = Compiling; message = Printexc.to_string e }
+  | Error e ->
+      if Htvm.Compile.is_resource_error e then Resource e else Reject e
+  | Ok artifact -> (
+      let inputs = Models.Zoo.random_input ~seed:input_seed g in
+      match Ir.Eval.run g ~inputs with
+      | exception e -> Crash { stage = Referencing; message = Printexc.to_string e }
+      | reference -> (
+          match Htvm.Compile.run artifact ~inputs with
+          | exception e ->
+              Crash { stage = Executing; message = Printexc.to_string e }
+          | out, report ->
+              if not (Tensor.equal reference out) then
+                Mismatch { max_abs_diff = Tensor.max_abs_diff reference out }
+              else
+                let wall = report.Sim.Machine.totals.Sim.Counters.wall in
+                if wall <= 0 then
+                  Crash { stage = Executing; message = "no cycles counted" }
+                else Pass { wall_cycles = wall }))
+
+let run_seed seed =
+  run_case ~input_seed:seed (Gen.random_config seed) (Gen.generate seed)
+
+let describe_config (cfg : Htvm.Compile.config) =
+  let p = cfg.Htvm.Compile.platform in
+  Printf.sprintf
+    "platform=%s l1=%dB strategy=%s double_buffer=%b pe=%b dma=%b autotune=%s \
+     jobs=%d cache=%b exhaustive=%b"
+    p.Arch.Platform.platform_name p.Arch.Platform.l1.Arch.Memory.size_bytes
+    (match cfg.Htvm.Compile.memory_strategy with
+    | Dory.Memplan.Reuse -> "reuse"
+    | Dory.Memplan.No_reuse -> "no_reuse")
+    cfg.Htvm.Compile.double_buffer cfg.Htvm.Compile.use_pe_heuristics
+    cfg.Htvm.Compile.use_dma_heuristic
+    (match cfg.Htvm.Compile.autotune_budget with
+    | None -> "none"
+    | Some b -> string_of_int b)
+    cfg.Htvm.Compile.jobs
+    (cfg.Htvm.Compile.solver_cache <> None)
+    cfg.Htvm.Compile.exhaustive_tiling
+
+let reproducer ~seed ~config ~graph ~verdict =
+  String.concat "\n"
+    [
+      "# htvm check reproducer";
+      Printf.sprintf "# seed: %d" seed;
+      Printf.sprintf "# verdict: %s" (describe verdict);
+      Printf.sprintf "# class: %s" (class_of verdict);
+      Printf.sprintf "# config: %s" (describe_config config);
+      Printf.sprintf "# ops: %d" (Ir.Graph.app_count graph);
+      Printf.sprintf "# replay: htvmc check --replay-seed %d" seed;
+      Ir.Text.to_string graph;
+    ]

@@ -1,0 +1,59 @@
+(** Typed outcomes of one differential conformance case.
+
+    A case is a (graph, deployment config) pair. The runner compiles it,
+    executes the artifact on the simulated SoC and compares the output
+    bit-for-bit against the reference interpreter. The verdict taxonomy
+    replaces the substring matching the fuzz suite used to do on compile
+    error messages: a {!Resource} rejection is a legitimate outcome on an
+    undersized platform, everything else in the failure set is a compiler
+    or simulator bug. *)
+
+type stage =
+  | Compiling  (** {!Htvm.Compile.compile} raised *)
+  | Executing  (** {!Htvm.Compile.run} raised, or counted no cycles *)
+  | Referencing  (** the interpreter itself raised — a generator bug *)
+
+type t =
+  | Pass of { wall_cycles : int }
+      (** compiled, ran, bit-identical to the interpreter *)
+  | Resource of Htvm.Compile.error
+      (** a typed resource diagnosis ({!Htvm.Compile.is_resource_error})
+          — legitimate on shrunken L1/L2 *)
+  | Reject of Htvm.Compile.error
+      (** any other compile error on a valid graph: a compiler bug *)
+  | Mismatch of { max_abs_diff : int }
+      (** executed but differs from the interpreter *)
+  | Crash of { stage : stage; message : string }
+
+val is_failure : t -> bool
+(** [true] for {!Reject}, {!Mismatch} and {!Crash}; [false] for {!Pass}
+    and {!Resource}. *)
+
+val class_of : t -> string
+(** Stable machine-readable class label, e.g. ["pass"], ["resource"],
+    ["reject:internal"], ["mismatch"], ["crash:executing"]. Used by the
+    shrinker's failure predicate: two verdicts are "the same failure"
+    when their classes agree. *)
+
+val describe : t -> string
+(** One-line human rendering. *)
+
+val run_case : ?input_seed:int -> Htvm.Compile.config -> Ir.Graph.t -> t
+(** Run one case end to end. Never raises: exceptions at any stage
+    become {!Crash} verdicts. [input_seed] (default 0) seeds the random
+    input binding. *)
+
+val run_seed : int -> t
+(** [run_case (Gen.random_config seed) (Gen.generate seed)] with the
+    seed also used for the input binding — the canonical fuzz case. *)
+
+val describe_config : Htvm.Compile.config -> string
+(** One-line rendering of the deployment knobs (platform, L1 bytes,
+    planner strategy, buffering, heuristics, engine settings) for
+    reproducer files and failure reports. *)
+
+val reproducer :
+  seed:int -> config:Htvm.Compile.config -> graph:Ir.Graph.t -> verdict:t -> string
+(** The minimized-reproducer file: [#]-comment header (seed, verdict,
+    config, replay command) followed by the graph in {!Ir.Text} form.
+    The result is itself a loadable [.htvm] file. *)

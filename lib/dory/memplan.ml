@@ -4,6 +4,23 @@ type strategy = Reuse | No_reuse
 
 type result = { placements : placement list; peak_bytes : int }
 
+type error =
+  | Out_of_memory of {
+      oom_buffer_id : int;
+      oom_bytes : int;
+      oom_offset : int;
+      oom_capacity : int;
+    }
+  | Malformed_request of { bad_buffer_id : int }
+
+let error_to_string = function
+  | Out_of_memory { oom_buffer_id; oom_bytes; oom_offset; oom_capacity } ->
+      Printf.sprintf
+        "out of memory: buffer %d (%d B) needs [%d, %d) but capacity is %d B"
+        oom_buffer_id oom_bytes oom_offset (oom_offset + oom_bytes) oom_capacity
+  | Malformed_request { bad_buffer_id } ->
+      Printf.sprintf "buffer %d: malformed request" bad_buffer_id
+
 let overlap_in_time a b = a.birth <= b.death && b.birth <= a.death
 
 (* First-fit: scan candidate offsets at the end of every time-overlapping
@@ -33,7 +50,7 @@ let plan strategy ~capacity ~align requests =
     | [] -> Ok { placements = List.rev_map snd placed; peak_bytes = peak }
     | req :: rest ->
         if req.bytes < 0 || req.death < req.birth then
-          Error (Printf.sprintf "buffer %d: malformed request" req.buffer_id)
+          Error (Malformed_request { bad_buffer_id = req.buffer_id })
         else
           let offset =
             match strategy with
@@ -46,9 +63,13 @@ let plan strategy ~capacity ~align requests =
           let top = offset + req.bytes in
           if top > capacity then
             Error
-              (Printf.sprintf
-                 "out of memory: buffer %d (%d B) needs [%d, %d) but capacity is %d B"
-                 req.buffer_id req.bytes offset top capacity)
+              (Out_of_memory
+                 {
+                   oom_buffer_id = req.buffer_id;
+                   oom_bytes = req.bytes;
+                   oom_offset = offset;
+                   oom_capacity = capacity;
+                 })
           else
             go
               ((req, { p_buffer_id = req.buffer_id; offset; size = req.bytes }) :: placed)

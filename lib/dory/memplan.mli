@@ -27,9 +27,26 @@ type result = {
   peak_bytes : int;  (** high-water mark of the arena *)
 }
 
+type error =
+  | Out_of_memory of {
+      oom_buffer_id : int;  (** first request that does not fit *)
+      oom_bytes : int;      (** its size *)
+      oom_offset : int;     (** offset it would have been placed at *)
+      oom_capacity : int;   (** the arena capacity it overflows *)
+    }
+  | Malformed_request of { bad_buffer_id : int }
+      (** negative size or death before birth *)
+(** Typed planning failures: the conformance checker matches on these
+    (never on message substrings) to tell a legitimate resource
+    diagnosis from a planner bug. *)
+
+val error_to_string : error -> string
+(** Human-readable diagnosis, e.g.
+    ["out of memory: buffer 3 (600 B) needs [512, 1112) but capacity is 1000 B"]. *)
+
 val plan :
   strategy -> capacity:int -> align:int -> request list ->
-  (result, string) Stdlib.result
+  (result, error) Stdlib.result
 (** Pack all requests into [capacity] bytes. [Error] describes the first
     buffer that does not fit (the out-of-memory diagnosis). Placements of
     overlapping lifetimes never overlap in space — tested property. *)

@@ -78,7 +78,13 @@ let objective cfg accel l tile =
    branch-and-bound column bound skipped without testing. *)
 type stats = { explored : int; feasible : int; pruned : int }
 
-type outcome = { result : (solution, string) result; stats : stats }
+type infeasible = { inf_layer : string; inf_accel : string; inf_l1_budget : int }
+
+let infeasible_to_string { inf_layer; inf_accel; inf_l1_budget } =
+  Printf.sprintf "no feasible tile for %s on %s within %d B of L1" inf_layer
+    inf_accel inf_l1_budget
+
+type outcome = { result : (solution, infeasible) result; stats : stats }
 
 type counters = {
   mutable c_explored : int;
@@ -241,8 +247,11 @@ let search_counted ~exhaustive counters cfg accel l =
   match !best with
   | None ->
       Error
-        (Printf.sprintf "no feasible tile for %s on %s within %d B of L1"
-           (L.describe l) accel.Accel.accel_name cfg.l1_budget)
+        {
+          inf_layer = L.describe l;
+          inf_accel = accel.Accel.accel_name;
+          inf_l1_budget = cfg.l1_budget;
+        }
   | Some (tile, _) -> Ok (solution_of cfg accel l tile)
 
 (* Tiling is only invoked when the whole layer does not fit (paper
@@ -287,7 +296,7 @@ let trace_solve_event trace accel l outcome =
               ("objective", Trace.Json.Float sol.objective);
               ("tiles", Trace.Json.Int sol.tile_count);
             ]
-      | Error e -> common @ [ ("error", Trace.Json.Str e) ]
+      | Error e -> common @ [ ("error", Trace.Json.Str (infeasible_to_string e)) ]
     in
     Trace.event trace ~cat:"dory" ~args "tiling.solve"
   end

@@ -55,7 +55,20 @@ type stats = {
           [explored] itself) *)
 }
 
-type outcome = { result : (solution, string) result; stats : stats }
+type infeasible = {
+  inf_layer : string;  (** {!Ir.Layer.describe} of the rejected layer *)
+  inf_accel : string;  (** target accelerator name *)
+  inf_l1_budget : int;  (** the L1 byte budget no tile fit in *)
+}
+(** Typed "no feasible tile" diagnosis: no candidate tile satisfied the
+    L1 capacity, weight-memory and hardware-rule constraints. Callers
+    (the compile driver, the conformance checker) match on this instead
+    of on message substrings. *)
+
+val infeasible_to_string : infeasible -> string
+(** ["no feasible tile for <layer> on <accel> within <n> B of L1"]. *)
+
+type outcome = { result : (solution, infeasible) result; stats : stats }
 
 val solve_stats :
   ?exhaustive:bool -> config -> Arch.Accel.t -> Ir.Layer.t -> outcome
@@ -80,7 +93,7 @@ val solve :
   config ->
   Arch.Accel.t ->
   Ir.Layer.t ->
-  (solution, string) result
+  (solution, infeasible) result
 (** [solve_stats] + [trace_solve_event]: [Error] when no feasible tile
     exists (layer cannot run on this accelerator within the memory
     budget). When [trace] is given, one ["tiling.solve"] event is

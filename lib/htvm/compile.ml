@@ -58,6 +58,29 @@ type artifact = {
   solver : solver_stats;
 }
 
+type error =
+  | Out_of_memory of {
+      oom_region : string;
+      oom_needed_bytes : int;
+      oom_capacity_bytes : int;
+      oom_detail : string;
+    }
+  | No_feasible_tile of Dory.Tiling.infeasible
+  | Empty_graph
+  | Internal of string
+
+let error_to_string = function
+  | Out_of_memory { oom_detail; _ } -> oom_detail
+  | No_feasible_tile inf -> Dory.Tiling.infeasible_to_string inf
+  | Empty_graph -> "nothing to execute: graph has no operator applications"
+  | Internal msg -> "internal compiler error: " ^ msg
+
+let pp_error fmt e = Format.pp_print_string fmt (error_to_string e)
+
+let is_resource_error = function
+  | Out_of_memory _ | No_feasible_tile _ -> true
+  | Empty_graph | Internal _ -> false
+
 (* One lowered execution unit, before buffer assignment. *)
 type lowered =
   | LAccel of {
@@ -396,10 +419,10 @@ let compile ?trace cfg graph =
   in
   let* () =
     match units with
-    | [] -> Error "nothing to execute: graph has no operator applications"
+    | [] -> Error Empty_graph
     | _ ->
         if lowered_out (List.nth units (List.length units - 1)) <> G.output g then
-          Error "graph output is not produced by any step"
+          Error (Internal "graph output is not produced by any step")
         else Ok ()
   in
   (* Buffers: one per graph input and one per unit output. *)
@@ -430,7 +453,7 @@ let compile ?trace cfg graph =
         (fun u -> List.for_all (fun n -> Hashtbl.mem buf_of_node n) (lowered_ins u))
         units
     in
-    if ok then Ok () else Error "a kernel input is not a planned buffer"
+    if ok then Ok () else Error (Internal "a kernel input is not a planned buffer")
   in
   (* Static L2 region: accelerator weight and bias images. *)
   let images = ref [] in
@@ -503,9 +526,17 @@ let compile ?trace cfg graph =
   let* () =
     if arena_capacity <= 0 then
       Error
-        (Printf.sprintf
-           "out of memory: weights (%d B) and code (%d B) leave no L2 for activations"
-           l2_static_bytes code_bytes)
+        (Out_of_memory
+           {
+             oom_region = "L2 static";
+             oom_needed_bytes = l2_static_bytes + code_bytes;
+             oom_capacity_bytes = l2_size;
+             oom_detail =
+               Printf.sprintf
+                 "out of memory: weights (%d B) and code (%d B) leave no L2 for \
+                  activations"
+                 l2_static_bytes code_bytes;
+           })
     else Ok ()
   in
   (* Liveness over step indices: inputs are born before step 0; the network
@@ -551,6 +582,18 @@ let compile ?trace cfg graph =
       (fun () ->
         Dory.Memplan.plan cfg.memory_strategy ~capacity:arena_capacity ~align:4
           requests)
+    |> Result.map_error (function
+         | Dory.Memplan.Out_of_memory { oom_bytes; oom_offset; oom_capacity; _ } as e
+           ->
+             Out_of_memory
+               {
+                 oom_region = "L2 arena";
+                 oom_needed_bytes = oom_offset + oom_bytes;
+                 oom_capacity_bytes = oom_capacity;
+                 oom_detail = Dory.Memplan.error_to_string e;
+               }
+         | Dory.Memplan.Malformed_request _ as e ->
+             Internal (Dory.Memplan.error_to_string e))
   in
   Trace.event trace ~cat:"memplan"
     ~args:
@@ -577,7 +620,7 @@ let compile ?trace cfg graph =
       l2_activation_peak = placed.Dory.Memplan.peak_bytes;
     }
   in
-  let* () = P.validate program in
+  let* () = Result.map_error (fun e -> Internal e) (P.validate program) in
   let schedules =
     List.mapi (fun i s -> (i, s)) steps
     |> List.filter_map (fun (i, s) ->

@@ -74,8 +74,40 @@ type artifact = {
   solver : solver_stats;
 }
 
-val compile : ?trace:Trace.t -> config -> Ir.Graph.t -> (artifact, string) result
-(** [Error] carries a diagnosis (e.g. the out-of-memory message that
+(** Typed compilation failures. The conformance checker (lib/check) and
+    the test suites match on the variant — never on message substrings —
+    to tell a legitimate resource diagnosis from a compiler bug. *)
+type error =
+  | Out_of_memory of {
+      oom_region : string;
+          (** which L2 budget overflowed: ["L2 static"] (weights + code
+              leave no room for activations) or ["L2 arena"] (the
+              activation planner ran out) *)
+      oom_needed_bytes : int;   (** bytes the failing allocation required *)
+      oom_capacity_bytes : int; (** bytes that were available *)
+      oom_detail : string;      (** full human-readable diagnosis *)
+    }  (** A resource diagnosis — the expected outcome on undersized
+          memories (Table I's MobileNet OoM under the TVM baseline). *)
+  | No_feasible_tile of Dory.Tiling.infeasible
+      (** An offloaded layer had no L1-feasible tile and no host
+          fallback was possible. *)
+  | Empty_graph  (** the graph has no operator applications *)
+  | Internal of string
+      (** A broken compiler invariant — always a bug, never a legitimate
+          rejection. *)
+
+val error_to_string : error -> string
+(** Human-readable rendering (what [htvmc] prints). *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val is_resource_error : error -> bool
+(** [true] exactly for {!Out_of_memory} and {!No_feasible_tile}: the
+    rejections a correct compiler is allowed to produce on valid input
+    when the platform is too small. *)
+
+val compile : ?trace:Trace.t -> config -> Ir.Graph.t -> (artifact, error) result
+(** [Error] carries a typed diagnosis (e.g. the out-of-memory record that
     reproduces Table I's MobileNet OoM under the TVM baseline). When
     [trace] is given, every compiler phase (simplify, partition, lower
     with per-layer ["tiling.solve"] events, fuse, autotune, memplan,

@@ -10,10 +10,19 @@ type result = {
 
 let numel shape = Array.fold_left ( * ) 1 shape
 
+type failure =
+  | Infeasible of Dory.Tiling.infeasible
+  | Diverged of { layer : string }
+
+let failure_to_string = function
+  | Infeasible inf -> Dory.Tiling.infeasible_to_string inf
+  | Diverged { layer } ->
+      Printf.sprintf "tiled execution diverged from reference for %s" layer
+
 let run_single_layer ?(platform = Arch.Diana.platform) ~accel ~tiling ?(input_seed = 7)
     (layer : L.t) =
   match Dory.Tiling.solve tiling accel layer with
-  | Error e -> Error e
+  | Error e -> Error (Infeasible e)
   | Ok solution ->
       let schedule =
         Dory.Schedule.build layer ~accel_name:accel.Arch.Accel.accel_name
@@ -60,9 +69,7 @@ let run_single_layer ?(platform = Arch.Diana.platform) ~accel ~tiling ?(input_se
       let output = Sim.Mem.read_tensor l2 out_offset layer.L.out_dtype layer.L.out_shape in
       let reference = L.execute layer ?second input in
       if not (Tensor.equal reference output) then
-        Error
-          (Printf.sprintf "tiled execution diverged from reference for %s"
-             (L.describe layer))
+        Error (Diverged { layer = L.describe layer })
       else Ok { output; counters; solution; schedule }
 
 let peak_throughput layer r =

@@ -14,13 +14,22 @@ type result = {
   schedule : Dory.Schedule.t;
 }
 
+type failure =
+  | Infeasible of Dory.Tiling.infeasible
+      (** the tiling solver found no feasible tile *)
+  | Diverged of { layer : string }
+      (** tiled execution disagreed with {!Ir.Layer.execute} — always a
+          simulator or codegen bug *)
+
+val failure_to_string : failure -> string
+
 val run_single_layer :
   ?platform:Arch.Platform.t ->
   accel:Arch.Accel.t ->
   tiling:Dory.Tiling.config ->
   ?input_seed:int ->
   Ir.Layer.t ->
-  (result, string) Stdlib.result
+  (result, failure) Stdlib.result
 (** Defaults: the full DIANA platform, input seed 7. [Error] propagates
     tiling infeasibility. Functional correctness against
     {!Ir.Layer.execute} is asserted on every run. *)

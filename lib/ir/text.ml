@@ -179,7 +179,10 @@ let of_string s =
   in
   let output = ref None in
   let parse_line line =
-    match String.split_on_char ' ' (String.trim line) with
+    let line = String.trim line in
+    if String.length line > 0 && line.[0] = '#' then ()
+    else
+    match String.split_on_char ' ' line with
     | [ "" ] -> ()
     | "input" :: id :: name :: dt :: dims :: [] ->
         let id = node_ref id in
@@ -201,14 +204,23 @@ let of_string s =
     | [] -> ()
   in
   try
-    (match lines with
-    | first :: rest when String.trim first = header ->
-        List.iteri
-          (fun lineno line ->
-            try parse_line line
-            with Parse msg -> fail "line %d: %s" (lineno + 2) msg)
-          rest
-    | _ -> fail "missing %S header" header);
+    (* Blank and [#]-comment lines may precede the header (reproducer
+       files carry a commented preamble). *)
+    let is_skippable l =
+      let t = String.trim l in
+      t = "" || t.[0] = '#'
+    in
+    let rec find_header lineno = function
+      | first :: rest when String.trim first = header -> (lineno, rest)
+      | first :: rest when is_skippable first -> find_header (lineno + 1) rest
+      | _ -> fail "missing %S header" header
+    in
+    let skipped, rest = find_header 0 lines in
+    List.iteri
+      (fun lineno line ->
+        try parse_line line
+        with Parse msg -> fail "line %d: %s" (skipped + lineno + 2) msg)
+      rest;
     match !output with
     | None -> Error "no output directive"
     | Some out -> (

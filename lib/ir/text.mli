@@ -14,7 +14,12 @@
     app %2 nn.conv2d stride 1 1 pad 1 1 groups 1 args %0 %1
     app %3 clip lo -128 hi 127 args %2
     output %3
-    v} *)
+    v}
+
+    Lines whose first non-blank character is [#] are comments and may
+    appear anywhere, including before the header — so the conformance
+    checker's reproducer files (a [#]-commented preamble followed by the
+    graph) parse directly. *)
 
 val to_string : Graph.t -> string
 

@@ -29,4 +29,8 @@ let () =
          Test_trace.suites;
          Test_pool.suites;
          Test_parallel.suites;
+         Test_check.suites;
+         Test_shrink.suites;
+         Test_golden.suites;
+         Test_size.suites;
        ])

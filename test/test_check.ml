@@ -1,0 +1,120 @@
+(* Tests for the conformance subsystem's plumbing: verdict taxonomy,
+   resource classification, reproducer files, and the fuzz driver's
+   bookkeeping. (The heavy differential sweeps live in test_fuzz.ml;
+   shrinker behaviour in test_shrink.ml; snapshots in test_golden.ml.) *)
+
+module B = Ir.Graph.Builder
+module C = Htvm.Compile
+
+(* input -> 3x3 conv -> requant: the smallest graph the whole flow
+   accepts. *)
+let tiny_graph () =
+  let b = B.create () in
+  let x = B.input b ~name:"x" Tensor.Dtype.I8 [| 2; 6; 6 |] in
+  let rng = Util.Rng.create 3 in
+  let w = B.const b (Tensor.random rng Tensor.Dtype.I8 [| 4; 2; 3; 3 |]) in
+  let conv = B.conv2d b ~padding:(1, 1) x ~weights:w in
+  let q = B.requantize b ~relu:true ~shift:8 ~out_dtype:Tensor.Dtype.I8 conv in
+  B.finish b ~output:q
+
+let test_pass_verdict () =
+  let cfg = C.default_config Arch.Diana.platform in
+  match Check.run_case cfg (tiny_graph ()) with
+  | Check.Pass { wall_cycles } ->
+      Alcotest.(check bool) "counted cycles" true (wall_cycles > 0)
+  | v -> Alcotest.failf "expected Pass, got %s" (Check.describe v)
+
+let test_resource_verdict_is_not_failure () =
+  (* Starve L2 so compilation must produce a typed resource diagnosis. *)
+  let p = Arch.Diana.platform in
+  let platform =
+    { p with Arch.Platform.l2 = { p.Arch.Platform.l2 with Arch.Memory.size_bytes = 64 } }
+  in
+  let cfg = C.default_config platform in
+  match Check.run_case cfg (tiny_graph ()) with
+  | Check.Resource e as v ->
+      Alcotest.(check bool) "typed resource error" true (C.is_resource_error e);
+      Alcotest.(check bool) "not a failure" false (Check.is_failure v);
+      Alcotest.(check bool) "classed as resource" true
+        (String.length (Check.class_of v) >= 9
+        && String.sub (Check.class_of v) 0 9 = "resource:")
+  | v -> Alcotest.failf "expected Resource, got %s" (Check.describe v)
+
+let test_empty_graph_is_reject () =
+  let b = B.create () in
+  let x = B.input b ~name:"x" Tensor.Dtype.I8 [| 1; 4; 4 |] in
+  let g = B.finish b ~output:x in
+  let cfg = C.default_config Arch.Diana.platform in
+  match Check.run_case cfg g with
+  | Check.Reject C.Empty_graph as v ->
+      Alcotest.(check bool) "is a failure" true (Check.is_failure v);
+      Alcotest.(check string) "class" "reject:empty-graph" (Check.class_of v)
+  | v -> Alcotest.failf "expected Reject Empty_graph, got %s" (Check.describe v)
+
+let test_class_drops_volatile_detail () =
+  Alcotest.(check string) "pass class" "pass"
+    (Check.class_of (Check.Pass { wall_cycles = 123 }));
+  Alcotest.(check string) "same class at different magnitudes"
+    (Check.class_of (Check.Mismatch { max_abs_diff = 1 }))
+    (Check.class_of (Check.Mismatch { max_abs_diff = 200 }));
+  Alcotest.(check string) "crash stage kept" "crash:executing"
+    (Check.class_of (Check.Crash { stage = Check.Executing; message = "boom" }))
+
+let test_reproducer_roundtrips () =
+  let seed = 11 in
+  let g = Check.Gen.generate seed in
+  let cfg = Check.Gen.random_config seed in
+  let text =
+    Check.reproducer ~seed ~config:cfg ~graph:g
+      ~verdict:(Check.Crash { stage = Check.Executing; message = "injected" })
+  in
+  (* The commented preamble must not break the parser, and the graph must
+     survive the round trip structurally intact. *)
+  match Ir.Text.of_string text with
+  | Error e -> Alcotest.failf "reproducer does not parse: %s" e
+  | Ok g' ->
+      Alcotest.(check int) "op count preserved" (Ir.Graph.app_count g)
+        (Ir.Graph.app_count g');
+      Alcotest.(check string) "graph preserved" (Ir.Graph.to_string g)
+        (Ir.Graph.to_string g');
+      Alcotest.(check bool) "replay command recorded" true
+        (Helpers.contains text (Printf.sprintf "--replay-seed %d" seed))
+
+let test_tally_and_first_failure () =
+  let cases = Check.fuzz ~jobs:1 ~start:0 ~count:12 () in
+  Alcotest.(check int) "one verdict per seed" 12 (List.length cases);
+  Alcotest.(check (list int)) "ascending seed order"
+    (List.init 12 (fun i -> i))
+    (List.map (fun c -> c.Check.seed) cases);
+  let total = List.fold_left (fun a (_, n) -> a + n) 0 (Check.tally cases) in
+  Alcotest.(check int) "tally sums to case count" 12 total;
+  (* Seeds 0-199 are a green range (test_fuzz); no failure to find. *)
+  Alcotest.(check bool) "no failure in green range" true
+    (Check.first_failure cases = None)
+
+let test_progress_reporting () =
+  let calls = ref [] in
+  let _ =
+    Check.fuzz ~jobs:1 ~chunk:4 ~start:0 ~count:10
+      ~progress:(fun ~completed ~total -> calls := (completed, total) :: !calls)
+      ()
+  in
+  Alcotest.(check (list (pair int int)))
+    "chunked progress callbacks"
+    [ (4, 10); (8, 10); (10, 10) ]
+    (List.rev !calls)
+
+let suites =
+  [ ( "check",
+      [ Alcotest.test_case "pass verdict" `Quick test_pass_verdict;
+        Alcotest.test_case "resource is not failure" `Quick
+          test_resource_verdict_is_not_failure;
+        Alcotest.test_case "empty graph rejects" `Quick test_empty_graph_is_reject;
+        Alcotest.test_case "class drops volatile detail" `Quick
+          test_class_drops_volatile_detail;
+        Alcotest.test_case "reproducer round-trips" `Quick test_reproducer_roundtrips;
+        Alcotest.test_case "tally and first failure" `Quick
+          test_tally_and_first_failure;
+        Alcotest.test_case "progress reporting" `Quick test_progress_reporting;
+      ] )
+  ]

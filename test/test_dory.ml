@@ -20,7 +20,8 @@ let cfg ?(budget = l1) ?(pe = true) ?(dma = true) ?(db = true) () =
 let solve_exn c accel layer =
   match Dory.Tiling.solve c accel layer with
   | Ok s -> s
-  | Error e -> Alcotest.failf "expected a solution: %s" e
+  | Error e ->
+      Alcotest.failf "expected a solution: %s" (Dory.Tiling.infeasible_to_string e)
 
 let test_untiled_when_l1_large () =
   let layer = T.conv_layer ~c:16 ~k:16 ~hw:16 () in
@@ -201,7 +202,7 @@ let test_memplan_reuse_disjoint_lifetimes () =
       [ req 0 600 0 1; req 1 600 2 3 ]
   in
   match r with
-  | Error e -> Alcotest.failf "plan failed: %s" e
+  | Error e -> Alcotest.failf "plan failed: %s" (Dory.Memplan.error_to_string e)
   | Ok plan ->
       let p0 = Dory.Memplan.find plan 0 and p1 = Dory.Memplan.find plan 1 in
       Alcotest.(check int) "same slot" p0.Dory.Memplan.offset p1.Dory.Memplan.offset;
@@ -213,7 +214,7 @@ let test_memplan_no_reuse_stacks () =
       [ req 0 600 0 1; req 1 600 2 3 ]
   in
   match r with
-  | Error e -> Alcotest.failf "plan failed: %s" e
+  | Error e -> Alcotest.failf "plan failed: %s" (Dory.Memplan.error_to_string e)
   | Ok plan -> Alcotest.(check int) "stacked" 1200 plan.Dory.Memplan.peak_bytes
 
 let test_memplan_oom () =
@@ -221,15 +222,39 @@ let test_memplan_oom () =
     Dory.Memplan.plan Dory.Memplan.Reuse ~capacity:1000 ~align:4
       [ req 0 600 0 2; req 1 600 1 3 ]
   with
-  | Error e -> Alcotest.(check bool) "says OoM" true (Helpers.contains e "out of memory")
+  | Error
+      (Dory.Memplan.Out_of_memory { oom_buffer_id; oom_bytes; oom_offset; oom_capacity })
+    ->
+      (* The typed diagnosis names the second buffer: it overlaps the
+         first in time, so it must stack above it and overflow. *)
+      Alcotest.(check int) "failing buffer" 1 oom_buffer_id;
+      Alcotest.(check int) "its size" 600 oom_bytes;
+      Alcotest.(check int) "capacity" 1000 oom_capacity;
+      Alcotest.(check bool) "allocation exceeds capacity" true
+        (oom_offset + oom_bytes > oom_capacity)
+  | Error e -> Alcotest.failf "expected OoM, got: %s" (Dory.Memplan.error_to_string e)
   | Ok _ -> Alcotest.fail "expected out of memory"
+
+let test_memplan_malformed () =
+  (match
+     Dory.Memplan.plan Dory.Memplan.Reuse ~capacity:1000 ~align:4 [ req 3 (-1) 0 1 ]
+   with
+  | Error (Dory.Memplan.Malformed_request { bad_buffer_id }) ->
+      Alcotest.(check int) "negative size rejected" 3 bad_buffer_id
+  | _ -> Alcotest.fail "expected Malformed_request for negative size");
+  match
+    Dory.Memplan.plan Dory.Memplan.No_reuse ~capacity:1000 ~align:4 [ req 5 16 4 2 ]
+  with
+  | Error (Dory.Memplan.Malformed_request { bad_buffer_id }) ->
+      Alcotest.(check int) "death before birth rejected" 5 bad_buffer_id
+  | _ -> Alcotest.fail "expected Malformed_request for death < birth"
 
 let test_memplan_alignment () =
   let r =
     Dory.Memplan.plan Dory.Memplan.Reuse ~capacity:100 ~align:8 [ req 0 3 0 1; req 1 3 0 1 ]
   in
   match r with
-  | Error e -> Alcotest.failf "plan failed: %s" e
+  | Error e -> Alcotest.failf "plan failed: %s" (Dory.Memplan.error_to_string e)
   | Ok plan ->
       let p1 = Dory.Memplan.find plan 1 in
       Alcotest.(check int) "aligned second buffer" 8 p1.Dory.Memplan.offset
@@ -262,7 +287,121 @@ let prop_memplan_no_overlap =
                 reqs)
             reqs)
 
+(* The full planner invariant set, under both strategies: every placement
+   is aligned and inside the arena, the peak is exactly the high-water
+   mark, and no two time-overlapping buffers share bytes. *)
+let prop_memplan_invariants =
+  Helpers.qtest ~count:200 "placements aligned, in-arena, peak exact"
+    QCheck.(
+      pair bool
+        (list_of_size (QCheck.Gen.int_range 1 15)
+           (triple (int_range 0 400) (int_range 0 9) (int_range 0 9))))
+    (fun (reuse, specs) ->
+      let strategy = if reuse then Dory.Memplan.Reuse else Dory.Memplan.No_reuse in
+      let align = 8 and capacity = 1_000_000 in
+      let reqs =
+        List.mapi (fun i (bytes, a, b) -> req i bytes (min a b) (max a b)) specs
+      in
+      match Dory.Memplan.plan strategy ~capacity ~align reqs with
+      | Error _ -> false
+      | Ok plan ->
+          let tops =
+            List.map
+              (fun (p : Dory.Memplan.placement) ->
+                p.Dory.Memplan.offset + p.Dory.Memplan.size)
+              plan.Dory.Memplan.placements
+          in
+          List.for_all
+            (fun (p : Dory.Memplan.placement) ->
+              p.Dory.Memplan.offset mod align = 0
+              && p.Dory.Memplan.offset >= 0
+              && p.Dory.Memplan.offset + p.Dory.Memplan.size <= capacity)
+            plan.Dory.Memplan.placements
+          && plan.Dory.Memplan.peak_bytes = List.fold_left max 0 tops
+          && List.length plan.Dory.Memplan.placements = List.length reqs)
+
 (* --- emitter --- *)
+
+(* --- Tiling_cache: signature sensitivity and collision behaviour --- *)
+
+let test_cache_signature_keys () =
+  let c = cfg () in
+  let sg = Dory.Tiling_cache.signature in
+  let base = T.conv_layer () in
+  (* Same geometry, different weight/bias values: the solver never
+     observes tensor contents, so the keys must collide by design. *)
+  Alcotest.(check string) "contents never keyed"
+    (sg c ~accel:"diana_digital" base)
+    (sg c ~accel:"diana_digital" (T.conv_layer ~seed:99 ()));
+  (* Every observable the solver can react to must change the key. *)
+  let keys =
+    [ sg c ~accel:"diana_digital" base;
+      sg c ~accel:"diana_analog" base;
+      sg { c with Dory.Tiling.l1_budget = c.Dory.Tiling.l1_budget / 2 }
+        ~accel:"diana_digital" base;
+      sg { c with Dory.Tiling.double_buffer = false } ~accel:"diana_digital" base;
+      sg { c with Dory.Tiling.use_pe_heuristics = false } ~accel:"diana_digital" base;
+      sg c ~accel:"diana_digital" (T.conv_layer ~k:16 ());
+      sg c ~accel:"diana_digital" (T.conv_layer ~hw:16 ());
+      sg c ~accel:"diana_digital" (T.conv_layer ~stride:2 ());
+      sg c ~accel:"diana_digital" (T.conv_layer ~wdtype:Tensor.Dtype.Ternary ());
+      sg c ~accel:"diana_digital" (T.dense_layer ());
+      sg c ~accel:"diana_digital" (T.dw_layer ());
+    ]
+  in
+  Alcotest.(check int) "all observables keyed"
+    (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+let test_cache_collision_replays_outcome () =
+  (* Two layers with colliding signatures share one cached outcome, and
+     the replayed outcome — solution *and* search statistics — is exactly
+     what a cold solve of the second layer would have produced. This is
+     the property that keeps cached compilations bit-identical. *)
+  let c = cfg ~budget:(Util.Ints.kib 16) () in
+  let a = T.conv_layer () and b = T.conv_layer ~seed:99 () in
+  let cache = Dory.Tiling_cache.create () in
+  let key_a = Dory.Tiling_cache.signature c ~accel:"diana_digital" a in
+  let key_b = Dory.Tiling_cache.signature c ~accel:"diana_digital" b in
+  Alcotest.(check string) "signatures collide" key_a key_b;
+  Alcotest.(check bool) "cold cache misses" true
+    (Dory.Tiling_cache.find cache key_a = None);
+  let outcome_a = Dory.Tiling.solve_stats c digital a in
+  Dory.Tiling_cache.add cache key_a outcome_a;
+  (match Dory.Tiling_cache.find cache key_b with
+  | None -> Alcotest.fail "expected a cache hit on the colliding key"
+  | Some cached ->
+      let cold = Dory.Tiling.solve_stats c digital b in
+      Alcotest.(check bool) "replayed outcome = cold solve" true (cached = cold));
+  Alcotest.(check int) "one distinct signature" 1 (Dory.Tiling_cache.length cache);
+  Dory.Tiling_cache.note cache ~hit:false;
+  Dory.Tiling_cache.note cache ~hit:true;
+  Dory.Tiling_cache.note cache ~hit:true;
+  Alcotest.(check int) "hits" 2 (Dory.Tiling_cache.hits cache);
+  Alcotest.(check int) "misses" 1 (Dory.Tiling_cache.misses cache);
+  Dory.Tiling_cache.clear cache;
+  Alcotest.(check int) "cleared" 0 (Dory.Tiling_cache.length cache);
+  Alcotest.(check int) "counters reset" 0 (Dory.Tiling_cache.hits cache)
+
+let test_cache_keeps_infeasible_outcomes () =
+  (* Infeasibility is an outcome too: memoizing it avoids re-searching a
+     budget no tile can meet, and the typed diagnosis survives the trip. *)
+  let c = cfg ~budget:512 () in
+  let layer = T.dense_layer ~c:4096 ~k:8 () in
+  let cache = Dory.Tiling_cache.create () in
+  let key = Dory.Tiling_cache.signature c ~accel:"diana_digital" layer in
+  let outcome = Dory.Tiling.solve_stats c digital layer in
+  (match outcome.Dory.Tiling.result with
+  | Error inf ->
+      Alcotest.(check int) "diagnosis carries the budget" 512
+        inf.Dory.Tiling.inf_l1_budget
+  | Ok _ -> Alcotest.fail "expected an infeasible outcome");
+  Dory.Tiling_cache.add cache key outcome;
+  match Dory.Tiling_cache.find cache key with
+  | Some { Dory.Tiling.result = Error inf; _ } ->
+      Alcotest.(check string) "accel name survives" "diana_digital"
+        inf.Dory.Tiling.inf_accel
+  | _ -> Alcotest.fail "expected the cached infeasible outcome"
 
 let test_emit_layer_mentions_structure () =
   let layer = T.conv_layer ~c:16 ~k:32 ~hw:32 () in
@@ -300,8 +439,15 @@ let suites =
         Alcotest.test_case "memplan reuse" `Quick test_memplan_reuse_disjoint_lifetimes;
         Alcotest.test_case "memplan no-reuse" `Quick test_memplan_no_reuse_stacks;
         Alcotest.test_case "memplan oom" `Quick test_memplan_oom;
+        Alcotest.test_case "memplan malformed" `Quick test_memplan_malformed;
         Alcotest.test_case "memplan alignment" `Quick test_memplan_alignment;
         prop_memplan_no_overlap;
+        prop_memplan_invariants;
+        Alcotest.test_case "cache signature keys" `Quick test_cache_signature_keys;
+        Alcotest.test_case "cache collision replay" `Quick
+          test_cache_collision_replays_outcome;
+        Alcotest.test_case "cache keeps infeasible" `Quick
+          test_cache_keeps_infeasible_outcomes;
         Alcotest.test_case "emit layer" `Quick test_emit_layer_mentions_structure;
         Alcotest.test_case "emit network" `Quick test_emit_network;
       ] )

@@ -11,7 +11,7 @@ let test_nova_compiles_bit_exact () =
   let g = resnet () in
   let cfg = C.default_config Arch.Nova.platform in
   match C.compile cfg g with
-  | Error e -> Alcotest.failf "nova compile failed: %s" e
+  | Error e -> Alcotest.failf "nova compile failed: %s" (C.error_to_string e)
   | Ok artifact ->
       let inputs = Models.Zoo.random_input g in
       let out, _ = C.run artifact ~inputs in

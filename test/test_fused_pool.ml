@@ -24,7 +24,7 @@ let run_fused ?(budget = Util.Ints.kib 256) layer =
   let tiling = Dory.Tiling.default_config ~l1_budget:budget in
   match Htvm.Lab.run_single_layer ~accel:Arch.Diana.digital ~tiling layer with
   | Ok r -> r
-  | Error e -> Alcotest.failf "fused layer failed: %s" e
+  | Error e -> Alcotest.failf "fused layer failed: %s" (Htvm.Lab.failure_to_string e)
 
 let test_layer_semantics () =
   let l = fused_layer () in
@@ -135,7 +135,8 @@ let prop_fused_pool_exact =
           let tiling = Dory.Tiling.default_config ~l1_budget:(Util.Ints.kib 2) in
           match Htvm.Lab.run_single_layer ~accel:Arch.Diana.digital ~tiling l with
           | Ok _ -> true (* Lab checks exactness internally *)
-          | Error e -> Helpers.contains e "no feasible tile"))
+          | Error (Htvm.Lab.Infeasible _) -> true
+          | Error (Htvm.Lab.Diverged _) -> false))
 
 let suites =
   [ ( "fused-pool",

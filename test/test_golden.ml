@@ -1,0 +1,87 @@
+(* Golden conformance snapshots: the compiler's observable behaviour on
+   every zoo model x deployment config must match the committed
+   test/golden/*.golden files bit for bit. A failure here means the
+   change altered outputs, cycles or binary sizes — if intentional,
+   re-record with: dune exec bin/htvmc.exe -- check --bless *)
+
+module Golden = Check.Golden
+
+(* The dune rule copies test/golden/ next to the test binary. *)
+let dir = "golden"
+
+let check_case (model, config) () =
+  match Golden.load ~dir ~model ~config with
+  | Error e -> Alcotest.failf "%s (re-record with: htvmc check --bless)" e
+  | Ok expected -> (
+      match Golden.compute ~model ~config with
+      | Error e -> Alcotest.fail e
+      | Ok actual -> (
+          match Golden.diff ~expected ~actual with
+          | [] -> ()
+          | diffs ->
+              Alcotest.failf
+                "behaviour drifted from the blessed snapshot:\n  %s\n\
+                 If intentional, re-record with: htvmc check --bless"
+                (String.concat "\n  " diffs)))
+
+let test_all_snapshots_exist () =
+  Alcotest.(check int) "4 models x 4 configs" 16 (List.length Golden.cases);
+  List.iter
+    (fun (model, config) ->
+      if not (Sys.file_exists (Filename.concat dir (Golden.filename ~model ~config)))
+      then
+        Alcotest.failf "missing snapshot %s — record it with: htvmc check --bless"
+          (Golden.filename ~model ~config))
+    Golden.cases
+
+let test_roundtrip () =
+  let e =
+    {
+      Golden.ge_model = "m";
+      ge_config = "c";
+      ge_output_digest = "00112233445566778899aabbccddeeff";
+      ge_wall_cycles = 123;
+      ge_binary_bytes = 456;
+      ge_l2_static_bytes = 7;
+      ge_l2_arena_bytes = 8;
+    }
+  in
+  match Golden.of_string (Golden.to_string e) with
+  | Ok e' -> Alcotest.(check bool) "round trip" true (e = e')
+  | Error msg -> Alcotest.fail msg
+
+let test_diff_names_the_field () =
+  match Golden.load ~dir ~model:"resnet8" ~config:"both" with
+  | Error e -> Alcotest.fail e
+  | Ok e ->
+      let tampered = { e with Golden.ge_wall_cycles = e.Golden.ge_wall_cycles + 1 } in
+      (match Golden.diff ~expected:e ~actual:tampered with
+      | [ d ] ->
+          Alcotest.(check bool) "names wall_cycles" true
+            (Helpers.contains d "wall_cycles")
+      | ds -> Alcotest.failf "expected exactly one diff, got %d" (List.length ds));
+      Alcotest.(check (list string)) "identical entries don't diff" []
+        (Golden.diff ~expected:e ~actual:e)
+
+let test_malformed_rejected () =
+  (match Golden.of_string "not a golden file" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "junk accepted");
+  match Golden.of_string "htvm-golden v1\nmodel: m\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated file accepted"
+
+let suites =
+  [ ( "golden",
+      Alcotest.test_case "all snapshots exist" `Quick test_all_snapshots_exist
+      :: Alcotest.test_case "entry round-trip" `Quick test_roundtrip
+      :: Alcotest.test_case "diff names the field" `Quick test_diff_names_the_field
+      :: Alcotest.test_case "malformed rejected" `Quick test_malformed_rejected
+      :: List.map
+           (fun (model, config) ->
+             Alcotest.test_case
+               (Printf.sprintf "%s/%s matches snapshot" model config)
+               `Quick
+               (check_case (model, config)))
+           Golden.cases )
+  ]

@@ -18,7 +18,7 @@ let configurations =
 let compile_exn cfg g =
   match C.compile cfg g with
   | Ok a -> a
-  | Error e -> Alcotest.failf "compile failed: %s" e
+  | Error e -> Alcotest.failf "compile failed: %s" (C.error_to_string e)
 
 let check_model_config (e : Models.Zoo.entry) (label, platform, policy) =
   let g = e.Models.Zoo.build ?seed:None policy in
@@ -48,7 +48,10 @@ let test_tvm_baseline_mobilenet_oom () =
     (Models.Zoo.find "mobilenet_v1_025").Models.Zoo.build Models.Policy.All_int8
   in
   match C.compile (C.tvm_baseline_config Arch.Diana.cpu_only) g with
-  | Error e -> Alcotest.(check bool) "oom" true (Helpers.contains e "out of memory")
+  | Error (C.Out_of_memory { oom_needed_bytes; oom_capacity_bytes; _ }) ->
+      Alcotest.(check bool) "oom allocation exceeds capacity" true
+        (oom_needed_bytes >= oom_capacity_bytes)
+  | Error e -> Alcotest.failf "expected OoM, got: %s" (C.error_to_string e)
   | Ok _ -> Alcotest.fail "expected MobileNet to run out of memory under plain TVM"
 
 let test_tvm_baseline_others_fit () =
@@ -57,7 +60,7 @@ let test_tvm_baseline_others_fit () =
       let g = (Models.Zoo.find name).Models.Zoo.build Models.Policy.All_int8 in
       match C.compile (C.tvm_baseline_config Arch.Diana.cpu_only) g with
       | Ok _ -> ()
-      | Error e -> Alcotest.failf "%s should fit under plain TVM: %s" name e)
+      | Error e -> Alcotest.failf "%s should fit under plain TVM: %s" name (C.error_to_string e))
     [ "ds_cnn"; "resnet8"; "toyadmos_dae" ]
 
 let test_digital_offloads_everything_heavy () =

@@ -84,7 +84,8 @@ let test_arena_peak_within_capacity () =
     (fun (e : Models.Zoo.entry) ->
       let g = e.Models.Zoo.build Models.Policy.All_int8 in
       match C.compile (C.default_config Arch.Diana.digital_only) g with
-      | Error err -> Alcotest.failf "%s: %s" e.Models.Zoo.model_name err
+      | Error err ->
+          Alcotest.failf "%s: %s" e.Models.Zoo.model_name (C.error_to_string err)
       | Ok a ->
           Alcotest.(check bool) "peak within arena" true
             (a.C.program.P.l2_activation_peak <= a.C.l2_arena_bytes))

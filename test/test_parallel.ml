@@ -16,7 +16,7 @@ let constrained platform =
 let compile_exn cfg g =
   match C.compile cfg g with
   | Ok a -> a
-  | Error e -> Alcotest.failf "compile failed: %s" e
+  | Error e -> Alcotest.failf "compile failed: %s" (C.error_to_string e)
 
 (* Everything deterministic about a trace: payloads modulo timestamps. *)
 let event_payloads trace =
@@ -149,8 +149,8 @@ let test_cache_skips_work () =
    forcing jobs=4 + cache + pruning must not change the artifact. *)
 let test_fuzz_graphs_identical () =
   for seed = 1 to 25 do
-    let g = Gen_graphs.generate seed in
-    let cfg = Gen_graphs.random_config seed in
+    let g = Check.Gen.generate seed in
+    let cfg = Check.Gen.random_config seed in
     (* Vary only jobs and cache: the report surfaces solver search totals,
        which (by design) differ between exhaustive and pruned search, so
        the exhaustive flag stays whatever the generator picked. *)
@@ -167,9 +167,12 @@ let test_fuzz_graphs_identical () =
           (Printf.sprintf "seed %d: report" seed)
           (report_of g a) (report_of g b)
     | Error ea, Error eb ->
-        Alcotest.(check string) (Printf.sprintf "seed %d: same error" seed) ea eb
+        Alcotest.(check string)
+          (Printf.sprintf "seed %d: same error" seed)
+          (C.error_to_string ea) (C.error_to_string eb)
     | Ok _, Error e | Error e, Ok _ ->
-        Alcotest.failf "seed %d: engines disagree on compilability: %s" seed e
+        Alcotest.failf "seed %d: engines disagree on compilability: %s" seed
+          (C.error_to_string e)
   done
 
 let suites =

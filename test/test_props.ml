@@ -63,7 +63,7 @@ let prop_fusion_partitions_host_nodes =
   Helpers.qtest ~count:40 "fused kernels partition the host pool"
     QCheck.(int_range 0 5_000)
     (fun seed ->
-      let g = Gen_graphs.generate seed in
+      let g = Check.Gen.generate seed in
       let tys = Ir.Infer.infer g in
       let host =
         List.filter
@@ -83,7 +83,7 @@ let prop_text_print_parse_fixpoint =
   Helpers.qtest ~count:30 "print . parse . print is a fixpoint"
     QCheck.(int_range 0 5_000)
     (fun seed ->
-      let g = Gen_graphs.generate seed in
+      let g = Check.Gen.generate seed in
       let s1 = Ir.Text.to_string g in
       match Ir.Text.of_string s1 with
       | Error _ -> false

@@ -122,7 +122,7 @@ let test_quantized_model_deploys_end_to_end () =
   let g, meta = quantize_exn m ~seed:10 in
   let cfg = Htvm.Compile.default_config Arch.Diana.digital_only in
   match Htvm.Compile.compile cfg g with
-  | Error e -> Alcotest.failf "compile failed: %s" e
+  | Error e -> Alcotest.failf "compile failed: %s" (Htvm.Compile.error_to_string e)
   | Ok artifact ->
       let x = Quant.Ftensor.random (Util.Rng.create 11) m.Quant.Fmodel.f_input_shape in
       let qx = Quant.Quantize.quantize_input meta x in

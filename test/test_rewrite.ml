@@ -99,7 +99,7 @@ let prop_simplify_preserves_random_graphs =
   Helpers.qtest ~count:60 "simplify preserves semantics on random graphs"
     QCheck.(int_range 0 10_000)
     (fun seed ->
-      let g = Gen_graphs.generate seed in
+      let g = Check.Gen.generate seed in
       let g' = Ir.Rewrite.simplify g in
       let inputs = Models.Zoo.random_input ~seed g in
       Tensor.equal (Ir.Eval.run g ~inputs) (Ir.Eval.run g' ~inputs))
@@ -108,13 +108,13 @@ let prop_simplify_never_grows =
   Helpers.qtest ~count:60 "simplify never grows the graph"
     QCheck.(int_range 0 10_000)
     (fun seed ->
-      let g = Gen_graphs.generate seed in
+      let g = Check.Gen.generate seed in
       G.app_count (Ir.Rewrite.simplify g) <= G.app_count g)
 
 let prop_simplify_idempotent =
   Helpers.qtest ~count:30 "simplify is idempotent" QCheck.(int_range 0 10_000)
     (fun seed ->
-      let g = Ir.Rewrite.simplify (Gen_graphs.generate seed) in
+      let g = Ir.Rewrite.simplify (Check.Gen.generate seed) in
       G.app_count (Ir.Rewrite.simplify g) = G.app_count g)
 
 let suites =

@@ -79,7 +79,8 @@ let run_layer ?(budget = kib 256) ?(db = true) ?(pe = true) accel (layer : L.t) 
   let sol =
     match Dory.Tiling.solve cfg accel layer with
     | Ok s -> s
-    | Error e -> Alcotest.failf "tiling failed: %s" e
+    | Error e ->
+        Alcotest.failf "tiling failed: %s" (Dory.Tiling.infeasible_to_string e)
   in
   let schedule =
     Dory.Schedule.build layer ~accel_name:accel.Arch.Accel.accel_name

@@ -90,7 +90,7 @@ let prop_roundtrip_random_graphs =
   Helpers.qtest ~count:40 "text round-trip preserves semantics"
     QCheck.(int_range 0 10_000)
     (fun seed ->
-      let g = Gen_graphs.generate seed in
+      let g = Check.Gen.generate seed in
       match Ir.Text.of_string (Ir.Text.to_string g) with
       | Error _ -> false
       | Ok g' ->

@@ -20,6 +20,12 @@ HTVM_JOBS=4 dune runtest --force
 echo "== bench smoke: parallel engine on one small model =="
 dune exec bench/main.exe -- parallel-smoke
 
+# Differential conformance smoke: compiled artifacts must agree with the
+# reference interpreter over a fixed seed range. Any failure prints a
+# minimized reproducer and exits nonzero.
+echo "== htvmc check smoke (300 seeds) =="
+dune exec bin/htvmc.exe -- check --seeds 300 -j 4
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune build @fmt =="
   dune build @fmt
