@@ -16,6 +16,8 @@ let experiments =
     ("trace", Trace_bench.run);
     ("parallel", Parallel.run);
     ("parallel-smoke", Parallel.run_smoke);
+    ("resilience", Resilience.run);
+    ("resilience-smoke", Resilience.run_smoke);
   ]
 
 let () =

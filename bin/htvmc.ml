@@ -8,17 +8,22 @@
      profile   compile + run with tracing on; write a Perfetto-loadable trace
      check     differential conformance fuzzing with automatic shrinking;
                also records the golden snapshots (--bless)
+     chaos     fuzzing under randomized fault-injection campaigns
 
    Examples:
      htvmc export resnet8 --policy mixed -o resnet8.htvm
      htvmc inspect resnet8.htvm
      htvmc compile resnet8.htvm --config both --emit-c resnet8.c
      htvmc run resnet8.htvm --config both
+     htvmc run resnet8.htvm --config both --inject seed=42,dma_in@every=5:drop
+     htvmc run resnet8.htvm --config both --degrade diana_analog
      htvmc profile resnet8.htvm --config both --trace out.json
      htvmc report resnet8.htvm --config both --json
      htvmc check --seeds 500 -j 4
      htvmc check --replay-seed 173
-     htvmc check --bless *)
+     htvmc check --bless
+     htvmc chaos --seeds 300 -j 4
+     htvmc chaos --replay-seed 57 *)
 
 open Cmdliner
 
@@ -80,6 +85,53 @@ let with_trace trace_out f =
       write_file path (Trace.to_chrome_json t);
       Printf.printf "wrote %s (%d trace events)\n" path (List.length (Trace.events t));
       r
+
+(* --- fault-injection plumbing --- *)
+
+(* Resolve --inject SPEC / --faults FILE into an optional plan. "none"
+   (or an empty spec) is an explicit empty campaign: a session is still
+   threaded through the simulator — and is a strict no-op. *)
+let plan_of_args inject faults_file =
+  match (inject, faults_file) with
+  | Some _, Some _ ->
+      Printf.eprintf "htvmc: --inject and --faults are mutually exclusive\n";
+      exit 1
+  | Some spec, None -> (
+      match Fault.Plan.of_string spec with
+      | Ok p -> Some p
+      | Error e ->
+          Printf.eprintf "htvmc: bad --inject spec: %s\n" e;
+          exit 1)
+  | None, Some path -> (
+      match Fault.Plan.load path with
+      | Ok p -> Some p
+      | Error e ->
+          Printf.eprintf "htvmc: cannot load fault file %s: %s\n" path e;
+          exit 1)
+  | None, None -> None
+
+let degrade_config cfg = function
+  | [] -> cfg
+  | ts -> { cfg with Htvm.Compile.degraded_targets = ts }
+
+let print_fault_summary = function
+  | None -> ()
+  | Some s ->
+      let st = Fault.Session.stats s in
+      Printf.printf
+        "faults: %d injected (%d detected, %d silent), %d retry(ies) costing \
+         %d cycles, %d stall cycles\n"
+        st.Fault.Session.injected st.Fault.Session.detected
+        st.Fault.Session.silent st.Fault.Session.retries
+        st.Fault.Session.retry_cycles st.Fault.Session.stall_cycles
+
+let print_demotions (artifact : Htvm.Compile.artifact) =
+  List.iter
+    (fun (d : Htvm.Compile.demotion) ->
+      Printf.printf "demoted %s: %s -> %s (%s)\n" d.Htvm.Compile.d_layer
+        d.Htvm.Compile.d_from d.Htvm.Compile.d_to
+        (Htvm.Compile.demotion_reason_to_string d.Htvm.Compile.d_reason))
+    artifact.Htvm.Compile.demotions
 
 (* --- export --- *)
 
@@ -146,18 +198,29 @@ let compile path config jobs emit_c trace_out =
 
 (* --- run --- *)
 
-let run path config jobs seed trace_out =
+let run path config jobs seed trace_out inject faults_file retry_budget degrade =
   let g = load_graph path in
-  let cfg = config_for config jobs in
-  let out, report =
+  let cfg = degrade_config (config_for config jobs) degrade in
+  let session = Option.map Fault.Session.create (plan_of_args inject faults_file) in
+  match
     with_trace trace_out (fun trace ->
         let artifact = compile_or_die ?trace cfg g in
+        print_demotions artifact;
         let inputs = Models.Zoo.random_input ~seed g in
-        Htvm.Compile.run ?trace artifact ~inputs)
-  in
+        Htvm.Compile.run ?trace ?faults:session ~retry_budget artifact ~inputs)
+  with
+  | exception Fault.Session.Unrecovered { site; attempts } ->
+      print_fault_summary session;
+      Printf.eprintf
+        "htvmc: inference aborted: fault at %s persisted past the retry \
+         budget (%d attempts)\n"
+        site attempts;
+      exit 1
+  | out, report ->
   let inputs = Models.Zoo.random_input ~seed g in
   let reference = Ir.Eval.run g ~inputs in
   Printf.printf "bit-exact vs interpreter: %b\n" (Tensor.equal out reference);
+  print_fault_summary session;
   let full = Htvm.Compile.full_cycles report in
   let peak = Htvm.Compile.peak_cycles report in
   Printf.printf "latency: %.3f ms (peak %.3f ms) at %d MHz — %d cycles\n"
@@ -185,17 +248,40 @@ let report path config jobs out json =
 
 (* --- profile --- *)
 
-let profile path config jobs seed trace_out json_out =
+let profile path config jobs seed trace_out json_out inject faults_file
+    retry_budget degrade =
   let g = load_graph path in
-  let cfg = config_for config jobs in
+  let cfg = degrade_config (config_for config jobs) degrade in
+  let session = Option.map Fault.Session.create (plan_of_args inject faults_file) in
   let trace = Trace.create () in
   let artifact = compile_or_die ~trace cfg g in
+  print_demotions artifact;
   let inputs = Models.Zoo.random_input ~seed g in
-  let out, report = Htvm.Compile.run ~trace artifact ~inputs in
-  if not (Tensor.equal out (Ir.Eval.run g ~inputs)) then begin
-    Printf.eprintf "htvmc: profiled run diverged from the reference interpreter\n";
-    exit 1
-  end;
+  let out, report =
+    try Htvm.Compile.run ~trace ?faults:session ~retry_budget artifact ~inputs
+    with Fault.Session.Unrecovered { site; attempts } ->
+      print_fault_summary session;
+      Printf.eprintf
+        "htvmc: inference aborted: fault at %s persisted past the retry \
+         budget (%d attempts)\n"
+        site attempts;
+      exit 1
+  in
+  let silent =
+    match session with
+    | Some s -> (Fault.Session.stats s).Fault.Session.silent
+    | None -> 0
+  in
+  if not (Tensor.equal out (Ir.Eval.run g ~inputs)) then
+    if silent > 0 then
+      Printf.printf
+        "output diverged from the reference (%d silent fault(s) injected)\n"
+        silent
+    else begin
+      Printf.eprintf "htvmc: profiled run diverged from the reference interpreter\n";
+      exit 1
+    end;
+  print_fault_summary session;
   let totals = report.Sim.Machine.totals in
   Printf.printf "profiled %s on %s (%d steps, %d trace events)\n" path
     cfg.Htvm.Compile.platform.Arch.Platform.platform_name
@@ -319,7 +405,7 @@ let shrink_and_write ~max_checks ~out (c : Check.case) =
   in
   write_file out
     (Check.reproducer ~seed:c.Check.seed ~config:o.Check.Shrink.config
-       ~graph:o.Check.Shrink.graph ~verdict);
+       ~graph:o.Check.Shrink.graph ~verdict ());
   Printf.printf "wrote %s — minimized verdict: %s\n" out (Check.describe verdict)
 
 let check seeds start jobs golden_dir bless replay_seed out max_shrink_checks =
@@ -363,6 +449,79 @@ let check seeds start jobs golden_dir bless replay_seed out max_shrink_checks =
               seeds;
             shrink_and_write ~max_checks:max_shrink_checks ~out c;
             exit 1)
+
+(* --- chaos --- *)
+
+(* Minimize a failing chaos case under the same fault plan it failed
+   with, and write a reproducer whose header embeds the plan. *)
+let shrink_and_write_chaos ~max_checks ~retry_budget ~out seed verdict =
+  let g = Check.Gen.generate seed in
+  let cfg = Check.Gen.chaos_config seed in
+  let plan = Check.Gen.random_fault_plan seed in
+  Printf.printf "shrinking chaos seed %d (class %s) ...\n%!" seed
+    (Check.class_of verdict);
+  let o =
+    Check.Shrink.shrink_failure ~max_checks ~input_seed:seed ~faults:plan
+      ~retry_budget cfg g verdict
+  in
+  Printf.printf "minimized: %d -> %d ops (%d reductions, %d re-checks)\n"
+    (Ir.Graph.app_count g)
+    (Ir.Graph.app_count o.Check.Shrink.graph)
+    o.Check.Shrink.accepted o.Check.Shrink.checks;
+  let verdict =
+    Check.run_case ~input_seed:seed ~faults:plan ~retry_budget
+      o.Check.Shrink.config o.Check.Shrink.graph
+  in
+  write_file out
+    (Check.reproducer ~faults:plan ~seed ~config:o.Check.Shrink.config
+       ~graph:o.Check.Shrink.graph ~verdict ());
+  Printf.printf "wrote %s (fault plan embedded) — minimized verdict: %s\n" out
+    (Check.describe verdict)
+
+let chaos seeds start jobs retry_budget replay_seed out max_shrink_checks =
+  match replay_seed with
+  | Some seed ->
+      Printf.printf "seed %d: plan %s\n" seed
+        (Fault.Plan.to_string (Check.Gen.random_fault_plan seed));
+      let verdict = Check.run_chaos_seed ~retry_budget seed in
+      Printf.printf "seed %d: %s\n" seed (Check.describe verdict);
+      if Check.is_failure verdict then begin
+        shrink_and_write_chaos ~max_checks:max_shrink_checks ~retry_budget ~out
+          seed verdict;
+        exit 1
+      end
+  | None ->
+      let jobs = resolve_jobs jobs in
+      Printf.printf "chaos: seeds [%d, %d) on %d job%s (retry budget %d)\n%!"
+        start (start + seeds) jobs
+        (if jobs = 1 then "" else "s")
+        retry_budget;
+      let cases =
+        Check.fuzz ~jobs
+          ~run:(Check.run_chaos_seed ~retry_budget)
+          ~progress:(fun ~completed ~total ->
+            Printf.printf "\r  %d/%d campaigns%!" completed total)
+          ~start ~count:seeds ()
+      in
+      print_newline ();
+      List.iter
+        (fun (cls, n) -> Printf.printf "  %-24s %d\n" cls n)
+        (Check.tally cases);
+      let failures =
+        List.filter (fun c -> Check.is_failure c.Check.verdict) cases
+      in
+      List.iter
+        (fun c ->
+          Printf.printf "seed %d: %s\n" c.Check.seed (Check.describe c.Check.verdict))
+        failures;
+      (match Check.first_failure cases with
+      | None -> Printf.printf "chaos: %d campaigns, no failures\n" seeds
+      | Some c ->
+          Printf.printf "chaos: %d of %d campaigns FAILED\n"
+            (List.length failures) seeds;
+          shrink_and_write_chaos ~max_checks:max_shrink_checks ~retry_budget
+            ~out c.Check.seed c.Check.verdict;
+          exit 1)
 
 (* --- dot --- *)
 
@@ -431,6 +590,29 @@ let jobs_arg =
                  then to the machine's available domain count. Compilation \
                  results are bit-identical at every job count.")
 
+let inject_arg =
+  Arg.(value & opt (some string) None
+       & info [ "inject" ] ~docv:"SPEC"
+           ~doc:"Run under a fault-injection campaign, e.g. \
+                 $(b,seed=42,dma_in\\@every=5:drop,l2\\@nth=3:flip). \
+                 $(b,none) is an explicit empty campaign (a strict no-op).")
+let faults_file_arg =
+  Arg.(value & opt (some string) None
+       & info [ "faults" ] ~docv:"FILE"
+           ~doc:"Load the fault plan from FILE (same grammar as \
+                 $(b,--inject), one or more rules per line).")
+let retry_budget_arg =
+  Arg.(value & opt int 3
+       & info [ "retry-budget" ] ~docv:"N"
+           ~doc:"Detected-fault retries allowed per operation before the \
+                 modeled runtime aborts the inference.")
+let degrade_arg =
+  Arg.(value & opt_all string []
+       & info [ "degrade" ] ~docv:"TARGET"
+           ~doc:"Treat accelerator TARGET as degraded: the compiler's \
+                 fallback ladder re-lowers its segments to the next-best \
+                 target. Repeatable.")
+
 let export_cmd =
   let model = Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL") in
   let policy = Arg.(value & opt string "int8" & info [ "policy"; "p" ] ~doc:"int8|ternary|mixed") in
@@ -453,7 +635,8 @@ let compile_cmd =
 let run_cmd =
   let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Input seed.") in
   Cmd.v (Cmd.info "run" ~doc:"Compile and simulate a model")
-    Term.(const run $ path_arg $ config_arg $ jobs_arg $ seed $ trace_arg)
+    Term.(const run $ path_arg $ config_arg $ jobs_arg $ seed $ trace_arg
+          $ inject_arg $ faults_file_arg $ retry_budget_arg $ degrade_arg)
 
 let profile_cmd =
   let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Input seed.") in
@@ -464,7 +647,9 @@ let profile_cmd =
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Compile and simulate with tracing on; print a profile summary")
-    Term.(const profile $ path_arg $ config_arg $ jobs_arg $ seed $ trace_arg $ json_out)
+    Term.(const profile $ path_arg $ config_arg $ jobs_arg $ seed $ trace_arg
+          $ json_out $ inject_arg $ faults_file_arg $ retry_budget_arg
+          $ degrade_arg)
 
 let dot_cmd =
   let out = Arg.(value & opt (some string) None & info [ "o" ] ~doc:"Write DOT here.") in
@@ -537,6 +722,41 @@ let check_cmd =
     Term.(const check $ seeds $ start $ jobs_arg $ golden_dir $ bless $ replay_seed
           $ out $ max_shrink_checks)
 
+let chaos_cmd =
+  let seeds =
+    Arg.(value & opt int 100
+         & info [ "seeds"; "n" ] ~docv:"N"
+             ~doc:"Number of chaos campaigns to run.")
+  in
+  let start =
+    Arg.(value & opt int 0 & info [ "start" ] ~docv:"S" ~doc:"First seed of the range.")
+  in
+  let replay_seed =
+    Arg.(value & opt (some int) None
+         & info [ "replay-seed" ] ~docv:"SEED"
+             ~doc:"Replay exactly one chaos campaign (from a reproducer \
+                   header) instead of a range.")
+  in
+  let out =
+    Arg.(value & opt string "htvm-chaos-repro.htvm"
+         & info [ "o"; "repro" ] ~docv:"FILE"
+             ~doc:"Where to write the minimized reproducer (fault plan \
+                   embedded) on failure.")
+  in
+  let max_shrink_checks =
+    Arg.(value & opt int 400
+         & info [ "max-shrink-checks" ] ~docv:"N"
+             ~doc:"Budget of failure-predicate re-checks for the shrinker.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Fuzz under randomized fault-injection campaigns: each seed pairs \
+             a random case with a random recoverable fault plan; any \
+             detected-uncorrected or silent-corruption verdict fails and is \
+             shrunk to a replayable reproducer")
+    Term.(const chaos $ seeds $ start $ jobs_arg $ retry_budget_arg
+          $ replay_seed $ out $ max_shrink_checks)
+
 let report_cmd =
   let out =
     Arg.(value & opt (some string) None & info [ "o" ] ~doc:"Write the report here.")
@@ -555,4 +775,5 @@ let () =
           (Cmd.info "htvmc" ~version:"1.0"
              ~doc:"HTVM compiler driver for heterogeneous TinyML platforms")
           [ export_cmd; export_float_cmd; quantize_cmd; inspect_cmd; compile_cmd;
-            run_cmd; profile_cmd; verify_cmd; check_cmd; report_cmd; dot_cmd ]))
+            run_cmd; profile_cmd; verify_cmd; check_cmd; chaos_cmd; report_cmd;
+            dot_cmd ]))

@@ -21,8 +21,13 @@ type case = { seed : int; verdict : Verdict.t }
     and returns every case in ascending seed order — the result is
     identical at any [jobs] (the pool preserves order, and each case is
     a pure function of its seed). [progress] is called after each
-    completed chunk from the submitting domain. *)
-let fuzz ?(jobs = 1) ?(chunk = 32) ?progress ~start ~count () =
+    completed chunk from the submitting domain. [run] (default
+    {!Verdict.run_seed}) maps a seed to its verdict — [htvmc chaos]
+    passes {!Verdict.run_chaos_seed} and inherits the same
+    seed-order-determinism guarantee, since a chaos case is as pure a
+    function of its seed as a plain one. *)
+let fuzz ?(jobs = 1) ?(chunk = 32) ?progress ?(run = Verdict.run_seed) ~start
+    ~count () =
   Util.Pool.with_pool ~jobs (fun pool ->
       let acc = ref [] in
       let completed = ref 0 in
@@ -31,9 +36,7 @@ let fuzz ?(jobs = 1) ?(chunk = 32) ?progress ~start ~count () =
           let n = min chunk remaining in
           let seeds = List.init n (fun i -> s + i) in
           let results =
-            Util.Pool.map pool
-              (fun seed -> { seed; verdict = Verdict.run_seed seed })
-              seeds
+            Util.Pool.map pool (fun seed -> { seed; verdict = run seed }) seeds
           in
           List.iter (fun c -> acc := c :: !acc) results;
           completed := !completed + n;

@@ -159,4 +159,70 @@ let random_config seed =
     solver_cache =
       (if Util.Rng.int rng 3 = 0 then Some (Dory.Tiling_cache.create ()) else None);
     exhaustive_tiling = Util.Rng.int rng 4 = 0;
+    degraded_targets = [];
+    segment_budget_cycles = None;
   }
+
+(* --- chaos campaigns ---------------------------------------------------- *)
+
+(* Chaos plans are recoverable by construction: only detected kinds
+   (transfer drop/flip, weight-load flip, compute drop) plus stalls, at
+   most one rule per site, and sparse [every]/[nth] triggers (never
+   [always] or [p=...]) — so a retried occurrence can never re-fire and
+   the default retry budget always recovers. Silent kinds (compute or
+   memory flips) are deliberately absent from the default campaign: a
+   [silent_corruption] verdict under [htvmc chaos] therefore always
+   means the harness itself leaked one, not that the dice were hot. *)
+let random_fault_plan seed =
+  let rng = Util.Rng.create ((seed * 131) + 17) in
+  let sparse () =
+    if Util.Rng.int rng 4 = 0 then Fault.Plan.Nth (1 + Util.Rng.int rng 4)
+    else Fault.Plan.Every (3 + Util.Rng.int rng 7)
+  in
+  let templates =
+    [|
+      (Fault.Plan.Dma_in, Fault.Plan.Drop);
+      (Fault.Plan.Dma_in, Fault.Plan.Flip 1);
+      (Fault.Plan.Dma_out, Fault.Plan.Drop);
+      (Fault.Plan.Dma_out, Fault.Plan.Flip 1);
+      (Fault.Plan.Weight_load, Fault.Plan.Flip 1);
+      (Fault.Plan.Weight_load, Fault.Plan.Drop);
+      (Fault.Plan.Compute None, Fault.Plan.Drop);
+      (Fault.Plan.Compute None, Fault.Plan.Stall (64 + Util.Rng.int rng 512));
+    |]
+  in
+  let n_rules = 1 + Util.Rng.int rng 3 in
+  let rules =
+    List.init n_rules (fun _ ->
+        let site, kind = templates.(Util.Rng.int rng (Array.length templates)) in
+        { Fault.Plan.site; trigger = sparse (); kind })
+  in
+  (* One rule per site: two rules on one site could fail an operation on
+     consecutive occurrences and outrun the retry budget. *)
+  let seen = Hashtbl.create 4 in
+  let rules =
+    List.filter
+      (fun (r : Fault.Plan.rule) ->
+        let k = Fault.Plan.site_label r.Fault.Plan.site in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      rules
+  in
+  { Fault.Plan.seed; rules }
+
+let chaos_config seed =
+  let cfg = random_config seed in
+  let rng = Util.Rng.create ((seed * 97) + 3) in
+  (* A quarter of the campaigns also take an accelerator offline, driving
+     segments down the compiler's fallback ladder. *)
+  let accels = cfg.Htvm.Compile.platform.Arch.Platform.accels in
+  if Util.Rng.int rng 4 = 0 && accels <> [] then
+    let victim = List.nth accels (Util.Rng.int rng (List.length accels)) in
+    {
+      cfg with
+      Htvm.Compile.degraded_targets = [ victim.Arch.Accel.accel_name ];
+    }
+  else cfg

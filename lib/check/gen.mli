@@ -23,4 +23,21 @@ val random_config : int -> Htvm.Compile.config
     the five platforms (DIANA cpu/digital/analog/full, NOVA), sometimes
     with L1 shrunk to 2–32 KiB so tiling paths are exercised end to end,
     random planner strategy, buffering, heuristic and engine (jobs /
-    cache / pruning) knobs. *)
+    cache / pruning) knobs. Never degrades a target or sets a segment
+    budget — that is {!chaos_config}'s job. *)
+
+val random_fault_plan : int -> Fault.Plan.t
+(** A random {e recoverable} fault plan for [htvmc chaos]: 1–3 rules over
+    distinct sites, detected kinds (transfer drop/flip, weight-load
+    drop/flip, compute drop) and stalls only, sparse [every]/[nth]
+    triggers. Under the default retry budget every injected fault is
+    either retried successfully or merely stalls, so the only chaos
+    verdicts on stock campaigns are pass / recovered / degraded — a
+    [detected_uncorrected] or [silent_corruption] verdict indicts the
+    resilience machinery, not the dice. Deterministic per seed; the
+    plan's session seed is [seed] itself. *)
+
+val chaos_config : int -> Htvm.Compile.config
+(** {!random_config}, with roughly a quarter of the campaigns taking one
+    of the platform's accelerators offline ([degraded_targets]) so the
+    compiler's fallback ladder is exercised under chaos too. *)

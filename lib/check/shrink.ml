@@ -317,6 +317,15 @@ let config_cands (cfg : C.config) (canon : C.config) =
       (if cfg.C.use_dma_heuristic <> canon.C.use_dma_heuristic then
          Some (Cfg (fun c -> { c with C.use_dma_heuristic = canon.C.use_dma_heuristic }))
        else None);
+      (if cfg.C.degraded_targets <> canon.C.degraded_targets then
+         Some (Cfg (fun c -> { c with C.degraded_targets = canon.C.degraded_targets }))
+       else None);
+      (if cfg.C.segment_budget_cycles <> canon.C.segment_budget_cycles then
+         Some
+           (Cfg
+              (fun c ->
+                { c with C.segment_budget_cycles = canon.C.segment_budget_cycles }))
+       else None);
     ]
 
 (* ---------------------------------------------------------------- *)
@@ -341,6 +350,8 @@ let cfg_delta (c : C.config) (d : C.config) =
   + b (c.C.jobs <> d.C.jobs)
   + b ((c.C.solver_cache <> None) <> (d.C.solver_cache <> None))
   + b (c.C.exhaustive_tiling <> d.C.exhaustive_tiling)
+  + b (c.C.degraded_targets <> d.C.degraded_targets)
+  + b (c.C.segment_budget_cycles <> d.C.segment_budget_cycles)
 
 let shrink ?(max_checks = 400) ~predicate cfg g =
   (* Simplification target: the stock deployment a human would debug
@@ -389,9 +400,11 @@ let shrink ?(max_checks = 400) ~predicate cfg g =
   let cfg, g = !state in
   { graph = g; config = cfg; checks = !checks; accepted = !accepted }
 
-let shrink_failure ?max_checks ?(input_seed = 0) cfg g verdict =
+let shrink_failure ?max_checks ?(input_seed = 0) ?faults ?retry_budget cfg g
+    verdict =
   let cls = Verdict.class_of verdict in
   let predicate cfg g =
-    Verdict.class_of (Verdict.run_case ~input_seed cfg g) = cls
+    Verdict.class_of (Verdict.run_case ~input_seed ?faults ?retry_budget cfg g)
+    = cls
   in
   shrink ?max_checks ~predicate cfg g

@@ -42,9 +42,14 @@ val shrink :
 val shrink_failure :
   ?max_checks:int ->
   ?input_seed:int ->
+  ?faults:Fault.Plan.t ->
+  ?retry_budget:int ->
   Htvm.Compile.config ->
   Ir.Graph.t ->
   Verdict.t ->
   outcome
 (** [shrink] with the canonical predicate "running the case yields a
-    verdict of the same {!Verdict.class_of} as the original failure". *)
+    verdict of the same {!Verdict.class_of} as the original failure".
+    For chaos failures pass the campaign's [faults] plan (and
+    [retry_budget], if overridden) so every re-check replays the same
+    injection campaign the original failure ran under. *)

@@ -11,6 +11,7 @@ type error =
       oom_offset : int;
       oom_capacity : int;
     }
+  | Never_fits of { nf_buffer_id : int; nf_bytes : int; nf_capacity : int }
   | Malformed_request of { bad_buffer_id : int }
 
 let error_to_string = function
@@ -18,6 +19,10 @@ let error_to_string = function
       Printf.sprintf
         "out of memory: buffer %d (%d B) needs [%d, %d) but capacity is %d B"
         oom_buffer_id oom_bytes oom_offset (oom_offset + oom_bytes) oom_capacity
+  | Never_fits { nf_buffer_id; nf_bytes; nf_capacity } ->
+      Printf.sprintf
+        "buffer %d (%d B) can never fit: arena capacity is %d B" nf_buffer_id
+        nf_bytes nf_capacity
   | Malformed_request { bad_buffer_id } ->
       Printf.sprintf "buffer %d: malformed request" bad_buffer_id
 
@@ -51,6 +56,18 @@ let plan strategy ~capacity ~align requests =
     | req :: rest ->
         if req.bytes < 0 || req.death < req.birth then
           Error (Malformed_request { bad_buffer_id = req.buffer_id })
+        else if req.bytes > capacity then
+          (* Not a packing failure: this buffer alone overflows an empty
+             arena, so no schedule or strategy can ever place it. Callers
+             use the distinction to demote the segment instead of
+             rejecting the whole plan. *)
+          Error
+            (Never_fits
+               {
+                 nf_buffer_id = req.buffer_id;
+                 nf_bytes = req.bytes;
+                 nf_capacity = capacity;
+               })
         else
           let offset =
             match strategy with

@@ -34,6 +34,15 @@ type error =
       oom_offset : int;     (** offset it would have been placed at *)
       oom_capacity : int;   (** the arena capacity it overflows *)
     }
+  | Never_fits of {
+      nf_buffer_id : int;  (** request larger than the whole arena *)
+      nf_bytes : int;
+      nf_capacity : int;
+    }
+      (** The buffer alone overflows an empty arena: no packing, schedule
+          or strategy can ever place it. Reported instead of
+          [Out_of_memory] so the compiler's fallback ladder can demote
+          the offending segment rather than reject the graph. *)
   | Malformed_request of { bad_buffer_id : int }
       (** negative size or death before birth *)
 (** Typed planning failures: the conformance checker matches on these

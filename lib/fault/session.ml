@@ -1,0 +1,97 @@
+(* Runtime state of one injection campaign (see session.mli). *)
+
+type stats = {
+  mutable injected : int;
+  mutable detected : int;
+  mutable silent : int;
+  mutable retries : int;
+  mutable retry_cycles : int;
+  mutable stall_cycles : int;
+}
+
+type t = {
+  plan : Plan.t;
+  rng : Util.Rng.t;
+  occ : (string, int) Hashtbl.t;
+  stats : stats;
+}
+
+exception
+  Unrecovered of {
+    site : string;
+    attempts : int;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Unrecovered { site; attempts } ->
+        Some
+          (Printf.sprintf "fault not recovered at %s after %d attempt(s)" site
+             attempts)
+    | _ -> None)
+
+let create plan =
+  {
+    plan;
+    rng = Util.Rng.create (plan.Plan.seed lxor 0x0fa1_75ed);
+    occ = Hashtbl.create 8;
+    stats =
+      {
+        injected = 0;
+        detected = 0;
+        silent = 0;
+        retries = 0;
+        retry_cycles = 0;
+        stall_cycles = 0;
+      };
+  }
+
+let plan t = t.plan
+let active t = not (Plan.is_empty t.plan)
+let stats t = t.stats
+
+(* Uniform float in [0, 1) from the top 53 bits of the stream. *)
+let unit_float t =
+  Int64.to_float (Int64.shift_right_logical (Util.Rng.next_int64 t.rng) 11)
+  /. 9007199254740992.0
+
+let rand_int t bound = if bound <= 0 then 0 else Util.Rng.int t.rng bound
+
+let draw t site =
+  if not (active t) then []
+  else begin
+    let key = Plan.site_label site in
+    let occ = 1 + Option.value ~default:0 (Hashtbl.find_opt t.occ key) in
+    Hashtbl.replace t.occ key occ;
+    List.filter_map
+      (fun (r : Plan.rule) ->
+        if not (Plan.site_matches ~rule:r.Plan.site ~event:site) then None
+        else
+          let fires =
+            match r.Plan.trigger with
+            | Plan.Always -> true
+            | Plan.Nth n -> occ = n
+            | Plan.Every n -> occ mod n = 0
+            | Plan.Prob p -> unit_float t < p
+          in
+          if fires then begin
+            t.stats.injected <- t.stats.injected + 1;
+            Some r.Plan.kind
+          end
+          else None)
+      t.plan.Plan.rules
+  end
+
+let note_detected t = t.stats.detected <- t.stats.detected + 1
+let note_silent t = t.stats.silent <- t.stats.silent + 1
+
+let note_retry t ~cycles =
+  t.stats.retries <- t.stats.retries + 1;
+  t.stats.retry_cycles <- t.stats.retry_cycles + cycles
+
+let note_stall t ~cycles = t.stats.stall_cycles <- t.stats.stall_cycles + cycles
+
+(* Bounded exponential backoff charged before re-issuing an operation:
+   8, 16, 32, ... cycles, capped at 256. Documented in DESIGN.md; the
+   retry-accounting tests recompute this closed form. *)
+let backoff attempt = min 256 (8 lsl max 0 (attempt - 1))

@@ -1,0 +1,62 @@
+(** Runtime state of one fault-injection campaign.
+
+    A session owns the plan's SplitMix64 stream and one occurrence
+    counter per concrete site label. The simulator consults {!draw} at
+    every injection point (each DMA transfer, weight load, tile compute
+    and, once per program step, each memory); rules whose trigger fires
+    on that occurrence return their kinds, in plan order. Because the
+    simulator visits sites in a deterministic order, equal plans produce
+    equal campaigns — at any [jobs] setting, since each simulated run
+    owns its session exclusively.
+
+    The session records what the campaign did ({!stats}); the simulator
+    additionally accounts detection, retries and injected stalls into
+    {!Sim.Counters} so reports and traces expose them per step. *)
+
+type stats = {
+  mutable injected : int;  (** rules fired *)
+  mutable detected : int;  (** faults caught by checksum/watchdog *)
+  mutable silent : int;  (** corruptions nothing in the runtime can see *)
+  mutable retries : int;  (** re-issued operations *)
+  mutable retry_cycles : int;  (** cycles spent re-issuing + backoff *)
+  mutable stall_cycles : int;  (** cycles injected by [Stall] kinds *)
+}
+
+type t
+
+exception
+  Unrecovered of {
+    site : string;  (** {!Plan.site_label} of the failing site *)
+    attempts : int;  (** attempts made, including the original *)
+  }
+(** Raised by the simulator when a detected fault persists past the
+    retry budget — the modeled runtime aborts the inference cleanly
+    rather than returning corrupt data. *)
+
+val create : Plan.t -> t
+val plan : t -> Plan.t
+
+val active : t -> bool
+(** [false] for the empty plan: every {!draw} is then a no-op returning
+    [[]] without touching counters or the stream. *)
+
+val stats : t -> stats
+
+val draw : t -> Plan.site -> Plan.kind list
+(** Count one occurrence of [site] and return the kinds of every rule
+    firing on it. Pass the concrete engine in [Compute (Some name)];
+    wildcard [Compute None] rules match it. *)
+
+val rand_int : t -> int -> int
+(** Deterministic uniform draw in [[0, bound)] from the session stream
+    (bit and byte positions for [Flip]); returns 0 when [bound <= 0]. *)
+
+val note_detected : t -> unit
+val note_silent : t -> unit
+val note_retry : t -> cycles:int -> unit
+val note_stall : t -> cycles:int -> unit
+
+val backoff : int -> int
+(** [backoff attempt] is the modeled back-off delay charged before
+    re-issuing a failed operation: [min 256 (8 * 2^(attempt-1))] cycles
+    for the 1-based [attempt]. *)

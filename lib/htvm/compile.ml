@@ -12,6 +12,8 @@ type config = {
   jobs : int;
   solver_cache : Dory.Tiling_cache.t option;
   exhaustive_tiling : bool;
+  degraded_targets : string list;
+  segment_budget_cycles : int option;
 }
 
 let default_config platform =
@@ -25,6 +27,8 @@ let default_config platform =
     jobs = Util.Pool.jobs_from_env ();
     solver_cache = None;
     exhaustive_tiling = false;
+    degraded_targets = [];
+    segment_budget_cycles = None;
   }
 
 let tvm_baseline_config platform =
@@ -46,6 +50,26 @@ type solver_stats = {
   ss_cache_misses : int;
 }
 
+type demotion_reason =
+  | Degraded_target
+  | Infeasible of Dory.Tiling.infeasible
+  | Over_budget of { estimated_cycles : int; budget_cycles : int }
+
+type demotion = {
+  d_output : G.id;
+  d_layer : string;
+  d_from : string;
+  d_to : string;
+  d_reason : demotion_reason;
+}
+
+let demotion_reason_to_string = function
+  | Degraded_target -> "target marked degraded"
+  | Infeasible inf -> Dory.Tiling.infeasible_to_string inf
+  | Over_budget { estimated_cycles; budget_cycles } ->
+      Printf.sprintf "estimated %d cycles exceeds segment budget %d"
+        estimated_cycles budget_cycles
+
 type artifact = {
   cfg : config;
   program : Sim.Program.t;
@@ -56,6 +80,7 @@ type artifact = {
   l2_arena_bytes : int;
   tuning_trials : int;
   solver : solver_stats;
+  demotions : demotion list;
 }
 
 type error =
@@ -258,10 +283,12 @@ let compile ?trace cfg graph =
       l1_budget = platform.Arch.Platform.l1.Arch.Memory.size_bytes;
     }
   in
-  (* Lower offloaded segments; layers the tiler cannot place fall back to
-     the host path. The solves themselves are pure, so they fan out
-     across the pool (deduplicated through the cache first, when one is
-     configured — lookups and insertions stay on this domain). The
+  (* Lower offloaded segments; segments their chosen target cannot carry
+     descend a fallback ladder (every other healthy accelerator accepting
+     the layer, in platform order, then the host path), each hop recorded
+     as a structured demotion. The primary solves are pure, so they fan
+     out across the pool (deduplicated through the cache first, when one
+     is configured — lookups and insertions stay on this domain). The
      sequential pass below then consumes the outcomes in segment order,
      replaying each ["tiling.solve"] trace event from this domain, so
      parallel and cached runs stay bit-identical to sequential cold
@@ -271,12 +298,36 @@ let compile ?trace cfg graph =
   let cache_hits = ref 0 in
   let cache_misses = ref 0 in
   let seg_outcomes = ref [] in
+  let demotions = ref [] in
   Trace.span trace "lower" (fun () ->
+      let estimate (a : Arch.Accel.t) layer =
+        let full = Arch.Tile.full layer in
+        a.Arch.Accel.setup_cycles
+        + a.Arch.Accel.compute_cycles layer full
+        + a.Arch.Accel.weight_load_cycles layer full
+      in
+      (* The pre-solve rung checks: why a segment cannot stay on [a]
+         before any tiling is attempted. [None] = the accelerator may
+         try. Used both to build the pool's work list and to consume it,
+         so the two passes agree segment by segment. *)
+      let rung_block (a : Arch.Accel.t) layer =
+        if List.mem a.Arch.Accel.accel_name cfg.degraded_targets then
+          Some Degraded_target
+        else
+          match cfg.segment_budget_cycles with
+          | Some budget when estimate a layer > budget ->
+              Some
+                (Over_budget
+                   { estimated_cycles = estimate a layer; budget_cycles = budget })
+          | _ -> None
+      in
       let offloads =
         List.filter_map
           (function
             | Byoc.Partition.Offload { target; layer; _ } ->
-                Some (Arch.Platform.find_accel platform target, layer)
+                let accel = Arch.Platform.find_accel platform target in
+                if rung_block accel layer = None then Some (accel, layer)
+                else None
             | Byoc.Partition.Host _ -> None)
           plan.Byoc.Partition.segments
       in
@@ -345,22 +396,74 @@ let compile ?trace cfg graph =
         (fun seg ->
           match seg with
           | Byoc.Partition.Host { id } -> host_pool := id :: !host_pool
-          | Byoc.Partition.Offload { target; layer; inputs; output } -> (
-              let accel = Arch.Platform.find_accel platform target in
-              let outcome = take () in
-              Dory.Tiling.trace_solve_event trace accel layer outcome;
-              seg_outcomes := outcome :: !seg_outcomes;
-              match outcome.Dory.Tiling.result with
-              | Ok sol ->
-                  let schedule =
-                    Dory.Schedule.build layer ~accel_name:target
-                      ~tile:sol.Dory.Tiling.tile ~double_buffer:cfg.double_buffer
-                  in
-                  accel_units :=
-                    LAccel
-                      { accel; layer; schedule; in_nodes = inputs; out_node = output }
-                    :: !accel_units
-              | Error _ -> host_pool := region_nodes g output @ !host_pool))
+          | Byoc.Partition.Offload { target; layer; inputs; output } ->
+              let primary = Arch.Platform.find_accel platform target in
+              let accept (a : Arch.Accel.t) sol =
+                let schedule =
+                  Dory.Schedule.build layer ~accel_name:a.Arch.Accel.accel_name
+                    ~tile:sol.Dory.Tiling.tile ~double_buffer:cfg.double_buffer
+                in
+                accel_units :=
+                  LAccel
+                    { accel = a; layer; schedule; in_nodes = inputs; out_node = output }
+                  :: !accel_units
+              in
+              (* The remaining rungs of the ladder after the partition's
+                 choice: healthy accelerators accepting the layer, in
+                 platform order, then the host. *)
+              let alternates =
+                List.filter
+                  (fun (a : Arch.Accel.t) ->
+                    a.Arch.Accel.accel_name <> target
+                    && a.Arch.Accel.supports layer
+                    && rung_block a layer = None)
+                  platform.Arch.Platform.accels
+              in
+              let next_name = function
+                | (a : Arch.Accel.t) :: _ -> a.Arch.Accel.accel_name
+                | [] -> "cpu"
+              in
+              let demote ~from ~to_ reason =
+                demotions :=
+                  {
+                    d_output = output;
+                    d_layer = L.describe layer;
+                    d_from = from;
+                    d_to = to_;
+                    d_reason = reason;
+                  }
+                  :: !demotions
+              in
+              let rec descend = function
+                | [] -> host_pool := region_nodes g output @ !host_pool
+                | (a : Arch.Accel.t) :: rest -> (
+                    let outcome =
+                      Dory.Tiling.solve_stats ~exhaustive:cfg.exhaustive_tiling
+                        tiling_cfg a layer
+                    in
+                    Dory.Tiling.trace_solve_event trace a layer outcome;
+                    seg_outcomes := outcome :: !seg_outcomes;
+                    match outcome.Dory.Tiling.result with
+                    | Ok sol -> accept a sol
+                    | Error inf ->
+                        demote ~from:a.Arch.Accel.accel_name
+                          ~to_:(next_name rest) (Infeasible inf);
+                        descend rest)
+              in
+              (match rung_block primary layer with
+              | Some reason ->
+                  demote ~from:target ~to_:(next_name alternates) reason;
+                  descend alternates
+              | None -> (
+                  let outcome = take () in
+                  Dory.Tiling.trace_solve_event trace primary layer outcome;
+                  seg_outcomes := outcome :: !seg_outcomes;
+                  match outcome.Dory.Tiling.result with
+                  | Ok sol -> accept primary sol
+                  | Error inf ->
+                      demote ~from:target ~to_:(next_name alternates)
+                        (Infeasible inf);
+                      descend alternates)))
         plan.Byoc.Partition.segments);
   let solver =
     List.fold_left
@@ -592,6 +695,17 @@ let compile ?trace cfg graph =
                  oom_capacity_bytes = oom_capacity;
                  oom_detail = Dory.Memplan.error_to_string e;
                }
+         | Dory.Memplan.Never_fits { nf_bytes; nf_capacity; _ } as e ->
+             (* One activation buffer alone overflows the empty arena: a
+                structured resource diagnosis, not a packing failure — no
+                strategy (or segment demotion) could ever place it. *)
+             Out_of_memory
+               {
+                 oom_region = "L2 arena";
+                 oom_needed_bytes = nf_bytes;
+                 oom_capacity_bytes = nf_capacity;
+                 oom_detail = Dory.Memplan.error_to_string e;
+               }
          | Dory.Memplan.Malformed_request _ as e ->
              Internal (Dory.Memplan.error_to_string e))
   in
@@ -659,10 +773,12 @@ let compile ?trace cfg graph =
       l2_arena_bytes = arena_capacity;
       tuning_trials;
       solver;
+      demotions = List.rev !demotions;
     }
 
-let run ?trace artifact ~inputs =
-  Sim.Machine.run ~platform:artifact.cfg.platform ?trace artifact.program ~inputs
+let run ?trace ?faults ?retry_budget artifact ~inputs =
+  Sim.Machine.run ~platform:artifact.cfg.platform ?trace ?faults ?retry_budget
+    artifact.program ~inputs
 
 let full_cycles (r : Sim.Machine.report) = r.Sim.Machine.totals.Sim.Counters.wall
 

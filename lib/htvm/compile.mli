@@ -30,6 +30,16 @@ type config = {
       (** disable the solver's binary search + branch-and-bound pruning
           and scan every candidate (same chosen tiles; benches use it as
           the pruning baseline) *)
+  degraded_targets : string list;
+      (** accelerators a health monitor has marked unreliable: segments
+          the partitioner assigns to them descend the fallback ladder
+          (other healthy accelerators, then the host) instead of being
+          lowered there *)
+  segment_budget_cycles : int option;
+      (** per-segment latency/fault budget: a segment whose untiled
+          busy-cycle estimate on an accelerator exceeds it is demoted off
+          that accelerator (bounds the work lost to a mid-segment retry
+          or abort); [None] = unbounded *)
 }
 
 val default_config : Arch.Platform.t -> config
@@ -62,6 +72,25 @@ type solver_stats = {
     they are identical whether a solve ran or was replayed from the
     cache; only the hit/miss split depends on caching. *)
 
+type demotion_reason =
+  | Degraded_target  (** the target is in [cfg.degraded_targets] *)
+  | Infeasible of Dory.Tiling.infeasible
+      (** no L1-feasible tile on that accelerator *)
+  | Over_budget of { estimated_cycles : int; budget_cycles : int }
+      (** untiled busy-cycle estimate exceeds [cfg.segment_budget_cycles] *)
+
+type demotion = {
+  d_output : Ir.Graph.id;  (** the segment's output node *)
+  d_layer : string;  (** [Ir.Layer.describe] of the segment's layer *)
+  d_from : string;  (** target the segment left *)
+  d_to : string;  (** next rung tried: an accelerator name or ["cpu"] *)
+  d_reason : demotion_reason;
+}
+(** One hop down the fallback ladder. A segment demoted twice (e.g.
+    analog -> digital -> cpu) contributes two records, in ladder order. *)
+
+val demotion_reason_to_string : demotion_reason -> string
+
 type artifact = {
   cfg : config;
   program : Sim.Program.t;
@@ -72,6 +101,9 @@ type artifact = {
   l2_arena_bytes : int;   (** activation arena capacity after statics *)
   tuning_trials : int;    (** device measurements spent by autotuning (0 without) *)
   solver : solver_stats;
+  demotions : demotion list;
+      (** every fallback-ladder hop taken, in segment order (empty when
+          all segments lowered on their first-choice target) *)
 }
 
 (** Typed compilation failures. The conformance checker (lib/check) and
@@ -89,8 +121,8 @@ type error =
     }  (** A resource diagnosis — the expected outcome on undersized
           memories (Table I's MobileNet OoM under the TVM baseline). *)
   | No_feasible_tile of Dory.Tiling.infeasible
-      (** An offloaded layer had no L1-feasible tile and no host
-          fallback was possible. *)
+      (** An offloaded layer had no L1-feasible tile on any rung of the
+          fallback ladder and no host fallback was possible. *)
   | Empty_graph  (** the graph has no operator applications *)
   | Internal of string
       (** A broken compiler invariant — always a bug, never a legitimate
@@ -120,11 +152,17 @@ val compile : ?trace:Trace.t -> config -> Ir.Graph.t -> (artifact, error) result
 
 val run :
   ?trace:Trace.t ->
+  ?faults:Fault.Session.t ->
+  ?retry_budget:int ->
   artifact ->
   inputs:(string * Tensor.t) list ->
   Tensor.t * Sim.Machine.report
-(** Execute the artifact on the simulated SoC; [trace] is forwarded to
-    {!Sim.Machine.run}. *)
+(** Execute the artifact on the simulated SoC; [trace], [faults] and
+    [retry_budget] are forwarded to {!Sim.Machine.run} (omitting
+    [faults], or passing a session over the empty plan, changes
+    nothing).
+    @raise Fault.Session.Unrecovered when an injected fault exhausts the
+    retry budget. *)
 
 val full_cycles : Sim.Machine.report -> int
 (** End-to-end wall cycles — the paper's "HTVM" latency. *)

@@ -20,6 +20,52 @@ let to_json_value ?(energy = Sim.Energy.diana_defaults) (artifact : Compile.arti
       ("dma_bytes_out", J.Int c.Sim.Counters.dma_bytes_out);
       ("utilization", J.Float (Sim.Counters.utilization c));
     ]
+    (* Fault accounting appears only when a campaign actually did
+       something, so fault-free reports are byte-identical to the
+       pre-resilience schema (and an empty plan is a strict no-op). *)
+    @ (if
+         c.Sim.Counters.faults_detected = 0
+         && c.Sim.Counters.faults_silent = 0
+         && c.Sim.Counters.retries = 0
+         && c.Sim.Counters.retry_cycles = 0
+         && c.Sim.Counters.fault_stall = 0
+       then []
+       else
+         [
+           ("faults_detected", J.Int c.Sim.Counters.faults_detected);
+           ("faults_silent", J.Int c.Sim.Counters.faults_silent);
+           ("retries", J.Int c.Sim.Counters.retries);
+           ("retry_cycles", J.Int c.Sim.Counters.retry_cycles);
+           ("fault_stall", J.Int c.Sim.Counters.fault_stall);
+         ])
+  in
+  let demotions_json =
+    match artifact.Compile.demotions with
+    | [] -> []
+    | ds ->
+        [
+          ( "demotions",
+            J.List
+              (List.map
+                 (fun (d : Compile.demotion) ->
+                   J.Obj
+                     [
+                       ("layer", J.Str d.Compile.d_layer);
+                       ("from", J.Str d.Compile.d_from);
+                       ("to", J.Str d.Compile.d_to);
+                       ( "reason_class",
+                         J.Str
+                           (match d.Compile.d_reason with
+                           | Compile.Degraded_target -> "degraded_target"
+                           | Compile.Infeasible _ -> "infeasible"
+                           | Compile.Over_budget _ -> "over_budget") );
+                       ( "reason",
+                         J.Str
+                           (Compile.demotion_reason_to_string d.Compile.d_reason)
+                       );
+                     ])
+                 ds) );
+        ]
   in
   let layers =
     List.map2
@@ -42,7 +88,7 @@ let to_json_value ?(energy = Sim.Energy.diana_defaults) (artifact : Compile.arti
   let totals = report.Sim.Machine.totals in
   let e = Sim.Energy.of_report energy report in
   J.Obj
-    [
+    ([
       ( "platform",
         J.Obj
           [
@@ -91,6 +137,9 @@ let to_json_value ?(energy = Sim.Energy.diana_defaults) (artifact : Compile.arti
             ("infeasible", J.Int artifact.Compile.solver.Compile.ss_infeasible);
             ("pruned", J.Int artifact.Compile.solver.Compile.ss_pruned);
           ] );
+    ]
+    @ demotions_json
+    @ [
       ("layers", J.List layers);
       ( "binary",
         J.Obj
@@ -125,7 +174,7 @@ let to_json_value ?(energy = Sim.Energy.diana_defaults) (artifact : Compile.arti
             ("idle", J.Float e.Sim.Energy.idle_uj);
             ("total", J.Float e.Sim.Energy.total_uj);
           ] );
-    ]
+    ])
 
 let to_json ?energy artifact report = J.to_string (to_json_value ?energy artifact report)
 
@@ -158,10 +207,34 @@ let to_markdown ?(energy = Sim.Energy.diana_defaults) (artifact : Compile.artifa
   if cfg.Compile.solver_cache <> None then
     add "- solver cache: %d hits, %d misses this compile\n" sv.Compile.ss_cache_hits
       sv.Compile.ss_cache_misses;
+  (match artifact.Compile.demotions with
+  | [] -> ()
+  | ds ->
+      add "\n## Demotions\n\n";
+      List.iter
+        (fun (d : Compile.demotion) ->
+          add "- %s: **%s -> %s** (%s)\n" d.Compile.d_layer d.Compile.d_from
+            d.Compile.d_to
+            (Compile.demotion_reason_to_string d.Compile.d_reason))
+        ds);
   let full = Compile.full_cycles report and peak = Compile.peak_cycles report in
   add "\n## Latency\n\n";
   add "- full kernel calls: **%.3f ms** (%d cycles)\n" (Compile.latency_ms cfg full) full;
   add "- accelerator peak + CPU: %.3f ms (%d cycles)\n" (Compile.latency_ms cfg peak) peak;
+  let t = report.Sim.Machine.totals in
+  if
+    t.Sim.Counters.faults_detected > 0
+    || t.Sim.Counters.faults_silent > 0
+    || t.Sim.Counters.retries > 0
+    || t.Sim.Counters.retry_cycles > 0
+    || t.Sim.Counters.fault_stall > 0
+  then
+    add
+      "- faults: %d detected, %d silent; %d retry(ies) costing %d cycles, %d \
+       stall cycles\n"
+      t.Sim.Counters.faults_detected t.Sim.Counters.faults_silent
+      t.Sim.Counters.retries t.Sim.Counters.retry_cycles
+      t.Sim.Counters.fault_stall;
   add "\n## Steps\n\n";
   let rows =
     List.map2

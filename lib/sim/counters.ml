@@ -8,6 +8,11 @@ type t = {
   mutable stall : int;
   mutable dma_bytes_in : int;
   mutable dma_bytes_out : int;
+  mutable faults_detected : int;
+  mutable faults_silent : int;
+  mutable retries : int;
+  mutable retry_cycles : int;
+  mutable fault_stall : int;
   mutable wall : int;
 }
 
@@ -22,6 +27,11 @@ let create () =
     stall = 0;
     dma_bytes_in = 0;
     dma_bytes_out = 0;
+    faults_detected = 0;
+    faults_silent = 0;
+    retries = 0;
+    retry_cycles = 0;
+    fault_stall = 0;
     wall = 0;
   }
 
@@ -35,13 +45,18 @@ let add acc x =
   acc.stall <- acc.stall + x.stall;
   acc.dma_bytes_in <- acc.dma_bytes_in + x.dma_bytes_in;
   acc.dma_bytes_out <- acc.dma_bytes_out + x.dma_bytes_out;
+  acc.faults_detected <- acc.faults_detected + x.faults_detected;
+  acc.faults_silent <- acc.faults_silent + x.faults_silent;
+  acc.retries <- acc.retries + x.retries;
+  acc.retry_cycles <- acc.retry_cycles + x.retry_cycles;
+  acc.fault_stall <- acc.fault_stall + x.fault_stall;
   acc.wall <- acc.wall + x.wall
 
 let peak t = t.accel_compute + t.weight_load
 
 let total_parts t =
   t.accel_compute + t.weight_load + t.dma_in + t.dma_out + t.host_overhead
-  + t.cpu_compute
+  + t.cpu_compute + t.retry_cycles + t.fault_stall
 
 let utilization t =
   if t.wall <= 0 then 0.0
@@ -50,4 +65,8 @@ let utilization t =
 let pp fmt t =
   Format.fprintf fmt
     "wall=%d (accel=%d wload=%d dma=%d+%d host=%d cpu=%d)" t.wall t.accel_compute
-    t.weight_load t.dma_in t.dma_out t.host_overhead t.cpu_compute
+    t.weight_load t.dma_in t.dma_out t.host_overhead t.cpu_compute;
+  if t.faults_detected > 0 || t.faults_silent > 0 || t.retries > 0 || t.fault_stall > 0
+  then
+    Format.fprintf fmt " faults(detected=%d silent=%d retries=%d retry_cycles=%d stall=%d)"
+      t.faults_detected t.faults_silent t.retries t.retry_cycles t.fault_stall

@@ -18,6 +18,18 @@ type t = {
           DMA time and pipeline bubbles *)
   mutable dma_bytes_in : int;    (** activation bytes moved L2 -> L1 *)
   mutable dma_bytes_out : int;   (** activation bytes moved L1 -> L2 *)
+  mutable faults_detected : int;
+      (** injected faults the modeled runtime caught (payload checksum
+          mismatch or compute watchdog) and handled by retrying *)
+  mutable faults_silent : int;
+      (** injected corruptions nothing in the runtime can observe *)
+  mutable retries : int;         (** operations re-issued after detection *)
+  mutable retry_cycles : int;
+      (** cycles spent on re-issues: back-off plus the repeated
+          operation's modeled cost. Base counters ([dma_in],
+          [accel_compute], ...) keep their fault-free values, so
+          [wall = fault_free_wall + retry_cycles + fault_stall]. *)
+  mutable fault_stall : int;     (** cycles injected by [Stall] fault kinds *)
   mutable wall : int;
       (** end-to-end cycles; with double buffering this is less than the
           sum of the parts because DMA hides behind compute *)
@@ -31,7 +43,8 @@ val peak : t -> int
 (** Accelerator busy cycles: compute + weight load. *)
 
 val total_parts : t -> int
-(** Sum of all component counters (an upper bound on [wall]). *)
+(** Sum of all component counters, including fault retry/stall cycles
+    (an upper bound on [wall]). *)
 
 val utilization : t -> float
 (** Busy fraction of wall time: (accelerator busy + CPU compute) / wall,

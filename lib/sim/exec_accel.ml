@@ -245,7 +245,8 @@ let dma_out ~l2 ~l1 ~buffers ~(s : S.t) ~layout ~slot (inst : S.instance) =
         ~l1_off:base ~full_h:l.L.out_shape.(1) ~full_w:l.L.out_shape.(2)
         ~ch0:inst.S.k0 ~y0:inst.S.oy0 ~x0:inst.S.ox0 ~chans ~rows ~cols
 
-let run ~platform ~accel ~l2 ~l1 ~buffers ?trace ?(t0 = 0) (s : S.t) =
+let run ~platform ~accel ~l2 ~l1 ~buffers ?trace ?(t0 = 0) ?faults
+    ?(retry_budget = 3) (s : S.t) =
   let l = s.S.layer in
   (match (l.L.kind, buffers.in_offsets) with
   | L.Add, [ _; _ ] | (L.Conv _ | L.Dense | L.Pool _), [ _ ] -> ()
@@ -257,6 +258,8 @@ let run ~platform ~accel ~l2 ~l1 ~buffers ?trace ?(t0 = 0) (s : S.t) =
     raise (Mem.Fault "L1 scratch exceeds L1 size");
   let dma = platform.Arch.Platform.dma in
   let c = Counters.create () in
+  let rc = Resilience.make ?faults ~retry_budget c in
+  let engine_site = Fault.Plan.Compute (Some accel.Arch.Accel.accel_name) in
   let n = List.length s.S.instances in
   let busy = Array.make n 0 in
   let wls = Array.make n 0 in
@@ -270,12 +273,26 @@ let run ~platform ~accel ~l2 ~l1 ~buffers ?trace ?(t0 = 0) (s : S.t) =
       let chunks_in, bytes_in = dma_in ~l2 ~l1 ~buffers ~s ~layout ~slot:i inst in
       din.(i) <- Arch.Memory.transfer_cycles dma ~chunks:chunks_in ~bytes:bytes_in;
       bin.(i) <- bytes_in;
+      Resilience.guard rc ~site:Fault.Plan.Dma_in ~cycles:din.(i)
+        ~flip_detected:true ();
       let wl =
         if inst.S.load_weights then accel.Arch.Accel.weight_load_cycles l inst.S.dims
         else 0
       in
+      if inst.S.load_weights && l.L.weights <> None then
+        Resilience.guard rc ~site:Fault.Plan.Weight_load ~cycles:wl
+          ~flip_detected:true ();
       compute_instance ~l2 ~l1 ~buffers ~s ~layout ~slot:i inst;
       let cc = accel.Arch.Accel.compute_cycles l inst.S.dims in
+      (* A silent compute flip corrupts the tile's dense L1 output slot
+         just before it is DMA-ed back; a watchdog-caught [Drop] re-runs
+         the tile (the clean result already in the slot stands for the
+         successful re-run). *)
+      Resilience.guard rc ~site:engine_site ~cycles:cc
+        ~corrupt:(fun fs bits ->
+          Resilience.flip_in_mem fs l1 ~base:(out_base layout i)
+            ~bytes:(Tile.bytes_out l inst.S.dims) bits)
+        ~flip_detected:false ();
       busy.(i) <- wl + cc;
       wls.(i) <- wl;
       ccs.(i) <- cc;
@@ -284,6 +301,8 @@ let run ~platform ~accel ~l2 ~l1 ~buffers ?trace ?(t0 = 0) (s : S.t) =
       let chunks_out, bytes_out = dma_out ~l2 ~l1 ~buffers ~s ~layout ~slot:i inst in
       dout.(i) <- Arch.Memory.transfer_cycles dma ~chunks:chunks_out ~bytes:bytes_out;
       bout.(i) <- bytes_out;
+      Resilience.guard rc ~site:Fault.Plan.Dma_out ~cycles:dout.(i)
+        ~flip_detected:true ();
       c.Counters.dma_in <- c.Counters.dma_in + din.(i);
       c.Counters.dma_out <- c.Counters.dma_out + dout.(i);
       c.Counters.dma_bytes_in <- c.Counters.dma_bytes_in + bytes_in;
@@ -348,7 +367,11 @@ let run ~platform ~accel ~l2 ~l1 ~buffers ?trace ?(t0 = 0) (s : S.t) =
       !cur - t0
     end
   in
-  c.Counters.wall <- wall;
+  (* Fault effects extend the step past its fault-free wall; the base
+     counters (and the stall derived from them) keep clean values so
+     [wall = fault_free_wall + retry_cycles + fault_stall]. *)
+  Resilience.emit_events rc trace ~ts:(t0 + wall);
   c.Counters.stall <-
     max 0 (wall - overhead - c.Counters.accel_compute - c.Counters.weight_load);
+  c.Counters.wall <- wall + c.Counters.retry_cycles + c.Counters.fault_stall;
   c

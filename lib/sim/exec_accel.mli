@@ -28,6 +28,8 @@ val run :
   buffers:buffers ->
   ?trace:Trace.t ->
   ?t0:int ->
+  ?faults:Fault.Session.t ->
+  ?retry_budget:int ->
   Dory.Schedule.t ->
   Counters.t
 (** Execute the layer in place (reads input buffers, writes the output
@@ -35,5 +37,14 @@ val run :
     [dma_in]/[weight_load]/[compute]/[dma_out] intervals are recorded on
     the DMA and engine tracks, placed on the simulated clock starting at
     cycle [t0] (default 0) exactly as the wall-clock model overlaps them.
+
+    When [faults] is given, every tile's DMA transfers, weight load and
+    computation consult the plan through {!Resilience}: detected faults
+    are retried up to [retry_budget] (default 3) times per operation,
+    extending [wall] by [retry_cycles + fault_stall] past the fault-free
+    value; silent flips really corrupt the simulated bytes. Injected
+    effects appear on the ["fault"] trace track.
+    @raise Fault.Session.Unrecovered when a detected fault persists past
+    the retry budget.
     @raise Mem.Fault on any out-of-bounds access.
     @raise Invalid_argument on malformed buffer descriptors. *)

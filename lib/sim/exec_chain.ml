@@ -58,12 +58,6 @@ let store_rows ~l2 ~l2_off ~height ~row_lo (t : Tensor.t) =
     done
   done
 
-(* Round-trip a tensor through L1 bytes: the intermediate stripe really
-   lives (only) in L1. *)
-let through_l1 l1 offset t =
-  Mem.write_tensor l1 offset t;
-  Mem.read_tensor l1 offset (Tensor.dtype t) (Tensor.shape t)
-
 let stripe_layer (l : L.t) ~in_rows ~out_rows =
   let p = conv_params l in
   {
@@ -73,8 +67,11 @@ let stripe_layer (l : L.t) ~in_rows ~out_rows =
     out_shape = [| l.L.out_shape.(0); out_rows; l.L.out_shape.(2) |];
   }
 
-let run ~platform ~accel ~l2 ~l1 ~buffers ?trace ?(t0 = 0) (t : C.t) =
+let run ~platform ~accel ~l2 ~l1 ~buffers ?trace ?(t0 = 0) ?faults
+    ?(retry_budget = 3) (t : C.t) =
   let c = Counters.create () in
+  let rc = Resilience.make ?faults ~retry_budget c in
+  let engine_site = Fault.Plan.Compute (Some accel.Arch.Accel.accel_name) in
   let dma = platform.Arch.Platform.dma in
   let first = t.C.first and second = t.C.second in
   let w1 = read_weights l2 first buffers.w1_offset in
@@ -87,6 +84,7 @@ let run ~platform ~accel ~l2 ~l1 ~buffers ?trace ?(t0 = 0) (t : C.t) =
     + accel.Arch.Accel.weight_load_cycles second (Arch.Tile.full second)
   in
   c.Counters.weight_load <- wl;
+  Resilience.guard rc ~site:Fault.Plan.Weight_load ~cycles:wl ~flip_detected:true ();
   let engine = accel.Arch.Accel.accel_name in
   let on = Trace.enabled trace in
   let emit ~track ~ts ~dur ?(args = []) name =
@@ -113,17 +111,25 @@ let run ~platform ~accel ~l2 ~l1 ~buffers ?trace ?(t0 = 0) (t : C.t) =
     let din =
       Arch.Memory.transfer_cycles dma ~chunks:first.L.in_shape.(0) ~bytes:in_bytes
     in
+    Resilience.guard rc ~site:Fault.Plan.Dma_in ~cycles:din ~flip_detected:true ();
     (* 2. first conv on the stripe; intermediate lives in L1 only. *)
     let l1_first = stripe_layer { first with L.weights = Some w1; bias = b1 }
         ~in_rows:(in_pt + in_n + in_pb) ~out_rows:mid_n
     in
-    let mid = L.execute l1_first input in
-    let mid = through_l1 l1 0 mid in
     let cc1 =
       accel.Arch.Accel.compute_cycles first
         (Arch.Tile.for_layer first ~c:first.L.in_shape.(0) ~k:first.L.out_shape.(0)
            ~oy:mid_n ~ox:first.L.out_shape.(2))
     in
+    let mid = L.execute l1_first input in
+    (* The intermediate stripe lives in L1 between the two convolutions;
+       a silent flip on the first compute corrupts it there. *)
+    Mem.write_tensor l1 0 mid;
+    Resilience.guard rc ~site:engine_site ~cycles:cc1
+      ~corrupt:(fun fs bits ->
+        Resilience.flip_in_mem fs l1 ~base:0 ~bytes:(Tensor.sim_bytes mid) bits)
+      ~flip_detected:false ();
+    let mid = Mem.read_tensor l1 0 (Tensor.dtype mid) (Tensor.shape mid) in
     (* 3. second conv consumes the intermediate stripe. *)
     let mid_padded =
       let k1 = Tensor.dim mid 0 and w1d = Tensor.dim mid 2 in
@@ -147,12 +153,22 @@ let run ~platform ~accel ~l2 ~l1 ~buffers ?trace ?(t0 = 0) (t : C.t) =
            ~oy:n ~ox:second.L.out_shape.(2))
     in
     (* 4. final stripe L1 -> L2. *)
-    let out = through_l1 l1 (Tensor.sim_bytes mid) out in
+    Mem.write_tensor l1 (Tensor.sim_bytes mid) out;
+    Resilience.guard rc ~site:engine_site ~cycles:cc2
+      ~corrupt:(fun fs bits ->
+        Resilience.flip_in_mem fs l1 ~base:(Tensor.sim_bytes mid)
+          ~bytes:(Tensor.sim_bytes out) bits)
+      ~flip_detected:false ();
+    let out =
+      Mem.read_tensor l1 (Tensor.sim_bytes mid) (Tensor.dtype out)
+        (Tensor.shape out)
+    in
     store_rows ~l2 ~l2_off:buffers.out_offset ~height:oh2 ~row_lo:!o0 out;
     let out_bytes = second.L.out_shape.(0) * n * second.L.out_shape.(2) in
     let dout =
       Arch.Memory.transfer_cycles dma ~chunks:second.L.out_shape.(0) ~bytes:out_bytes
     in
+    Resilience.guard rc ~site:Fault.Plan.Dma_out ~cycles:dout ~flip_detected:true ();
     c.Counters.accel_compute <- c.Counters.accel_compute + cc1 + cc2;
     c.Counters.dma_in <- c.Counters.dma_in + din;
     c.Counters.dma_out <- c.Counters.dma_out + dout;
@@ -179,9 +195,10 @@ let run ~platform ~accel ~l2 ~l1 ~buffers ?trace ?(t0 = 0) (t : C.t) =
     o0 := !o0 + t.C.stripe_rows
   done;
   c.Counters.host_overhead <- c.Counters.host_overhead + (2 * accel.Arch.Accel.setup_cycles);
-  c.Counters.wall <- !wall;
+  Resilience.emit_events rc trace ~ts:(t0 + !wall);
   c.Counters.stall <-
     max 0
       (!wall - c.Counters.host_overhead - c.Counters.accel_compute
      - c.Counters.weight_load);
+  c.Counters.wall <- !wall + c.Counters.retry_cycles + c.Counters.fault_stall;
   c

@@ -23,8 +23,13 @@ val run :
   buffers:buffers ->
   ?trace:Trace.t ->
   ?t0:int ->
+  ?faults:Fault.Session.t ->
+  ?retry_budget:int ->
   Dory.Chain.t ->
   Counters.t
 (** When [trace] is given, per-stripe DMA/compute intervals are recorded
-    on the simulated clock starting at cycle [t0].
+    on the simulated clock starting at cycle [t0]. When [faults] is
+    given, the pair's weight load and each stripe's transfers/computes
+    consult the plan exactly as in {!Exec_accel.run}.
+    @raise Fault.Session.Unrecovered past the retry budget.
     @raise Mem.Fault on out-of-bounds plans. *)

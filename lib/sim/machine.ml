@@ -55,7 +55,7 @@ let run_cpu_step ~l2 ~(prog : P.t) ~nodes ~ins ~out =
   | Some v -> write_buffer l2 (P.buffer prog out) v
   | None -> invalid_arg "Machine: empty CPU kernel"
 
-let run ~platform ?trace (prog : P.t) ~inputs =
+let run ~platform ?trace ?faults ?(retry_budget = 3) (prog : P.t) ~inputs =
   (match P.validate prog with
   | Ok () -> ()
   | Error e -> invalid_arg ("Machine: invalid program: " ^ e));
@@ -82,6 +82,13 @@ let run ~platform ?trace (prog : P.t) ~inputs =
   let per_step =
     List.map
       (fun step ->
+        (* Ambient bit rot: once per step and memory, before the step
+           runs, the plan may flip bits in the occupied region or stall
+           the bus. Drawn L2-first for determinism. *)
+        let rot_c = Counters.create () in
+        let rot = Resilience.make ?faults ~retry_budget rot_c in
+        Resilience.mem_rot rot ~site:Fault.Plan.L2 ~mem:l2;
+        Resilience.mem_rot rot ~site:Fault.Plan.L1 ~mem:l1;
         let c =
           match step with
           | P.Accel { accel_name; schedule; ins; out; weights_offset; bias_offset } ->
@@ -96,7 +103,7 @@ let run ~platform ?trace (prog : P.t) ~inputs =
                 }
               in
               Exec_accel.run ~platform ~accel ~l2 ~l1 ~buffers ?trace ~t0:!clock
-                schedule
+                ?faults ~retry_budget schedule
           | P.Cpu { kernel_name; nodes; ins; out; cycles } ->
               run_cpu_step ~l2 ~prog ~nodes ~ins ~out;
               let c = Counters.create () in
@@ -106,6 +113,12 @@ let run ~platform ?trace (prog : P.t) ~inputs =
                 Trace.interval trace ~track:"host" ~ts:!clock ~dur:cycles kernel_name;
               c
         in
+        c.Counters.faults_silent <-
+          c.Counters.faults_silent + rot_c.Counters.faults_silent;
+        c.Counters.fault_stall <-
+          c.Counters.fault_stall + rot_c.Counters.fault_stall;
+        c.Counters.wall <- c.Counters.wall + rot_c.Counters.fault_stall;
+        Resilience.emit_events rot trace ~ts:!clock;
         Counters.add totals c;
         if on then begin
           (* One interval per step on its own track: summed durations here

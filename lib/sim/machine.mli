@@ -18,6 +18,8 @@ val accel_steps_peak : report -> int
 val run :
   platform:Arch.Platform.t ->
   ?trace:Trace.t ->
+  ?faults:Fault.Session.t ->
+  ?retry_budget:int ->
   Program.t ->
   inputs:(string * Tensor.t) list ->
   Tensor.t * report
@@ -27,5 +29,16 @@ val run :
     {!Exec_accel}, and L1/L2 occupancy high-water samples on the ["mem"]
     track. Tracing never changes the computation: outputs and counters
     are bit-identical with and without it.
-    @raise Invalid_argument on missing/mistyped inputs or a malformed
-    program. @raise Mem.Fault on memory corruption (a compiler bug). *)
+
+    When [faults] is given, the run becomes an injection campaign: every
+    DMA transfer, weight load and tile compute consults the plan (see
+    {!Resilience}), and once per step each memory may suffer bit rot in
+    its occupied region. A session backed by {!Fault.Plan.empty} — or
+    omitting [faults] — is a strict no-op: identical outputs, counters
+    and trace events. [retry_budget] (default 3) bounds re-issues per
+    operation.
+    @raise Fault.Session.Unrecovered when a detected fault exhausts the
+    retry budget (the modeled runtime aborts rather than return corrupt
+    data). @raise Invalid_argument on missing/mistyped inputs or a
+    malformed program. @raise Mem.Fault on memory corruption (a compiler
+    bug). *)

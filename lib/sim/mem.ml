@@ -37,7 +37,14 @@ let sign_extend bits v =
 
 let read_elt t (dt : Tensor.Dtype.t) off =
   match dt with
-  | Tensor.Dtype.I8 | Tensor.Dtype.Ternary -> sign_extend 8 (read_byte t off)
+  | Tensor.Dtype.I8 -> sign_extend 8 (read_byte t off)
+  | Tensor.Dtype.Ternary ->
+      (* Ternary occupies a full byte but only {-1,0,1} is valid, so bit
+         rot ([flip_bit]) can leave a byte no fault-free flow ever stores.
+         Fold it back into range deterministically: silent corruption must
+         stay silent, not crash tensor validation on the read path. *)
+      let v = sign_extend 8 (read_byte t off) in
+      if v >= -1 && v <= 1 then v else (((v mod 3) + 3) mod 3) - 1
   | Tensor.Dtype.U7 -> read_byte t off land 0x7F
   | Tensor.Dtype.I16 ->
       check t off 2;
@@ -92,3 +99,11 @@ let read_tensor t off dt shape =
   out
 
 let fill t v = Bytes.fill t.data 0 (Bytes.length t.data) (Char.chr (v land 0xFF))
+
+(* Fault injection's corruption primitive: toggles one bit without moving
+   the high-water mark, so an injected flip is indistinguishable from bit
+   rot in already-occupied storage. *)
+let flip_bit t ~off ~bit =
+  check t off 1;
+  Bytes.set t.data off
+    (Char.chr (Char.code (Bytes.get t.data off) lxor (1 lsl (bit land 7))))

@@ -49,3 +49,8 @@ val read_tensor : t -> int -> Tensor.Dtype.t -> int array -> Tensor.t
 
 val fill : t -> int -> unit
 (** Fill the whole memory with a byte value (tests use a poison pattern). *)
+
+val flip_bit : t -> off:int -> bit:int -> unit
+(** Toggle bit [bit land 7] of the byte at [off] without advancing the
+    high-water mark — the fault injector's corruption primitive.
+    @raise Fault when [off] is out of bounds. *)

@@ -1,0 +1,57 @@
+(** The executors' fault-consultation layer.
+
+    Wraps a {!Fault.Session} with the reliability model the simulator
+    implements (DESIGN.md "Fault model"): DMA and weight-load payloads
+    are checksummed and compute runs under a watchdog, so [Drop]
+    everywhere and [Flip] on transfer sites are {e detected} — the
+    operation is re-issued with exponential back-off, each attempt
+    charging [Session.backoff n + cycles] to [retry_cycles], until the
+    retry budget is exhausted and {!Fault.Session.Unrecovered} aborts
+    the run. [Flip] on compute and memory sites is {e silent}: the
+    [corrupt] callback (or {!mem_rot}'s bit flips) really corrupts the
+    simulated bytes and only [faults_silent] records it.
+
+    Detected faults never mutate memory: payloads commit only once
+    verified, so the caller's functional execution stands for the final
+    successful attempt. Base counters keep fault-free values; callers
+    add [retry_cycles + fault_stall] to their modeled wall. An inactive
+    session (or [?faults:None]) makes every call here a strict no-op. *)
+
+type t
+
+val make : ?faults:Fault.Session.t -> retry_budget:int -> Counters.t -> t
+(** A per-invocation context accounting into the given counters. *)
+
+val guard :
+  t ->
+  site:Fault.Plan.site ->
+  cycles:int ->
+  ?corrupt:(Fault.Session.t -> int -> unit) ->
+  flip_detected:bool ->
+  unit ->
+  unit
+(** Consult the plan for one operation of modeled cost [cycles].
+    [flip_detected] says whether [Flip] is caught by a payload checksum
+    (DMA, weight load) or silently corrupts ([corrupt session bits] is
+    then invoked — default does nothing).
+    @raise Fault.Session.Unrecovered past the retry budget. *)
+
+val mem_rot : t -> site:Fault.Plan.site -> mem:Mem.t -> unit
+(** One L1/L2 bit-rot occurrence: [Flip] toggles random bits inside the
+    occupied region [\[0, high_water)] (silent), [Stall] injects cycles,
+    [Drop] is meaningless on a memory site and ignored. *)
+
+val events : t -> (string * int) list
+(** Chronological [(name, cycles)] log of injected effects — empty when
+    nothing fired. *)
+
+val emit_events : t -> Trace.t option -> ts:int -> unit
+(** Record {!events} as back-to-back intervals on the ["fault"] track
+    starting at [ts]. Emits nothing when tracing is off or no fault
+    fired, preserving the empty-plan trace-identity guarantee. *)
+
+val flip_in_mem :
+  Fault.Session.t -> Mem.t -> base:int -> bytes:int -> int -> unit
+(** [flip_in_mem fs mem ~base ~bytes n] toggles [max 1 n] random bits
+    inside [\[base, base+bytes)] — the building block for [corrupt]
+    callbacks. No-op when [bytes <= 0]. *)

@@ -33,4 +33,5 @@ let () =
          Test_shrink.suites;
          Test_golden.suites;
          Test_size.suites;
+         Test_fault.suites;
        ])

@@ -67,6 +67,7 @@ let test_reproducer_roundtrips () =
   let text =
     Check.reproducer ~seed ~config:cfg ~graph:g
       ~verdict:(Check.Crash { stage = Check.Executing; message = "injected" })
+      ()
   in
   (* The commented preamble must not break the parser, and the graph must
      survive the round trip structurally intact. *)

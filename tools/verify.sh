@@ -20,11 +20,31 @@ HTVM_JOBS=4 dune runtest --force
 echo "== bench smoke: parallel engine on one small model =="
 dune exec bench/main.exe -- parallel-smoke
 
+echo "== bench smoke: resilience (faulty run bit-exact, exact retry cost) =="
+dune exec bench/main.exe -- resilience-smoke
+
 # Differential conformance smoke: compiled artifacts must agree with the
 # reference interpreter over a fixed seed range. Any failure prints a
 # minimized reproducer and exits nonzero.
 echo "== htvmc check smoke (300 seeds) =="
 dune exec bin/htvmc.exe -- check --seeds 300 -j 4
+
+# Chaos smoke: the same fuzz under randomized fault-injection campaigns.
+# Stock plans are recoverable by construction, so any failure verdict
+# (detected_uncorrected, silent_corruption, mismatch, crash) exits
+# nonzero with a minimized reproducer. The campaigns are a pure function
+# of the seed, so the per-class tallies must be identical at any job
+# count — checked by diffing the 1-job and 4-job runs.
+echo "== htvmc chaos smoke (300 seeds, jobs 1 vs 4) =="
+dune exec bin/htvmc.exe -- chaos --seeds 300 -j 1 > _build/chaos-j1.out
+dune exec bin/htvmc.exe -- chaos --seeds 300 -j 4 > _build/chaos-j4.out
+grep -E '^  [a-z]' _build/chaos-j1.out > _build/chaos-tally-j1.txt
+grep -E '^  [a-z]' _build/chaos-j4.out > _build/chaos-tally-j4.txt
+cat _build/chaos-tally-j1.txt
+if ! diff _build/chaos-tally-j1.txt _build/chaos-tally-j4.txt; then
+  echo "verify: chaos tallies differ between jobs 1 and 4" >&2
+  exit 1
+fi
 
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune build @fmt =="
