@@ -18,6 +18,8 @@ let experiments =
     ("parallel-smoke", Parallel.run_smoke);
     ("resilience", Resilience.run);
     ("resilience-smoke", Resilience.run_smoke);
+    ("serve", Serve_bench.run);
+    ("serve-smoke", Serve_bench.run_smoke);
   ]
 
 let () =

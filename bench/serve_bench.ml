@@ -1,0 +1,161 @@
+(* "serve" experiment: the batched serving runtime over a simulated
+   DIANA fleet. Measures throughput scaling with fleet size (closed
+   loop), dispatch-overhead amortization from batching, admission
+   shedding under open-loop Poisson load, and resilience under a fault
+   campaign with degraded-instance routing — and checks the determinism
+   invariant: the per-request tally is byte-identical at every worker
+   count. Dumps BENCH_serve.json. *)
+
+module J = Trace.Json
+
+let out_file = "BENCH_serve.json"
+
+let artifact_and_graph () =
+  let g = (Models.Zoo.find Models.Resnet8.name).Models.Zoo.build Models.Policy.Mixed in
+  let cfg = Htvm.Compile.default_config Arch.Diana.platform in
+  match Htvm.Compile.compile cfg g with
+  | Ok a -> (a, g)
+  | Error e ->
+      Printf.eprintf "serve bench: compile failed: %s\n"
+        (Htvm.Compile.error_to_string e);
+      exit 1
+
+let serve_cfg ~requests ~workers =
+  { Serve.default with Serve.workers; requests; jobs = 1 }
+
+let tally_digest report = Digest.to_hex (Digest.string (Serve.tally report))
+
+let mean_utilization (r : Serve.report) =
+  match r.Serve.r_instances with
+  | [] -> 0.0
+  | is ->
+      List.fold_left (fun acc i -> acc +. i.Serve.i_utilization) 0.0 is
+      /. float_of_int (List.length is)
+
+let run_serve ~requests (worker_counts : int list) =
+  let artifact, g = artifact_and_graph () in
+  Printf.printf "== serve: batched serving on a simulated DIANA fleet ==\n%!";
+  (* Throughput sweep: closed-loop load at increasing fleet sizes. The
+     functional tally must not move. *)
+  let sweep =
+    List.map
+      (fun workers ->
+        let r = Serve.run (serve_cfg ~requests ~workers) artifact ~graph:g in
+        Printf.printf
+          "  workers %d: %7.1f req/s, makespan %d cycles, %.1f%% mean \
+           utilization\n\
+           %!"
+          workers r.Serve.r_throughput_rps r.Serve.r_makespan
+          (100.0 *. mean_utilization r);
+        (workers, r))
+      worker_counts
+  in
+  let digests = List.map (fun (_, r) -> tally_digest r) sweep in
+  let tally_identical =
+    match digests with [] -> true | d :: rest -> List.for_all (( = ) d) rest
+  in
+  let monotone =
+    let rec ok = function
+      | (_, (a : Serve.report)) :: ((_, b) :: _ as rest) ->
+          a.Serve.r_throughput_rps <= b.Serve.r_throughput_rps +. 1e-9 && ok rest
+      | _ -> true
+    in
+    ok sweep
+  in
+  Printf.printf "  tally identical across worker counts: %b\n%!" tally_identical;
+  (* Batching ablation on one instance (so the comparison isolates
+     dispatch cost rather than fleet parallelism): batch 1 pays the
+     overhead per request, the default batch amortizes it. *)
+  let batched = Serve.run (serve_cfg ~requests ~workers:1) artifact ~graph:g in
+  let unbatched =
+    Serve.run
+      { (serve_cfg ~requests ~workers:1) with Serve.max_batch = 1 }
+      artifact ~graph:g
+  in
+  Printf.printf "  batching: makespan %d (batch %d) vs %d (batch 1)\n%!"
+    batched.Serve.r_makespan Serve.default.Serve.max_batch
+    unbatched.Serve.r_makespan;
+  (* Open-loop overload: tight windows + a shallow ingress buffer shed a
+     typed fraction of the stream instead of queueing unboundedly. *)
+  let shed =
+    Serve.run
+      {
+        (serve_cfg ~requests ~workers:2) with
+        Serve.arrival = Serve.Poisson { mean_gap = 0 };
+        queue_depth = 2;
+        max_batch = 2;
+      }
+      artifact ~graph:g
+  in
+  Printf.printf "  overload: %.1f%% shed (%d of %d), %d served\n%!"
+    (100.0 *. shed.Serve.r_shed_rate)
+    shed.Serve.r_rejected requests shed.Serve.r_served;
+  (* Fault campaign: detected DMA flips retried within budget; an
+     instance that accumulates faults leaves the healthy rotation. *)
+  let faulty =
+    match Fault.Plan.of_string "seed=9,dma_in@every=5:flip" with
+    | Ok p -> p
+    | Error e ->
+        Printf.eprintf "serve bench: bad plan: %s\n" e;
+        exit 1
+  in
+  let resilient =
+    Serve.run
+      {
+        (serve_cfg ~requests ~workers:4) with
+        Serve.plan = faulty;
+        retry_budget = 3;
+        degrade_after = Some 16;
+      }
+      artifact ~graph:g
+  in
+  let degraded_count =
+    List.length
+      (List.filter
+         (fun i -> i.Serve.i_degraded_at <> None)
+         resilient.Serve.r_instances)
+  in
+  Printf.printf
+    "  faults: %d served, %d aborted, %d instance(s) degraded mid-run\n%!"
+    resilient.Serve.r_served resilient.Serve.r_aborted degraded_count;
+  let report_json (r : Serve.report) = Serve.to_json r in
+  let doc =
+    J.Obj
+      [
+        ("model", J.Str Models.Resnet8.name);
+        ("platform", J.Str "diana (digital + analog)");
+        ("requests", J.Int requests);
+        ( "workers_sweep",
+          J.Obj
+            (List.map
+               (fun (w, r) -> (string_of_int w, report_json r))
+               sweep) );
+        ("tally_identical", J.Bool tally_identical);
+        ("throughput_monotone", J.Bool monotone);
+        ( "batching",
+          J.Obj
+            [
+              ("batched_makespan", J.Int batched.Serve.r_makespan);
+              ("unbatched_makespan", J.Int unbatched.Serve.r_makespan);
+            ] );
+        ("overload", report_json shed);
+        ("fault_campaign", report_json resilient);
+      ]
+  in
+  let oc = open_out out_file in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" out_file;
+  if not tally_identical then begin
+    Printf.eprintf "serve bench: tally diverged across worker counts\n";
+    exit 1
+  end;
+  if not monotone then
+    (* informational: closed-loop throughput should not fall as the
+       fleet grows, but tiny fleets can tie on batching boundaries *)
+    Printf.printf "  note: throughput not monotone over %s\n%!"
+      (String.concat "," (List.map string_of_int worker_counts))
+
+let run () = run_serve ~requests:64 [ 1; 2; 4; 8 ]
+let run_smoke () = run_serve ~requests:12 [ 1; 4 ]

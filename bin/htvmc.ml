@@ -9,6 +9,7 @@
      check     differential conformance fuzzing with automatic shrinking;
                also records the golden snapshots (--bless)
      chaos     fuzzing under randomized fault-injection campaigns
+     serve     batched inference serving on a fleet of simulated SoCs
 
    Examples:
      htvmc export resnet8 --policy mixed -o resnet8.htvm
@@ -23,7 +24,10 @@
      htvmc check --replay-seed 173
      htvmc check --bless
      htvmc chaos --seeds 300 -j 4
-     htvmc chaos --replay-seed 57 *)
+     htvmc chaos --replay-seed 57
+     htvmc serve resnet8.htvm --config both --workers 4 --batch 8 --requests 64
+     htvmc serve resnet8.htvm --arrival poisson --queue-depth 4 --inject \
+       seed=9,dma_in@every=40:flip --degrade-after 3 *)
 
 open Cmdliner
 
@@ -523,6 +527,66 @@ let chaos seeds start jobs retry_budget replay_seed out max_shrink_checks =
             ~out c.Check.seed c.Check.verdict;
           exit 1)
 
+(* --- serve --- *)
+
+let serve path config jobs workers batch queue_depth requests seed arrival gap
+    window overhead inject faults_file retry_budget degrade_after degraded
+    trace_out json_out tally_out =
+  let g = load_graph path in
+  let jobs = resolve_jobs jobs in
+  let cfg = config_for config (Some jobs) in
+  let artifact = compile_or_die cfg g in
+  let plan =
+    Option.value ~default:Fault.Plan.empty (plan_of_args inject faults_file)
+  in
+  let arrival =
+    match arrival with
+    | "closed" -> Serve.Closed
+    | "poisson" -> Serve.Poisson { mean_gap = gap }
+    | other ->
+        Printf.eprintf "htvmc: unknown arrival process %S (closed|poisson)\n" other;
+        exit 1
+  in
+  let scfg =
+    {
+      Serve.workers;
+      max_batch = batch;
+      queue_depth;
+      requests;
+      seed;
+      arrival;
+      window;
+      dispatch_overhead = overhead;
+      plan;
+      retry_budget;
+      degrade_after;
+      degraded_instances = degraded;
+      jobs;
+    }
+  in
+  let report =
+    match
+      with_trace trace_out (fun trace -> Serve.run ?trace scfg artifact ~graph:g)
+    with
+    | r -> r
+    | exception Invalid_argument msg ->
+        Printf.eprintf "htvmc: %s\n" msg;
+        exit 1
+  in
+  Printf.printf "serving %s on %s x%d\n" path
+    cfg.Htvm.Compile.platform.Arch.Platform.platform_name workers;
+  print_string (Serve.summary report);
+  (match tally_out with
+  | None -> ()
+  | Some p ->
+      write_file p (Serve.tally report);
+      Printf.printf "wrote %s\n" p);
+  match json_out with
+  | None -> ()
+  | Some p ->
+      write_file p (Trace.Json.to_string (Serve.to_json report) ^ "\n");
+      Printf.printf "wrote %s\n" p
+
 (* --- dot --- *)
 
 let dot path config out =
@@ -757,6 +821,88 @@ let chaos_cmd =
     Term.(const chaos $ seeds $ start $ jobs_arg $ retry_budget_arg
           $ replay_seed $ out $ max_shrink_checks)
 
+let serve_cmd =
+  let workers =
+    Arg.(value & opt int Serve.default.Serve.workers
+         & info [ "workers"; "w" ] ~docv:"N"
+             ~doc:"Fleet size: independent simulated SoC instances.")
+  in
+  let batch =
+    Arg.(value & opt int Serve.default.Serve.max_batch
+         & info [ "batch"; "b" ] ~docv:"N" ~doc:"Maximum requests per dispatched batch.")
+  in
+  let queue_depth =
+    Arg.(value & opt int Serve.default.Serve.queue_depth
+         & info [ "queue-depth" ] ~docv:"N"
+             ~doc:"Ingress buffer capacity per dispatch window; requests \
+                   arriving into a full window are shed (poisson mode).")
+  in
+  let requests =
+    Arg.(value & opt int Serve.default.Serve.requests
+         & info [ "requests"; "n" ] ~docv:"N" ~doc:"Synthetic requests to generate.")
+  in
+  let seed =
+    Arg.(value & opt int Serve.default.Serve.seed
+         & info [ "seed" ] ~docv:"S"
+             ~doc:"Seeds the arrival process and every request payload. The \
+                   per-request tally is bit-identical at any $(b,--workers) \
+                   and $(b,--jobs) for a fixed seed.")
+  in
+  let arrival =
+    Arg.(value & opt string "closed"
+         & info [ "arrival" ] ~docv:"MODE"
+             ~doc:"$(b,closed) (saturating backlog, the throughput experiment) \
+                   or $(b,poisson) (open loop with exponential gaps).")
+  in
+  let gap =
+    Arg.(value & opt int 0
+         & info [ "gap" ] ~docv:"CYCLES"
+             ~doc:"Mean Poisson inter-arrival gap in cycles; 0 = auto (half a \
+                   probe request's service time).")
+  in
+  let window =
+    Arg.(value & opt int 0
+         & info [ "window" ] ~docv:"CYCLES"
+             ~doc:"Dispatch window length in cycles (poisson mode); 0 = auto \
+                   (one probe request's service time).")
+  in
+  let overhead =
+    Arg.(value & opt int Serve.default.Serve.dispatch_overhead
+         & info [ "dispatch-overhead" ] ~docv:"CYCLES"
+             ~doc:"Cycles charged once per dispatched batch.")
+  in
+  let degrade_after =
+    Arg.(value & opt (some int) None
+         & info [ "degrade-after" ] ~docv:"N"
+             ~doc:"Route around an instance once the requests it served have \
+                   reported N faults (detected + silent).")
+  in
+  let degraded =
+    Arg.(value & opt_all int []
+         & info [ "degraded" ] ~docv:"ID"
+             ~doc:"Instance id degraded from cycle 0 (repeatable).")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Write the JSON serving report here.")
+  in
+  let tally_out =
+    Arg.(value & opt (some string) None
+         & info [ "tally" ] ~docv:"FILE"
+             ~doc:"Write the canonical per-request tally here (byte-identical \
+                   across worker counts for a fixed seed).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve a seeded synthetic request stream on a fleet of simulated \
+             SoC instances: windowed admission with shedding, batched \
+             dispatch, routing around degraded instances, latency/throughput \
+             aggregation")
+    Term.(const serve $ path_arg $ config_arg $ jobs_arg $ workers $ batch
+          $ queue_depth $ requests $ seed $ arrival $ gap $ window $ overhead
+          $ inject_arg $ faults_file_arg $ retry_budget_arg $ degrade_after
+          $ degraded $ trace_arg $ json_out $ tally_out)
+
 let report_cmd =
   let out =
     Arg.(value & opt (some string) None & info [ "o" ] ~doc:"Write the report here.")
@@ -775,5 +921,5 @@ let () =
           (Cmd.info "htvmc" ~version:"1.0"
              ~doc:"HTVM compiler driver for heterogeneous TinyML platforms")
           [ export_cmd; export_float_cmd; quantize_cmd; inspect_cmd; compile_cmd;
-            run_cmd; profile_cmd; verify_cmd; check_cmd; chaos_cmd; report_cmd;
-            dot_cmd ]))
+            run_cmd; profile_cmd; verify_cmd; check_cmd; chaos_cmd; serve_cmd;
+            report_cmd; dot_cmd ]))

@@ -7,6 +7,14 @@ type node =
 
 type t = { nodes : node array; output : id }
 
+(* Input names become single whitespace-delimited tokens in the textual
+   format (Ir.Text), so a name containing whitespace — or an empty one —
+   would build a graph that cannot be serialized. Rejected here, at
+   construction, rather than discovered at emit time. *)
+let valid_input_name name =
+  String.length name > 0
+  && String.for_all (fun c -> c <> ' ' && c <> '\t' && c <> '\n' && c <> '\r') name
+
 let node t i =
   if i < 0 || i >= Array.length t.nodes then invalid_arg "Graph.node: id out of range";
   t.nodes.(i)
@@ -47,7 +55,12 @@ let validate t =
         if !problem = None then
           match nd with
           | Input { name; _ } ->
-              if Hashtbl.mem seen_names name then
+              if not (valid_input_name name) then
+                problem :=
+                  Some
+                    (Printf.sprintf
+                       "input name %S must be non-empty without whitespace" name)
+              else if Hashtbl.mem seen_names name then
                 problem := Some (Printf.sprintf "duplicate input name %S" name)
               else Hashtbl.add seen_names name ()
           | Const _ -> ()
@@ -94,7 +107,14 @@ module Builder = struct
     b.count <- b.count + 1;
     b.count - 1
 
-  let input b ~name dtype shape = push b (Input { name; dtype; shape = Array.copy shape })
+  let input b ~name dtype shape =
+    if not (valid_input_name name) then
+      invalid_arg
+        (Printf.sprintf
+           "Builder.input: invalid input name %S (must be non-empty without \
+            whitespace)"
+           name);
+    push b (Input { name; dtype; shape = Array.copy shape })
   let const b tensor = push b (Const tensor)
 
   let app b op args =

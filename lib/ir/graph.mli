@@ -15,6 +15,11 @@ type node =
 
 type t
 
+val valid_input_name : string -> bool
+(** Input names must be non-empty and whitespace-free so every buildable
+    graph serializes through {!Ir.Text} (names are single tokens there).
+    Enforced by {!Builder.input} and re-checked by {!validate}. *)
+
 val node : t -> id -> node
 (** @raise Invalid_argument on an out-of-range id. *)
 
@@ -52,6 +57,9 @@ module Builder : sig
   val create : unit -> t
 
   val input : t -> name:string -> Tensor.Dtype.t -> int array -> id
+  (** @raise Invalid_argument when the name fails {!valid_input_name}:
+      such a graph could never be serialized. *)
+
   val const : t -> Tensor.t -> id
 
   val app : t -> Op.t -> id list -> id

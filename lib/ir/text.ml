@@ -47,8 +47,12 @@ let to_string g =
     (fun i ->
       (match Graph.node g i with
       | Graph.Input { name; dtype; shape } ->
-          if String.contains name ' ' then
-            invalid_arg "Text.to_string: input names must not contain spaces";
+          (* Unreachable for builder-made graphs — [Graph.Builder.input]
+             rejects unserializable names at construction — but kept as a
+             guard for any future bypass of the builder. *)
+          if not (Graph.valid_input_name name) then
+            invalid_arg
+              (Printf.sprintf "Text.to_string: unserializable input name %S" name);
           Buffer.add_string buf
             (Printf.sprintf "input %%%d %s %s %s" i name (Dtype.to_string dtype)
                (dims_to_string shape))

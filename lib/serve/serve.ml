@@ -1,0 +1,659 @@
+(* Batched inference serving over a simulated DIANA fleet.
+
+   The runtime is split so its determinism guarantee is structural
+   rather than accidental:
+
+   1. Generation + admission are pure functions of the config seed: the
+      request stream (payload seeds, arrival cycles) comes from one
+      Util.Rng stream, and the per-window ingress cap decides shedding
+      from arrivals alone — never from how fast the fleet drains.
+   2. Execution is a pure function of the request: each request runs on
+      a fresh simulated machine under its own fault session (seed
+      derived from plan seed + request id), fanned out over a Util.Pool
+      whose map is order-preserving. Outputs, service cycles and fault
+      tallies cannot depend on routing, fleet size or host parallelism.
+   3. Scheduling is plain arithmetic over the execution records: batch
+      assembly, earliest-free healthy routing, per-instance clocks,
+      degradation bookkeeping and the trace all happen on the
+      submitting domain. Only this layer sees the worker count, and
+      only serving metrics (throughput, waits, utilization) flow out of
+      it — the functional tally is assembled from layers 1 and 2. *)
+
+module C = Htvm.Compile
+module J = Trace.Json
+
+type arrival = Closed | Poisson of { mean_gap : int }
+
+type config = {
+  workers : int;
+  max_batch : int;
+  queue_depth : int;
+  requests : int;
+  seed : int;
+  arrival : arrival;
+  window : int;
+  dispatch_overhead : int;
+  plan : Fault.Plan.t;
+  retry_budget : int;
+  degrade_after : int option;
+  degraded_instances : int list;
+  jobs : int;
+}
+
+let default =
+  {
+    workers = 4;
+    max_batch = 8;
+    queue_depth = 32;
+    requests = 64;
+    seed = 42;
+    arrival = Closed;
+    window = 0;
+    dispatch_overhead = 1_000;
+    plan = Fault.Plan.empty;
+    retry_budget = 3;
+    degrade_after = None;
+    degraded_instances = [];
+    jobs = 1;
+  }
+
+type request = { r_id : int; r_input_seed : int; r_arrival : int }
+
+type outcome =
+  | Served of {
+      o_instance : int;
+      o_batch : int;
+      o_start : int;
+      o_finish : int;
+      o_service : int;
+      o_wait : int;
+      o_digest : string;
+      o_detected : int;
+      o_silent : int;
+      o_retries : int;
+    }
+  | Rejected of { o_window : int }
+  | Aborted of { o_instance : int; o_batch : int; o_site : string; o_attempts : int }
+
+type percentiles = {
+  p_count : int;
+  p_min : int;
+  p_mean : float;
+  p50 : int;
+  p95 : int;
+  p99 : int;
+  p_max : int;
+}
+
+let percentiles_of xs =
+  match List.sort compare xs with
+  | [] -> { p_count = 0; p_min = 0; p_mean = 0.0; p50 = 0; p95 = 0; p99 = 0; p_max = 0 }
+  | sorted ->
+      let a = Array.of_list sorted in
+      let n = Array.length a in
+      let pick q =
+        (* nearest rank: smallest index covering fraction [q] *)
+        let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+        a.(Util.Ints.clamp ~lo:0 ~hi:(n - 1) (rank - 1))
+      in
+      {
+        p_count = n;
+        p_min = a.(0);
+        p_mean = float_of_int (Array.fold_left ( + ) 0 a) /. float_of_int n;
+        p50 = pick 0.50;
+        p95 = pick 0.95;
+        p99 = pick 0.99;
+        p_max = a.(n - 1);
+      }
+
+type instance_stat = {
+  i_id : int;
+  i_batches : int;
+  i_served : int;
+  i_aborted : int;
+  i_busy : int;
+  i_utilization : float;
+  i_faults : int;
+  i_degraded_at : int option;
+  i_totals : Sim.Counters.t;
+}
+
+type report = {
+  r_config : config;
+  r_window : int;
+  r_mean_gap : int;
+  r_outcomes : (request * outcome) list;
+  r_served : int;
+  r_rejected : int;
+  r_aborted : int;
+  r_shed_rate : float;
+  r_service : percentiles;
+  r_sojourn : percentiles;
+  r_makespan : int;
+  r_throughput_rps : float;
+  r_instances : instance_stat list;
+}
+
+(* --- generation ------------------------------------------------------- *)
+
+(* One exponential inter-arrival gap. The uniform draw is an integer
+   grid point, so the stream is reproducible without trusting float
+   rounding across draws. *)
+let exp_gap rng ~mean =
+  let u = (float_of_int (Util.Rng.int rng 1_000_000) +. 1.0) /. 1_000_001.0 in
+  max 0 (int_of_float (-.float_of_int mean *. log u))
+
+let generate cfg ~mean_gap =
+  let rng = Util.Rng.create cfg.seed in
+  let clock = ref 0 in
+  List.init cfg.requests (fun k ->
+      let input_seed = Util.Rng.int_in rng 1 1_000_000 in
+      let arrival =
+        match cfg.arrival with
+        | Closed -> 0
+        | Poisson _ ->
+            clock := !clock + exp_gap rng ~mean:mean_gap;
+            !clock
+      in
+      { r_id = k; r_input_seed = input_seed; r_arrival = arrival })
+
+(* --- execution -------------------------------------------------------- *)
+
+let digest_tensor t =
+  let b = Buffer.create (16 + (Tensor.numel t * 4)) in
+  Buffer.add_string b (Tensor.Dtype.to_string (Tensor.dtype t));
+  Buffer.add_char b '|';
+  Array.iter
+    (fun d ->
+      Buffer.add_string b (string_of_int d);
+      Buffer.add_char b 'x')
+    (Tensor.shape t);
+  Buffer.add_char b '|';
+  for i = 0 to Tensor.numel t - 1 do
+    Buffer.add_string b (string_of_int (Tensor.get_flat t i));
+    Buffer.add_char b ','
+  done;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* Each request owns an independent fault campaign: same rules, a seed
+   derived from the plan seed and the request id. This is what divorces
+   a request's faults from the instance that happens to serve it. *)
+let request_plan plan r_id =
+  { plan with Fault.Plan.seed = plan.Fault.Plan.seed + ((r_id + 1) * 1_000_003) }
+
+type exec =
+  | Done of {
+      e_digest : string;
+      e_service : int;
+      e_detected : int;
+      e_silent : int;
+      e_retries : int;
+      e_totals : Sim.Counters.t;
+    }
+  | Abort of { a_site : string; a_attempts : int; a_detected : int; a_silent : int }
+
+let execute cfg artifact ~graph (r : request) =
+  let inputs = Models.Zoo.random_input ~seed:r.r_input_seed graph in
+  let session =
+    if Fault.Plan.is_empty cfg.plan then None
+    else Some (Fault.Session.create (request_plan cfg.plan r.r_id))
+  in
+  let fault_stats () =
+    match session with
+    | None -> (0, 0, 0)
+    | Some s ->
+        let st = Fault.Session.stats s in
+        (st.Fault.Session.detected, st.Fault.Session.silent, st.Fault.Session.retries)
+  in
+  match C.run ?faults:session ~retry_budget:cfg.retry_budget artifact ~inputs with
+  | out, report ->
+      let detected, silent, retries = fault_stats () in
+      Done
+        {
+          e_digest = digest_tensor out;
+          e_service = C.full_cycles report;
+          e_detected = detected;
+          e_silent = silent;
+          e_retries = retries;
+          e_totals = report.Sim.Machine.totals;
+        }
+  | exception Fault.Session.Unrecovered { site; attempts } ->
+      let detected, silent, _ = fault_stats () in
+      Abort { a_site = site; a_attempts = attempts; a_detected = detected; a_silent = silent }
+
+(* --- scheduling ------------------------------------------------------- *)
+
+type instance = {
+  id : int;
+  mutable free_at : int;
+  mutable busy : int;
+  mutable served : int;
+  mutable aborted : int;
+  mutable batches : int;
+  mutable faults : int;
+  mutable degraded_at : int option;
+  totals : Sim.Counters.t;
+}
+
+let healthy_at inst t =
+  match inst.degraded_at with None -> true | Some d -> t < d
+
+(* Earliest-free eligible instance, lowest id on ties. Falls open to the
+   whole fleet when every instance is degraded: a fully degraded fleet
+   keeps serving rather than shedding everything. *)
+let route instances t =
+  let eligible = List.filter (fun i -> healthy_at i t) (Array.to_list instances) in
+  let eligible = if eligible = [] then Array.to_list instances else eligible in
+  List.fold_left
+    (fun best i ->
+      if i.free_at < best.free_at then i else best)
+    (List.hd eligible) (List.tl eligible)
+
+(* Split [xs] into consecutive chunks of at most [n]. *)
+let rec chunk n xs =
+  if xs = [] then []
+  else
+    let rec take k acc rest =
+      match rest with
+      | x :: tl when k > 0 -> take (k - 1) (x :: acc) tl
+      | _ -> (List.rev acc, rest)
+    in
+    let head, rest = take n [] xs in
+    head :: chunk n rest
+
+let run ?trace cfg artifact ~graph =
+  if cfg.workers < 1 then invalid_arg "Serve.run: workers must be >= 1";
+  if cfg.max_batch < 1 then invalid_arg "Serve.run: max_batch must be >= 1";
+  if cfg.queue_depth < 1 then invalid_arg "Serve.run: queue_depth must be >= 1";
+  if cfg.requests < 0 then invalid_arg "Serve.run: requests must be >= 0";
+  (* Auto window / gap probe: one fault-free execution of a seed-derived
+     payload. A pure function of (artifact, seed) — independent of the
+     fleet size, so auto values never leak worker count into the
+     arrival process. *)
+  let probe =
+    lazy
+      (let inputs = Models.Zoo.random_input ~seed:cfg.seed graph in
+       let _, rep = C.run artifact ~inputs in
+       max 1 (C.full_cycles rep))
+  in
+  let mean_gap =
+    match cfg.arrival with
+    | Closed -> 0
+    | Poisson { mean_gap } ->
+        if mean_gap > 0 then mean_gap else max 1 (Lazy.force probe / 2)
+  in
+  let window =
+    match cfg.arrival with
+    | Closed -> 0
+    | Poisson _ -> if cfg.window > 0 then cfg.window else Lazy.force probe
+  in
+  let requests = generate cfg ~mean_gap in
+  (* Admission: per dispatch window, the first [queue_depth] arrivals
+     are buffered, the rest shed. Requests are already in arrival order
+     (ids break ties), so one left-to-right scan decides. *)
+  let outcomes = Array.make cfg.requests None in
+  let admitted =
+    match cfg.arrival with
+    | Closed -> List.map (fun r -> (0, r)) requests
+    | Poisson _ ->
+        let in_window = Hashtbl.create 16 in
+        List.filter_map
+          (fun r ->
+            let w = r.r_arrival / window in
+            let n = Option.value ~default:0 (Hashtbl.find_opt in_window w) in
+            if n >= cfg.queue_depth then begin
+              outcomes.(r.r_id) <- Some (Rejected { o_window = w });
+              Trace.interval trace ~track:"serve" ~cat:"serve" ~ts:r.r_arrival
+                ~dur:0
+                ~args:[ ("request", J.Int r.r_id); ("window", J.Int w) ]
+                "shed";
+              None
+            end
+            else begin
+              Hashtbl.replace in_window w (n + 1);
+              Some (w, r)
+            end)
+          requests
+  in
+  (* Execute every admitted request on the pool. Order-preserving map +
+     per-request fault sessions keep this identical at any [jobs]. *)
+  let execs =
+    Util.Pool.with_pool ~jobs:cfg.jobs (fun pool ->
+        Util.Pool.map pool
+          (fun (_, r) -> execute cfg artifact ~graph r)
+          admitted)
+  in
+  let work = List.combine admitted execs in
+  (* Batch assembly: chunk each window's admitted requests. *)
+  let windows =
+    let tbl = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun (((w, _), _) as item) ->
+        if not (Hashtbl.mem tbl w) then begin
+          Hashtbl.add tbl w (ref []);
+          order := w :: !order
+        end;
+        let cell = Hashtbl.find tbl w in
+        cell := item :: !cell)
+      work;
+    List.rev_map (fun w -> (w, List.rev !(Hashtbl.find tbl w))) !order |> List.rev
+  in
+  let batches =
+    List.concat_map
+      (fun (w, items) -> List.map (fun b -> (w, b)) (chunk cfg.max_batch items))
+      windows
+  in
+  let instances =
+    Array.init cfg.workers (fun id ->
+        {
+          id;
+          free_at = 0;
+          busy = 0;
+          served = 0;
+          aborted = 0;
+          batches = 0;
+          faults = 0;
+          degraded_at =
+            (if List.mem id cfg.degraded_instances then Some 0 else None);
+          totals = Sim.Counters.create ();
+        })
+  in
+  List.iteri
+    (fun batch_idx (w, items) ->
+      let dispatch_t =
+        match cfg.arrival with
+        | Closed ->
+            (* backlog model: the router hands out the next batch as soon
+               as any instance frees *)
+            Array.fold_left (fun acc i -> min acc i.free_at) max_int instances
+        | Poisson _ -> (w + 1) * window
+      in
+      let inst = route instances dispatch_t in
+      let start = max dispatch_t inst.free_at in
+      let cursor = ref (start + cfg.dispatch_overhead) in
+      List.iter
+        (fun ((_, r), exec) ->
+          match exec with
+          | Done e ->
+              outcomes.(r.r_id) <-
+                Some
+                  (Served
+                     {
+                       o_instance = inst.id;
+                       o_batch = batch_idx;
+                       o_start = !cursor;
+                       o_finish = !cursor + e.e_service;
+                       o_service = e.e_service;
+                       o_wait = !cursor - r.r_arrival;
+                       o_digest = e.e_digest;
+                       o_detected = e.e_detected;
+                       o_silent = e.e_silent;
+                       o_retries = e.e_retries;
+                     });
+              cursor := !cursor + e.e_service;
+              inst.served <- inst.served + 1;
+              inst.faults <- inst.faults + e.e_detected + e.e_silent;
+              Sim.Counters.add inst.totals e.e_totals
+          | Abort a ->
+              outcomes.(r.r_id) <-
+                Some
+                  (Aborted
+                     {
+                       o_instance = inst.id;
+                       o_batch = batch_idx;
+                       o_site = a.a_site;
+                       o_attempts = a.a_attempts;
+                     });
+              inst.aborted <- inst.aborted + 1;
+              inst.faults <- inst.faults + a.a_detected + a.a_silent)
+        items;
+      let finish = !cursor in
+      Trace.interval trace
+        ~track:(Printf.sprintf "instance %d" inst.id)
+        ~cat:"serve" ~ts:start ~dur:(finish - start)
+        ~args:
+          [
+            ("batch", J.Int batch_idx);
+            ("window", J.Int w);
+            ("requests", J.Int (List.length items));
+          ]
+        (Printf.sprintf "batch %d (%d req)" batch_idx (List.length items));
+      inst.free_at <- finish;
+      inst.busy <- inst.busy + (finish - start);
+      inst.batches <- inst.batches + 1;
+      (match (cfg.degrade_after, inst.degraded_at) with
+      | Some threshold, None when inst.faults >= threshold ->
+          inst.degraded_at <- Some finish;
+          Trace.interval trace
+            ~track:(Printf.sprintf "instance %d" inst.id)
+            ~cat:"serve" ~ts:finish ~dur:0
+            ~args:[ ("faults", J.Int inst.faults) ]
+            "degraded"
+      | _ -> ()))
+    batches;
+  (* --- aggregation --- *)
+  let outcomes =
+    List.map
+      (fun r ->
+        match outcomes.(r.r_id) with
+        | Some o -> (r, o)
+        | None -> assert false (* every request is admitted, shed or aborted *))
+      requests
+  in
+  let service_list =
+    List.filter_map
+      (function _, Served { o_service; _ } -> Some o_service | _ -> None)
+      outcomes
+  in
+  let sojourn_list =
+    List.filter_map
+      (function
+        | r, Served { o_finish; _ } -> Some (o_finish - r.r_arrival) | _ -> None)
+      outcomes
+  in
+  let served = List.length service_list in
+  let rejected =
+    List.length (List.filter (function _, Rejected _ -> true | _ -> false) outcomes)
+  in
+  let aborted =
+    List.length (List.filter (function _, Aborted _ -> true | _ -> false) outcomes)
+  in
+  let makespan = Array.fold_left (fun acc i -> max acc i.free_at) 0 instances in
+  let freq_hz =
+    float_of_int artifact.C.cfg.C.platform.Arch.Platform.freq_mhz *. 1.0e6
+  in
+  let throughput =
+    if makespan = 0 then 0.0
+    else float_of_int served /. (float_of_int makespan /. freq_hz)
+  in
+  {
+    r_config = cfg;
+    r_window = window;
+    r_mean_gap = mean_gap;
+    r_outcomes = outcomes;
+    r_served = served;
+    r_rejected = rejected;
+    r_aborted = aborted;
+    r_shed_rate =
+      (if cfg.requests = 0 then 0.0
+       else float_of_int rejected /. float_of_int cfg.requests);
+    r_service = percentiles_of service_list;
+    r_sojourn = percentiles_of sojourn_list;
+    r_makespan = makespan;
+    r_throughput_rps = throughput;
+    r_instances =
+      Array.to_list
+        (Array.map
+           (fun i ->
+             {
+               i_id = i.id;
+               i_batches = i.batches;
+               i_served = i.served;
+               i_aborted = i.aborted;
+               i_busy = i.busy;
+               i_utilization =
+                 (if makespan = 0 then 0.0
+                  else float_of_int i.busy /. float_of_int makespan);
+               i_faults = i.faults;
+               i_degraded_at = i.degraded_at;
+               i_totals = i.totals;
+             })
+           instances);
+  }
+
+(* --- rendering -------------------------------------------------------- *)
+
+let arrival_to_string report =
+  match report.r_config.arrival with
+  | Closed -> "closed"
+  | Poisson _ -> Printf.sprintf "poisson gap %d" report.r_mean_gap
+
+let pp_percentiles buf label p =
+  Buffer.add_string buf
+    (Printf.sprintf "%s count=%d min=%d mean=%.3f p50=%d p95=%d p99=%d max=%d\n"
+       label p.p_count p.p_min p.p_mean p.p50 p.p95 p.p99 p.p_max)
+
+(* The functional ledger: everything here is a pure function of the
+   config seed (and the artifact), never of workers or jobs. Instance
+   assignments, waits, makespan and throughput are deliberately absent. *)
+let tally r =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "htvm-serve-tally v1\n";
+  Buffer.add_string buf
+    (Printf.sprintf "seed %d requests %d arrival %s batch %d queue-depth %d window %d\n"
+       r.r_config.seed r.r_config.requests (arrival_to_string r)
+       r.r_config.max_batch r.r_config.queue_depth r.r_window);
+  Buffer.add_string buf
+    (Printf.sprintf "plan %s retry-budget %d\n"
+       (Fault.Plan.to_string r.r_config.plan)
+       r.r_config.retry_budget);
+  List.iter
+    (fun (req, o) ->
+      Buffer.add_string buf
+        (match o with
+        | Served s ->
+            Printf.sprintf "req %d served digest=%s service=%d faults=%d/%d retries=%d\n"
+              req.r_id s.o_digest s.o_service s.o_detected s.o_silent s.o_retries
+        | Rejected { o_window } ->
+            Printf.sprintf "req %d rejected window=%d\n" req.r_id o_window
+        | Aborted a ->
+            Printf.sprintf "req %d aborted site=%s attempts=%d\n" req.r_id a.o_site
+              a.o_attempts))
+    r.r_outcomes;
+  Buffer.add_string buf
+    (Printf.sprintf "outcomes served=%d rejected=%d aborted=%d\n" r.r_served
+       r.r_rejected r.r_aborted);
+  pp_percentiles buf "service" r.r_service;
+  Buffer.contents buf
+
+let summary r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "served %d/%d requests (%d shed, %d aborted) on %d instance(s), %d \
+        batch(es)\n"
+       r.r_served r.r_config.requests r.r_rejected r.r_aborted r.r_config.workers
+       (List.fold_left (fun acc i -> acc + i.i_batches) 0 r.r_instances));
+  Buffer.add_string buf
+    (Printf.sprintf "makespan %d cycles, throughput %.1f req/s, shed rate %.1f%%\n"
+       r.r_makespan r.r_throughput_rps (100.0 *. r.r_shed_rate));
+  pp_percentiles buf "service latency (cycles)" r.r_service;
+  pp_percentiles buf "sojourn latency (cycles)" r.r_sojourn;
+  List.iter
+    (fun i ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "instance %d: %d batch(es), %d served, %d aborted, busy %d cycles \
+            (%.1f%% utilization), %d fault(s)%s\n"
+           i.i_id i.i_batches i.i_served i.i_aborted i.i_busy
+           (100.0 *. i.i_utilization) i.i_faults
+           (match i.i_degraded_at with
+           | None -> ""
+           | Some 0 -> ", degraded from start"
+           | Some t -> Printf.sprintf ", degraded at cycle %d" t)))
+    r.r_instances;
+  Buffer.contents buf
+
+let percentiles_json p =
+  J.Obj
+    [
+      ("count", J.Int p.p_count);
+      ("min", J.Int p.p_min);
+      ("mean", J.Float p.p_mean);
+      ("p50", J.Int p.p50);
+      ("p95", J.Int p.p95);
+      ("p99", J.Int p.p99);
+      ("max", J.Int p.p_max);
+    ]
+
+let to_json r =
+  let outcome_json (req, o) =
+    let base = [ ("id", J.Int req.r_id); ("arrival", J.Int req.r_arrival) ] in
+    J.Obj
+      (base
+      @
+      match o with
+      | Served s ->
+          [
+            ("outcome", J.Str "served");
+            ("instance", J.Int s.o_instance);
+            ("batch", J.Int s.o_batch);
+            ("start", J.Int s.o_start);
+            ("finish", J.Int s.o_finish);
+            ("service_cycles", J.Int s.o_service);
+            ("wait_cycles", J.Int s.o_wait);
+            ("digest", J.Str s.o_digest);
+            ("faults_detected", J.Int s.o_detected);
+            ("faults_silent", J.Int s.o_silent);
+            ("retries", J.Int s.o_retries);
+          ]
+      | Rejected { o_window } ->
+          [ ("outcome", J.Str "rejected"); ("window", J.Int o_window) ]
+      | Aborted a ->
+          [
+            ("outcome", J.Str "aborted");
+            ("instance", J.Int a.o_instance);
+            ("batch", J.Int a.o_batch);
+            ("site", J.Str a.o_site);
+            ("attempts", J.Int a.o_attempts);
+          ])
+  in
+  let instance_json i =
+    J.Obj
+      [
+        ("id", J.Int i.i_id);
+        ("batches", J.Int i.i_batches);
+        ("served", J.Int i.i_served);
+        ("aborted", J.Int i.i_aborted);
+        ("busy_cycles", J.Int i.i_busy);
+        ("utilization", J.Float i.i_utilization);
+        ("faults", J.Int i.i_faults);
+        ( "degraded_at",
+          match i.i_degraded_at with None -> J.Null | Some t -> J.Int t );
+        ("dma_bytes_in", J.Int i.i_totals.Sim.Counters.dma_bytes_in);
+        ("dma_bytes_out", J.Int i.i_totals.Sim.Counters.dma_bytes_out);
+      ]
+  in
+  J.Obj
+    [
+      ("seed", J.Int r.r_config.seed);
+      ("requests", J.Int r.r_config.requests);
+      ("workers", J.Int r.r_config.workers);
+      ("max_batch", J.Int r.r_config.max_batch);
+      ("queue_depth", J.Int r.r_config.queue_depth);
+      ("arrival", J.Str (arrival_to_string r));
+      ("window_cycles", J.Int r.r_window);
+      ("dispatch_overhead_cycles", J.Int r.r_config.dispatch_overhead);
+      ("plan", J.Str (Fault.Plan.to_string r.r_config.plan));
+      ("served", J.Int r.r_served);
+      ("rejected", J.Int r.r_rejected);
+      ("aborted", J.Int r.r_aborted);
+      ("shed_rate", J.Float r.r_shed_rate);
+      ("service_cycles", percentiles_json r.r_service);
+      ("sojourn_cycles", percentiles_json r.r_sojourn);
+      ("makespan_cycles", J.Int r.r_makespan);
+      ("throughput_rps", J.Float r.r_throughput_rps);
+      ("instances", J.List (List.map instance_json r.r_instances));
+      ("outcomes", J.List (List.map outcome_json r.r_outcomes));
+    ]

@@ -1,0 +1,185 @@
+(** Batched inference serving over a simulated DIANA fleet.
+
+    A {!run} loads one compiled {!Htvm.Compile.artifact} and drives a
+    fleet of [workers] independent simulated SoC instances through a
+    seeded synthetic request stream. The serving loop is a discrete-event
+    simulation in {e simulated cycles}:
+
+    - {b Arrivals.} Requests carry a per-request input seed and an
+      arrival time, both drawn from one {!Util.Rng} stream seeded by
+      [seed]. {!Closed} is the saturating load generator (every request
+      backlogged at cycle 0, the standard throughput experiment);
+      {!Poisson} is the open-loop experiment with exponential
+      inter-arrival gaps.
+    - {b Admission.} In Poisson mode the ingress buffer holds at most
+      [queue_depth] requests per dispatch window; requests arriving into
+      a full window are shed with a typed {!Rejected} outcome. Admission
+      is a pure function of the arrival stream, so the shed set does not
+      depend on the fleet size. Closed mode never sheds (the generator
+      only offers what it wants served).
+    - {b Batching.} Each window's admitted requests are chunked into
+      batches of at most [max_batch]; a batch costs one
+      [dispatch_overhead] on top of its requests' service cycles, so
+      batching amortizes dispatch cost at the price of queueing delay.
+    - {b Routing.} A batch goes to the earliest-free instance that is
+      healthy at dispatch time (lowest id on ties). Instances whose
+      fault sessions have reported at least [degrade_after] faults are
+      marked degraded at the completion cycle of the offending batch and
+      routed around from then on; if every instance is degraded the
+      router fails open and keeps dispatching (degraded beats down).
+    - {b Execution.} Every request runs on a fresh simulated machine
+      (its own memories and counters) under its {e own} fault session —
+      the campaign seed is derived from the plan seed and the request
+      id — so a request's output digest, service cycles and fault
+      tallies are a pure function of the request, never of which
+      instance served it or how many instances exist.
+
+    The functional {!tally} (per-request outcomes + the service-latency
+    histogram) is therefore byte-identical for a fixed [seed] at any
+    [workers] and any [jobs] — the serving-layer analogue of the
+    compilation engine's jobs-invariance — while throughput, queueing
+    delay and per-instance utilization legitimately improve with fleet
+    size and are reported separately. *)
+
+type arrival =
+  | Closed
+      (** Saturating backlog: all requests available at cycle 0, no
+          shedding. The throughput experiment. *)
+  | Poisson of { mean_gap : int }
+      (** Open loop with exponential inter-arrival gaps of the given
+          mean (cycles); [mean_gap <= 0] means auto: half a probe
+          request's service time, i.e. roughly 2x one instance's
+          capacity. *)
+
+type config = {
+  workers : int;  (** fleet size: independent simulated SoC instances *)
+  max_batch : int;  (** requests per dispatch batch *)
+  queue_depth : int;  (** ingress buffer capacity per dispatch window *)
+  requests : int;  (** synthetic requests to generate *)
+  seed : int;  (** seeds the arrival process and every request payload *)
+  arrival : arrival;
+  window : int;
+      (** dispatch window length in cycles (Poisson mode only);
+          [<= 0] means auto: one probe request's service time *)
+  dispatch_overhead : int;  (** cycles charged once per dispatched batch *)
+  plan : Fault.Plan.t;
+      (** fault campaign; {!Fault.Plan.empty} disables injection. Each
+          request draws from a session seeded by [plan.seed] and the
+          request id. *)
+  retry_budget : int;  (** per-operation retries before a request aborts *)
+  degrade_after : int option;
+      (** mark an instance degraded once the fault sessions of the
+          requests it served have reported this many faults (detected +
+          silent); [None] = never *)
+  degraded_instances : int list;
+      (** instance ids degraded from cycle 0 (a health monitor's prior) *)
+  jobs : int;
+      (** host worker domains driving the fleet's request executions;
+          purely a wall-clock knob — results are bit-identical at any
+          value *)
+}
+
+val default : config
+(** [workers = 4], [max_batch = 8], [queue_depth = 32], [requests = 64],
+    [seed = 42], closed-loop arrivals, auto window, 1000-cycle dispatch
+    overhead, no faults, retry budget 3, no degradation, [jobs = 1]. *)
+
+type request = {
+  r_id : int;
+  r_input_seed : int;  (** seeds {!Models.Zoo.random_input} *)
+  r_arrival : int;  (** arrival cycle *)
+}
+
+type outcome =
+  | Served of {
+      o_instance : int;  (** who served it (worker-count dependent) *)
+      o_batch : int;  (** global batch index *)
+      o_start : int;  (** cycle its own service began *)
+      o_finish : int;  (** completion cycle *)
+      o_service : int;  (** simulated inference cycles (worker-invariant) *)
+      o_wait : int;  (** [o_start - r_arrival]: queueing + batching delay *)
+      o_digest : string;  (** output-tensor digest (worker-invariant) *)
+      o_detected : int;  (** detected faults during this request *)
+      o_silent : int;  (** silent corruptions during this request *)
+      o_retries : int;
+    }
+  | Rejected of { o_window : int }
+      (** shed at admission: the window's ingress buffer was full *)
+  | Aborted of {
+      o_instance : int;
+      o_batch : int;
+      o_site : string;  (** failing fault site *)
+      o_attempts : int;  (** attempts made, including the original *)
+    }  (** a detected fault exhausted [retry_budget]; the modeled runtime
+          returned an error rather than corrupt data *)
+
+type percentiles = {
+  p_count : int;
+  p_min : int;
+  p_mean : float;
+  p50 : int;
+  p95 : int;
+  p99 : int;
+  p_max : int;
+}
+
+val percentiles_of : int list -> percentiles
+(** Nearest-rank percentiles; all-zero for the empty list. *)
+
+type instance_stat = {
+  i_id : int;
+  i_batches : int;
+  i_served : int;
+  i_aborted : int;
+  i_busy : int;  (** cycles spent executing batches *)
+  i_utilization : float;  (** [i_busy] / makespan *)
+  i_faults : int;  (** detected + silent faults over its requests *)
+  i_degraded_at : int option;  (** cycle it left the healthy rotation *)
+  i_totals : Sim.Counters.t;  (** summed counters of its served requests *)
+}
+
+type report = {
+  r_config : config;
+  r_window : int;  (** resolved dispatch window (after auto-probing) *)
+  r_mean_gap : int;  (** resolved Poisson gap; 0 in closed mode *)
+  r_outcomes : (request * outcome) list;  (** in request order *)
+  r_served : int;
+  r_rejected : int;
+  r_aborted : int;
+  r_shed_rate : float;  (** rejected / requests *)
+  r_service : percentiles;  (** per-request inference cycles (invariant) *)
+  r_sojourn : percentiles;
+      (** arrival-to-completion cycles (improves with fleet size) *)
+  r_makespan : int;  (** last completion cycle *)
+  r_throughput_rps : float;
+      (** served requests per second of simulated time at the platform
+          clock *)
+  r_instances : instance_stat list;
+}
+
+val run :
+  ?trace:Trace.t -> config -> Htvm.Compile.artifact -> graph:Ir.Graph.t -> report
+(** Serve the configured request stream on a fleet of fresh instances.
+    [graph] is the model the artifact was compiled from (it shapes the
+    synthetic inputs). When [trace] is given, every dispatched batch is
+    recorded as an interval on a per-instance track ([instance 0],
+    [instance 1], ...) plus shed events on the [serve] track.
+    @raise Invalid_argument on a non-positive [workers], [max_batch],
+    [queue_depth] or negative [requests]. *)
+
+val tally : report -> string
+(** The canonical functional ledger: one line per request (outcome,
+    output digest, service cycles, fault counts) plus the
+    service-latency histogram and outcome totals. Contains no
+    instance assignments, waits or throughput — for a fixed [seed] it is
+    byte-identical at any [workers] and [jobs], which `tools/verify.sh`
+    enforces by diffing runs. *)
+
+val summary : report -> string
+(** Human-readable digest: throughput, latency percentiles, shed rate,
+    per-instance utilization. *)
+
+val to_json : report -> Trace.Json.t
+(** Machine-readable report: everything in {!report}, including the
+    worker-dependent serving metrics ([htvmc serve --json] and
+    [BENCH_serve.json]). *)

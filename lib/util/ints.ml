@@ -1,4 +1,11 @@
+(* [(a + b - 1) / b] truncates toward zero, so a negative [a] would
+   silently yield a floor-division result (e.g. [ceil_div (-1) 4 = 0],
+   not the "round away from zero" a caller might expect). Every call
+   site in this codebase divides a size, a dimension or a byte count —
+   all non-negative — so negative numerators are rejected outright
+   rather than given a surprising answer. *)
 let ceil_div a b =
+  assert (a >= 0);
   assert (b > 0);
   (a + b - 1) / b
 

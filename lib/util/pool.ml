@@ -34,6 +34,24 @@ type t = {
 
 let jobs t = t.pool_jobs
 
+(* Sequential map honouring the pool's exception contract: every task
+   runs to completion even when an earlier one raised, and the exception
+   of the lowest-indexed failing task is re-raised afterwards (with its
+   backtrace). Plain [List.map] would abandon the tail on the first
+   raise, so the [jobs = 1] and single-task paths go through here. *)
+let map_seq f xs =
+  let results =
+    List.map
+      (fun x ->
+        match f x with
+        | v -> Ok v
+        | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+      xs
+  in
+  List.map
+    (function Ok v -> v | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+    results
+
 (* Pull tasks until the batch's index is exhausted; whoever completes the
    last task wakes the submitter. *)
 let drain sh b =
@@ -107,11 +125,11 @@ let with_pool ~jobs f =
 
 let map t f xs =
   match t.shared with
-  | None -> List.map f xs
+  | None -> map_seq f xs
   | Some sh ->
       let input = Array.of_list xs in
       let n = Array.length input in
-      if n <= 1 then List.map f xs
+      if n <= 1 then map_seq f xs
       else begin
         ensure_spawned t sh;
         let results = Array.make n None in
@@ -156,7 +174,14 @@ let parse_jobs s =
   | Some n -> Error (Printf.sprintf "job count must be >= 1 (got %d)" n)
   | None -> Error (Printf.sprintf "job count must be a positive integer (got %S)" s)
 
+(* An empty HTVM_JOBS counts as unset (the conventional way to clear an
+   environment variable from a shell that cannot unset); anything else
+   malformed fails loudly — a silently ignored job count and a rejected
+   --jobs flag must not coexist. *)
 let jobs_from_env ?(default = 1) () =
   match Sys.getenv_opt "HTVM_JOBS" with
-  | None -> default
-  | Some s -> ( match parse_jobs s with Ok n -> n | Error _ -> default)
+  | None | Some "" -> default
+  | Some s -> (
+      match parse_jobs s with
+      | Ok n -> n
+      | Error msg -> invalid_arg ("HTVM_JOBS: " ^ msg))

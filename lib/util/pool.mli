@@ -41,7 +41,11 @@ val available : unit -> int
 (** The runtime's recommended domain count for this machine. *)
 
 val jobs_from_env : ?default:int -> unit -> int
-(** [HTVM_JOBS] when set to a positive integer, [default] (1) otherwise. *)
+(** [HTVM_JOBS] when set to a positive integer; [default] (1) when the
+    variable is unset or empty.
+    @raise Invalid_argument on a malformed, zero or negative value, with
+    the same diagnosis {!parse_jobs} gives a rejected [--jobs] flag — a
+    bad environment variable must fail as loudly as a bad flag. *)
 
 val parse_jobs : string -> (int, string) result
 (** Validate a user-supplied job count: positive integers only;

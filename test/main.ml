@@ -34,4 +34,5 @@ let () =
          Test_golden.suites;
          Test_size.suites;
          Test_fault.suites;
+         Test_serve.suites;
        ])

@@ -42,6 +42,82 @@ let test_exception_is_lowest_index () =
       (* every non-failing task still ran to completion *)
       Alcotest.(check int) "all other tasks completed" 8 (Atomic.get completed))
 
+(* The serve workload shape: one batch, several raising tasks. The
+   documented contract — remaining tasks still complete, lowest-indexed
+   exception wins — must hold at jobs = 1 (the sequential path used to
+   abandon the tail at the first raise) exactly as at jobs = 4. *)
+let test_exception_contract_jobs_1_vs_4 () =
+  List.iter
+    (fun jobs ->
+      Util.Pool.with_pool ~jobs (fun p ->
+          let completed = Atomic.make 0 in
+          let raised =
+            try
+              ignore
+                (Util.Pool.map p
+                   (fun i ->
+                     if i mod 3 = 1 then raise (Boom i)
+                     else begin
+                       Atomic.incr completed;
+                       i
+                     end)
+                   (List.init 9 (fun i -> i)));
+              None
+            with Boom i -> Some i
+          in
+          Alcotest.(check (option int))
+            (Printf.sprintf "jobs=%d: lowest failing index" jobs)
+            (Some 1) raised;
+          Alcotest.(check int)
+            (Printf.sprintf "jobs=%d: remaining tasks completed" jobs)
+            6 (Atomic.get completed)))
+    [ 1; 4 ];
+  (* Single-task batches bypass the worker fan-out even on a multi-job
+     pool; the contract still applies. *)
+  Util.Pool.with_pool ~jobs:4 (fun p ->
+      match Util.Pool.map p (fun i -> raise (Boom i)) [ 5 ] with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom 5 -> ())
+
+(* HTVM_JOBS handling: valid values parse, unset/empty fall back to the
+   default, and malformed values fail loudly with parse_jobs's message —
+   the same diagnosis a rejected --jobs flag gets. *)
+let with_jobs_env value f =
+  let old = Sys.getenv_opt "HTVM_JOBS" in
+  Unix.putenv "HTVM_JOBS" value;
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "HTVM_JOBS" (Option.value old ~default:""))
+    f
+
+let test_jobs_from_env_valid () =
+  with_jobs_env "3" (fun () ->
+      Alcotest.(check int) "3 parses" 3 (Util.Pool.jobs_from_env ()));
+  with_jobs_env " 2 " (fun () ->
+      Alcotest.(check int) "padded parses" 2 (Util.Pool.jobs_from_env ()));
+  with_jobs_env "" (fun () ->
+      Alcotest.(check int) "empty = unset" 5 (Util.Pool.jobs_from_env ~default:5 ()))
+
+let test_jobs_from_env_rejects_malformed () =
+  let expect_invalid value =
+    with_jobs_env value (fun () ->
+        match Util.Pool.jobs_from_env () with
+        | n -> Alcotest.failf "HTVM_JOBS=%S silently yielded %d" value n
+        | exception Invalid_argument msg ->
+            (* The env path carries the flag path's diagnosis verbatim. *)
+            let flag_msg =
+              match Util.Pool.parse_jobs value with
+              | Error m -> m
+              | Ok n -> Alcotest.failf "parse_jobs accepted %S as %d" value n
+            in
+            Alcotest.(check string)
+              (Printf.sprintf "HTVM_JOBS=%S message" value)
+              ("HTVM_JOBS: " ^ flag_msg) msg)
+  in
+  expect_invalid "0";
+  expect_invalid "-3";
+  expect_invalid "four";
+  expect_invalid "2.5"
+
 let test_reuse_across_batches () =
   Util.Pool.with_pool ~jobs:3 (fun p ->
       for round = 1 to 5 do
@@ -89,6 +165,11 @@ let suites =
       [ Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
         Alcotest.test_case "jobs=1 is List.map" `Quick test_jobs1_is_list_map;
         Alcotest.test_case "lowest-index exception" `Quick test_exception_is_lowest_index;
+        Alcotest.test_case "exception contract jobs 1 vs 4" `Quick
+          test_exception_contract_jobs_1_vs_4;
+        Alcotest.test_case "HTVM_JOBS valid/unset" `Quick test_jobs_from_env_valid;
+        Alcotest.test_case "HTVM_JOBS malformed fails loudly" `Quick
+          test_jobs_from_env_rejects_malformed;
         Alcotest.test_case "reuse across batches" `Quick test_reuse_across_batches;
         Alcotest.test_case "iter runs everything" `Quick test_iter_runs_everything;
         Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;

@@ -1,0 +1,270 @@
+(* The batched serving runtime: determinism of the functional tally
+   across fleet sizes and host parallelism, batching arithmetic,
+   admission shedding, degraded-instance routing, abort handling under
+   exhausted retry budgets, and the percentile helper. *)
+
+module B = Ir.Graph.Builder
+module Dtype = Tensor.Dtype
+
+(* One small digital conv model, compiled once: serving tests need many
+   simulated inferences, not a big network. *)
+let fixture =
+  lazy
+    (let g =
+       let b = B.create () in
+       let rng = Util.Rng.create 8 in
+       let x = B.input b ~name:"x" Dtype.I8 [| 4; 8; 8 |] in
+       let w = B.const b (Tensor.random rng Dtype.I8 [| 8; 4; 3; 3 |]) in
+       let conv = B.conv2d b ~padding:(1, 1) x ~weights:w in
+       let q = B.requantize b ~relu:true ~shift:9 ~out_dtype:Dtype.I8 conv in
+       B.finish b ~output:q
+     in
+     let artifact =
+       Result.get_ok
+         (Htvm.Compile.compile (Htvm.Compile.default_config Arch.Diana.digital_only) g)
+     in
+     (artifact, g))
+
+let serve ?(cfg = Serve.default) () =
+  let artifact, g = Lazy.force fixture in
+  Serve.run cfg artifact ~graph:g
+
+(* Probability rules fit per-request fault sessions: each request's
+   session reseeds, so occurrence-counted [every=] rules would restart
+   counting at every request; [p=] draws fire regardless. *)
+let flip_plan = Result.get_ok (Fault.Plan.of_string "seed=3,dma_in@p=0.4:flip")
+
+let base = { Serve.default with Serve.requests = 12; max_batch = 3 }
+
+(* The headline invariant: the functional tally (outcomes, digests,
+   service cycles, fault counts) is byte-identical at any worker count
+   and any host job count — fleet size only moves scheduling metrics. *)
+let test_tally_worker_invariant () =
+  let run workers jobs cfg =
+    Serve.tally (serve ~cfg:{ cfg with Serve.workers; jobs } ())
+  in
+  let sweep cfg name =
+    let reference = run 1 1 cfg in
+    List.iter
+      (fun (w, j) ->
+        Alcotest.(check string)
+          (Printf.sprintf "%s: workers %d jobs %d" name w j)
+          reference (run w j cfg))
+      [ (1, 4); (2, 1); (4, 1); (4, 4); (7, 2) ]
+  in
+  sweep base "closed";
+  sweep
+    { base with Serve.arrival = Serve.Poisson { mean_gap = 0 }; queue_depth = 2 }
+    "poisson+shed";
+  sweep
+    { base with Serve.plan = flip_plan; retry_budget = 2; degrade_after = Some 2 }
+    "faulty+degrading"
+
+(* Scheduling metrics are allowed — required — to move with the fleet:
+   a 4-instance closed-loop run finishes strictly earlier than 1. *)
+let test_throughput_scales () =
+  let r1 = serve ~cfg:{ base with Serve.workers = 1; max_batch = 1 } () in
+  let r4 = serve ~cfg:{ base with Serve.workers = 4; max_batch = 1 } () in
+  Alcotest.(check bool) "makespan shrinks" true
+    (r4.Serve.r_makespan < r1.Serve.r_makespan);
+  Alcotest.(check bool) "throughput grows" true
+    (r4.Serve.r_throughput_rps > r1.Serve.r_throughput_rps)
+
+(* Batching arithmetic on one instance: every batch costs the dispatch
+   overhead exactly once, so batch size b saves (n - ceil(n/b)) * overhead
+   over unbatched dispatch. *)
+let test_batching_amortizes_overhead () =
+  let cfg b =
+    { base with Serve.workers = 1; max_batch = b; dispatch_overhead = 1_000 }
+  in
+  let batched = serve ~cfg:(cfg 3) () in
+  let unbatched = serve ~cfg:(cfg 1) () in
+  let batches r =
+    List.fold_left (fun acc i -> acc + i.Serve.i_batches) 0 r.Serve.r_instances
+  in
+  Alcotest.(check int) "ceil(12/3) batches" 4 (batches batched);
+  Alcotest.(check int) "12 singleton batches" 12 (batches unbatched);
+  Alcotest.(check int) "gap = saved dispatches"
+    ((12 - 4) * 1_000)
+    (unbatched.Serve.r_makespan - batched.Serve.r_makespan)
+
+(* Closed mode never sheds; an overloaded Poisson window sheds a typed
+   Rejected outcome and the books still balance. *)
+let test_admission_shedding () =
+  let closed = serve ~cfg:base () in
+  Alcotest.(check int) "closed mode never sheds" 0 closed.Serve.r_rejected;
+  let r =
+    serve
+      ~cfg:
+        {
+          base with
+          Serve.workers = 2;
+          arrival = Serve.Poisson { mean_gap = 0 };
+          queue_depth = 1;
+        }
+      ()
+  in
+  Alcotest.(check bool) "overload sheds" true (r.Serve.r_rejected > 0);
+  Alcotest.(check int) "books balance" r.Serve.r_config.Serve.requests
+    (r.Serve.r_served + r.Serve.r_rejected + r.Serve.r_aborted);
+  Alcotest.(check bool) "shed rate matches" true
+    (Float.abs
+       (r.Serve.r_shed_rate
+       -. (float_of_int r.Serve.r_rejected /. float_of_int 12))
+    < 1e-9);
+  List.iter
+    (fun (req, o) ->
+      match o with
+      | Serve.Rejected { o_window } ->
+          Alcotest.(check int) "rejected in its arrival window"
+            (req.Serve.r_arrival / r.Serve.r_window)
+            o_window
+      | _ -> ())
+    r.Serve.r_outcomes
+
+(* A statically degraded instance serves nothing while any healthy peer
+   exists; an all-degraded fleet fails open and keeps serving. *)
+let test_degraded_routing () =
+  let r =
+    serve ~cfg:{ base with Serve.workers = 2; degraded_instances = [ 0 ] } ()
+  in
+  let stat id = List.nth r.Serve.r_instances id in
+  Alcotest.(check int) "instance 0 routed around" 0 (stat 0).Serve.i_batches;
+  Alcotest.(check int) "instance 1 took everything" 12 (stat 1).Serve.i_served;
+  Alcotest.(check int) "all served" 12 r.Serve.r_served;
+  let fail_open =
+    serve ~cfg:{ base with Serve.workers = 2; degraded_instances = [ 0; 1 ] } ()
+  in
+  Alcotest.(check int) "fail-open still serves" 12 fail_open.Serve.r_served
+
+(* Accumulated faults push an instance out of the rotation mid-run. *)
+let test_degrade_after_faults () =
+  let r =
+    serve
+      ~cfg:
+        {
+          base with
+          Serve.workers = 2;
+          plan = flip_plan;
+          retry_budget = 5;
+          degrade_after = Some 1;
+        }
+      ()
+  in
+  let degraded =
+    List.filter (fun i -> i.Serve.i_degraded_at <> None) r.Serve.r_instances
+  in
+  Alcotest.(check bool) "at least one instance degraded" true (degraded <> []);
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "instance %d degraded only after faults" i.Serve.i_id)
+        true
+        (i.Serve.i_faults >= 1))
+    degraded;
+  Alcotest.(check bool) "most requests survive via retries" true
+    (r.Serve.r_served > 0);
+  Alcotest.(check int) "books balance" 12 (r.Serve.r_served + r.Serve.r_aborted)
+
+(* A zero retry budget turns every detected fault into a typed abort:
+   the modeled runtime returns an error, never corrupt data. *)
+let test_abort_on_exhausted_retries () =
+  let r =
+    serve
+      ~cfg:
+        {
+          base with
+          Serve.plan =
+            Result.get_ok (Fault.Plan.of_string "seed=3,dma_in@every=1:flip");
+          retry_budget = 0;
+        }
+      ()
+  in
+  Alcotest.(check int) "every request aborts" 12 r.Serve.r_aborted;
+  Alcotest.(check int) "none served" 0 r.Serve.r_served;
+  List.iter
+    (fun (_, o) ->
+      match o with
+      | Serve.Aborted { o_site; o_attempts; _ } ->
+          Alcotest.(check string) "failing site" "dma_in" o_site;
+          Alcotest.(check int) "one attempt" 1 o_attempts
+      | _ -> Alcotest.fail "expected an aborted outcome")
+    r.Serve.r_outcomes
+
+(* Served requests carry the digest of the simulated output, which must
+   match running the artifact directly on the same payload. *)
+let test_digest_matches_direct_run () =
+  let artifact, g = Lazy.force fixture in
+  let r = serve ~cfg:{ base with Serve.requests = 3 } () in
+  List.iter
+    (fun (req, o) ->
+      match o with
+      | Serve.Served { o_digest; o_service; _ } ->
+          let inputs = Models.Zoo.random_input ~seed:req.Serve.r_input_seed g in
+          let _, rep = Htvm.Compile.run artifact ~inputs in
+          Alcotest.(check int)
+            "service cycles = a dedicated machine's cycles"
+            (Htvm.Compile.full_cycles rep)
+            o_service;
+          Alcotest.(check bool) "digest well-formed" true
+            (String.length o_digest = 32)
+      | _ -> Alcotest.fail "expected served")
+    r.Serve.r_outcomes
+
+let test_percentiles () =
+  let p = Serve.percentiles_of [] in
+  Alcotest.(check int) "empty count" 0 p.Serve.p_count;
+  Alcotest.(check int) "empty max" 0 p.Serve.p_max;
+  let p = Serve.percentiles_of [ 5 ] in
+  Alcotest.(check int) "singleton p99" 5 p.Serve.p99;
+  let p = Serve.percentiles_of (List.init 100 (fun i -> 100 - i)) in
+  Alcotest.(check int) "min" 1 p.Serve.p_min;
+  Alcotest.(check int) "p50" 50 p.Serve.p50;
+  Alcotest.(check int) "p95" 95 p.Serve.p95;
+  Alcotest.(check int) "p99" 99 p.Serve.p99;
+  Alcotest.(check int) "max" 100 p.Serve.p_max;
+  Alcotest.(check (float 1e-9)) "mean" 50.5 p.Serve.p_mean
+
+let test_rejects_bad_config () =
+  let expect field cfg =
+    match serve ~cfg () with
+    | _ -> Alcotest.failf "%s accepted" field
+    | exception Invalid_argument _ -> ()
+  in
+  expect "workers 0" { base with Serve.workers = 0 };
+  expect "max_batch 0" { base with Serve.max_batch = 0 };
+  expect "queue_depth 0" { base with Serve.queue_depth = 0 };
+  expect "requests -1" { base with Serve.requests = -1 }
+
+(* The report renderers agree with the outcome list they render. *)
+let test_report_renderings () =
+  let r = serve ~cfg:base () in
+  let tally = Serve.tally r in
+  Alcotest.(check bool) "tally has one line per request + header/footer" true
+    (List.length (String.split_on_char '\n' (String.trim tally)) = 12 + 5);
+  let json = Trace.Json.to_string (Serve.to_json r) in
+  Alcotest.(check bool) "json mentions outcomes" true
+    (Helpers.contains json "\"outcomes\":");
+  Alcotest.(check bool) "summary mentions throughput" true
+    (Helpers.contains (Serve.summary r) "throughput")
+
+let suites =
+  [ ( "serve",
+      [ Alcotest.test_case "tally invariant over workers/jobs" `Quick
+          test_tally_worker_invariant;
+        Alcotest.test_case "throughput scales with fleet" `Quick
+          test_throughput_scales;
+        Alcotest.test_case "batching amortizes dispatch" `Quick
+          test_batching_amortizes_overhead;
+        Alcotest.test_case "admission shedding" `Quick test_admission_shedding;
+        Alcotest.test_case "degraded routing" `Quick test_degraded_routing;
+        Alcotest.test_case "degrade after faults" `Quick test_degrade_after_faults;
+        Alcotest.test_case "abort on exhausted retries" `Quick
+          test_abort_on_exhausted_retries;
+        Alcotest.test_case "digests match direct runs" `Quick
+          test_digest_matches_direct_run;
+        Alcotest.test_case "percentiles" `Quick test_percentiles;
+        Alcotest.test_case "rejects bad config" `Quick test_rejects_bad_config;
+        Alcotest.test_case "report renderings" `Quick test_report_renderings;
+      ] )
+  ]

@@ -86,6 +86,72 @@ let test_missing_file () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "expected error for missing file"
 
+(* Names that would break the single-token textual encoding are rejected
+   when the graph is built — an in-memory graph can no longer be
+   unserializable — and the validator catches the same defect in parsed
+   or hand-assembled graphs. *)
+let test_input_name_validation () =
+  let expect_invalid name =
+    let b = B.create () in
+    match B.input b ~name Dtype.I8 [| 1 |] with
+    | _ -> Alcotest.failf "name %S accepted by the builder" name
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "a b";
+  expect_invalid " lead";
+  expect_invalid "trail ";
+  expect_invalid "tab\tname";
+  expect_invalid "line\nname";
+  expect_invalid "";
+  (* Space-adjacent characters stay legal: underscores, dots, colons,
+     dashes — everything that stays one token. *)
+  List.iter
+    (fun name ->
+      let b = B.create () in
+      let x = B.input b ~name Dtype.I8 [| 2 |] in
+      let g = B.finish b ~output:x in
+      Alcotest.(check bool)
+        (Printf.sprintf "%S validates" name)
+        true
+        (Result.is_ok (Ir.Graph.validate g));
+      ignore (roundtrip g))
+    [ "a_b"; "serving_default:0"; "x-y.z"; "_" ];
+  (* The parser reports (not raises) the same defect: an empty name token. *)
+  match Ir.Text.of_string "htvm-graph v1\ninput %0  i8 4\noutput %0\n" with
+  | Ok _ -> Alcotest.fail "parser accepted an empty input name"
+  | Error _ -> ()
+
+(* Round trip over the space-adjacent corners called out in the issue:
+   token-legal names, rank-0 ("scalar") shapes, and negative int8
+   payload bytes (sign-extension through the hex codec). The printed
+   form itself must be a fixpoint. *)
+let prop_roundtrip_names_scalars_negatives =
+  let gen =
+    let open QCheck.Gen in
+    let name_char =
+      oneof [ char_range 'a' 'z'; oneofl [ '_'; '.'; ':'; '-'; '0'; '9' ] ]
+    in
+    let name = map (fun cs -> String.concat "" (List.map (String.make 1) cs))
+        (list_size (int_range 1 8) name_char)
+    in
+    triple name (int_range (-128) (-1)) bool
+  in
+  Helpers.qtest ~count:60 "round-trip: names, scalar shapes, negative int8"
+    (QCheck.make gen)
+    (fun (name, neg, scalar_input) ->
+      let b = B.create () in
+      let x =
+        B.input b ~name Dtype.I8 (if scalar_input then [||] else [| 2; 2 |])
+      in
+      let c = B.const b (Tensor.scalar Dtype.I8 neg) in
+      let sum = B.add b x c in
+      let g = B.finish b ~output:(if scalar_input then c else sum) in
+      ignore x;
+      let printed = Ir.Text.to_string g in
+      match Ir.Text.of_string printed with
+      | Error _ -> false
+      | Ok g' -> Ir.Text.to_string g' = printed)
+
 let prop_roundtrip_random_graphs =
   Helpers.qtest ~count:40 "text round-trip preserves semantics"
     QCheck.(int_range 0 10_000)
@@ -105,6 +171,8 @@ let suites =
         Alcotest.test_case "save/load file" `Quick test_save_load_file;
         Alcotest.test_case "parser diagnostics" `Quick test_parser_diagnostics;
         Alcotest.test_case "missing file" `Quick test_missing_file;
+        Alcotest.test_case "input name validation" `Quick test_input_name_validation;
+        prop_roundtrip_names_scalars_negatives;
         prop_roundtrip_random_graphs;
       ] )
   ]

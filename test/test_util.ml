@@ -53,6 +53,25 @@ let test_round_up () =
   Alcotest.(check int) "16 to 16" 16 (Util.Ints.round_up 16 16);
   Alcotest.(check int) "0 to 16" 0 (Util.Ints.round_up 0 16)
 
+let expect_assert name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Assert_failure" name
+  | exception Assert_failure _ -> ()
+
+let test_ceil_div_round_up_boundaries () =
+  (* Exact boundaries around zero: the smallest legal numerator. *)
+  Alcotest.(check int) "0/1" 0 (Util.Ints.ceil_div 0 1);
+  Alcotest.(check int) "0 up to 1" 0 (Util.Ints.round_up 0 1);
+  Alcotest.(check int) "1/1" 1 (Util.Ints.ceil_div 1 1);
+  Alcotest.(check int) "1 up to 8" 8 (Util.Ints.round_up 1 8);
+  (* Negative numerators used to truncate toward zero silently
+     (ceil_div (-1) 4 was 0, round_up (-3) 8 was 0); now asserted. *)
+  expect_assert "ceil_div -1 4" (fun () -> Util.Ints.ceil_div (-1) 4);
+  expect_assert "ceil_div min_int" (fun () -> Util.Ints.ceil_div min_int 4);
+  expect_assert "round_up -3 8" (fun () -> Util.Ints.round_up (-3) 8);
+  expect_assert "ceil_div by 0" (fun () -> Util.Ints.ceil_div 4 0);
+  expect_assert "ceil_div by -2" (fun () -> Util.Ints.ceil_div 4 (-2))
+
 let test_clamp () =
   Alcotest.(check int) "below" (-3) (Util.Ints.clamp ~lo:(-3) ~hi:9 (-100));
   Alcotest.(check int) "above" 9 (Util.Ints.clamp ~lo:(-3) ~hi:9 100);
@@ -143,6 +162,8 @@ let suites =
         Alcotest.test_case "rng ternary distribution" `Quick test_rng_ternary_distribution;
         Alcotest.test_case "ceil_div" `Quick test_ceil_div;
         Alcotest.test_case "round_up" `Quick test_round_up;
+        Alcotest.test_case "ceil_div/round_up boundaries" `Quick
+          test_ceil_div_round_up_boundaries;
         Alcotest.test_case "clamp" `Quick test_clamp;
         Alcotest.test_case "pow2/log2" `Quick test_pow2_log2;
         Alcotest.test_case "divisors" `Quick test_divisors;

@@ -23,6 +23,23 @@ dune exec bench/main.exe -- parallel-smoke
 echo "== bench smoke: resilience (faulty run bit-exact, exact retry cost) =="
 dune exec bench/main.exe -- resilience-smoke
 
+echo "== bench smoke: serve (fleet throughput, tally invariance) =="
+dune exec bench/main.exe -- serve-smoke
+
+# Serving smoke: the per-request tally of `htvmc serve` is a pure
+# function of the seed — byte-identical at any fleet size and any host
+# job count. Diff a 1-worker and a 4-worker run of the same stream.
+echo "== htvmc serve smoke (workers 1 vs 4) =="
+dune exec bin/htvmc.exe -- export resnet8 --policy mixed -o _build/serve-smoke.htvm
+dune exec bin/htvmc.exe -- serve _build/serve-smoke.htvm --config both \
+  --workers 1 --requests 16 --batch 4 --tally _build/serve-tally-w1.txt
+dune exec bin/htvmc.exe -- serve _build/serve-smoke.htvm --config both \
+  --workers 4 -j 4 --requests 16 --batch 4 --tally _build/serve-tally-w4.txt
+if ! diff _build/serve-tally-w1.txt _build/serve-tally-w4.txt; then
+  echo "verify: serve tallies differ between workers 1 and 4" >&2
+  exit 1
+fi
+
 # Differential conformance smoke: compiled artifacts must agree with the
 # reference interpreter over a fixed seed range. Any failure prints a
 # minimized reproducer and exits nonzero.
