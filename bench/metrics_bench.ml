@@ -1,0 +1,145 @@
+(* "metrics" experiment: cost and determinism of the telemetry pipeline.
+   Measures raw instrument throughput (counter/histogram/series ops per
+   second), the null-sink overhead of compiling with a metrics registry
+   attached versus without (must be ~zero: recording is a few integer
+   stores per phase), and re-checks the headline contract in-process:
+   the cycles section of a serve dump is byte-identical across fleet
+   shapes and host parallelism. Dumps BENCH_metrics.json; exits nonzero
+   when the determinism check or the overhead bound fails. *)
+
+module J = Trace.Json
+module M = Metrics
+
+let out_file = "BENCH_metrics.json"
+
+let time_s f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let median l =
+  let a = List.sort compare l in
+  List.nth a (List.length a / 2)
+
+(* Raw instrument cost: ops/s on a hot counter, histogram and series.
+   These sit on the serving loop's per-request path, so they must stay
+   cheap enough to be unconditional. *)
+let instrument_rates ~ops =
+  let t = M.create () in
+  let c = M.counter t "bench_total" in
+  let h = M.histogram t ~buckets:[ 10; 100; 1_000; 10_000 ] "bench_lat" in
+  let s = M.series t ~columns:[ "a"; "b" ] "bench_win" in
+  let rate name f =
+    let (), dt = time_s f in
+    let r = float_of_int ops /. Float.max dt 1e-9 in
+    Printf.printf "  %-10s %10.0f ops/s\n%!" name r;
+    (name, r)
+  in
+  let counter = rate "counter" (fun () -> for _ = 1 to ops do M.inc c 1 done) in
+  let hist = rate "histogram" (fun () -> for i = 1 to ops do M.observe h i done) in
+  let ser =
+    rate "series" (fun () ->
+        for i = 1 to ops do M.sample s ~ts:i [ 1.0; 2.0 ] done)
+  in
+  [ counter; hist; ser ]
+
+let compile_once ~with_metrics g cfg =
+  let metrics = if with_metrics then Some (M.create ()) else None in
+  match Htvm.Compile.compile ?metrics cfg g with
+  | Ok _ -> ()
+  | Error e ->
+      Printf.eprintf "metrics bench: compile failed: %s\n"
+        (Htvm.Compile.error_to_string e);
+      exit 1
+
+let run_metrics ~requests ~reps ~ops () =
+  Printf.printf "== metrics: telemetry cost and determinism ==\n%!";
+  let rates = instrument_rates ~ops in
+  (* Null-sink overhead: the same compile with and without a registry
+     attached. The bound is deliberately lenient (2x + 10ms) — the point
+     is catching an accidentally quadratic recording path, not
+     micro-benchmarking the host. *)
+  let g =
+    (Models.Zoo.find Models.Resnet8.name).Models.Zoo.build Models.Policy.Mixed
+  in
+  let cfg = Htvm.Compile.default_config Arch.Diana.platform in
+  let sample with_metrics =
+    List.init reps (fun _ ->
+        snd (time_s (fun () -> compile_once ~with_metrics g cfg)))
+  in
+  ignore (sample false);
+  (* warm the caches once *)
+  let without = median (sample false) in
+  let with_m = median (sample true) in
+  let overhead_ok = with_m <= (without *. 2.0) +. 0.01 in
+  Printf.printf
+    "  compile: %.4fs bare, %.4fs with metrics (overhead %+.1f%%, bound ok: %b)\n%!"
+    without with_m
+    (100.0 *. ((with_m -. without) /. Float.max without 1e-9))
+    overhead_ok;
+  (* Determinism: the serve dump's cycles section across fleet shapes,
+     SLO accounting included — the same check tools/verify.sh runs on
+     the CLI dumps, here without the process boundary. *)
+  let artifact =
+    match Htvm.Compile.compile cfg g with
+    | Ok a -> a
+    | Error e ->
+        Printf.eprintf "metrics bench: compile failed: %s\n"
+          (Htvm.Compile.error_to_string e);
+        exit 1
+  in
+  let dump workers jobs =
+    let scfg =
+      {
+        Serve.default with
+        Serve.workers;
+        jobs;
+        requests;
+        max_batch = 3;
+        arrival = Serve.Poisson { mean_gap = 0 };
+        queue_depth = 4;
+        slo_sojourn = Some 2_000_000;
+      }
+    in
+    let r = Serve.run scfg artifact ~graph:g in
+    M.cycles_section (M.to_prometheus r.Serve.r_metrics)
+  in
+  let reference = dump 1 1 in
+  let shapes = [ (1, 4); (4, 1); (4, 4) ] in
+  let cycles_identical =
+    List.for_all (fun (w, j) -> dump w j = reference) shapes
+  in
+  Printf.printf "  cycles section identical across %s: %b\n%!"
+    (String.concat ", "
+       (List.map (fun (w, j) -> Printf.sprintf "w%d/j%d" w j) shapes))
+    cycles_identical;
+  let doc =
+    J.Obj
+      [
+        ("model", J.Str Models.Resnet8.name);
+        ("requests", J.Int requests);
+        ("instrument_ops", J.Int ops);
+        ( "instrument_rates_per_s",
+          J.Obj (List.map (fun (n, r) -> (n, J.Float r)) rates) );
+        ("compile_bare_s", J.Float without);
+        ("compile_with_metrics_s", J.Float with_m);
+        ("overhead_ok", J.Bool overhead_ok);
+        ("cycles_identical", J.Bool cycles_identical);
+      ]
+  in
+  let oc = open_out out_file in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" out_file;
+  if not cycles_identical then begin
+    Printf.eprintf "metrics bench: cycles section diverged across shapes\n";
+    exit 1
+  end;
+  if not overhead_ok then begin
+    Printf.eprintf "metrics bench: metrics overhead exceeded the bound\n";
+    exit 1
+  end
+
+let run () = run_metrics ~requests:32 ~reps:5 ~ops:1_000_000 ()
+let run_smoke () = run_metrics ~requests:12 ~reps:3 ~ops:100_000 ()

@@ -65,8 +65,8 @@ let resolve_jobs = function
 let config_for name jobs =
   { (config_of_name name) with Htvm.Compile.jobs = resolve_jobs jobs }
 
-let compile_or_die ?trace cfg g =
-  match Htvm.Compile.compile ?trace cfg g with
+let compile_or_die ?trace ?metrics cfg g =
+  match Htvm.Compile.compile ?trace ?metrics cfg g with
   | Ok a -> a
   | Error e ->
       Printf.eprintf "htvmc: compilation failed: %s\n" (Htvm.Compile.error_to_string e);
@@ -77,6 +77,50 @@ let write_file path contents =
   with Sys_error e ->
     Printf.eprintf "htvmc: cannot write %s\n" e;
     exit 1
+
+(* --- metrics plumbing --- *)
+
+let metrics_format_of fmt =
+  match Metrics.format_of_string fmt with
+  | Ok f -> f
+  | Error e ->
+      Printf.eprintf "htvmc: %s\n" e;
+      exit 1
+
+(* A registry is only allocated when --metrics names a file, so runs
+   without the flag skip instrumentation entirely (the null sink). *)
+let metrics_registry metrics_out =
+  Option.map (fun _ -> Metrics.create ()) metrics_out
+
+let write_metrics metrics_out fmt snapshot =
+  match metrics_out with
+  | None -> ()
+  | Some path ->
+      write_file path (Metrics.render (metrics_format_of fmt) snapshot);
+      Printf.printf "wrote %s (%d metrics)\n" path (List.length snapshot)
+
+(* Per-request simulator counters and fault-session stats, exported via
+   the canonical field enumerations. *)
+let export_sim_metrics reg (totals : Sim.Counters.t) session =
+  List.iter
+    (fun (name, v) ->
+      Metrics.inc
+        (Metrics.counter reg
+           ~help:("Simulator counter " ^ name ^ ".")
+           ("htvm_sim_" ^ name ^ "_total"))
+        v)
+    (Sim.Counters.fields totals);
+  match session with
+  | None -> ()
+  | Some s ->
+      List.iter
+        (fun (name, v) ->
+          Metrics.inc
+            (Metrics.counter reg
+               ~help:("Fault-session stat " ^ name ^ ".")
+               ("htvm_fault_" ^ name ^ "_total"))
+            v)
+        (Fault.Session.stats_fields (Fault.Session.stats s))
 
 (* When --trace names a file, collect events and write Chrome trace-event
    JSON there on exit (load it at https://ui.perfetto.dev). *)
@@ -202,13 +246,15 @@ let compile path config jobs emit_c trace_out =
 
 (* --- run --- *)
 
-let run path config jobs seed trace_out inject faults_file retry_budget degrade =
+let run path config jobs seed trace_out inject faults_file retry_budget degrade
+    metrics_out metrics_format =
   let g = load_graph path in
   let cfg = degrade_config (config_for config jobs) degrade in
   let session = Option.map Fault.Session.create (plan_of_args inject faults_file) in
+  let reg = metrics_registry metrics_out in
   match
     with_trace trace_out (fun trace ->
-        let artifact = compile_or_die ?trace cfg g in
+        let artifact = compile_or_die ?trace ?metrics:reg cfg g in
         print_demotions artifact;
         let inputs = Models.Zoo.random_input ~seed g in
         Htvm.Compile.run ?trace ?faults:session ~retry_budget artifact ~inputs)
@@ -231,7 +277,12 @@ let run path config jobs seed trace_out inject faults_file retry_budget degrade 
     (Htvm.Compile.latency_ms cfg full)
     (Htvm.Compile.latency_ms cfg peak)
     cfg.Htvm.Compile.platform.Arch.Platform.freq_mhz full;
-  Printf.printf "output: %s\n" (Tensor.to_string out)
+  Printf.printf "output: %s\n" (Tensor.to_string out);
+  match reg with
+  | None -> ()
+  | Some reg ->
+      export_sim_metrics reg report.Sim.Machine.totals session;
+      write_metrics metrics_out metrics_format (Metrics.snapshot reg)
 
 (* --- report --- *)
 
@@ -253,12 +304,13 @@ let report path config jobs out json =
 (* --- profile --- *)
 
 let profile path config jobs seed trace_out json_out inject faults_file
-    retry_budget degrade =
+    retry_budget degrade metrics_out metrics_format =
   let g = load_graph path in
   let cfg = degrade_config (config_for config jobs) degrade in
   let session = Option.map Fault.Session.create (plan_of_args inject faults_file) in
+  let reg = metrics_registry metrics_out in
   let trace = Trace.create () in
-  let artifact = compile_or_die ~trace cfg g in
+  let artifact = compile_or_die ~trace ?metrics:reg cfg g in
   print_demotions artifact;
   let inputs = Models.Zoo.random_input ~seed g in
   let out, report =
@@ -308,6 +360,11 @@ let profile path config jobs seed trace_out json_out inject faults_file
   | Some p ->
       write_file p (Trace.to_chrome_json trace);
       Printf.printf "wrote %s (open in https://ui.perfetto.dev)\n" p);
+  (match reg with
+  | None -> ()
+  | Some reg ->
+      export_sim_metrics reg totals session;
+      write_metrics metrics_out metrics_format (Metrics.snapshot reg));
   match json_out with
   | None -> ()
   | Some p ->
@@ -482,7 +539,8 @@ let shrink_and_write_chaos ~max_checks ~retry_budget ~out seed verdict =
   Printf.printf "wrote %s (fault plan embedded) — minimized verdict: %s\n" out
     (Check.describe verdict)
 
-let chaos seeds start jobs retry_budget replay_seed out max_shrink_checks =
+let chaos seeds start jobs retry_budget replay_seed out max_shrink_checks
+    metrics_out metrics_format =
   match replay_seed with
   | Some seed ->
       Printf.printf "seed %d: plan %s\n" seed
@@ -511,6 +569,23 @@ let chaos seeds start jobs retry_budget replay_seed out max_shrink_checks =
       List.iter
         (fun (cls, n) -> Printf.printf "  %-24s %d\n" cls n)
         (Check.tally cases);
+      (match metrics_registry metrics_out with
+      | None -> ()
+      | Some reg ->
+          Metrics.inc
+            (Metrics.counter reg ~help:"Chaos campaigns run."
+               "htvm_chaos_campaigns_total")
+            seeds;
+          List.iter
+            (fun (cls, n) ->
+              Metrics.inc
+                (Metrics.counter reg
+                   ~labels:[ ("class", cls) ]
+                   ~help:"Chaos campaign verdicts by class."
+                   "htvm_chaos_verdicts_total")
+                n)
+            (Check.tally cases);
+          write_metrics metrics_out metrics_format (Metrics.snapshot reg));
       let failures =
         List.filter (fun c -> Check.is_failure c.Check.verdict) cases
       in
@@ -531,11 +606,15 @@ let chaos seeds start jobs retry_budget replay_seed out max_shrink_checks =
 
 let serve path config jobs workers batch queue_depth requests seed arrival gap
     window overhead inject faults_file retry_budget degrade_after degraded
-    trace_out json_out tally_out =
+    slo_sojourn trace_out json_out tally_out metrics_out metrics_format =
   let g = load_graph path in
   let jobs = resolve_jobs jobs in
   let cfg = config_for config (Some jobs) in
-  let artifact = compile_or_die cfg g in
+  (* One registry spans compile and serve, so a single --metrics dump
+     carries the wall-clock compile phases alongside the cycle-domain
+     serving telemetry (in separate tracks). *)
+  let reg = metrics_registry metrics_out in
+  let artifact = compile_or_die ?metrics:reg cfg g in
   let plan =
     Option.value ~default:Fault.Plan.empty (plan_of_args inject faults_file)
   in
@@ -562,11 +641,13 @@ let serve path config jobs workers batch queue_depth requests seed arrival gap
       degrade_after;
       degraded_instances = degraded;
       jobs;
+      slo_sojourn;
     }
   in
   let report =
     match
-      with_trace trace_out (fun trace -> Serve.run ?trace scfg artifact ~graph:g)
+      with_trace trace_out (fun trace ->
+          Serve.run ?trace ?metrics:reg scfg artifact ~graph:g)
     with
     | r -> r
     | exception Invalid_argument msg ->
@@ -576,6 +657,7 @@ let serve path config jobs workers batch queue_depth requests seed arrival gap
   Printf.printf "serving %s on %s x%d\n" path
     cfg.Htvm.Compile.platform.Arch.Platform.platform_name workers;
   print_string (Serve.summary report);
+  write_metrics metrics_out metrics_format report.Serve.r_metrics;
   (match tally_out with
   | None -> ()
   | Some p ->
@@ -654,6 +736,19 @@ let jobs_arg =
                  then to the machine's available domain count. Compilation \
                  results are bit-identical at every job count.")
 
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write a metrics dump here (counters, gauges, histograms, \
+                 per-window series). Cycle-domain metrics are byte-identical \
+                 at any $(b,--workers)/$(b,--jobs); host wall-clock gauges \
+                 live in a separate track rendered last.")
+let metrics_format_arg =
+  Arg.(value & opt string "prom"
+       & info [ "metrics-format" ] ~docv:"FMT"
+           ~doc:"Metrics dump format: $(b,prom) (Prometheus text), \
+                 $(b,json) or $(b,csv).")
+
 let inject_arg =
   Arg.(value & opt (some string) None
        & info [ "inject" ] ~docv:"SPEC"
@@ -700,7 +795,8 @@ let run_cmd =
   let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Input seed.") in
   Cmd.v (Cmd.info "run" ~doc:"Compile and simulate a model")
     Term.(const run $ path_arg $ config_arg $ jobs_arg $ seed $ trace_arg
-          $ inject_arg $ faults_file_arg $ retry_budget_arg $ degrade_arg)
+          $ inject_arg $ faults_file_arg $ retry_budget_arg $ degrade_arg
+          $ metrics_arg $ metrics_format_arg)
 
 let profile_cmd =
   let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Input seed.") in
@@ -713,7 +809,7 @@ let profile_cmd =
        ~doc:"Compile and simulate with tracing on; print a profile summary")
     Term.(const profile $ path_arg $ config_arg $ jobs_arg $ seed $ trace_arg
           $ json_out $ inject_arg $ faults_file_arg $ retry_budget_arg
-          $ degrade_arg)
+          $ degrade_arg $ metrics_arg $ metrics_format_arg)
 
 let dot_cmd =
   let out = Arg.(value & opt (some string) None & info [ "o" ] ~doc:"Write DOT here.") in
@@ -819,7 +915,8 @@ let chaos_cmd =
              detected-uncorrected or silent-corruption verdict fails and is \
              shrunk to a replayable reproducer")
     Term.(const chaos $ seeds $ start $ jobs_arg $ retry_budget_arg
-          $ replay_seed $ out $ max_shrink_checks)
+          $ replay_seed $ out $ max_shrink_checks $ metrics_arg
+          $ metrics_format_arg)
 
 let serve_cmd =
   let workers =
@@ -882,6 +979,15 @@ let serve_cmd =
          & info [ "degraded" ] ~docv:"ID"
              ~doc:"Instance id degraded from cycle 0 (repeatable).")
   in
+  let slo_sojourn =
+    Arg.(value & opt (some int) None
+         & info [ "slo-sojourn" ] ~docv:"CYCLES"
+             ~doc:"Sojourn (arrival-to-completion) SLO target in cycles. \
+                   Violations are counted against the predicted \
+                   queueing-free sojourn (worker-invariant, in the tally) \
+                   and against the observed sojourn (fleet-dependent, \
+                   report only).")
+  in
   let json_out =
     Arg.(value & opt (some string) None
          & info [ "json" ] ~docv:"FILE" ~doc:"Write the JSON serving report here.")
@@ -901,7 +1007,8 @@ let serve_cmd =
     Term.(const serve $ path_arg $ config_arg $ jobs_arg $ workers $ batch
           $ queue_depth $ requests $ seed $ arrival $ gap $ window $ overhead
           $ inject_arg $ faults_file_arg $ retry_budget_arg $ degrade_after
-          $ degraded $ trace_arg $ json_out $ tally_out)
+          $ degraded $ slo_sojourn $ trace_arg $ json_out $ tally_out
+          $ metrics_arg $ metrics_format_arg)
 
 let report_cmd =
   let out =

@@ -50,6 +50,17 @@ let plan t = t.plan
 let active t = not (Plan.is_empty t.plan)
 let stats t = t.stats
 
+(* Canonical field enumeration for exporters; order matches the record. *)
+let stats_fields s =
+  [
+    ("injected", s.injected);
+    ("detected", s.detected);
+    ("silent", s.silent);
+    ("retries", s.retries);
+    ("retry_cycles", s.retry_cycles);
+    ("stall_cycles", s.stall_cycles);
+  ]
+
 (* Uniform float in [0, 1) from the top 53 bits of the stream. *)
 let unit_float t =
   Int64.to_float (Int64.shift_right_logical (Util.Rng.next_int64 t.rng) 11)

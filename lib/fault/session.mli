@@ -42,6 +42,11 @@ val active : t -> bool
 
 val stats : t -> stats
 
+val stats_fields : stats -> (string * int) list
+(** Every stat as a (name, value) pair, in declaration order — the
+    canonical enumeration metrics exporters iterate ([Fault] stays
+    dependency-free; the metrics registry lives upstream). *)
+
 val draw : t -> Plan.site -> Plan.kind list
 (** Count one occurrence of [site] and return the kinds of every rule
     firing on it. Pass the concrete engine in [Compute (Some name)];

@@ -263,13 +263,34 @@ let cpu_const_bytes g kernels =
       match G.node g id with G.Const t -> acc + Tensor.packed_bytes t | _ -> acc)
     0 ids
 
-let compile ?trace cfg graph =
+let compile ?trace ?metrics cfg graph =
   let ( let* ) = Result.bind in
   Util.Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
-  let g = Trace.span trace "simplify" (fun () -> Ir.Rewrite.simplify graph) in
+  (* Wall-track phase gauges ride along with the trace spans. They are
+     registered on first entry into each phase, so a registry must be
+     fresh per compile (duplicate registration raises by design). *)
+  let phase ?args name f =
+    let finish =
+      match metrics with
+      | None -> fun () -> ()
+      | Some reg ->
+          let g =
+            Metrics.gauge reg ~track:Metrics.Wall
+              ~labels:[ ("phase", name) ]
+              ~help:"Host seconds spent in one compile phase."
+              "htvm_wall_compile_phase_seconds"
+          in
+          let t0 = Sys.time () in
+          fun () -> Metrics.set g (Sys.time () -. t0)
+    in
+    let r = Trace.span trace ?args name f in
+    finish ();
+    r
+  in
+  let g = phase "simplify" (fun () -> Ir.Rewrite.simplify graph) in
   let platform = cfg.platform in
   let plan =
-    Trace.span trace "partition"
+    phase "partition"
       ~args:[ ("platform", Trace.Json.Str platform.Arch.Platform.platform_name) ]
       (fun () -> Byoc.Partition.run g ~targets:(targets_of platform))
   in
@@ -299,7 +320,7 @@ let compile ?trace cfg graph =
   let cache_misses = ref 0 in
   let seg_outcomes = ref [] in
   let demotions = ref [] in
-  Trace.span trace "lower" (fun () ->
+  phase "lower" (fun () ->
       let estimate (a : Arch.Accel.t) layer =
         let full = Arch.Tile.full layer in
         a.Arch.Accel.setup_cycles
@@ -496,13 +517,29 @@ let compile ?trace cfg graph =
           ]
         "tiling_cache.stats"
   | None -> ());
+  (* Solver totals are a pure function of config + graph (parallel solves
+     replay in segment order), so they live on the deterministic track. *)
+  (match metrics with
+  | None -> ()
+  | Some reg ->
+      let c name help v = Metrics.inc (Metrics.counter reg ~help name) v in
+      c "htvm_compile_solver_explored_total" "Tiling candidates explored."
+        solver.ss_explored;
+      c "htvm_compile_solver_infeasible_total"
+        "Tiling candidates rejected as infeasible." solver.ss_infeasible;
+      c "htvm_compile_solver_pruned_total"
+        "Tiling candidates pruned before full evaluation." solver.ss_pruned;
+      c "htvm_compile_cache_hits_total" "Tiling-cache hits this compile."
+        solver.ss_cache_hits;
+      c "htvm_compile_cache_misses_total" "Tiling-cache misses this compile."
+        solver.ss_cache_misses);
   let kernels =
-    Trace.span trace "fuse" (fun () ->
+    phase "fuse" (fun () ->
         Codegen.Fuse.kernels ~cpu:platform.Arch.Platform.cpu
           ~size:platform.Arch.Platform.size_model g tys ~host_nodes:!host_pool)
   in
   let kernels, tuning_trials =
-    Trace.span trace "autotune" (fun () -> autotune_kernels pool cfg g tys kernels)
+    phase "autotune" (fun () -> autotune_kernels pool cfg g tys kernels)
   in
   if tuning_trials > 0 then
     Trace.event trace ~cat:"tune"
@@ -680,7 +717,7 @@ let compile ?trace cfg graph =
       (List.rev !buffers)
   in
   let* placed =
-    Trace.span trace "memplan"
+    phase "memplan"
       ~args:[ ("buffers", Trace.Json.Int (List.length requests)) ]
       (fun () ->
         Dory.Memplan.plan cfg.memory_strategy ~capacity:arena_capacity ~align:4
@@ -762,13 +799,24 @@ let compile ?trace cfg graph =
             })
       units
   in
+  (match metrics with
+  | None -> ()
+  | Some reg ->
+      Metrics.inc
+        (Metrics.counter reg ~help:"Segments demoted off their chosen target."
+           "htvm_compile_demotions_total")
+        (List.length !demotions);
+      Metrics.inc
+        (Metrics.counter reg ~help:"Autotuning trials measured on host kernels."
+           "htvm_compile_tuning_trials_total")
+        tuning_trials);
   Ok
     {
       cfg;
       program;
       size;
       layers;
-      c_source = Trace.span trace "emit" (fun () -> Dory.Emit.emit_network schedules);
+      c_source = phase "emit" (fun () -> Dory.Emit.emit_network schedules);
       l2_static_bytes;
       l2_arena_bytes = arena_capacity;
       tuning_trials;

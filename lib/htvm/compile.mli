@@ -138,12 +138,25 @@ val is_resource_error : error -> bool
     rejections a correct compiler is allowed to produce on valid input
     when the platform is too small. *)
 
-val compile : ?trace:Trace.t -> config -> Ir.Graph.t -> (artifact, error) result
+val compile :
+  ?trace:Trace.t ->
+  ?metrics:Metrics.t ->
+  config ->
+  Ir.Graph.t ->
+  (artifact, error) result
 (** [Error] carries a typed diagnosis (e.g. the out-of-memory record that
     reproduces Table I's MobileNet OoM under the TVM baseline). When
     [trace] is given, every compiler phase (simplify, partition, lower
     with per-layer ["tiling.solve"] events, fuse, autotune, memplan,
     emit) is recorded as a span on the ["compiler"] track.
+
+    When [metrics] is given, the same phases register
+    [htvm_wall_compile_phase_seconds{phase=...}] gauges on the wall
+    track, and deterministic solver totals (candidates explored /
+    infeasible / pruned, tiling-cache hits/misses, demotions, tuning
+    trials) register as counters on the cycles track. Registration is
+    strict, so pass a registry that has not seen a compile yet (one
+    registry per compile; merge snapshots to aggregate).
 
     With [cfg.jobs > 1] the per-segment tiling solves and per-kernel
     autotune trials run on a domain pool; trace events are replayed in

@@ -38,6 +38,7 @@ type config = {
   degrade_after : int option;
   degraded_instances : int list;
   jobs : int;
+  slo_sojourn : int option;
 }
 
 let default =
@@ -55,6 +56,7 @@ let default =
     degrade_after = None;
     degraded_instances = [];
     jobs = 1;
+    slo_sojourn = None;
   }
 
 type request = { r_id : int; r_input_seed : int; r_arrival : int }
@@ -71,6 +73,7 @@ type outcome =
       o_detected : int;
       o_silent : int;
       o_retries : int;
+      o_pred_sojourn : int;
     }
   | Rejected of { o_window : int }
   | Aborted of { o_instance : int; o_batch : int; o_site : string; o_attempts : int }
@@ -91,18 +94,21 @@ let percentiles_of xs =
   | sorted ->
       let a = Array.of_list sorted in
       let n = Array.length a in
-      let pick q =
-        (* nearest rank: smallest index covering fraction [q] *)
-        let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+      let pick p =
+        (* nearest rank in exact integer arithmetic: the smallest rank
+           with 100 * rank >= p * n, i.e. ceil(p*n/100) — no float
+           rounding at bucket edges (n = 100 must give rank p, not
+           p ± 1). *)
+        let rank = ((p * n) + 99) / 100 in
         a.(Util.Ints.clamp ~lo:0 ~hi:(n - 1) (rank - 1))
       in
       {
         p_count = n;
         p_min = a.(0);
         p_mean = float_of_int (Array.fold_left ( + ) 0 a) /. float_of_int n;
-        p50 = pick 0.50;
-        p95 = pick 0.95;
-        p99 = pick 0.99;
+        p50 = pick 50;
+        p95 = pick 95;
+        p99 = pick 99;
         p_max = a.(n - 1);
       }
 
@@ -116,6 +122,20 @@ type instance_stat = {
   i_faults : int;
   i_degraded_at : int option;
   i_totals : Sim.Counters.t;
+}
+
+(* SLO accounting. Predicted violations compare the queueing-free
+   sojourn — dispatch window close + dispatch overhead + in-batch
+   service prefix, minus arrival — against the target, so they are a
+   pure function of the seed (batch assembly precedes routing) and live
+   in the tally. Observed violations compare the scheduled finish and
+   legitimately move with the fleet shape. Predicted sojourn is a lower
+   bound on observed sojourn, so predicted violations are a subset. *)
+type slo = {
+  s_target : int;
+  s_pred_violations : int;
+  s_observed_violations : int;
+  s_pred_violation_rate : float;  (* predicted violations / served *)
 }
 
 type report = {
@@ -132,6 +152,8 @@ type report = {
   r_makespan : int;
   r_throughput_rps : float;
   r_instances : instance_stat list;
+  r_slo : slo option;
+  r_metrics : Metrics.snapshot;
 }
 
 (* --- generation ------------------------------------------------------- *)
@@ -261,11 +283,97 @@ let rec chunk n xs =
     let head, rest = take n [] xs in
     head :: chunk n rest
 
-let run ?trace cfg artifact ~graph =
+let run ?trace ?metrics cfg artifact ~graph =
   if cfg.workers < 1 then invalid_arg "Serve.run: workers must be >= 1";
   if cfg.max_batch < 1 then invalid_arg "Serve.run: max_batch must be >= 1";
   if cfg.queue_depth < 1 then invalid_arg "Serve.run: queue_depth must be >= 1";
   if cfg.requests < 0 then invalid_arg "Serve.run: requests must be >= 0";
+  (match cfg.slo_sojourn with
+  | Some t when t < 1 -> invalid_arg "Serve.run: slo_sojourn must be >= 1"
+  | _ -> ());
+  (* The run always records into a registry — the caller's (so a serve
+     dump can carry the compile-side metrics too) or a private one — and
+     the report carries its snapshot. Registration is strict, so a
+     caller-supplied registry must not have seen a serve run before. *)
+  let reg = match metrics with Some r -> r | None -> Metrics.create () in
+  let m_requests =
+    Metrics.counter reg ~help:"Requests generated from the seed."
+      "htvm_serve_requests_total"
+  in
+  let m_admitted =
+    Metrics.counter reg ~help:"Requests admitted past the per-window ingress cap."
+      "htvm_serve_admitted_total"
+  in
+  let m_shed =
+    Metrics.counter reg ~help:"Requests shed at admission." "htvm_serve_shed_total"
+  in
+  let m_served =
+    Metrics.counter reg ~help:"Requests served to completion."
+      "htvm_serve_served_total"
+  in
+  let m_aborted =
+    Metrics.counter reg ~help:"Requests aborted after exhausting the retry budget."
+      "htvm_serve_aborted_total"
+  in
+  let m_faults_detected =
+    Metrics.counter reg ~help:"Detected faults across all request executions."
+      "htvm_serve_faults_detected_total"
+  in
+  let m_faults_silent =
+    Metrics.counter reg ~help:"Silent corruptions across all request executions."
+      "htvm_serve_faults_silent_total"
+  in
+  let m_retries =
+    Metrics.counter reg ~help:"Retries across all request executions."
+      "htvm_serve_retries_total"
+  in
+  let cycle_buckets =
+    [ 1_000; 3_000; 10_000; 30_000; 100_000; 300_000; 1_000_000; 3_000_000;
+      10_000_000 ]
+  in
+  let m_service =
+    Metrics.histogram reg ~buckets:cycle_buckets
+      ~help:"Per-request service cycles on a dedicated machine."
+      "htvm_serve_service_cycles"
+  in
+  let m_pred_sojourn =
+    Metrics.histogram reg ~buckets:cycle_buckets
+      ~help:"Predicted (queueing-free) sojourn cycles of served requests."
+      "htvm_serve_pred_sojourn_cycles"
+  in
+  let m_slo_pred =
+    Metrics.counter reg
+      ~help:"Served requests whose predicted sojourn exceeded the SLO target."
+      "htvm_serve_slo_pred_violations_total"
+  in
+  let m_window =
+    Metrics.series reg
+      ~columns:
+        [ "arrivals"; "admitted"; "shed"; "slo_pred_violations";
+          "slo_pred_violation_rate" ]
+      ~help:"Per dispatch window: admission and predicted-SLO accounting."
+      "htvm_serve_window"
+  in
+  let m_sim =
+    List.map
+      (fun (name, _) ->
+        ( name,
+          Metrics.counter reg
+            ~help:("Simulator counter " ^ name ^ " summed over served requests.")
+            ("htvm_sim_" ^ name ^ "_total") ))
+      (Sim.Counters.fields (Sim.Counters.create ()))
+  in
+  let m_slo_observed =
+    Metrics.counter reg ~track:Metrics.Sched
+      ~help:"Served requests whose observed sojourn exceeded the SLO target."
+      "htvm_serve_slo_observed_violations_total"
+  in
+  let m_sched_window =
+    Metrics.series reg ~track:Metrics.Sched
+      ~columns:[ "in_flight"; "free_max"; "served_cum"; "throughput_rps" ]
+      ~help:"Fleet state at each dispatch-window close."
+      "htvm_sched_window"
+  in
   (* Auto window / gap probe: one fault-free execution of a seed-derived
      payload. A pure function of (artifact, seed) — independent of the
      fleet size, so auto values never leak worker count into the
@@ -307,10 +415,16 @@ let run ?trace cfg artifact ~graph =
                 ~dur:0
                 ~args:[ ("request", J.Int r.r_id); ("window", J.Int w) ]
                 "shed";
+              (* Re-sample the occupancy at the shed point so the counter
+                 track shows the plateau pressing against the cap. *)
+              Trace.counter trace ~track:"queue" ~cat:"serve" ~ts:r.r_arrival
+                ~value:n "queue_depth";
               None
             end
             else begin
               Hashtbl.replace in_window w (n + 1);
+              Trace.counter trace ~track:"queue" ~cat:"serve" ~ts:r.r_arrival
+                ~value:(n + 1) "queue_depth";
               Some (w, r)
             end)
           requests
@@ -344,6 +458,28 @@ let run ?trace cfg artifact ~graph =
       (fun (w, items) -> List.map (fun b -> (w, b)) (chunk cfg.max_batch items))
       windows
   in
+  (* Predicted (queueing-free) sojourn: every batch dispatched the moment
+     its window closes onto an idle machine. Batch assembly happens
+     before routing, so this pass never sees the fleet shape — it is the
+     deterministic lower bound the SLO tally counts against, and it
+     never exceeds the scheduled sojourn (the real start is the same
+     expression with instance availability maxed in). *)
+  let pred_sojourn = Array.make cfg.requests 0 in
+  List.iter
+    (fun (w, items) ->
+      let dispatch_t =
+        match cfg.arrival with Closed -> 0 | Poisson _ -> (w + 1) * window
+      in
+      let cursor = ref (dispatch_t + cfg.dispatch_overhead) in
+      List.iter
+        (fun ((_, r), exec) ->
+          match exec with
+          | Done e ->
+              cursor := !cursor + e.e_service;
+              pred_sojourn.(r.r_id) <- !cursor - r.r_arrival
+          | Abort _ -> ())
+        items)
+    batches;
   let instances =
     Array.init cfg.workers (fun id ->
         {
@@ -359,8 +495,36 @@ let run ?trace cfg artifact ~graph =
           totals = Sim.Counters.create ();
         })
   in
+  let freq_hz =
+    float_of_int artifact.C.cfg.C.platform.Arch.Platform.freq_mhz *. 1.0e6
+  in
+  (* Sched-track window sampling: fleet state when a dispatch window
+     closes (batches arrive in window order, so a window change means
+     the previous one is fully scheduled). *)
+  let served_running = ref 0 in
+  let open_window = ref None in
+  let sample_sched w =
+    let free_max = Array.fold_left (fun acc i -> max acc i.free_at) 0 instances in
+    let ts =
+      match cfg.arrival with Closed -> free_max | Poisson _ -> (w + 1) * window
+    in
+    let in_flight =
+      Array.fold_left (fun acc i -> acc + if i.free_at > ts then 1 else 0) 0 instances
+    in
+    let throughput =
+      if free_max = 0 then 0.0
+      else float_of_int !served_running /. (float_of_int free_max /. freq_hz)
+    in
+    Metrics.sample m_sched_window ~ts
+      [ float_of_int in_flight; float_of_int free_max;
+        float_of_int !served_running; throughput ]
+  in
   List.iteri
     (fun batch_idx (w, items) ->
+      (match !open_window with
+      | Some prev when prev <> w -> sample_sched prev
+      | _ -> ());
+      open_window := Some w;
       let dispatch_t =
         match cfg.arrival with
         | Closed ->
@@ -390,8 +554,10 @@ let run ?trace cfg artifact ~graph =
                        o_detected = e.e_detected;
                        o_silent = e.e_silent;
                        o_retries = e.e_retries;
+                       o_pred_sojourn = pred_sojourn.(r.r_id);
                      });
               cursor := !cursor + e.e_service;
+              served_running := !served_running + 1;
               inst.served <- inst.served + 1;
               inst.faults <- inst.faults + e.e_detected + e.e_silent;
               Sim.Counters.add inst.totals e.e_totals
@@ -432,6 +598,7 @@ let run ?trace cfg artifact ~graph =
             "degraded"
       | _ -> ()))
     batches;
+  (match !open_window with Some w -> sample_sched w | None -> ());
   (* --- aggregation --- *)
   let outcomes =
     List.map
@@ -460,13 +627,140 @@ let run ?trace cfg artifact ~graph =
     List.length (List.filter (function _, Aborted _ -> true | _ -> false) outcomes)
   in
   let makespan = Array.fold_left (fun acc i -> max acc i.free_at) 0 instances in
-  let freq_hz =
-    float_of_int artifact.C.cfg.C.platform.Arch.Platform.freq_mhz *. 1.0e6
-  in
   let throughput =
     if makespan = 0 then 0.0
     else float_of_int served /. (float_of_int makespan /. freq_hz)
   in
+  (* --- metrics + SLO accounting (cycles track first, then sched) --- *)
+  let violates p = match cfg.slo_sojourn with Some t -> p > t | None -> false in
+  Metrics.inc m_requests cfg.requests;
+  Metrics.inc m_admitted (cfg.requests - rejected);
+  Metrics.inc m_shed rejected;
+  Metrics.inc m_served served;
+  Metrics.inc m_aborted aborted;
+  List.iter (Metrics.observe m_service) service_list;
+  List.iter
+    (fun (_, o) ->
+      match o with
+      | Served s -> Metrics.observe m_pred_sojourn s.o_pred_sojourn
+      | _ -> ())
+    outcomes;
+  let det, sil, ret =
+    List.fold_left
+      (fun (d, s, t) (_, e) ->
+        match e with
+        | Done e -> (d + e.e_detected, s + e.e_silent, t + e.e_retries)
+        | Abort a -> (d + a.a_detected, s + a.a_silent, t + max 0 (a.a_attempts - 1)))
+      (0, 0, 0) work
+  in
+  Metrics.inc m_faults_detected det;
+  Metrics.inc m_faults_silent sil;
+  Metrics.inc m_retries ret;
+  let sim_totals = Sim.Counters.create () in
+  Array.iter (fun i -> Sim.Counters.add sim_totals i.totals) instances;
+  List.iter2
+    (fun (_, c) (_, v) -> Metrics.inc c v)
+    m_sim
+    (Sim.Counters.fields sim_totals);
+  (* Per-window admission + predicted-SLO series. Built from outcomes
+     alone, so sampling after scheduling changes nothing: timestamps are
+     explicit and the data never saw the fleet. *)
+  let win_of r =
+    match cfg.arrival with Closed -> 0 | Poisson _ -> r.r_arrival / window
+  in
+  let win_ids = ref [] in
+  let win_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (r, o) ->
+      let w = win_of r in
+      let cell =
+        match Hashtbl.find_opt win_tbl w with
+        | Some c -> c
+        | None ->
+            let c = ref (0, 0, 0, 0, 0) in
+            Hashtbl.add win_tbl w c;
+            win_ids := w :: !win_ids;
+            c
+      in
+      let arr, adm, shed, srv, viol = !cell in
+      let adm, shed = match o with Rejected _ -> (adm, shed + 1) | _ -> (adm + 1, shed) in
+      let srv, viol =
+        match o with
+        | Served s -> (srv + 1, if violates s.o_pred_sojourn then viol + 1 else viol)
+        | _ -> (srv, viol)
+      in
+      cell := (arr + 1, adm, shed, srv, viol))
+    outcomes;
+  let cum_srv = ref 0 and cum_viol = ref 0 in
+  List.iter
+    (fun w ->
+      let arr, adm, shed, srv, viol = !(Hashtbl.find win_tbl w) in
+      cum_srv := !cum_srv + srv;
+      cum_viol := !cum_viol + viol;
+      let rate =
+        if !cum_srv = 0 then 0.0
+        else float_of_int !cum_viol /. float_of_int !cum_srv
+      in
+      let ts = match cfg.arrival with Closed -> 0 | Poisson _ -> (w + 1) * window in
+      Metrics.sample m_window ~ts
+        [ float_of_int arr; float_of_int adm; float_of_int shed;
+          float_of_int viol; rate ])
+    (List.rev !win_ids);
+  let pred_violations = !cum_viol in
+  let observed_violations =
+    match cfg.slo_sojourn with
+    | None -> 0
+    | Some t ->
+        List.length
+          (List.filter
+             (function
+               | r, Served { o_finish; _ } -> o_finish - r.r_arrival > t
+               | _ -> false)
+             outcomes)
+  in
+  Metrics.inc m_slo_pred pred_violations;
+  Metrics.inc m_slo_observed observed_violations;
+  let slo =
+    match cfg.slo_sojourn with
+    | None -> None
+    | Some target ->
+        Some
+          {
+            s_target = target;
+            s_pred_violations = pred_violations;
+            s_observed_violations = observed_violations;
+            s_pred_violation_rate =
+              (if served = 0 then 0.0
+               else float_of_int pred_violations /. float_of_int served);
+          }
+  in
+  Array.iter
+    (fun i ->
+      let labels = [ ("instance", string_of_int i.id) ] in
+      let g name help = Metrics.gauge reg ~track:Metrics.Sched ~labels ~help name in
+      Metrics.set_int
+        (g "htvm_sched_instance_busy_cycles" "Busy cycles per instance.")
+        i.busy;
+      Metrics.set_int
+        (g "htvm_sched_instance_served" "Requests served per instance.")
+        i.served;
+      Metrics.set_int
+        (g "htvm_sched_instance_batches" "Batches dispatched per instance.")
+        i.batches;
+      Metrics.set_int
+        (g "htvm_sched_instance_degraded"
+           "1 when the instance left the healthy rotation.")
+        (match i.degraded_at with Some _ -> 1 | None -> 0))
+    instances;
+  Metrics.set_int
+    (Metrics.gauge reg ~track:Metrics.Sched ~help:"End-to-end makespan cycles."
+       "htvm_sched_makespan_cycles")
+    makespan;
+  Metrics.set
+    (Metrics.gauge reg ~track:Metrics.Sched
+       ~help:"Served requests per second of simulated time."
+       "htvm_sched_throughput_rps")
+    throughput;
   {
     r_config = cfg;
     r_window = window;
@@ -500,6 +794,8 @@ let run ?trace cfg artifact ~graph =
                i_totals = i.totals;
              })
            instances);
+    r_slo = slo;
+    r_metrics = Metrics.snapshot reg;
   }
 
 (* --- rendering -------------------------------------------------------- *)
@@ -533,8 +829,11 @@ let tally r =
       Buffer.add_string buf
         (match o with
         | Served s ->
-            Printf.sprintf "req %d served digest=%s service=%d faults=%d/%d retries=%d\n"
-              req.r_id s.o_digest s.o_service s.o_detected s.o_silent s.o_retries
+            Printf.sprintf
+              "req %d served digest=%s service=%d pred-sojourn=%d faults=%d/%d \
+               retries=%d\n"
+              req.r_id s.o_digest s.o_service s.o_pred_sojourn s.o_detected
+              s.o_silent s.o_retries
         | Rejected { o_window } ->
             Printf.sprintf "req %d rejected window=%d\n" req.r_id o_window
         | Aborted a ->
@@ -544,6 +843,14 @@ let tally r =
   Buffer.add_string buf
     (Printf.sprintf "outcomes served=%d rejected=%d aborted=%d\n" r.r_served
        r.r_rejected r.r_aborted);
+  (* Predicted violations only: the observed count depends on the fleet
+     shape and has no place in the functional ledger. *)
+  (match r.r_slo with
+  | Some s ->
+      Buffer.add_string buf
+        (Printf.sprintf "slo target=%d pred-violations=%d pred-violation-rate=%.4f\n"
+           s.s_target s.s_pred_violations s.s_pred_violation_rate)
+  | None -> ());
   pp_percentiles buf "service" r.r_service;
   Buffer.contents buf
 
@@ -558,6 +865,15 @@ let summary r =
   Buffer.add_string buf
     (Printf.sprintf "makespan %d cycles, throughput %.1f req/s, shed rate %.1f%%\n"
        r.r_makespan r.r_throughput_rps (100.0 *. r.r_shed_rate));
+  (match r.r_slo with
+  | Some s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "slo %d cycles: %d predicted / %d observed violation(s), predicted \
+            rate %.1f%%\n"
+           s.s_target s.s_pred_violations s.s_observed_violations
+           (100.0 *. s.s_pred_violation_rate))
+  | None -> ());
   pp_percentiles buf "service latency (cycles)" r.r_service;
   pp_percentiles buf "sojourn latency (cycles)" r.r_sojourn;
   List.iter
@@ -602,6 +918,7 @@ let to_json r =
             ("start", J.Int s.o_start);
             ("finish", J.Int s.o_finish);
             ("service_cycles", J.Int s.o_service);
+            ("pred_sojourn_cycles", J.Int s.o_pred_sojourn);
             ("wait_cycles", J.Int s.o_wait);
             ("digest", J.Str s.o_digest);
             ("faults_detected", J.Int s.o_detected);
@@ -654,6 +971,18 @@ let to_json r =
       ("sojourn_cycles", percentiles_json r.r_sojourn);
       ("makespan_cycles", J.Int r.r_makespan);
       ("throughput_rps", J.Float r.r_throughput_rps);
+      ( "slo",
+        match r.r_slo with
+        | None -> J.Null
+        | Some s ->
+            J.Obj
+              [
+                ("target_cycles", J.Int s.s_target);
+                ("pred_violations", J.Int s.s_pred_violations);
+                ("observed_violations", J.Int s.s_observed_violations);
+                ("pred_violation_rate", J.Float s.s_pred_violation_rate);
+              ] );
       ("instances", J.List (List.map instance_json r.r_instances));
       ("outcomes", J.List (List.map outcome_json r.r_outcomes));
+      ("metrics", Metrics.to_json r.r_metrics);
     ]

@@ -77,12 +77,20 @@ type config = {
       (** host worker domains driving the fleet's request executions;
           purely a wall-clock knob — results are bit-identical at any
           value *)
+  slo_sojourn : int option;
+      (** sojourn (arrival-to-completion) SLO target in cycles; [None]
+          disables SLO accounting. Violations are counted twice: against
+          the {e predicted} queueing-free sojourn (worker-invariant, in
+          the tally and on the metrics cycles track) and against the
+          {e observed} scheduled sojourn (fleet-shape dependent, report
+          and sched track only). *)
 }
 
 val default : config
 (** [workers = 4], [max_batch = 8], [queue_depth = 32], [requests = 64],
     [seed = 42], closed-loop arrivals, auto window, 1000-cycle dispatch
-    overhead, no faults, retry budget 3, no degradation, [jobs = 1]. *)
+    overhead, no faults, retry budget 3, no degradation, [jobs = 1],
+    no SLO. *)
 
 type request = {
   r_id : int;
@@ -102,6 +110,11 @@ type outcome =
       o_detected : int;  (** detected faults during this request *)
       o_silent : int;  (** silent corruptions during this request *)
       o_retries : int;
+      o_pred_sojourn : int;
+          (** predicted queueing-free sojourn: window close + dispatch
+              overhead + in-batch service prefix, minus arrival. A
+              worker-invariant lower bound on [o_finish - r_arrival]
+              (batch assembly precedes routing). *)
     }
   | Rejected of { o_window : int }
       (** shed at admission: the window's ingress buffer was full *)
@@ -124,7 +137,9 @@ type percentiles = {
 }
 
 val percentiles_of : int list -> percentiles
-(** Nearest-rank percentiles; all-zero for the empty list. *)
+(** Nearest-rank percentiles in exact integer arithmetic (the p-th
+    percentile of n values is the value at rank ceil(p*n/100), 1-based);
+    all-zero for the empty list. *)
 
 type instance_stat = {
   i_id : int;
@@ -136,6 +151,17 @@ type instance_stat = {
   i_faults : int;  (** detected + silent faults over its requests *)
   i_degraded_at : int option;  (** cycle it left the healthy rotation *)
   i_totals : Sim.Counters.t;  (** summed counters of its served requests *)
+}
+
+type slo = {
+  s_target : int;  (** the configured [slo_sojourn] *)
+  s_pred_violations : int;
+      (** served requests whose predicted sojourn exceeded the target —
+          worker-invariant, counted in the tally *)
+  s_observed_violations : int;
+      (** served requests whose scheduled sojourn exceeded the target —
+          moves with the fleet shape; always >= [s_pred_violations] *)
+  s_pred_violation_rate : float;  (** predicted violations / served *)
 }
 
 type report = {
@@ -155,17 +181,36 @@ type report = {
       (** served requests per second of simulated time at the platform
           clock *)
   r_instances : instance_stat list;
+  r_slo : slo option;  (** [Some] iff [slo_sojourn] was set *)
+  r_metrics : Metrics.snapshot;
+      (** the run's telemetry: admission/outcome counters, service and
+          predicted-sojourn histograms, the per-window series and
+          summed simulator counters on the cycles track (byte-identical
+          at any [workers]/[jobs]); per-instance stats, makespan,
+          throughput and observed SLO violations on the sched track. *)
 }
 
 val run :
-  ?trace:Trace.t -> config -> Htvm.Compile.artifact -> graph:Ir.Graph.t -> report
+  ?trace:Trace.t ->
+  ?metrics:Metrics.t ->
+  config ->
+  Htvm.Compile.artifact ->
+  graph:Ir.Graph.t ->
+  report
 (** Serve the configured request stream on a fleet of fresh instances.
     [graph] is the model the artifact was compiled from (it shapes the
     synthetic inputs). When [trace] is given, every dispatched batch is
     recorded as an interval on a per-instance track ([instance 0],
-    [instance 1], ...) plus shed events on the [serve] track.
+    [instance 1], ...), shed events on the [serve] track, and the
+    per-window ingress occupancy as a [queue] counter track.
+
+    The run always records telemetry ({!report.r_metrics}): into
+    [metrics] when given — so one registry can carry compile-side and
+    serve-side metrics, see {!Htvm.Compile.compile} — or into a private
+    registry. Registration is strict, so a caller-supplied registry must
+    not have hosted a serve run before.
     @raise Invalid_argument on a non-positive [workers], [max_batch],
-    [queue_depth] or negative [requests]. *)
+    [queue_depth], [slo_sojourn] or negative [requests]. *)
 
 val tally : report -> string
 (** The canonical functional ledger: one line per request (outcome,

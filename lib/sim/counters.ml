@@ -52,6 +52,27 @@ let add acc x =
   acc.fault_stall <- acc.fault_stall + x.fault_stall;
   acc.wall <- acc.wall + x.wall
 
+(* Canonical field enumeration for exporters (metrics, tables): keep in
+   sync with the record — the order here is the exposition order. *)
+let fields t =
+  [
+    ("accel_compute", t.accel_compute);
+    ("weight_load", t.weight_load);
+    ("dma_in", t.dma_in);
+    ("dma_out", t.dma_out);
+    ("host_overhead", t.host_overhead);
+    ("cpu_compute", t.cpu_compute);
+    ("stall", t.stall);
+    ("dma_bytes_in", t.dma_bytes_in);
+    ("dma_bytes_out", t.dma_bytes_out);
+    ("faults_detected", t.faults_detected);
+    ("faults_silent", t.faults_silent);
+    ("retries", t.retries);
+    ("retry_cycles", t.retry_cycles);
+    ("fault_stall", t.fault_stall);
+    ("wall", t.wall);
+  ]
+
 let peak t = t.accel_compute + t.weight_load
 
 let total_parts t =

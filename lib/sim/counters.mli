@@ -39,6 +39,11 @@ val create : unit -> t
 val add : t -> t -> unit
 (** [add acc x] accumulates [x] into [acc] (all fields, including wall). *)
 
+val fields : t -> (string * int) list
+(** Every counter as a (name, value) pair, in declaration order — the
+    canonical enumeration metrics exporters iterate so a new counter
+    field shows up everywhere by updating one list. *)
+
 val peak : t -> int
 (** Accelerator busy cycles: compute + weight load. *)
 

@@ -36,11 +36,19 @@ module Json = struct
       s;
     Buffer.contents buf
 
+  (* Shortest decimal form that parses back to the same float: most
+     values fit %.12g; the rare ones that don't escalate to %.15g and
+     finally %.17g, which is always exact for a binary64. *)
   let float_repr f =
     if Float.is_integer f && Float.abs f < 1e15 then
       Printf.sprintf "%.0f" f
-    else if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then "null"
-    else Printf.sprintf "%.6g" f
+    else if not (Float.is_finite f) then "null"
+    else
+      let s = Printf.sprintf "%.12g" f in
+      if float_of_string s = f then s
+      else
+        let s = Printf.sprintf "%.15g" f in
+        if float_of_string s = f then s else Printf.sprintf "%.17g" f
 
   let rec write buf = function
     | Null -> Buffer.add_string buf "null"

@@ -29,6 +29,13 @@ module Json : sig
   val to_string : t -> string
   (** Compact rendering; strings are escaped, non-finite floats become
       [null]. *)
+
+  val float_repr : float -> string
+  (** The float rendering {!to_string} uses: shortest decimal form that
+      round-trips through [float_of_string] ([%.12g], escalating to
+      [%.15g]/[%.17g] when needed); non-finite floats become ["null"].
+      Exposed so other text formats (metrics exposition) render floats
+      byte-identically to the JSON exporter. *)
 end
 
 type kind = Span | Instant | Counter

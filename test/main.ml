@@ -35,4 +35,5 @@ let () =
          Test_size.suites;
          Test_fault.suites;
          Test_serve.suites;
+         Test_metrics.suites;
        ])

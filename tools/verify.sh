@@ -26,6 +26,9 @@ dune exec bench/main.exe -- resilience-smoke
 echo "== bench smoke: serve (fleet throughput, tally invariance) =="
 dune exec bench/main.exe -- serve-smoke
 
+echo "== bench smoke: metrics (instrument cost, cycles-track determinism) =="
+dune exec bench/main.exe -- metrics-smoke
+
 # Serving smoke: the per-request tally of `htvmc serve` is a pure
 # function of the seed — byte-identical at any fleet size and any host
 # job count. Diff a 1-worker and a 4-worker run of the same stream.
@@ -37,6 +40,33 @@ dune exec bin/htvmc.exe -- serve _build/serve-smoke.htvm --config both \
   --workers 4 -j 4 --requests 16 --batch 4 --tally _build/serve-tally-w4.txt
 if ! diff _build/serve-tally-w1.txt _build/serve-tally-w4.txt; then
   echo "verify: serve tallies differ between workers 1 and 4" >&2
+  exit 1
+fi
+
+# Telemetry smoke: the cycles track of a serve metrics dump — admission
+# counters, service and predicted-sojourn histograms, per-window series,
+# SLO violation accounting, summed simulator counters — is byte-identical
+# at any fleet size and job count. Only the sched track (scheduling
+# metrics) and the wall track (host compile timings) may move, and they
+# render after the `# track sched` marker, so stripping from that marker
+# leaves the deterministic section.
+echo "== htvmc serve metrics smoke (workers 1 vs 4, SLO accounting) =="
+dune exec bin/htvmc.exe -- serve _build/serve-smoke.htvm --config both \
+  --workers 1 -j 1 --requests 16 --batch 4 --arrival poisson --queue-depth 4 \
+  --slo-sojourn 2000000 --metrics _build/serve-metrics-w1.prom
+dune exec bin/htvmc.exe -- serve _build/serve-smoke.htvm --config both \
+  --workers 4 -j 4 --requests 16 --batch 4 --arrival poisson --queue-depth 4 \
+  --slo-sojourn 2000000 --metrics _build/serve-metrics-w4.prom
+awk '/^# track sched/{exit} {print}' _build/serve-metrics-w1.prom \
+  > _build/serve-metrics-w1.cycles
+awk '/^# track sched/{exit} {print}' _build/serve-metrics-w4.prom \
+  > _build/serve-metrics-w4.cycles
+if ! diff _build/serve-metrics-w1.cycles _build/serve-metrics-w4.cycles; then
+  echo "verify: metrics cycles tracks differ between workers 1 and 4" >&2
+  exit 1
+fi
+if ! grep -q '^htvm_serve_slo_pred_violations_total ' _build/serve-metrics-w1.cycles; then
+  echo "verify: metrics dump is missing SLO accounting" >&2
   exit 1
 fi
 
