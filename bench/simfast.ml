@@ -1,0 +1,145 @@
+(* "simfast" experiment: the compiled execution plan fast path
+   (Sim.Plan) against the slow interpretive oracle. Measures per-request
+   wall time with the plan off and on, with the scratch arena reused and
+   discarded, and the serving memoization hit path — while asserting the
+   byte-identity contract: output digests and simulated cycle counts
+   must not move at all. Dumps BENCH_simfast.json. *)
+
+module J = Trace.Json
+module C = Htvm.Compile
+
+let out_file = "BENCH_simfast.json"
+
+let artifact_and_graph () =
+  let g = (Models.Zoo.find Models.Resnet8.name).Models.Zoo.build Models.Policy.Mixed in
+  let cfg = { (C.default_config Arch.Diana.platform) with C.jobs = 1 } in
+  match C.compile cfg g with
+  | Ok a -> (a, g)
+  | Error e ->
+      Printf.eprintf "simfast bench: compile failed: %s\n" (C.error_to_string e);
+      exit 1
+
+(* Milliseconds per call over [repeats] calls, plus the last result. *)
+let time_ms ~repeats f =
+  let result = ref (f ()) in
+  let t0 = Unix.gettimeofday () in
+  for _ = 2 to repeats do
+    result := f ()
+  done;
+  let t1 = Unix.gettimeofday () in
+  let calls = max 1 (repeats - 1) in
+  ((t1 -. t0) *. 1000.0 /. float_of_int calls, !result)
+
+let run_simfast ~smoke () =
+  let repeats = if smoke then 3 else 20 in
+  let artifact, g = artifact_and_graph () in
+  let inputs = Models.Zoo.random_input ~seed:Check.Golden.input_seed g in
+  Printf.printf "== simfast: compiled plans vs the slow oracle (%s, %d run(s)/variant) ==\n%!"
+    Models.Resnet8.name repeats;
+  let slow_ms, (out_slow, rep_slow) =
+    time_ms ~repeats (fun () -> C.run ~use_plan:false artifact ~inputs)
+  in
+  let fast_ms, (out_fast, rep_fast) =
+    time_ms ~repeats (fun () -> C.run artifact ~inputs)
+  in
+  let noarena_ms, (out_noarena, rep_noarena) =
+    time_ms ~repeats (fun () ->
+        Sim.Machine.run ~platform:artifact.C.cfg.C.platform ~plan:artifact.C.plan
+          ~plan_fresh_arena:true artifact.C.program ~inputs)
+  in
+  (* The contract first: the fast paths are only fast if they are also
+     byte-identical to the oracle. *)
+  let digest = Check.Golden.digest_tensor in
+  let check name out rep =
+    if digest out <> digest out_slow then begin
+      Printf.eprintf "simfast bench: %s output digest diverged from slow path\n" name;
+      exit 1
+    end;
+    if C.full_cycles rep <> C.full_cycles rep_slow then begin
+      Printf.eprintf "simfast bench: %s cycles diverged (%d vs %d)\n" name
+        (C.full_cycles rep) (C.full_cycles rep_slow);
+      exit 1
+    end
+  in
+  check "plan" out_fast rep_fast;
+  check "plan (fresh arena)" out_noarena rep_noarena;
+  let speedup = slow_ms /. fast_ms in
+  let arena_gain = noarena_ms /. fast_ms in
+  Printf.printf "  slow oracle   : %8.2f ms/request\n%!" slow_ms;
+  Printf.printf "  plan + arena  : %8.2f ms/request  (%.2fx)\n%!" fast_ms speedup;
+  Printf.printf "  plan, no arena: %8.2f ms/request  (arena worth %.2fx)\n%!"
+    noarena_ms arena_gain;
+  Printf.printf "  digests + cycles byte-identical across all paths\n%!";
+  (* Memoize hit path: every request shares one input, so all but the
+     first execution per instance is a table lookup. The tally must not
+     move — memoization is telemetry-visible only. *)
+  let serve_cfg memoize =
+    { Serve.default with
+      Serve.requests = (if smoke then 12 else 48);
+      workers = 1; jobs = 1; input_mix = 1; memoize }
+  in
+  let memo_off_ms, r_off =
+    time_ms ~repeats:(if smoke then 2 else 5) (fun () ->
+        Serve.run (serve_cfg false) artifact ~graph:g)
+  in
+  let memo_on_ms, r_on =
+    time_ms ~repeats:(if smoke then 2 else 5) (fun () ->
+        Serve.run (serve_cfg true) artifact ~graph:g)
+  in
+  let tally_identical = Serve.tally r_off = Serve.tally r_on in
+  Printf.printf
+    "  memoize: %8.2f ms -> %8.2f ms per run (%d hit(s), %d distinct), tally identical: %b\n%!"
+    memo_off_ms memo_on_ms r_on.Serve.r_memo_hits r_on.Serve.r_memo_misses
+    tally_identical;
+  if not tally_identical then begin
+    Printf.eprintf "simfast bench: memoization moved the functional tally\n";
+    exit 1
+  end;
+  if r_on.Serve.r_memo_hits = 0 then begin
+    Printf.eprintf "simfast bench: memoize hit path never taken\n";
+    exit 1
+  end;
+  let stats = Sim.Plan.stats artifact.C.plan in
+  let doc =
+    J.Obj
+      [ ("model", J.Str Models.Resnet8.name);
+        ("platform", J.Str "diana (digital + analog)");
+        ("repeats", J.Int repeats);
+        ("slow_ms_per_request", J.Float slow_ms);
+        ("plan_ms_per_request", J.Float fast_ms);
+        ("plan_fresh_arena_ms_per_request", J.Float noarena_ms);
+        ("speedup", J.Float speedup);
+        ("arena_gain", J.Float arena_gain);
+        ("output_digest", J.Str (digest out_slow));
+        ("wall_cycles", J.Int (C.full_cycles rep_slow));
+        ("digests_identical", J.Bool true);
+        ( "plan_stats",
+          J.Obj
+            [ ("accel_steps", J.Int stats.Sim.Plan.accel_steps);
+              ("tiles", J.Int stats.Sim.Plan.tiles);
+              ("scratch_words", J.Int stats.Sim.Plan.scratch_words);
+              ("image_bytes", J.Int stats.Sim.Plan.image_bytes) ] );
+        ( "memoize",
+          J.Obj
+            [ ("off_ms_per_run", J.Float memo_off_ms);
+              ("on_ms_per_run", J.Float memo_on_ms);
+              ("hits", J.Int r_on.Serve.r_memo_hits);
+              ("misses", J.Int r_on.Serve.r_memo_misses);
+              ("tally_identical", J.Bool tally_identical) ] );
+      ]
+  in
+  let oc = open_out out_file in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" out_file;
+  (* The acceptance bar. Smoke runs (CI shared runners, 3 repeats) only
+     sanity-check that the fast path did not regress outright. *)
+  let bar = if smoke then 1.0 else 1.5 in
+  if speedup < bar then begin
+    Printf.eprintf "simfast bench: speedup %.2fx below the %.1fx bar\n" speedup bar;
+    exit 1
+  end
+
+let run () = run_simfast ~smoke:false ()
+let run_smoke () = run_simfast ~smoke:true ()

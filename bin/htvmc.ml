@@ -43,23 +43,36 @@ let load_graph path =
       Printf.eprintf "htvmc: cannot load %s: %s\n" path e;
       exit 1
 
-let config_of_name = function
-  | "cpu" -> Htvm.Compile.tvm_baseline_config Arch.Diana.cpu_only
-  | "digital" -> Htvm.Compile.default_config Arch.Diana.digital_only
-  | "analog" -> Htvm.Compile.default_config Arch.Diana.analog_only
-  | "both" -> Htvm.Compile.default_config Arch.Diana.platform
-  | other ->
-      Printf.eprintf "htvmc: unknown config %S (cpu|digital|analog|both)\n" other;
-      exit 1
+(* The library defaults read HTVM_JOBS eagerly; diagnose a malformed
+   value here instead of surfacing an uncaught Invalid_argument. *)
+let config_of_name name =
+  try
+    match name with
+    | "cpu" -> Htvm.Compile.tvm_baseline_config Arch.Diana.cpu_only
+    | "digital" -> Htvm.Compile.default_config Arch.Diana.digital_only
+    | "analog" -> Htvm.Compile.default_config Arch.Diana.analog_only
+    | "both" -> Htvm.Compile.default_config Arch.Diana.platform
+    | other ->
+        Printf.eprintf "htvmc: unknown config %S (cpu|digital|analog|both)\n" other;
+        exit 1
+  with Invalid_argument msg ->
+    Printf.eprintf "htvmc: %s\n" msg;
+    exit 1
 
-(* --jobs (or HTVM_JOBS, which cmdliner reads for the same option) beats
-   the machine's available domain count. The engine is deterministic at
-   every job count, so this is purely a compile-speed knob. *)
+(* An explicit --jobs N forces N. Otherwise HTVM_JOBS applies, capped at
+   the machine's recommended domain count (an ambient default inherited
+   from a beefier box must not oversubscribe this one), falling back to
+   that count when unset. The engine is deterministic at every job
+   count, so this is purely a compile-speed knob. *)
 let resolve_jobs = function
-  | None -> Util.Pool.available ()
+  | None -> (
+      try Util.Pool.jobs_from_env ~default:(Util.Pool.available ()) ()
+      with Invalid_argument msg ->
+        Printf.eprintf "htvmc: %s\n" msg;
+        exit 1)
   | Some n when n >= 1 -> n
   | Some n ->
-      Printf.eprintf "htvmc: --jobs/HTVM_JOBS must be >= 1 (got %d)\n" n;
+      Printf.eprintf "htvmc: --jobs must be >= 1 (got %d)\n" n;
       exit 1
 
 let config_for name jobs =
@@ -247,7 +260,7 @@ let compile path config jobs emit_c trace_out =
 (* --- run --- *)
 
 let run path config jobs seed trace_out inject faults_file retry_budget degrade
-    metrics_out metrics_format =
+    no_plan metrics_out metrics_format =
   let g = load_graph path in
   let cfg = degrade_config (config_for config jobs) degrade in
   let session = Option.map Fault.Session.create (plan_of_args inject faults_file) in
@@ -257,7 +270,8 @@ let run path config jobs seed trace_out inject faults_file retry_budget degrade
         let artifact = compile_or_die ?trace ?metrics:reg cfg g in
         print_demotions artifact;
         let inputs = Models.Zoo.random_input ~seed g in
-        Htvm.Compile.run ?trace ?faults:session ~retry_budget artifact ~inputs)
+        Htvm.Compile.run ?trace ?faults:session ~retry_budget
+          ~use_plan:(not no_plan) artifact ~inputs)
   with
   | exception Fault.Session.Unrecovered { site; attempts } ->
       print_fault_summary session;
@@ -304,7 +318,7 @@ let report path config jobs out json =
 (* --- profile --- *)
 
 let profile path config jobs seed trace_out json_out inject faults_file
-    retry_budget degrade metrics_out metrics_format =
+    retry_budget degrade no_plan metrics_out metrics_format =
   let g = load_graph path in
   let cfg = degrade_config (config_for config jobs) degrade in
   let session = Option.map Fault.Session.create (plan_of_args inject faults_file) in
@@ -314,7 +328,9 @@ let profile path config jobs seed trace_out json_out inject faults_file
   print_demotions artifact;
   let inputs = Models.Zoo.random_input ~seed g in
   let out, report =
-    try Htvm.Compile.run ~trace ?faults:session ~retry_budget artifact ~inputs
+    try
+      Htvm.Compile.run ~trace ?faults:session ~retry_budget
+        ~use_plan:(not no_plan) artifact ~inputs
     with Fault.Session.Unrecovered { site; attempts } ->
       print_fault_summary session;
       Printf.eprintf
@@ -606,7 +622,8 @@ let chaos seeds start jobs retry_budget replay_seed out max_shrink_checks
 
 let serve path config jobs workers batch queue_depth requests seed arrival gap
     window overhead inject faults_file retry_budget degrade_after degraded
-    slo_sojourn trace_out json_out tally_out metrics_out metrics_format =
+    slo_sojourn no_plan memoize input_mix trace_out json_out tally_out
+    metrics_out metrics_format =
   let g = load_graph path in
   let jobs = resolve_jobs jobs in
   let cfg = config_for config (Some jobs) in
@@ -642,6 +659,9 @@ let serve path config jobs workers batch queue_depth requests seed arrival gap
       degraded_instances = degraded;
       jobs;
       slo_sojourn;
+      use_plan = not no_plan;
+      memoize;
+      input_mix;
     }
   in
   let report =
@@ -725,16 +745,17 @@ let trace_arg =
        & info [ "trace" ] ~docv:"FILE"
            ~doc:"Write a Chrome trace-event JSON (Perfetto-loadable) here.")
 let jobs_arg =
-  let env =
-    Cmd.Env.info "HTVM_JOBS"
-      ~doc:"Default worker-domain count when $(b,--jobs) is absent."
-  in
+  (* HTVM_JOBS is resolved by hand in [resolve_jobs] rather than via
+     Cmd.Env: cmdliner would fold the variable into the flag's value,
+     and the cap below applies only to the ambient default — an explicit
+     --jobs N must still force N. *)
   Arg.(value & opt (some int) None
-       & info [ "jobs"; "j" ] ~docv:"N" ~env
+       & info [ "jobs"; "j" ] ~docv:"N"
            ~doc:"Worker domains for the compilation engine (tiling solves and \
-                 autotune trials); must be >= 1. Defaults to $(b,HTVM_JOBS), \
-                 then to the machine's available domain count. Compilation \
-                 results are bit-identical at every job count.")
+                 autotune trials); must be >= 1 and is taken as given. When \
+                 absent, $(b,HTVM_JOBS) applies, capped at the machine's \
+                 recommended domain count; then that count itself. \
+                 Compilation results are bit-identical at every job count.")
 
 let metrics_arg =
   Arg.(value & opt (some string) None
@@ -771,6 +792,13 @@ let degrade_arg =
            ~doc:"Treat accelerator TARGET as degraded: the compiler's \
                  fallback ladder re-lowers its segments to the next-best \
                  target. Repeatable.")
+let no_plan_arg =
+  Arg.(value & flag
+       & info [ "no-plan" ]
+           ~doc:"Execute on the slow interpretive simulator path instead of \
+                 the artifact's compiled execution plan. Outputs, cycle \
+                 counts and traces are byte-identical either way (the slow \
+                 path is the conformance oracle).")
 
 let export_cmd =
   let model = Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL") in
@@ -796,7 +824,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Compile and simulate a model")
     Term.(const run $ path_arg $ config_arg $ jobs_arg $ seed $ trace_arg
           $ inject_arg $ faults_file_arg $ retry_budget_arg $ degrade_arg
-          $ metrics_arg $ metrics_format_arg)
+          $ no_plan_arg $ metrics_arg $ metrics_format_arg)
 
 let profile_cmd =
   let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Input seed.") in
@@ -809,7 +837,7 @@ let profile_cmd =
        ~doc:"Compile and simulate with tracing on; print a profile summary")
     Term.(const profile $ path_arg $ config_arg $ jobs_arg $ seed $ trace_arg
           $ json_out $ inject_arg $ faults_file_arg $ retry_budget_arg
-          $ degrade_arg $ metrics_arg $ metrics_format_arg)
+          $ degrade_arg $ no_plan_arg $ metrics_arg $ metrics_format_arg)
 
 let dot_cmd =
   let out = Arg.(value & opt (some string) None & info [ "o" ] ~doc:"Write DOT here.") in
@@ -988,6 +1016,23 @@ let serve_cmd =
                    and against the observed sojourn (fleet-dependent, \
                    report only).")
   in
+  let memoize =
+    Arg.(value & flag
+         & info [ "memoize" ]
+             ~doc:"Reuse one execution across requests with identical input \
+                   digests (deduplicated before the worker fan-out). \
+                   Requires a fault-free run; the tally is byte-identical \
+                   with and without it, only hit/miss telemetry and wall \
+                   time move.")
+  in
+  let input_mix =
+    Arg.(value & opt int Serve.default.Serve.input_mix
+         & info [ "input-mix" ] ~docv:"K"
+             ~doc:"Fold per-request input seeds into a pool of K distinct \
+                   payloads (0 = every request unique, the default). \
+                   Arrival times are unaffected. Gives $(b,--memoize) \
+                   something to hit.")
+  in
   let json_out =
     Arg.(value & opt (some string) None
          & info [ "json" ] ~docv:"FILE" ~doc:"Write the JSON serving report here.")
@@ -1007,8 +1052,9 @@ let serve_cmd =
     Term.(const serve $ path_arg $ config_arg $ jobs_arg $ workers $ batch
           $ queue_depth $ requests $ seed $ arrival $ gap $ window $ overhead
           $ inject_arg $ faults_file_arg $ retry_budget_arg $ degrade_after
-          $ degraded $ slo_sojourn $ trace_arg $ json_out $ tally_out
-          $ metrics_arg $ metrics_format_arg)
+          $ degraded $ slo_sojourn $ no_plan_arg $ memoize $ input_mix
+          $ trace_arg $ json_out $ tally_out $ metrics_arg
+          $ metrics_format_arg)
 
 let report_cmd =
   let out =

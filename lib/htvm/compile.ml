@@ -73,6 +73,7 @@ let demotion_reason_to_string = function
 type artifact = {
   cfg : config;
   program : Sim.Program.t;
+  plan : Sim.Plan.t;
   size : Codegen.Size.report;
   layers : layer_info list;
   c_source : string;
@@ -814,6 +815,7 @@ let compile ?trace ?metrics cfg graph =
     {
       cfg;
       program;
+      plan = phase "plan" (fun () -> Sim.Plan.build ~platform:cfg.platform program);
       size;
       layers;
       c_source = phase "emit" (fun () -> Dory.Emit.emit_network schedules);
@@ -824,9 +826,10 @@ let compile ?trace ?metrics cfg graph =
       demotions = List.rev !demotions;
     }
 
-let run ?trace ?faults ?retry_budget artifact ~inputs =
+let run ?trace ?faults ?retry_budget ?(use_plan = true) artifact ~inputs =
+  let plan = if use_plan then Some artifact.plan else None in
   Sim.Machine.run ~platform:artifact.cfg.platform ?trace ?faults ?retry_budget
-    artifact.program ~inputs
+    ?plan artifact.program ~inputs
 
 let full_cycles (r : Sim.Machine.report) = r.Sim.Machine.totals.Sim.Counters.wall
 

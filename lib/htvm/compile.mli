@@ -94,6 +94,9 @@ val demotion_reason_to_string : demotion_reason -> string
 type artifact = {
   cfg : config;
   program : Sim.Program.t;
+  plan : Sim.Plan.t;
+      (** compiled execution plan for [program], built eagerly at compile
+          time; {!run} uses it by default ([use_plan]) *)
   size : Codegen.Size.report;
   layers : layer_info list;
   c_source : string;  (** DORY-style C for every offloaded layer *)
@@ -148,7 +151,7 @@ val compile :
     reproduces Table I's MobileNet OoM under the TVM baseline). When
     [trace] is given, every compiler phase (simplify, partition, lower
     with per-layer ["tiling.solve"] events, fuse, autotune, memplan,
-    emit) is recorded as a span on the ["compiler"] track.
+    plan, emit) is recorded as a span on the ["compiler"] track.
 
     When [metrics] is given, the same phases register
     [htvm_wall_compile_phase_seconds{phase=...}] gauges on the wall
@@ -167,13 +170,17 @@ val run :
   ?trace:Trace.t ->
   ?faults:Fault.Session.t ->
   ?retry_budget:int ->
+  ?use_plan:bool ->
   artifact ->
   inputs:(string * Tensor.t) list ->
   Tensor.t * Sim.Machine.report
 (** Execute the artifact on the simulated SoC; [trace], [faults] and
     [retry_budget] are forwarded to {!Sim.Machine.run} (omitting
     [faults], or passing a session over the empty plan, changes
-    nothing).
+    nothing). [use_plan] (default [true]) executes through the artifact's
+    compiled {!Sim.Plan} fast path — byte-identical outputs, counters and
+    traces; pass [false] to force the slow interpretive oracle. A fault
+    session always runs the slow path regardless of [use_plan].
     @raise Fault.Session.Unrecovered when an injected fault exhausts the
     retry budget. *)
 

@@ -137,6 +137,15 @@ let to_json_value ?(energy = Sim.Energy.diana_defaults) (artifact : Compile.arti
             ("infeasible", J.Int artifact.Compile.solver.Compile.ss_infeasible);
             ("pruned", J.Int artifact.Compile.solver.Compile.ss_pruned);
           ] );
+      ( "plan",
+        let ps = Sim.Plan.stats artifact.Compile.plan in
+        J.Obj
+          [
+            ("accel_steps", J.Int ps.Sim.Plan.accel_steps);
+            ("tiles", J.Int ps.Sim.Plan.tiles);
+            ("scratch_words", J.Int ps.Sim.Plan.scratch_words);
+            ("image_bytes", J.Int ps.Sim.Plan.image_bytes);
+          ] );
     ]
     @ demotions_json
     @ [
@@ -207,6 +216,12 @@ let to_markdown ?(energy = Sim.Energy.diana_defaults) (artifact : Compile.artifa
   if cfg.Compile.solver_cache <> None then
     add "- solver cache: %d hits, %d misses this compile\n" sv.Compile.ss_cache_hits
       sv.Compile.ss_cache_misses;
+  let ps = Sim.Plan.stats artifact.Compile.plan in
+  add
+    "- execution plan: %d accelerator step(s), %d tile instance(s), %d scratch \
+     words, %d B weight image\n"
+    ps.Sim.Plan.accel_steps ps.Sim.Plan.tiles ps.Sim.Plan.scratch_words
+    ps.Sim.Plan.image_bytes;
   (match artifact.Compile.demotions with
   | [] -> ()
   | ds ->

@@ -39,6 +39,9 @@ type config = {
   degraded_instances : int list;
   jobs : int;
   slo_sojourn : int option;
+  use_plan : bool;
+  memoize : bool;
+  input_mix : int;
 }
 
 let default =
@@ -57,6 +60,9 @@ let default =
     degraded_instances = [];
     jobs = 1;
     slo_sojourn = None;
+    use_plan = true;
+    memoize = false;
+    input_mix = 0;
   }
 
 type request = { r_id : int; r_input_seed : int; r_arrival : int }
@@ -153,6 +159,8 @@ type report = {
   r_throughput_rps : float;
   r_instances : instance_stat list;
   r_slo : slo option;
+  r_memo_hits : int;
+  r_memo_misses : int;
   r_metrics : Metrics.snapshot;
 }
 
@@ -167,9 +175,22 @@ let exp_gap rng ~mean =
 
 let generate cfg ~mean_gap =
   let rng = Util.Rng.create cfg.seed in
+  (* Input-mix pool: [input_mix = 0] keeps the historical fully-unique
+     stream byte-for-byte; [input_mix = k > 0] folds every per-request
+     draw into a pool of k seeds from a derived stream. The fold happens
+     after the main draw, so arrivals are identical at any mix. *)
+  let pool =
+    if cfg.input_mix <= 0 then [||]
+    else
+      let prng = Util.Rng.create (cfg.seed + 999_983) in
+      Array.init cfg.input_mix (fun _ -> Util.Rng.int_in prng 1 1_000_000)
+  in
   let clock = ref 0 in
   List.init cfg.requests (fun k ->
-      let input_seed = Util.Rng.int_in rng 1 1_000_000 in
+      let draw = Util.Rng.int_in rng 1 1_000_000 in
+      let input_seed =
+        if cfg.input_mix <= 0 then draw else pool.(draw mod cfg.input_mix)
+      in
       let arrival =
         match cfg.arrival with
         | Closed -> 0
@@ -227,7 +248,10 @@ let execute cfg artifact ~graph (r : request) =
         let st = Fault.Session.stats s in
         (st.Fault.Session.detected, st.Fault.Session.silent, st.Fault.Session.retries)
   in
-  match C.run ?faults:session ~retry_budget:cfg.retry_budget artifact ~inputs with
+  match
+    C.run ?faults:session ~retry_budget:cfg.retry_budget ~use_plan:cfg.use_plan
+      artifact ~inputs
+  with
   | out, report ->
       let detected, silent, retries = fault_stats () in
       Done
@@ -291,6 +315,12 @@ let run ?trace ?metrics cfg artifact ~graph =
   (match cfg.slo_sojourn with
   | Some t when t < 1 -> invalid_arg "Serve.run: slo_sojourn must be >= 1"
   | _ -> ());
+  if cfg.input_mix < 0 then invalid_arg "Serve.run: input_mix must be >= 0";
+  (* Memoization reuses one execution across identical inputs, which is
+     only sound when executions are input-pure — per-request fault
+     sessions make them input-impure by design. *)
+  if cfg.memoize && not (Fault.Plan.is_empty cfg.plan) then
+    invalid_arg "Serve.run: memoize requires an empty fault plan";
   (* The run always records into a registry — the caller's (so a serve
      dump can carry the compile-side metrics too) or a private one — and
      the report carries its snapshot. Registration is strict, so a
@@ -326,6 +356,16 @@ let run ?trace ?metrics cfg artifact ~graph =
   let m_retries =
     Metrics.counter reg ~help:"Retries across all request executions."
       "htvm_serve_retries_total"
+  in
+  let m_memo_hits =
+    Metrics.counter reg
+      ~help:"Admitted requests whose output was reused from an identical input."
+      "htvm_serve_memo_hits_total"
+  in
+  let m_memo_misses =
+    Metrics.counter reg
+      ~help:"Distinct inputs actually executed under memoization."
+      "htvm_serve_memo_misses_total"
   in
   let cycle_buckets =
     [ 1_000; 3_000; 10_000; 30_000; 100_000; 300_000; 1_000_000; 3_000_000;
@@ -431,11 +471,50 @@ let run ?trace ?metrics cfg artifact ~graph =
   in
   (* Execute every admitted request on the pool. Order-preserving map +
      per-request fault sessions keep this identical at any [jobs]. *)
+  let memo_hits = ref 0 and memo_misses = ref 0 in
   let execs =
-    Util.Pool.with_pool ~jobs:cfg.jobs (fun pool ->
-        Util.Pool.map pool
-          (fun (_, r) -> execute cfg artifact ~graph r)
-          admitted)
+    if not cfg.memoize then
+      Util.Pool.with_pool ~jobs:cfg.jobs (fun pool ->
+          Util.Pool.map pool
+            (fun (_, r) -> execute cfg artifact ~graph r)
+            admitted)
+    else begin
+      (* Memoization: dedupe admitted requests by input digest before the
+         fan-out, execute one representative per distinct input, share its
+         result. Executions are input-pure here (empty fault plan is
+         enforced above), so the tally is byte-identical with and without
+         memoization — only hit/miss telemetry and wall time move. *)
+      let input_digest r =
+        let inputs = Models.Zoo.random_input ~seed:r.r_input_seed graph in
+        String.concat "+"
+          (List.map (fun (n, t) -> n ^ ":" ^ digest_tensor t) inputs)
+      in
+      let keys = List.map (fun (_, r) -> input_digest r) admitted in
+      let seen = Hashtbl.create 16 in
+      let reps =
+        List.filter_map
+          (fun (item, key) ->
+            if Hashtbl.mem seen key then begin
+              incr memo_hits;
+              None
+            end
+            else begin
+              Hashtbl.add seen key ();
+              incr memo_misses;
+              Some (key, item)
+            end)
+          (List.combine admitted keys)
+      in
+      let rep_execs =
+        Util.Pool.with_pool ~jobs:cfg.jobs (fun pool ->
+            Util.Pool.map pool
+              (fun (_, (_, r)) -> execute cfg artifact ~graph r)
+              reps)
+      in
+      let table = Hashtbl.create 16 in
+      List.iter2 (fun (key, _) e -> Hashtbl.replace table key e) reps rep_execs;
+      List.map (fun key -> Hashtbl.find table key) keys
+    end
   in
   let work = List.combine admitted execs in
   (* Batch assembly: chunk each window's admitted requests. *)
@@ -656,6 +735,8 @@ let run ?trace ?metrics cfg artifact ~graph =
   Metrics.inc m_faults_detected det;
   Metrics.inc m_faults_silent sil;
   Metrics.inc m_retries ret;
+  Metrics.inc m_memo_hits !memo_hits;
+  Metrics.inc m_memo_misses !memo_misses;
   let sim_totals = Sim.Counters.create () in
   Array.iter (fun i -> Sim.Counters.add sim_totals i.totals) instances;
   List.iter2
@@ -795,6 +876,8 @@ let run ?trace ?metrics cfg artifact ~graph =
              })
            instances);
     r_slo = slo;
+    r_memo_hits = !memo_hits;
+    r_memo_misses = !memo_misses;
     r_metrics = Metrics.snapshot reg;
   }
 
@@ -815,11 +898,14 @@ let pp_percentiles buf label p =
    assignments, waits, makespan and throughput are deliberately absent. *)
 let tally r =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "htvm-serve-tally v1\n";
+  Buffer.add_string buf "htvm-serve-tally v2\n";
   Buffer.add_string buf
-    (Printf.sprintf "seed %d requests %d arrival %s batch %d queue-depth %d window %d\n"
+    (Printf.sprintf
+       "seed %d requests %d arrival %s batch %d queue-depth %d window %d \
+        input-mix %d\n"
        r.r_config.seed r.r_config.requests (arrival_to_string r)
-       r.r_config.max_batch r.r_config.queue_depth r.r_window);
+       r.r_config.max_batch r.r_config.queue_depth r.r_window
+       r.r_config.input_mix);
   Buffer.add_string buf
     (Printf.sprintf "plan %s retry-budget %d\n"
        (Fault.Plan.to_string r.r_config.plan)
@@ -843,6 +929,17 @@ let tally r =
   Buffer.add_string buf
     (Printf.sprintf "outcomes served=%d rejected=%d aborted=%d\n" r.r_served
        r.r_rejected r.r_aborted);
+  (* Distinct-payload accounting: how much the input-mix pool collapsed
+     the stream, and how many distinct answers it produced. A pure
+     function of the seed, like every other tally line. *)
+  let distinct xs = List.length (List.sort_uniq compare xs) in
+  Buffer.add_string buf
+    (Printf.sprintf "digests distinct-inputs=%d distinct-outputs=%d\n"
+       (distinct (List.map (fun (req, _) -> req.r_input_seed) r.r_outcomes))
+       (distinct
+          (List.filter_map
+             (function _, Served s -> Some s.o_digest | _ -> None)
+             r.r_outcomes)));
   (* Predicted violations only: the observed count depends on the fleet
      shape and has no place in the functional ledger. *)
   (match r.r_slo with
@@ -865,6 +962,10 @@ let summary r =
   Buffer.add_string buf
     (Printf.sprintf "makespan %d cycles, throughput %.1f req/s, shed rate %.1f%%\n"
        r.r_makespan r.r_throughput_rps (100.0 *. r.r_shed_rate));
+  if r.r_config.memoize then
+    Buffer.add_string buf
+      (Printf.sprintf "memoize: %d hit(s), %d distinct input(s) executed\n"
+         r.r_memo_hits r.r_memo_misses);
   (match r.r_slo with
   | Some s ->
       Buffer.add_string buf
@@ -963,6 +1064,11 @@ let to_json r =
       ("window_cycles", J.Int r.r_window);
       ("dispatch_overhead_cycles", J.Int r.r_config.dispatch_overhead);
       ("plan", J.Str (Fault.Plan.to_string r.r_config.plan));
+      ("use_plan", J.Bool r.r_config.use_plan);
+      ("input_mix", J.Int r.r_config.input_mix);
+      ("memoize", J.Bool r.r_config.memoize);
+      ("memo_hits", J.Int r.r_memo_hits);
+      ("memo_misses", J.Int r.r_memo_misses);
       ("served", J.Int r.r_served);
       ("rejected", J.Int r.r_rejected);
       ("aborted", J.Int r.r_aborted);

@@ -84,13 +84,31 @@ type config = {
           the tally and on the metrics cycles track) and against the
           {e observed} scheduled sojourn (fleet-shape dependent, report
           and sched track only). *)
+  use_plan : bool;
+      (** execute requests through the artifact's compiled
+          {!Sim.Plan} fast path (default); [false] forces the slow
+          interpretive oracle. Tallies are byte-identical either way —
+          `tools/verify.sh` diffs the two. *)
+  memoize : bool;
+      (** reuse one execution across admitted requests with identical
+          input digests (dedup happens before the pool fan-out). Sound
+          only for input-pure executions, so it requires an empty fault
+          [plan]. The tally is byte-identical with and without it; hit /
+          miss counts land in the report, the summary and the
+          [htvm_serve_memo_{hits,misses}_total] counters. *)
+  input_mix : int;
+      (** [0] (default): every request draws a fresh input seed — the
+          historical fully-unique stream, byte-for-byte. [k > 0]: per-
+          request seeds are folded into a pool of [k] seeds derived from
+          [seed], so requests repeat payloads and memoization has
+          something to hit. Arrival times are unaffected by the mix. *)
 }
 
 val default : config
 (** [workers = 4], [max_batch = 8], [queue_depth = 32], [requests = 64],
     [seed = 42], closed-loop arrivals, auto window, 1000-cycle dispatch
     overhead, no faults, retry budget 3, no degradation, [jobs = 1],
-    no SLO. *)
+    no SLO, plan fast path on, no memoization, fully-unique inputs. *)
 
 type request = {
   r_id : int;
@@ -182,6 +200,12 @@ type report = {
           clock *)
   r_instances : instance_stat list;
   r_slo : slo option;  (** [Some] iff [slo_sojourn] was set *)
+  r_memo_hits : int;
+      (** admitted requests served from a memoized execution (0 unless
+          [memoize]) *)
+  r_memo_misses : int;
+      (** distinct inputs actually executed under memoization (0 unless
+          [memoize]) *)
   r_metrics : Metrics.snapshot;
       (** the run's telemetry: admission/outcome counters, service and
           predicted-sojourn histograms, the per-window series and
@@ -210,7 +234,8 @@ val run :
     registry. Registration is strict, so a caller-supplied registry must
     not have hosted a serve run before.
     @raise Invalid_argument on a non-positive [workers], [max_batch],
-    [queue_depth], [slo_sojourn] or negative [requests]. *)
+    [queue_depth], [slo_sojourn], a negative [requests] or [input_mix],
+    or [memoize] combined with a non-empty fault [plan]. *)
 
 val tally : report -> string
 (** The canonical functional ledger: one line per request (outcome,

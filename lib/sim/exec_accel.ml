@@ -245,6 +245,60 @@ let dma_out ~l2 ~l1 ~buffers ~(s : S.t) ~layout ~slot (inst : S.instance) =
         ~l1_off:base ~full_h:l.L.out_shape.(1) ~full_w:l.L.out_shape.(2)
         ~ch0:inst.S.k0 ~y0:inst.S.oy0 ~x0:inst.S.ox0 ~chans ~rows ~cols
 
+(* Wall-clock reconstruction, shared by the per-request slow path and the
+   execution plan's build step (Plan records the emitted intervals once and
+   replays them per request). Each engine interval is placed where the cost
+   model says it runs; returns the fault-free wall. *)
+let timeline ~double_buffer ~engine ~overhead ~t0 ~din ~wls ~ccs ~dout ~bin ~bout
+    ~emit =
+  let n = Array.length din in
+  let tile_args i bytes = [ ("tile", Trace.Json.Int i); ("bytes", Trace.Json.Int bytes) ] in
+  emit ~track:"host" ~ts:t0 ~dur:overhead
+    ~args:[ ("tiles", Trace.Json.Int n) ]
+    (engine ^ " setup");
+  if double_buffer && n > 1 then begin
+    (* Two-stage pipeline: while tile i computes, tile i+1 prefetches and
+       tile i-1 writes back. *)
+    let cur = ref (t0 + overhead) in
+    emit ~track:"dma" ~ts:!cur ~dur:din.(0) ~args:(tile_args 0 bin.(0)) "dma_in";
+    cur := !cur + din.(0);
+    for i = 0 to n - 1 do
+      let prefetch = if i + 1 < n then din.(i + 1) else 0 in
+      let writeback = if i > 0 then dout.(i - 1) else 0 in
+      emit ~track:engine ~ts:!cur ~dur:wls.(i) ~args:(tile_args i 0) "weight_load";
+      emit ~track:engine ~ts:(!cur + wls.(i)) ~dur:ccs.(i) ~args:(tile_args i 0)
+        "compute";
+      if prefetch > 0 then
+        emit ~track:"dma" ~ts:!cur ~dur:prefetch ~args:(tile_args (i + 1) bin.(i + 1))
+          "dma_in";
+      if writeback > 0 then
+        emit ~track:"dma" ~ts:(!cur + prefetch) ~dur:writeback
+          ~args:(tile_args (i - 1) bout.(i - 1))
+          "dma_out";
+      cur := !cur + max (wls.(i) + ccs.(i)) (prefetch + writeback)
+    done;
+    emit ~track:"dma" ~ts:!cur ~dur:dout.(n - 1)
+      ~args:(tile_args (n - 1) bout.(n - 1))
+      "dma_out";
+    cur := !cur + dout.(n - 1);
+    !cur - t0
+  end
+  else begin
+    (* Sequential tiles; the weight-memory port is separate from L1, so
+       each tile's weight fill still overlaps its input DMA. *)
+    let cur = ref (t0 + overhead) in
+    for i = 0 to n - 1 do
+      emit ~track:"dma" ~ts:!cur ~dur:din.(i) ~args:(tile_args i bin.(i)) "dma_in";
+      emit ~track:engine ~ts:!cur ~dur:wls.(i) ~args:(tile_args i 0) "weight_load";
+      cur := !cur + max din.(i) wls.(i);
+      emit ~track:engine ~ts:!cur ~dur:ccs.(i) ~args:(tile_args i 0) "compute";
+      cur := !cur + ccs.(i);
+      emit ~track:"dma" ~ts:!cur ~dur:dout.(i) ~args:(tile_args i bout.(i)) "dma_out";
+      cur := !cur + dout.(i)
+    done;
+    !cur - t0
+  end
+
 let run ~platform ~accel ~l2 ~l1 ~buffers ?trace ?(t0 = 0) ?faults
     ?(retry_budget = 3) (s : S.t) =
   let l = s.S.layer in
@@ -261,7 +315,6 @@ let run ~platform ~accel ~l2 ~l1 ~buffers ?trace ?(t0 = 0) ?faults
   let rc = Resilience.make ?faults ~retry_budget c in
   let engine_site = Fault.Plan.Compute (Some accel.Arch.Accel.accel_name) in
   let n = List.length s.S.instances in
-  let busy = Array.make n 0 in
   let wls = Array.make n 0 in
   let ccs = Array.make n 0 in
   let din = Array.make n 0 in
@@ -293,7 +346,6 @@ let run ~platform ~accel ~l2 ~l1 ~buffers ?trace ?(t0 = 0) ?faults
           Resilience.flip_in_mem fs l1 ~base:(out_base layout i)
             ~bytes:(Tile.bytes_out l inst.S.dims) bits)
         ~flip_detected:false ();
-      busy.(i) <- wl + cc;
       wls.(i) <- wl;
       ccs.(i) <- cc;
       c.Counters.accel_compute <- c.Counters.accel_compute + cc;
@@ -312,60 +364,16 @@ let run ~platform ~accel ~l2 ~l1 ~buffers ?trace ?(t0 = 0) ?faults
     accel.Arch.Accel.setup_cycles + (n * accel.Arch.Accel.tile_overhead_cycles)
   in
   c.Counters.host_overhead <- overhead;
-  (* The wall-clock reconstruction below doubles as the trace timeline:
-     each engine interval is placed where the cost model says it runs. *)
+  (* The wall-clock reconstruction doubles as the trace timeline: each
+     engine interval is placed where the cost model says it runs. *)
   let engine = accel.Arch.Accel.accel_name in
   let on = Trace.enabled trace in
   let emit ~track ~ts ~dur ~args name =
     if on && dur > 0 then Trace.interval trace ~track ~ts ~dur ~args name
   in
-  let tile_args i bytes = [ ("tile", Trace.Json.Int i); ("bytes", Trace.Json.Int bytes) ] in
-  emit ~track:"host" ~ts:t0 ~dur:overhead
-    ~args:[ ("tiles", Trace.Json.Int n) ]
-    (engine ^ " setup");
   let wall =
-    if s.S.double_buffer && n > 1 then begin
-      (* Two-stage pipeline: while tile i computes, tile i+1 prefetches and
-         tile i-1 writes back. *)
-      let cur = ref (t0 + overhead) in
-      emit ~track:"dma" ~ts:!cur ~dur:din.(0) ~args:(tile_args 0 bin.(0)) "dma_in";
-      cur := !cur + din.(0);
-      for i = 0 to n - 1 do
-        let prefetch = if i + 1 < n then din.(i + 1) else 0 in
-        let writeback = if i > 0 then dout.(i - 1) else 0 in
-        emit ~track:engine ~ts:!cur ~dur:wls.(i) ~args:(tile_args i 0) "weight_load";
-        emit ~track:engine ~ts:(!cur + wls.(i)) ~dur:ccs.(i) ~args:(tile_args i 0)
-          "compute";
-        if prefetch > 0 then
-          emit ~track:"dma" ~ts:!cur ~dur:prefetch ~args:(tile_args (i + 1) bin.(i + 1))
-            "dma_in";
-        if writeback > 0 then
-          emit ~track:"dma" ~ts:(!cur + prefetch) ~dur:writeback
-            ~args:(tile_args (i - 1) bout.(i - 1))
-            "dma_out";
-        cur := !cur + max busy.(i) (prefetch + writeback)
-      done;
-      emit ~track:"dma" ~ts:!cur ~dur:dout.(n - 1)
-        ~args:(tile_args (n - 1) bout.(n - 1))
-        "dma_out";
-      cur := !cur + dout.(n - 1);
-      !cur - t0
-    end
-    else begin
-      (* Sequential tiles; the weight-memory port is separate from L1, so
-         each tile's weight fill still overlaps its input DMA. *)
-      let cur = ref (t0 + overhead) in
-      for i = 0 to n - 1 do
-        emit ~track:"dma" ~ts:!cur ~dur:din.(i) ~args:(tile_args i bin.(i)) "dma_in";
-        emit ~track:engine ~ts:!cur ~dur:wls.(i) ~args:(tile_args i 0) "weight_load";
-        cur := !cur + max din.(i) wls.(i);
-        emit ~track:engine ~ts:!cur ~dur:ccs.(i) ~args:(tile_args i 0) "compute";
-        cur := !cur + ccs.(i);
-        emit ~track:"dma" ~ts:!cur ~dur:dout.(i) ~args:(tile_args i bout.(i)) "dma_out";
-        cur := !cur + dout.(i)
-      done;
-      !cur - t0
-    end
+    timeline ~double_buffer:s.S.double_buffer ~engine ~overhead ~t0 ~din ~wls ~ccs
+      ~dout ~bin ~bout ~emit
   in
   (* Fault effects extend the step past its fault-free wall; the base
      counters (and the stall derived from them) keep clean values so

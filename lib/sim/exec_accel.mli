@@ -20,6 +20,46 @@ type buffers = {
 val l1_bytes_required : Dory.Schedule.t -> int
 (** L1 scratch the schedule needs under its buffering policy. *)
 
+type l1_layout = { in_size : int; out_size : int; slots : int }
+(** The schedule's L1 scratch layout: [slots] (1, or 2 under double
+    buffering) input blocks of [in_size] bytes followed by [slots] output
+    blocks of [out_size] bytes. *)
+
+val layout_of : Dory.Schedule.t -> l1_layout
+
+val in_base : l1_layout -> int -> int
+(** L1 offset of the input block for a tile slot (slots alternate under
+    double buffering). *)
+
+val out_base : l1_layout -> int -> int
+(** L1 offset of the output block for a tile slot. *)
+
+val timeline :
+  double_buffer:bool ->
+  engine:string ->
+  overhead:int ->
+  t0:int ->
+  din:int array ->
+  wls:int array ->
+  ccs:int array ->
+  dout:int array ->
+  bin:int array ->
+  bout:int array ->
+  emit:
+    (track:string ->
+    ts:int ->
+    dur:int ->
+    args:(string * Trace.Json.t) list ->
+    string ->
+    unit) ->
+  int
+(** Reconstruct the step's fault-free wall clock from per-tile DMA-in,
+    weight-load, compute and DMA-out cycle arrays (and byte counts for the
+    trace args), calling [emit] for every interval — the setup span on the
+    ["host"] track, transfers on ["dma"], engine work on [engine] — exactly
+    as {!run} places them. Shared by {!run} and the execution plan, which
+    records the intervals once at build time and replays them per request. *)
+
 val run :
   platform:Arch.Platform.t ->
   accel:Arch.Accel.t ->

@@ -55,16 +55,36 @@ let run_cpu_step ~l2 ~(prog : P.t) ~nodes ~ins ~out =
   | Some v -> write_buffer l2 (P.buffer prog out) v
   | None -> invalid_arg "Machine: empty CPU kernel"
 
-let run ~platform ?trace ?faults ?(retry_budget = 3) (prog : P.t) ~inputs =
+let run ~platform ?trace ?faults ?(retry_budget = 3) ?plan
+    ?(plan_fresh_arena = false) (prog : P.t) ~inputs =
   (match P.validate prog with
   | Ok () -> ()
   | Error e -> invalid_arg ("Machine: invalid program: " ^ e));
-  let l2 = Mem.create "L2" platform.Arch.Platform.l2.Arch.Memory.size_bytes in
-  let l1 = Mem.create "L1" platform.Arch.Platform.l1.Arch.Memory.size_bytes in
-  (* Poison both memories so reads of never-written bytes surface as wrong
-     results in the differential tests rather than convenient zeros. *)
-  Mem.fill l1 0x5A;
-  List.iter (fun (off, t) -> Mem.write_tensor l2 off t) prog.P.weight_images;
+  (* The compiled plan is only sound fault-free: fault injection mutates
+     memory and timing per request, which is exactly what a plan
+     precomputes away. With a fault session active the slow path runs and
+     stays the oracle. *)
+  let plan =
+    match (plan, faults) with
+    | Some p, None ->
+        if not (Plan.program p == prog) then
+          invalid_arg "Machine: plan was built for a different program";
+        Some p
+    | _ -> None
+  in
+  let l2, l1 =
+    match plan with
+    | Some p -> Plan.checkout ~fresh:plan_fresh_arena p
+    | None ->
+        let l2 = Mem.create "L2" platform.Arch.Platform.l2.Arch.Memory.size_bytes in
+        let l1 = Mem.create "L1" platform.Arch.Platform.l1.Arch.Memory.size_bytes in
+        (* Poison both memories so reads of never-written bytes surface as
+           wrong results in the differential tests rather than convenient
+           zeros. *)
+        Mem.fill l1 0x5A;
+        List.iter (fun (off, t) -> Mem.write_tensor l2 off t) prog.P.weight_images;
+        (l2, l1)
+  in
   List.iter
     (fun (name, buf) ->
       match List.assoc_opt name inputs with
@@ -80,8 +100,8 @@ let run ~platform ?trace ?faults ?(retry_budget = 3) (prog : P.t) ~inputs =
   let on = Trace.enabled trace in
   let clock = ref 0 in
   let per_step =
-    List.map
-      (fun step ->
+    List.mapi
+      (fun step_index step ->
         (* Ambient bit rot: once per step and memory, before the step
            runs, the plan may flip bits in the occupied region or stall
            the bus. Drawn L2-first for determinism. *)
@@ -91,19 +111,23 @@ let run ~platform ?trace ?faults ?(retry_budget = 3) (prog : P.t) ~inputs =
         Resilience.mem_rot rot ~site:Fault.Plan.L1 ~mem:l1;
         let c =
           match step with
-          | P.Accel { accel_name; schedule; ins; out; weights_offset; bias_offset } ->
-              let accel = Arch.Platform.find_accel platform accel_name in
-              let buffers =
-                {
-                  Exec_accel.in_offsets =
-                    List.map (fun id -> (P.buffer prog id).P.l2_offset) ins;
-                  out_offset = (P.buffer prog out).P.l2_offset;
-                  weights_offset;
-                  bias_offset;
-                }
-              in
-              Exec_accel.run ~platform ~accel ~l2 ~l1 ~buffers ?trace ~t0:!clock
-                ?faults ~retry_budget schedule
+          | P.Accel { accel_name; schedule; ins; out; weights_offset; bias_offset } -> (
+              match plan with
+              | Some p ->
+                  Plan.run_accel_step p ~step_index ~l2 ~l1 ?trace ~t0:!clock ()
+              | None ->
+                  let accel = Arch.Platform.find_accel platform accel_name in
+                  let buffers =
+                    {
+                      Exec_accel.in_offsets =
+                        List.map (fun id -> (P.buffer prog id).P.l2_offset) ins;
+                      out_offset = (P.buffer prog out).P.l2_offset;
+                      weights_offset;
+                      bias_offset;
+                    }
+                  in
+                  Exec_accel.run ~platform ~accel ~l2 ~l1 ~buffers ?trace
+                    ~t0:!clock ?faults ~retry_budget schedule)
           | P.Cpu { kernel_name; nodes; ins; out; cycles } ->
               run_cpu_step ~l2 ~prog ~nodes ~ins ~out;
               let c = Counters.create () in

@@ -20,10 +20,21 @@ val run :
   ?trace:Trace.t ->
   ?faults:Fault.Session.t ->
   ?retry_budget:int ->
+  ?plan:Plan.t ->
+  ?plan_fresh_arena:bool ->
   Program.t ->
   inputs:(string * Tensor.t) list ->
   Tensor.t * report
-(** Execute the program on fresh memories. When [trace] is given, each
+(** Execute the program on fresh memories — or, when [plan] is given (it
+    must have been built for this very program, physical equality) and no
+    fault session is active, on the calling domain's reused plan arena via
+    the compiled fast path, with byte-identical outputs, counters, traces
+    and high-water marks. A [plan] passed alongside [faults] is ignored:
+    fault injection always runs the slow oracle path.
+    [plan_fresh_arena] (default false) discards the domain's cached arena
+    first — benchmarks use it to measure the no-reuse path.
+
+    When [trace] is given, each
     step contributes one interval on the ["steps"] track (whose summed
     durations equal [totals.wall]), per-tile engine/DMA intervals via
     {!Exec_accel}, and L1/L2 occupancy high-water samples on the ["mem"]

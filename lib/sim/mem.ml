@@ -98,7 +98,105 @@ let read_tensor t off dt shape =
   done;
   out
 
+(* Bulk flat-array codecs for the execution-plan fast path. Semantics are
+   element-for-element those of [read_elt]/[write_elt] (same sign
+   extension, same ternary rot fold, same range Fault on writes), but the
+   bounds check happens once per call and bytes are accessed unsafely, so
+   a whole padded window or output slab moves in one tight loop. *)
+
+let read_flat_into t (dt : Tensor.Dtype.t) off dst ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Array.length dst then
+    invalid_arg "Mem.read_flat_into: destination range out of bounds";
+  let w = Tensor.Dtype.sim_bytes dt in
+  check t off (len * w);
+  let data = t.data in
+  (match dt with
+  | Tensor.Dtype.I8 ->
+      for i = 0 to len - 1 do
+        Array.unsafe_set dst (pos + i)
+          (sign_extend 8 (Char.code (Bytes.unsafe_get data (off + i))))
+      done
+  | Tensor.Dtype.Ternary ->
+      for i = 0 to len - 1 do
+        let v = sign_extend 8 (Char.code (Bytes.unsafe_get data (off + i))) in
+        let v = if v >= -1 && v <= 1 then v else (((v mod 3) + 3) mod 3) - 1 in
+        Array.unsafe_set dst (pos + i) v
+      done
+  | Tensor.Dtype.U7 ->
+      for i = 0 to len - 1 do
+        Array.unsafe_set dst (pos + i) (Char.code (Bytes.unsafe_get data (off + i)) land 0x7F)
+      done
+  | Tensor.Dtype.I16 ->
+      for i = 0 to len - 1 do
+        let o = off + (i * 2) in
+        Array.unsafe_set dst (pos + i)
+          (sign_extend 16
+             (Char.code (Bytes.unsafe_get data o)
+             lor (Char.code (Bytes.unsafe_get data (o + 1)) lsl 8)))
+      done
+  | Tensor.Dtype.I32 ->
+      for i = 0 to len - 1 do
+        let o = off + (i * 4) in
+        Array.unsafe_set dst (pos + i)
+          (sign_extend 32
+             (Char.code (Bytes.unsafe_get data o)
+             lor (Char.code (Bytes.unsafe_get data (o + 1)) lsl 8)
+             lor (Char.code (Bytes.unsafe_get data (o + 2)) lsl 16)
+             lor (Char.code (Bytes.unsafe_get data (o + 3)) lsl 24)))
+      done)
+
+let write_flat_from t (dt : Tensor.Dtype.t) off src ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Array.length src then
+    invalid_arg "Mem.write_flat_from: source range out of bounds";
+  let w = Tensor.Dtype.sim_bytes dt in
+  check t off (len * w);
+  let data = t.data in
+  let range_fault v i =
+    raise
+      (Fault
+         (Printf.sprintf "%s: value %d out of range for %s at offset %d" t.mem_name v
+            (Tensor.Dtype.to_string dt)
+            (off + (i * w))))
+  in
+  (match dt with
+  | Tensor.Dtype.I8 | Tensor.Dtype.Ternary | Tensor.Dtype.U7 ->
+      for i = 0 to len - 1 do
+        let v = Array.unsafe_get src (pos + i) in
+        if not (Tensor.Dtype.in_range dt v) then range_fault v i;
+        Bytes.unsafe_set data (off + i) (Char.unsafe_chr (v land 0xFF))
+      done
+  | Tensor.Dtype.I16 ->
+      for i = 0 to len - 1 do
+        let v = Array.unsafe_get src (pos + i) in
+        if not (Tensor.Dtype.in_range dt v) then range_fault v i;
+        let o = off + (i * 2) in
+        Bytes.unsafe_set data o (Char.unsafe_chr (v land 0xFF));
+        Bytes.unsafe_set data (o + 1) (Char.unsafe_chr ((v asr 8) land 0xFF))
+      done
+  | Tensor.Dtype.I32 ->
+      for i = 0 to len - 1 do
+        let v = Array.unsafe_get src (pos + i) in
+        if not (Tensor.Dtype.in_range dt v) then range_fault v i;
+        let o = off + (i * 4) in
+        Bytes.unsafe_set data o (Char.unsafe_chr (v land 0xFF));
+        Bytes.unsafe_set data (o + 1) (Char.unsafe_chr ((v asr 8) land 0xFF));
+        Bytes.unsafe_set data (o + 2) (Char.unsafe_chr ((v asr 16) land 0xFF));
+        Bytes.unsafe_set data (o + 3) (Char.unsafe_chr ((v asr 24) land 0xFF))
+      done);
+  touch t off (len * w)
+
 let fill t v = Bytes.fill t.data 0 (Bytes.length t.data) (Char.chr (v land 0xFF))
+
+(* Arena snapshot/restore: the execution plan captures the post-load L2
+   image once at build time and rewinds the reused memory to it between
+   requests, instead of re-serializing every weight tensor. *)
+let image t = Bytes.copy t.data
+
+let restore t img ~hwm =
+  if Bytes.length img <> Bytes.length t.data then
+    invalid_arg "Mem.restore: image size mismatch";
+  Bytes.blit img 0 t.data 0 (Bytes.length img);
+  t.hwm <- hwm
 
 (* Fault injection's corruption primitive: toggles one bit without moving
    the high-water mark, so an injected flip is indistinguishable from bit

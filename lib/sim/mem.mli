@@ -47,8 +47,30 @@ val write_tensor : t -> int -> Tensor.t -> unit
 val read_tensor : t -> int -> Tensor.Dtype.t -> int array -> Tensor.t
 (** Deserialize a tensor of the given dtype/shape from a byte offset. *)
 
+val read_flat_into : t -> Tensor.Dtype.t -> int -> int array -> pos:int -> len:int -> unit
+(** [read_flat_into t dt off dst ~pos ~len] decodes [len] consecutive
+    elements of dtype [dt] starting at byte offset [off] into
+    [dst.(pos..pos+len-1)]. Element-for-element equivalent to [read_elt]
+    in a loop (same sign extension and ternary rot fold) with a single
+    up-front bounds check — the execution plan's bulk decode primitive. *)
+
+val write_flat_from : t -> Tensor.Dtype.t -> int -> int array -> pos:int -> len:int -> unit
+(** [write_flat_from t dt off src ~pos ~len] encodes
+    [src.(pos..pos+len-1)] as [len] consecutive elements of dtype [dt] at
+    byte offset [off]. Element-for-element equivalent to [write_elt] in a
+    loop: each value is range-checked ({!Fault} on violation) and the
+    high-water mark advances over the written range. *)
+
 val fill : t -> int -> unit
 (** Fill the whole memory with a byte value (tests use a poison pattern). *)
+
+val image : t -> Bytes.t
+(** A fresh copy of the full contents — an arena snapshot. *)
+
+val restore : t -> Bytes.t -> hwm:int -> unit
+(** Overwrite the contents with a snapshot from {!image} (sizes must
+    match) and set the high-water mark to [hwm] — rewinds a reused memory
+    to a known state between requests. *)
 
 val flip_bit : t -> off:int -> bit:int -> unit
 (** Toggle bit [bit land 7] of the byte at [off] without advancing the

@@ -64,10 +64,13 @@ let set_flat t i v =
   t.data.(i) <- v
 
 let blit_data t = Array.copy t.data
+let unsafe_data t = t.data
 
 let fill t v =
   check_value t.dtype v;
   Array.fill t.data 0 (Array.length t.data) v
+
+let reset t = Array.fill t.data 0 (Array.length t.data) 0
 
 let reshape t shape =
   check_shape shape;

@@ -54,8 +54,19 @@ val set_flat : t -> int -> int -> unit
 val blit_data : t -> int array
 (** A fresh copy of the flat payload. *)
 
+val unsafe_data : t -> int array
+(** The live flat payload itself, not a copy. Writing through it skips the
+    dtype range check, so it is reserved for hot paths that re-establish
+    the invariant themselves (the execution-plan kernels clamp every value
+    before it lands). Aliases the tensor for its whole lifetime. *)
+
 val fill : t -> int -> unit
 (** Set every element to a (range-checked) value. *)
+
+val reset : t -> unit
+(** Zero every element in place — the arena-reuse path. Equivalent to
+    [fill t 0] (zero is in range for every dtype) but spelled separately
+    so reuse sites read as "make this scratch tensor fresh again". *)
 
 val reshape : t -> int array -> t
 (** Same payload viewed under a new shape with equal element count. The

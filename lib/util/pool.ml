@@ -177,11 +177,17 @@ let parse_jobs s =
 (* An empty HTVM_JOBS counts as unset (the conventional way to clear an
    environment variable from a shell that cannot unset); anything else
    malformed fails loudly — a silently ignored job count and a rejected
-   --jobs flag must not coexist. *)
+   --jobs flag must not coexist. A valid value is capped at the machine's
+   recommended domain count: HTVM_JOBS is an ambient default, typically
+   set once for a beefy box and inherited by every shell, so letting it
+   oversubscribe a smaller machine with idle spinning domains is a
+   footgun. An explicit --jobs N still forces N (callers pass flags
+   around this resolver). The [default] is the caller's own choice and is
+   deliberately not capped. *)
 let jobs_from_env ?(default = 1) () =
   match Sys.getenv_opt "HTVM_JOBS" with
   | None | Some "" -> default
   | Some s -> (
       match parse_jobs s with
-      | Ok n -> n
+      | Ok n -> min n (available ())
       | Error msg -> invalid_arg ("HTVM_JOBS: " ^ msg))

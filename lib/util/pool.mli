@@ -41,8 +41,10 @@ val available : unit -> int
 (** The runtime's recommended domain count for this machine. *)
 
 val jobs_from_env : ?default:int -> unit -> int
-(** [HTVM_JOBS] when set to a positive integer; [default] (1) when the
-    variable is unset or empty.
+(** [HTVM_JOBS] when set to a positive integer, capped at {!available}
+    (an ambient default must not oversubscribe a smaller machine — an
+    explicit [--jobs N] still forces [N]); [default] (1) when the
+    variable is unset or empty. [default] itself is never capped.
     @raise Invalid_argument on a malformed, zero or negative value, with
     the same diagnosis {!parse_jobs} gives a rejected [--jobs] flag — a
     bad environment variable must fail as loudly as a bad flag. *)

@@ -32,6 +32,7 @@ let () =
          Test_check.suites;
          Test_shrink.suites;
          Test_golden.suites;
+         Test_plan.suites;
          Test_size.suites;
          Test_fault.suites;
          Test_serve.suites;

@@ -15,12 +15,13 @@ let pair ?(c = 4) ?(k1 = 8) ?(k2 = 8) ?(hw = 16) ?(stride2 = 1) ?(seed = 61) () 
   in
   (first, second)
 
-let run_chain plan (first : L.t) _second input =
+(* Lay out input / output / weight / bias regions for a fused pair in a
+   fresh L2, returning the memories and buffer map. *)
+let setup_chain plan (first : L.t) =
   let l2 = Sim.Mem.create "L2" (Util.Ints.kib 512) in
   let l1 = Sim.Mem.create "L1" (Util.Ints.kib 256) in
   Sim.Mem.fill l1 0x3C;
   let numel s = Array.fold_left ( * ) 1 s in
-  Sim.Mem.write_tensor l2 0 input;
   let out_off = numel first.L.in_shape in
   let w1_off = out_off + numel plan.Dory.Chain.second.L.out_shape in
   Sim.Mem.write_tensor l2 w1_off (Option.get first.L.weights);
@@ -30,16 +31,22 @@ let run_chain plan (first : L.t) _second input =
   Sim.Mem.write_tensor l2 w2_off (Option.get plan.Dory.Chain.second.L.weights);
   let b2_off = w2_off + Tensor.sim_bytes (Option.get plan.Dory.Chain.second.L.weights) in
   Sim.Mem.write_tensor l2 b2_off (Option.get plan.Dory.Chain.second.L.bias);
+  let buffers =
+    { Sim.Exec_chain.in_offset = 0; out_offset = out_off; w1_offset = w1_off;
+      b1_offset = b1_off; w2_offset = w2_off; b2_offset = b2_off }
+  in
+  (l2, l1, buffers)
+
+let run_chain plan (first : L.t) _second input =
+  let l2, l1, buffers = setup_chain plan first in
+  Sim.Mem.write_tensor l2 0 input;
   let counters =
     Sim.Exec_chain.run ~platform:Arch.Diana.platform ~accel:Arch.Diana.digital ~l2 ~l1
-      ~buffers:
-        { Sim.Exec_chain.in_offset = 0; out_offset = out_off; w1_offset = w1_off;
-          b1_offset = b1_off; w2_offset = w2_off; b2_offset = b2_off }
-      plan
+      ~buffers plan
   in
   let out =
-    Sim.Mem.read_tensor l2 out_off plan.Dory.Chain.second.L.out_dtype
-      plan.Dory.Chain.second.L.out_shape
+    Sim.Mem.read_tensor l2 buffers.Sim.Exec_chain.out_offset
+      plan.Dory.Chain.second.L.out_dtype plan.Dory.Chain.second.L.out_shape
   in
   (out, counters)
 
@@ -113,6 +120,67 @@ let test_recompute_factor () =
   Alcotest.(check bool) "striped recomputes" true
     (Dory.Chain.recompute_factor striped > 1.0)
 
+(* A prep built once per chain must leave every run byte-identical to
+   the fresh-allocation path — outputs and all counters — across
+   repeated requests with different inputs (the arena-reuse contract),
+   and must refuse to combine with fault injection or a foreign chain. *)
+let test_prep_matches_fresh () =
+  let first, second = pair ~hw:16 () in
+  let plan = Result.get_ok (Dory.Chain.plan ~l1_budget:(Util.Ints.kib 4) first second) in
+  Alcotest.(check bool) "striped (scratch actually reused)" true
+    (plan.Dory.Chain.stripes > 1);
+  let l2, l1, buffers = setup_chain plan first in
+  let run ?prep input =
+    Sim.Mem.write_tensor l2 0 input;
+    let counters =
+      Sim.Exec_chain.run ~platform:Arch.Diana.platform ~accel:Arch.Diana.digital
+        ~l2 ~l1 ~buffers ?prep plan
+    in
+    let out =
+      Sim.Mem.read_tensor l2 buffers.Sim.Exec_chain.out_offset
+        plan.Dory.Chain.second.L.out_dtype plan.Dory.Chain.second.L.out_shape
+    in
+    (out, counters)
+  in
+  let prep = Sim.Exec_chain.prepare ~l2 ~buffers plan in
+  List.iter
+    (fun seed ->
+      let input =
+        Tensor.random (Util.Rng.create seed) first.L.in_dtype first.L.in_shape
+      in
+      let out_fresh, c_fresh = run input in
+      let out_prep, c_prep = run ~prep input in
+      if not (Tensor.equal out_fresh out_prep) then
+        Alcotest.failf "prep output differs at seed %d: max diff %d" seed
+          (Tensor.max_abs_diff out_fresh out_prep);
+      List.iter2
+        (fun (name, fresh) (_, prepped) ->
+          Alcotest.(check int) (Printf.sprintf "seed %d: %s" seed name) fresh prepped)
+        (Sim.Counters.fields c_fresh)
+        (Sim.Counters.fields c_prep))
+    [ 11; 12; 13 ];
+  (* prep + faults: the slow path stays the fault oracle. *)
+  let session =
+    Fault.Session.create
+      (Result.get_ok (Fault.Plan.of_string "seed=1,dma_in@every=2:flip"))
+  in
+  (match
+     Sim.Exec_chain.run ~platform:Arch.Diana.platform ~accel:Arch.Diana.digital
+       ~l2 ~l1 ~buffers ~faults:session ~prep plan
+   with
+  | _ -> Alcotest.fail "prep combined with faults was accepted"
+  | exception Invalid_argument _ -> ());
+  (* prep from another chain: physical identity enforced. *)
+  let other =
+    Result.get_ok (Dory.Chain.plan ~l1_budget:(Util.Ints.kib 4) first second)
+  in
+  match
+    Sim.Exec_chain.run ~platform:Arch.Diana.platform ~accel:Arch.Diana.digital
+      ~l2 ~l1 ~buffers ~prep other
+  with
+  | _ -> Alcotest.fail "foreign prep was accepted"
+  | exception Invalid_argument _ -> ()
+
 let prop_chain_exact =
   Helpers.qtest ~count:30 "fused pair exact over random geometry"
     QCheck.(quad (int_range 1 6) (int_range 1 10) (pair (int_range 1 10) (int_range 8 18)) int)
@@ -138,6 +206,8 @@ let suites =
         Alcotest.test_case "exact strided second" `Quick test_exact_strided_second_layer;
         Alcotest.test_case "L2 peak reduction" `Quick test_l2_peak_reduction;
         Alcotest.test_case "recompute factor" `Quick test_recompute_factor;
+        Alcotest.test_case "prep matches fresh allocation" `Quick
+          test_prep_matches_fresh;
         prop_chain_exact;
       ] )
   ]

@@ -433,7 +433,7 @@ let test_compile_metrics () =
         m.M.m_name = "htvm_wall_compile_phase_seconds" && m.M.m_track = M.Wall)
       snap
   in
-  Alcotest.(check int) "seven phase gauges" 7 (List.length phases)
+  Alcotest.(check int) "eight phase gauges" 8 (List.length phases)
 
 let suites =
   [ ( "metrics",

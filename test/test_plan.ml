@@ -1,0 +1,218 @@
+(* Differential conformance for compiled execution plans (Sim.Plan): the
+   fast path must be byte-identical to the slow oracle — output bytes,
+   per-step counters, aggregate counters and trace events — on zoo models
+   and randomly generated graphs/configs. Plans are silently dropped
+   under fault injection (the slow path stays the fault oracle) and
+   rejected for programs they were not built for. *)
+
+module C = Htvm.Compile
+
+let compare_counters label a b =
+  List.iter2
+    (fun (n, x) (_, y) -> Alcotest.(check int) (label ^ ": " ^ n) x y)
+    (Sim.Counters.fields a) (Sim.Counters.fields b)
+
+let compare_reports label (slow : Sim.Machine.report) (fast : Sim.Machine.report) =
+  Alcotest.(check int)
+    (label ^ ": step count")
+    (List.length slow.Sim.Machine.per_step)
+    (List.length fast.Sim.Machine.per_step);
+  List.iter2
+    (fun (n1, c1) (n2, c2) ->
+      Alcotest.(check string) (label ^ ": step name") n1 n2;
+      compare_counters (label ^ "/" ^ n1) c1 c2)
+    slow.Sim.Machine.per_step fast.Sim.Machine.per_step;
+  compare_counters (label ^ ": totals") slow.Sim.Machine.totals
+    fast.Sim.Machine.totals
+
+let compare_outputs label slow fast =
+  if not (Tensor.equal slow fast) then
+    Alcotest.failf "%s: plan output differs (max diff %d)" label
+      (Tensor.max_abs_diff slow fast)
+
+(* Trace events carry name/cat/track/ts/dur/kind/args; both paths are
+   deterministic, so the full event lists must match structurally. *)
+let compare_traces label slow fast =
+  Alcotest.(check int)
+    (label ^ ": trace event count")
+    (List.length (Trace.events slow))
+    (List.length (Trace.events fast));
+  Alcotest.(check bool) (label ^ ": trace events identical") true
+    (Trace.events slow = Trace.events fast)
+
+(* One zoo model per deployment configuration — every accelerator payload
+   shape (cpu-only, digital, analog ternary, mixed) crosses the plan path
+   on a real network. The 16-case golden suite already runs the plan path
+   end to end; this test pins the *differential* against the slow oracle
+   including counters and traces, which digests cannot see. *)
+let zoo_cases =
+  [ ("ds_cnn", "cpu"); ("mobilenet_v1_025", "digital");
+    ("toyadmos_dae", "analog"); ("resnet8", "both") ]
+
+let test_zoo_differential () =
+  List.iter
+    (fun (model, config) ->
+      let entry = Models.Zoo.find model in
+      let _, platform, policy =
+        List.find (fun (c, _, _) -> c = config) Check.Golden.configurations
+      in
+      let g = entry.Models.Zoo.build policy in
+      let cfg =
+        { (C.default_config platform) with C.jobs = 1; C.solver_cache = None }
+      in
+      let artifact =
+        match C.compile cfg g with
+        | Ok a -> a
+        | Error e -> Alcotest.failf "%s/%s: %s" model config (C.error_to_string e)
+      in
+      let inputs = Models.Zoo.random_input ~seed:Check.Golden.input_seed g in
+      let label = model ^ "/" ^ config in
+      let tr_slow = Trace.create () and tr_fast = Trace.create () in
+      let out_slow, rep_slow =
+        C.run ~trace:tr_slow ~use_plan:false artifact ~inputs
+      in
+      let out_fast, rep_fast = C.run ~trace:tr_fast artifact ~inputs in
+      compare_outputs label out_slow out_fast;
+      compare_reports label rep_slow rep_fast;
+      compare_traces label tr_slow tr_fast;
+      (* Arena reuse across requests must not leak state: a second request
+         with a different input still matches its own slow run. *)
+      let inputs2 = Models.Zoo.random_input ~seed:(Check.Golden.input_seed + 1) g in
+      let out_slow2, rep_slow2 = C.run ~use_plan:false artifact ~inputs:inputs2 in
+      let out_fast2, rep_fast2 = C.run artifact ~inputs:inputs2 in
+      compare_outputs (label ^ " (2nd request)") out_slow2 out_fast2;
+      compare_reports (label ^ " (2nd request)") rep_slow2 rep_fast2)
+    zoo_cases
+
+(* Random graphs x random deployment configs: the fuzz generator's whole
+   operator vocabulary (depthwise, strides, residual adds, concats,
+   pooling, softmax heads, shrunken-L1 tilings) through both paths. *)
+let test_random_differential () =
+  let ran = ref 0 in
+  for seed = 0 to 39 do
+    let g = Check.Gen.generate seed in
+    let cfg = { (Check.Gen.random_config seed) with C.solver_cache = None } in
+    match C.compile cfg g with
+    | Error _ -> () (* infeasible deployments are the fuzz suite's business *)
+    | Ok artifact -> (
+        let label = Printf.sprintf "seed %d" seed in
+        let inputs = Models.Zoo.random_input ~seed g in
+        match C.run ~use_plan:false artifact ~inputs with
+        | exception e -> (
+            (* If the slow oracle rejects the run, the plan path must fail
+               identically — never silently produce bytes. *)
+            match C.run artifact ~inputs with
+            | exception e' ->
+                Alcotest.(check string)
+                  (label ^ ": same failure")
+                  (Printexc.to_string e) (Printexc.to_string e')
+            | _ ->
+                Alcotest.failf "%s: slow path raised %s but plan path succeeded"
+                  label (Printexc.to_string e))
+        | out_slow, rep_slow ->
+            incr ran;
+            let out_fast, rep_fast = C.run artifact ~inputs in
+            compare_outputs label out_slow out_fast;
+            compare_reports label rep_slow rep_fast)
+  done;
+  Alcotest.(check bool) "enough random deployments actually ran" true (!ran >= 10)
+
+let digital_artifact =
+  lazy
+    (let entry = Models.Zoo.find "resnet8" in
+     let g = entry.Models.Zoo.build Models.Policy.All_int8 in
+     let cfg =
+       { (C.default_config Arch.Diana.digital_only) with
+         C.jobs = 1; C.solver_cache = None }
+     in
+     (Result.get_ok (C.compile cfg g), g))
+
+(* Plan stats agree with the program they were compiled from. *)
+let test_stats () =
+  let artifact, _ = Lazy.force digital_artifact in
+  let stats = Sim.Plan.stats artifact.C.plan in
+  let accel_steps =
+    List.length
+      (List.filter
+         (function Sim.Program.Accel _ -> true | Sim.Program.Cpu _ -> false)
+         artifact.C.program.Sim.Program.steps)
+  in
+  Alcotest.(check int) "accel steps" accel_steps stats.Sim.Plan.accel_steps;
+  Alcotest.(check bool) "at least one tile per step" true
+    (stats.Sim.Plan.tiles >= stats.Sim.Plan.accel_steps);
+  Alcotest.(check bool) "scratch allocated" true (stats.Sim.Plan.scratch_words > 0);
+  Alcotest.(check bool) "weight image captured" true (stats.Sim.Plan.image_bytes > 0);
+  Alcotest.(check bool) "program identity" true
+    (Sim.Plan.program artifact.C.plan == artifact.C.program)
+
+(* The per-domain arena is cached across checkouts; [~fresh] discards it. *)
+let test_arena_reuse () =
+  let artifact, g = Lazy.force digital_artifact in
+  let plan = artifact.C.plan in
+  let l2a, l1a = Sim.Plan.checkout plan in
+  let l2b, l1b = Sim.Plan.checkout plan in
+  Alcotest.(check bool) "L2 reused" true (l2a == l2b);
+  Alcotest.(check bool) "L1 reused" true (l1a == l1b);
+  let l2c, _ = Sim.Plan.checkout ~fresh:true plan in
+  Alcotest.(check bool) "fresh discards the cache" true (not (l2c == l2a));
+  (* plan_fresh_arena reaches the same bytes through new allocations. *)
+  let inputs = Models.Zoo.random_input ~seed:3 g in
+  let out_reuse, rep_reuse = C.run artifact ~inputs in
+  let out_fresh, rep_fresh =
+    Sim.Machine.run ~platform:artifact.C.cfg.C.platform ~plan
+      ~plan_fresh_arena:true artifact.C.program ~inputs
+  in
+  compare_outputs "fresh arena" out_reuse out_fresh;
+  compare_reports "fresh arena" rep_reuse rep_fresh
+
+(* A plan passed alongside a fault session is ignored, not consulted:
+   the run is byte-identical to the plain slow path under the same
+   session, and detected faults still cost retry cycles. *)
+let test_plan_dropped_under_faults () =
+  let artifact, g = Lazy.force digital_artifact in
+  let inputs = Models.Zoo.random_input ~seed:5 g in
+  let plan_spec = "seed=11,dma_in@every=3:flip" in
+  let session () =
+    Fault.Session.create (Result.get_ok (Fault.Plan.of_string plan_spec))
+  in
+  let out_slow, rep_slow =
+    Sim.Machine.run ~platform:artifact.C.cfg.C.platform ~faults:(session ())
+      artifact.C.program ~inputs
+  in
+  let out_plan, rep_plan =
+    Sim.Machine.run ~platform:artifact.C.cfg.C.platform ~faults:(session ())
+      ~plan:artifact.C.plan artifact.C.program ~inputs
+  in
+  compare_outputs "faults" out_slow out_plan;
+  compare_reports "faults" rep_slow rep_plan;
+  Alcotest.(check bool) "faults were actually injected" true
+    (rep_slow.Sim.Machine.totals.Sim.Counters.faults_detected > 0)
+
+(* Physical identity between plan and program is enforced. *)
+let test_foreign_plan_rejected () =
+  let artifact, g = Lazy.force digital_artifact in
+  let cfg =
+    { (C.default_config Arch.Diana.digital_only) with
+      C.jobs = 1; C.solver_cache = None }
+  in
+  let artifact2 = Result.get_ok (C.compile cfg g) in
+  let inputs = Models.Zoo.random_input ~seed:3 g in
+  match
+    Sim.Machine.run ~platform:artifact.C.cfg.C.platform ~plan:artifact.C.plan
+      artifact2.C.program ~inputs
+  with
+  | _ -> Alcotest.fail "a foreign plan was accepted"
+  | exception Invalid_argument _ -> ()
+
+let suites =
+  [ ( "plan",
+      [ Alcotest.test_case "zoo differential" `Quick test_zoo_differential;
+        Alcotest.test_case "random differential" `Quick test_random_differential;
+        Alcotest.test_case "stats" `Quick test_stats;
+        Alcotest.test_case "arena reuse" `Quick test_arena_reuse;
+        Alcotest.test_case "plan dropped under faults" `Quick
+          test_plan_dropped_under_faults;
+        Alcotest.test_case "foreign plan rejected" `Quick
+          test_foreign_plan_rejected;
+      ] )
+  ]

@@ -79,9 +79,11 @@ let test_exception_contract_jobs_1_vs_4 () =
       | _ -> Alcotest.fail "expected Boom"
       | exception Boom 5 -> ())
 
-(* HTVM_JOBS handling: valid values parse, unset/empty fall back to the
-   default, and malformed values fail loudly with parse_jobs's message —
-   the same diagnosis a rejected --jobs flag gets. *)
+(* HTVM_JOBS handling: valid values parse but are capped at the
+   machine's recommended domain count (an ambient default must not
+   oversubscribe a smaller box), unset/empty fall back to the — uncapped
+   — default, and malformed values fail loudly with parse_jobs's
+   message, the same diagnosis a rejected --jobs flag gets. *)
 let with_jobs_env value f =
   let old = Sys.getenv_opt "HTVM_JOBS" in
   Unix.putenv "HTVM_JOBS" value;
@@ -90,12 +92,24 @@ let with_jobs_env value f =
     f
 
 let test_jobs_from_env_valid () =
+  let avail = Util.Pool.available () in
   with_jobs_env "3" (fun () ->
-      Alcotest.(check int) "3 parses" 3 (Util.Pool.jobs_from_env ()));
+      Alcotest.(check int) "3 parses, capped at available" (min 3 avail)
+        (Util.Pool.jobs_from_env ()));
   with_jobs_env " 2 " (fun () ->
-      Alcotest.(check int) "padded parses" 2 (Util.Pool.jobs_from_env ()));
+      Alcotest.(check int) "padded parses, capped at available" (min 2 avail)
+        (Util.Pool.jobs_from_env ()));
+  with_jobs_env "1" (fun () ->
+      Alcotest.(check int) "1 survives any cap" 1 (Util.Pool.jobs_from_env ()));
+  with_jobs_env (string_of_int (avail * 64)) (fun () ->
+      Alcotest.(check int) "oversubscription capped at available" avail
+        (Util.Pool.jobs_from_env ()));
   with_jobs_env "" (fun () ->
-      Alcotest.(check int) "empty = unset" 5 (Util.Pool.jobs_from_env ~default:5 ()))
+      (* The default is the caller's own choice and is deliberately not
+         capped. *)
+      Alcotest.(check int) "empty = unset, default uncapped"
+        ((avail * 8) + 5)
+        (Util.Pool.jobs_from_env ~default:((avail * 8) + 5) ()))
 
 let test_jobs_from_env_rejects_malformed () =
   let expect_invalid value =

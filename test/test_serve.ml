@@ -211,6 +211,66 @@ let test_digest_matches_direct_run () =
       | _ -> Alcotest.fail "expected served")
     r.Serve.r_outcomes
 
+(* The compiled-plan fast path is invisible at the serve level: the
+   functional tally is byte-identical with plans disabled. *)
+let test_tally_plan_invariant () =
+  let on = Serve.tally (serve ~cfg:base ()) in
+  let off = Serve.tally (serve ~cfg:{ base with Serve.use_plan = false } ()) in
+  Alcotest.(check string) "plan on/off tallies identical" on off;
+  let faulty = { base with Serve.plan = flip_plan; retry_budget = 2 } in
+  Alcotest.(check string) "under faults too"
+    (Serve.tally (serve ~cfg:faulty ()))
+    (Serve.tally (serve ~cfg:{ faulty with Serve.use_plan = false } ()))
+
+(* input_mix folds request seeds onto a small pool without disturbing the
+   arrival stream: scheduling is unchanged at any mix, and the tally's
+   distinct-input count collapses to at most the pool size. *)
+let test_input_mix () =
+  let run mix = serve ~cfg:{ base with Serve.input_mix = mix } () in
+  let r0 = run 0 and r3 = run 3 in
+  List.iter2
+    (fun (a, _) (b, _) ->
+      Alcotest.(check int) "arrival stream invariant under mix"
+        a.Serve.r_arrival b.Serve.r_arrival)
+    r0.Serve.r_outcomes r3.Serve.r_outcomes;
+  let distinct_seeds r =
+    List.sort_uniq compare
+      (List.map (fun (req, _) -> req.Serve.r_input_seed) r.Serve.r_outcomes)
+  in
+  Alcotest.(check bool) "12 unmixed requests draw >3 distinct seeds" true
+    (List.length (distinct_seeds r0) > 3);
+  Alcotest.(check bool) "mix=3 collapses to <=3 seeds" true
+    (List.length (distinct_seeds r3) <= 3);
+  Alcotest.(check bool) "tally reports the collapse" true
+    (Helpers.contains (Serve.tally r3) "digests distinct-inputs=");
+  match serve ~cfg:{ base with Serve.input_mix = -1 } () with
+  | _ -> Alcotest.fail "negative input_mix accepted"
+  | exception Invalid_argument _ -> ()
+
+(* Memoization dedupes admitted requests by input digest before the pool
+   fan-out: the functional tally must not move (only telemetry does), the
+   hit/miss books must balance against the served count, and it refuses
+   to run under fault injection (executions must be input-pure). *)
+let test_memoize () =
+  let mixed = { base with Serve.input_mix = 3 } in
+  let plain = serve ~cfg:mixed () in
+  let memo = serve ~cfg:{ mixed with Serve.memoize = true } () in
+  Alcotest.(check string) "memoize leaves the tally byte-identical"
+    (Serve.tally plain) (Serve.tally memo);
+  Alcotest.(check int) "plain run counts no hits" 0 plain.Serve.r_memo_hits;
+  Alcotest.(check bool) "shared inputs hit the memo" true
+    (memo.Serve.r_memo_hits > 0);
+  Alcotest.(check bool) "misses = distinct executions <= pool size" true
+    (memo.Serve.r_memo_misses <= 3);
+  Alcotest.(check int) "hits + misses cover every served request"
+    memo.Serve.r_served
+    (memo.Serve.r_memo_hits + memo.Serve.r_memo_misses);
+  Alcotest.(check bool) "summary mentions the memo" true
+    (Helpers.contains (Serve.summary memo) "memoize");
+  match serve ~cfg:{ mixed with Serve.memoize = true; plan = flip_plan } () with
+  | _ -> Alcotest.fail "memoize accepted a fault plan"
+  | exception Invalid_argument _ -> ()
+
 let test_percentiles () =
   let p = Serve.percentiles_of [] in
   Alcotest.(check int) "empty count" 0 p.Serve.p_count;
@@ -241,7 +301,9 @@ let test_report_renderings () =
   let r = serve ~cfg:base () in
   let tally = Serve.tally r in
   Alcotest.(check bool) "tally has one line per request + header/footer" true
-    (List.length (String.split_on_char '\n' (String.trim tally)) = 12 + 5);
+    (List.length (String.split_on_char '\n' (String.trim tally)) = 12 + 6);
+  Alcotest.(check bool) "tally counts distinct digests" true
+    (Helpers.contains tally "digests distinct-inputs=");
   let json = Trace.Json.to_string (Serve.to_json r) in
   Alcotest.(check bool) "json mentions outcomes" true
     (Helpers.contains json "\"outcomes\":");
@@ -263,6 +325,10 @@ let suites =
           test_abort_on_exhausted_retries;
         Alcotest.test_case "digests match direct runs" `Quick
           test_digest_matches_direct_run;
+        Alcotest.test_case "tally invariant over plan path" `Quick
+          test_tally_plan_invariant;
+        Alcotest.test_case "input mix" `Quick test_input_mix;
+        Alcotest.test_case "memoize" `Quick test_memoize;
         Alcotest.test_case "percentiles" `Quick test_percentiles;
         Alcotest.test_case "rejects bad config" `Quick test_rejects_bad_config;
         Alcotest.test_case "report renderings" `Quick test_report_renderings;

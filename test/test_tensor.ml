@@ -113,6 +113,98 @@ let test_max_abs_diff () =
   let b = Tensor.of_array Dtype.I32 [| 3 |] [| 1; 4; -5 |] in
   Alcotest.(check int) "diff" 6 (Tensor.max_abs_diff a b)
 
+(* Flat accessors are the execution plan's hot path: bounds stay checked
+   (OCaml array semantics) and set_flat still range-checks the value. *)
+let test_flat_bounds () =
+  let t = Tensor.create Dtype.I8 [| 2; 3 |] in
+  let expect_oob name f =
+    match f () with
+    | _ -> Alcotest.failf "%s out of bounds accepted" name
+    | exception Invalid_argument _ -> ()
+  in
+  expect_oob "get_flat past end" (fun () -> Tensor.get_flat t 6);
+  expect_oob "get_flat negative" (fun () -> Tensor.get_flat t (-1));
+  expect_oob "set_flat past end" (fun () -> Tensor.set_flat t 6 0);
+  expect_oob "set_flat negative" (fun () -> Tensor.set_flat t (-1) 0);
+  Alcotest.check_raises "set_flat range-checks the value"
+    (Invalid_argument "Tensor: value 300 out of range for i8") (fun () ->
+      Tensor.set_flat t 0 300);
+  Tensor.set_flat t 5 (-7);
+  Alcotest.(check int) "last element round-trips" (-7) (Tensor.get_flat t 5)
+
+(* Every dtype round-trips its extremes through the flat accessors and
+   through Mem's bulk flat codecs (the plan's decode/encode primitives),
+   which must agree with the per-tensor codec. *)
+let test_dtype_flat_roundtrips () =
+  List.iter
+    (fun dtype ->
+      let name = Dtype.to_string dtype in
+      let lo = Dtype.min_value dtype and hi = Dtype.max_value dtype in
+      let t = Tensor.create dtype [| 4 |] in
+      List.iteri
+        (fun i v ->
+          Tensor.set_flat t i v;
+          Alcotest.(check int) (name ^ " flat round-trip") v (Tensor.get_flat t i))
+        [ lo; hi; 0; Dtype.clamp dtype 1 ];
+      (* Mem codecs: write_tensor / read_flat_into and write_flat_from /
+         read_tensor are inverses, at a non-zero offset. *)
+      let src = Tensor.random (Util.Rng.create 17) dtype [| 3; 5 |] in
+      let mem = Sim.Mem.create "scratch" 256 in
+      Sim.Mem.write_tensor mem 32 src;
+      let dst = Array.make (Tensor.numel src + 2) 0 in
+      Sim.Mem.read_flat_into mem dtype 32 dst ~pos:2 ~len:(Tensor.numel src);
+      Array.iteri
+        (fun i v ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s bulk decode [%d]" name i)
+            v
+            dst.(i + 2))
+        (Tensor.blit_data src);
+      let mem2 = Sim.Mem.create "scratch2" 256 in
+      Sim.Mem.write_flat_from mem2 dtype 32 dst ~pos:2 ~len:(Tensor.numel src);
+      Alcotest.(check bool) (name ^ " bulk encode") true
+        (Tensor.equal src (Sim.Mem.read_tensor mem2 32 dtype (Tensor.shape src))))
+    [ Dtype.I8; Dtype.U7; Dtype.I16; Dtype.I32; Dtype.Ternary ]
+
+let test_fill_reset_for_reuse () =
+  let t = Tensor.create Dtype.I16 [| 2; 2 |] in
+  Tensor.fill t (-123);
+  Alcotest.(check (list int)) "filled" [ -123; -123; -123; -123 ]
+    (Array.to_list (Tensor.blit_data t));
+  Tensor.reset t;
+  Alcotest.(check bool) "reset = fresh" true
+    (Tensor.equal t (Tensor.create Dtype.I16 [| 2; 2 |]));
+  Alcotest.check_raises "fill range-checks"
+    (Invalid_argument "Tensor: value 200 out of range for i8") (fun () ->
+      Tensor.fill (Tensor.create Dtype.I8 [| 1 |]) 200)
+
+(* The arena-reuse contract: a scratch tensor that lived through an
+   arbitrary previous request and was reset is indistinguishable from a
+   freshly created one after the same writes land in it. *)
+let prop_reused_scratch_equals_fresh =
+  Helpers.qtest "arena-reused tensor = fresh tensor"
+    QCheck.(pair (Helpers.arbitrary_chw Dtype.I8) int)
+    (fun (payload, seed) ->
+      let garbage =
+        Tensor.random (Util.Rng.create seed) Dtype.I8 (Tensor.shape payload)
+      in
+      let reused = Tensor.create Dtype.I8 (Tensor.shape payload) in
+      (* a previous request's leftovers... *)
+      Array.iteri (fun i v -> Tensor.set_flat reused i v)
+        (Tensor.blit_data garbage);
+      (* ...erased by the arena reset... *)
+      Tensor.reset reused;
+      Tensor.equal reused (Tensor.create Dtype.I8 (Tensor.shape payload))
+      && begin
+           (* ...and the next request's writes land identically. *)
+           let fresh = Tensor.create Dtype.I8 (Tensor.shape payload) in
+           Array.iteri (fun i v -> Tensor.set_flat reused i v)
+             (Tensor.blit_data payload);
+           Array.iteri (fun i v -> Tensor.set_flat fresh i v)
+             (Tensor.blit_data payload);
+           Tensor.equal reused fresh && Tensor.equal reused payload
+         end)
+
 let prop_random_in_range dtype =
   Helpers.qtest
     (Printf.sprintf "random %s in range" (Dtype.to_string dtype))
@@ -150,6 +242,11 @@ let suites =
         Alcotest.test_case "packed bytes" `Quick test_packed_bytes;
         Alcotest.test_case "equal" `Quick test_equal;
         Alcotest.test_case "max_abs_diff" `Quick test_max_abs_diff;
+        Alcotest.test_case "flat accessor bounds" `Quick test_flat_bounds;
+        Alcotest.test_case "dtype flat round-trips" `Quick
+          test_dtype_flat_roundtrips;
+        Alcotest.test_case "fill/reset for reuse" `Quick test_fill_reset_for_reuse;
+        prop_reused_scratch_equals_fresh;
         prop_random_in_range Dtype.I8;
         prop_random_in_range Dtype.Ternary;
         prop_random_in_range Dtype.U7;

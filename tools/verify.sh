@@ -29,6 +29,12 @@ dune exec bench/main.exe -- serve-smoke
 echo "== bench smoke: metrics (instrument cost, cycles-track determinism) =="
 dune exec bench/main.exe -- metrics-smoke
 
+# The compiled-plan fast path: output digests and simulated cycles must
+# be byte-identical to the slow oracle, and the memoize hit path must
+# leave the serve tally untouched. Exits nonzero on any divergence.
+echo "== bench smoke: simfast (plan fast path byte-identical to the oracle) =="
+dune exec bench/main.exe -- simfast-smoke
+
 # Serving smoke: the per-request tally of `htvmc serve` is a pure
 # function of the seed — byte-identical at any fleet size and any host
 # job count. Diff a 1-worker and a 4-worker run of the same stream.
@@ -40,6 +46,17 @@ dune exec bin/htvmc.exe -- serve _build/serve-smoke.htvm --config both \
   --workers 4 -j 4 --requests 16 --batch 4 --tally _build/serve-tally-w4.txt
 if ! diff _build/serve-tally-w1.txt _build/serve-tally-w4.txt; then
   echo "verify: serve tallies differ between workers 1 and 4" >&2
+  exit 1
+fi
+
+# The compiled execution plan is a pure fast path: disabling it
+# (--no-plan forces the slow interpretive oracle) must leave the
+# per-request tally byte-identical.
+echo "== htvmc serve smoke (plan on vs --no-plan) =="
+dune exec bin/htvmc.exe -- serve _build/serve-smoke.htvm --config both \
+  --workers 1 --requests 16 --batch 4 --no-plan --tally _build/serve-tally-noplan.txt
+if ! diff _build/serve-tally-w1.txt _build/serve-tally-noplan.txt; then
+  echo "verify: serve tallies differ between plan on and --no-plan" >&2
   exit 1
 fi
 
