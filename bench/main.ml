@@ -20,6 +20,8 @@ let experiments =
     ("resilience-smoke", Resilience.run_smoke);
     ("serve", Serve_bench.run);
     ("serve-smoke", Serve_bench.run_smoke);
+    ("mtserve", Mtserve.run);
+    ("mtserve-smoke", Mtserve.run_smoke);
     ("simfast", Simfast.run);
     ("simfast-smoke", Simfast.run_smoke);
     ("metrics", Metrics_bench.run);

@@ -1,0 +1,188 @@
+(* "mtserve" experiment: multi-tenant serving over a simulated DIANA
+   fleet hosting two compiled models under per-class latency SLOs.
+   Measures throughput across fleet sizes and placements (pinned vs
+   hot-swap), the swap-overhead cost of consolidation, SLO shedding
+   under open-loop load, and batch-size autotuning — and checks the
+   determinism invariants: the multi-tenant tally is byte-identical at
+   every worker count, and a recorded arrival trace replays to the
+   identical outcome set. Dumps BENCH_mtserve.json. *)
+
+module J = Trace.Json
+
+let out_file = "BENCH_mtserve.json"
+
+let compile name =
+  let g = (Models.Zoo.find name).Models.Zoo.build Models.Policy.Mixed in
+  let cfg = Htvm.Compile.default_config Arch.Diana.platform in
+  match Htvm.Compile.compile cfg g with
+  | Ok a -> { Serve.m_name = name; m_artifact = a; m_graph = g }
+  | Error e ->
+      Printf.eprintf "mtserve bench: compile %s failed: %s\n" name
+        (Htvm.Compile.error_to_string e);
+      exit 1
+
+let classes ~slo =
+  [
+    { Serve.k_name = "keyword"; k_model = Models.Ds_cnn.name; k_slo = slo;
+      k_weight = 2 };
+    { Serve.k_name = "vision"; k_model = Models.Resnet8.name; k_slo = None;
+      k_weight = 1 };
+  ]
+
+let run_ok cfg ~models ~classes =
+  match Serve.mt_run cfg ~models ~classes with
+  | Ok r -> r
+  | Error e ->
+      Printf.eprintf "mtserve bench: %s\n" (Serve.mt_error_to_string e);
+      exit 1
+
+let tally_digest r = Digest.to_hex (Digest.string (Serve.mt_tally r))
+
+let run_mtserve ~requests (worker_counts : int list) =
+  let models = [ compile Models.Ds_cnn.name; compile Models.Resnet8.name ] in
+  let base =
+    {
+      Serve.mt_default with
+      Serve.mt_requests = requests;
+      mt_arrival = Serve.Mt_poisson { mean_gap = 0 };
+    }
+  in
+  Printf.printf "== mtserve: multi-tenant serving, two models, SLO classes ==\n%!";
+  (* Fleet sweep under hot-swap placement: throughput moves, the
+     functional books must not. *)
+  let sweep =
+    List.map
+      (fun workers ->
+        let r =
+          run_ok { base with Serve.mt_workers = workers } ~models
+            ~classes:(classes ~slo:None)
+        in
+        Printf.printf
+          "  workers %d (swap): %7.1f req/s, makespan %d, %d swap(s)\n%!"
+          workers r.Serve.mt_throughput_rps r.Serve.mt_makespan r.Serve.mt_swaps;
+        (workers, r))
+      worker_counts
+  in
+  let digests = List.map (fun (_, r) -> tally_digest r) sweep in
+  let tally_identical =
+    match digests with [] -> true | d :: rest -> List.for_all (( = ) d) rest
+  in
+  Printf.printf "  tally identical across worker counts: %b\n%!" tally_identical;
+  (* Placement ablation at equal fleet size: pinning avoids every swap,
+     consolidating onto swappable instances pays mt_swap_overhead per
+     model change. *)
+  let pinned =
+    run_ok
+      { base with Serve.mt_workers = 2; mt_placement = Serve.Pinned }
+      ~models ~classes:(classes ~slo:None)
+  in
+  let swapping =
+    run_ok
+      { base with Serve.mt_workers = 2; mt_placement = Serve.Swap }
+      ~models ~classes:(classes ~slo:None)
+  in
+  Printf.printf
+    "  placement: pinned %d swaps makespan %d | swap %d swaps makespan %d\n%!"
+    pinned.Serve.mt_swaps pinned.Serve.mt_makespan swapping.Serve.mt_swaps
+    swapping.Serve.mt_makespan;
+  (* SLO shedding: a tight keyword-class target sheds the predicted
+     violators at admission; the vision batch class rides along
+     untouched. *)
+  let slo_target = 400_000 in
+  let shed =
+    run_ok
+      { base with Serve.mt_workers = 2; mt_queue_depth = 4 }
+      ~models ~classes:(classes ~slo:(Some slo_target))
+  in
+  Printf.printf "  slo %d: %d shed-slo, %d shed-queue, %d served\n%!" slo_target
+    shed.Serve.mt_shed_slo shed.Serve.mt_shed_queue shed.Serve.mt_served;
+  (* Batch autotune against two dispatch-overhead regimes: cheap
+     dispatch favors narrow batches, expensive dispatch wide ones. *)
+  let tuned overhead =
+    run_ok
+      { base with Serve.mt_max_batch = 0; mt_dispatch_overhead = overhead }
+      ~models ~classes:(classes ~slo:None)
+  in
+  let cheap = tuned 1_000 and dear = tuned 20_000_000 in
+  Printf.printf "  autotune: batch %d at overhead 1k, batch %d at overhead 20M\n%!"
+    cheap.Serve.mt_batch dear.Serve.mt_batch;
+  (* Trace record -> replay: the replayed run must reproduce the
+     original outcome set exactly (the tally header legitimately
+     differs in its arrival descriptor). *)
+  let original = snd (List.hd sweep) in
+  let replayed =
+    match Serve.parse_arrival_trace (Serve.render_arrival_trace original) with
+    | Error e ->
+        Printf.eprintf "mtserve bench: re-parse failed: %s\n"
+          (Serve.mt_error_to_string e);
+        exit 1
+    | Ok entries ->
+        run_ok
+          {
+            base with
+            Serve.mt_workers = List.hd (List.rev worker_counts);
+            mt_arrival = Serve.Mt_replay entries;
+          }
+          ~models ~classes:(classes ~slo:None)
+  in
+  let body t =
+    match String.index_opt t '\n' with
+    | Some i -> (
+        match String.index_from_opt t (i + 1) '\n' with
+        | Some j -> String.sub t (j + 1) (String.length t - j - 1)
+        | None -> t)
+    | None -> t
+  in
+  let replay_identical =
+    body (Serve.mt_tally original) = body (Serve.mt_tally replayed)
+  in
+  Printf.printf "  trace replay reproduces the tally body: %b\n%!"
+    replay_identical;
+  let doc =
+    J.Obj
+      [
+        ("models", J.List (List.map (fun m -> J.Str m.Serve.m_name) models));
+        ("platform", J.Str "diana (digital + analog)");
+        ("requests", J.Int requests);
+        ( "workers_sweep",
+          J.Obj
+            (List.map
+               (fun (w, r) -> (string_of_int w, Serve.mt_to_json r))
+               sweep) );
+        ("tally_identical", J.Bool tally_identical);
+        ("replay_identical", J.Bool replay_identical);
+        ( "placement",
+          J.Obj
+            [
+              ("pinned", Serve.mt_to_json pinned);
+              ("swap", Serve.mt_to_json swapping);
+            ] );
+        ("slo_shedding", Serve.mt_to_json shed);
+        ( "autotune",
+          J.Obj
+            [
+              ("cheap_dispatch_batch", J.Int cheap.Serve.mt_batch);
+              ("dear_dispatch_batch", J.Int dear.Serve.mt_batch);
+            ] );
+      ]
+  in
+  let oc = open_out out_file in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" out_file;
+  if not tally_identical then begin
+    Printf.eprintf "mtserve bench: tally diverged across worker counts\n";
+    exit 1
+  end;
+  if not replay_identical then begin
+    Printf.eprintf "mtserve bench: trace replay diverged from the recording\n";
+    exit 1
+  end;
+  if pinned.Serve.mt_swaps <> 0 then begin
+    Printf.eprintf "mtserve bench: pinned placement swapped\n";
+    exit 1
+  end
+
+let run () = run_mtserve ~requests:48 [ 1; 2; 4; 8 ]
+let run_smoke () = run_mtserve ~requests:16 [ 1; 4 ]

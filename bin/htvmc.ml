@@ -620,12 +620,181 @@ let chaos seeds start jobs retry_budget replay_seed out max_shrink_checks
 
 (* --- serve --- *)
 
+(* Parse --model NAME=PATH. *)
+let parse_model_flag s =
+  match String.index_opt s '=' with
+  | Some i when i > 0 && i < String.length s - 1 ->
+      (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | _ ->
+      Printf.eprintf "htvmc: bad --model %S (expected NAME=PATH)\n" s;
+      exit 1
+
+(* Parse --class NAME=MODEL[:SLO[:WEIGHT]]; SLO 0 means none. *)
+let parse_class_flag s =
+  let die () =
+    Printf.eprintf
+      "htvmc: bad --class %S (expected NAME=MODEL[:SLO[:WEIGHT]])\n" s;
+    exit 1
+  in
+  match String.index_opt s '=' with
+  | Some i when i > 0 && i < String.length s - 1 ->
+      let name = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      let model, slo, weight =
+        match String.split_on_char ':' rest with
+        | [ m ] -> (m, None, 1)
+        | [ m; slo ] -> (
+            match int_of_string_opt slo with
+            | Some 0 -> (m, None, 1)
+            | Some t -> (m, Some t, 1)
+            | None -> die ())
+        | [ m; slo; w ] -> (
+            match (int_of_string_opt slo, int_of_string_opt w) with
+            | Some t, Some w -> (m, (if t = 0 then None else Some t), w)
+            | _ -> die ())
+        | _ -> die ()
+      in
+      { Serve.k_name = name; k_model = model; k_slo = slo; k_weight = weight }
+  | _ -> die ()
+
+(* The multi-tenant serve path: a model registry (the positional
+   artifact is model "main", --model adds more), per-class SLOs, and a
+   fleet that pins or hot-swaps models. All failures are typed
+   [Serve.mt_error]s, printed and mapped to exit 1. *)
+let serve_mt path config jobs workers batch queue_depth requests seed arrival
+    gap window overhead no_plan model_flags class_flags placement swap_overhead
+    period burst replay arrival_trace_out trace_out json_out tally_out
+    metrics_out metrics_format =
+  let cfg = config_for config (Some jobs) in
+  let model_paths = ("main", path) :: List.map parse_model_flag model_flags in
+  let models =
+    List.map
+      (fun (name, p) ->
+        let g = load_graph p in
+        {
+          Serve.m_name = name;
+          m_artifact = compile_or_die cfg g;
+          m_graph = g;
+        })
+      model_paths
+  in
+  let classes = List.map parse_class_flag class_flags in
+  let mt_arrival =
+    match replay with
+    | Some file -> (
+        match Serve.load_arrival_trace file with
+        | Ok entries -> Serve.Mt_replay entries
+        | Error e ->
+            Printf.eprintf "htvmc: %s\n" (Serve.mt_error_to_string e);
+            exit 1)
+    | None -> (
+        match arrival with
+        | "closed" -> Serve.Mt_closed
+        | "poisson" -> Serve.Mt_poisson { mean_gap = gap }
+        | "diurnal" -> Serve.Mt_diurnal { mean_gap = gap; period }
+        | "bursty" -> Serve.Mt_bursty { mean_gap = gap; burst }
+        | other ->
+            Printf.eprintf
+              "htvmc: unknown arrival process %S \
+               (closed|poisson|diurnal|bursty)\n"
+              other;
+            exit 1)
+  in
+  let placement =
+    match placement with
+    | "pinned" -> Serve.Pinned
+    | "swap" -> Serve.Swap
+    | other ->
+        Printf.eprintf "htvmc: unknown placement %S (pinned|swap)\n" other;
+        exit 1
+  in
+  let mcfg =
+    {
+      Serve.mt_workers = workers;
+      mt_max_batch = batch;
+      mt_queue_depth = queue_depth;
+      mt_requests = requests;
+      mt_seed = seed;
+      mt_arrival;
+      mt_window = window;
+      mt_dispatch_overhead = overhead;
+      mt_swap_overhead = swap_overhead;
+      mt_placement = placement;
+      mt_jobs = jobs;
+      mt_use_plan = not no_plan;
+    }
+  in
+  (* Unlike the single-model path the registry is serve-only: the
+     compile-side metrics register strictly, and compiling several
+     models into one registry would collide. *)
+  let reg = metrics_registry metrics_out in
+  match
+    with_trace trace_out (fun trace ->
+        Serve.mt_run ?trace ?metrics:reg mcfg ~models ~classes)
+  with
+  | Error e ->
+      Printf.eprintf "htvmc: %s\n" (Serve.mt_error_to_string e);
+      exit 1
+  | Ok report ->
+      Printf.printf "serving %d model(s), %d class(es) on %s x%d\n"
+        (List.length models) (List.length classes)
+        cfg.Htvm.Compile.platform.Arch.Platform.platform_name workers;
+      print_string (Serve.mt_summary report);
+      write_metrics metrics_out metrics_format report.Serve.mt_metrics;
+      (match arrival_trace_out with
+      | None -> ()
+      | Some p ->
+          write_file p (Serve.render_arrival_trace report);
+          Printf.printf "wrote %s\n" p);
+      (match tally_out with
+      | None -> ()
+      | Some p ->
+          write_file p (Serve.mt_tally report);
+          Printf.printf "wrote %s\n" p);
+      match json_out with
+      | None -> ()
+      | Some p ->
+          write_file p (Trace.Json.to_string (Serve.mt_to_json report) ^ "\n");
+          Printf.printf "wrote %s\n" p
+
 let serve path config jobs workers batch queue_depth requests seed arrival gap
     window overhead inject faults_file retry_budget degrade_after degraded
-    slo_sojourn no_plan memoize input_mix trace_out json_out tally_out
-    metrics_out metrics_format =
-  let g = load_graph path in
+    slo_sojourn no_plan memoize input_mix model_flags class_flags placement
+    swap_overhead period burst replay arrival_trace_out trace_out json_out
+    tally_out metrics_out metrics_format =
   let jobs = resolve_jobs jobs in
+  if model_flags <> [] || class_flags <> [] || replay <> None then begin
+    (* Multi-tenant mode. The single-model knobs that tenancy does not
+       model are rejected loudly rather than silently ignored. *)
+    List.iter
+      (fun (set, flag) ->
+        if set then begin
+          Printf.eprintf
+            "htvmc: %s is not supported with --model/--class/--replay\n" flag;
+          exit 1
+        end)
+      [
+        (inject <> None, "--inject");
+        (faults_file <> None, "--faults");
+        (degrade_after <> None, "--degrade-after");
+        (degraded <> [], "--degraded");
+        (slo_sojourn <> None, "--slo-sojourn (use per-class SLOs)");
+        (memoize, "--memoize");
+        (input_mix <> 0, "--input-mix");
+      ];
+    ignore retry_budget;
+    serve_mt path config jobs workers batch queue_depth requests seed arrival
+      gap window overhead no_plan model_flags class_flags placement
+      swap_overhead period burst replay arrival_trace_out trace_out json_out
+      tally_out metrics_out metrics_format
+  end
+  else begin
+  (match arrival_trace_out with
+  | Some _ ->
+      Printf.eprintf "htvmc: --trace-out requires --class (multi-tenant mode)\n";
+      exit 1
+  | None -> ());
+  let g = load_graph path in
   let cfg = config_for config (Some jobs) in
   (* One registry spans compile and serve, so a single --metrics dump
      carries the wall-clock compile phases alongside the cycle-domain
@@ -639,6 +808,10 @@ let serve path config jobs workers batch queue_depth requests seed arrival gap
     match arrival with
     | "closed" -> Serve.Closed
     | "poisson" -> Serve.Poisson { mean_gap = gap }
+    | "diurnal" | "bursty" ->
+        Printf.eprintf
+          "htvmc: arrival %S needs multi-tenant mode (add --class)\n" arrival;
+        exit 1
     | other ->
         Printf.eprintf "htvmc: unknown arrival process %S (closed|poisson)\n" other;
         exit 1
@@ -683,11 +856,12 @@ let serve path config jobs workers batch queue_depth requests seed arrival gap
   | Some p ->
       write_file p (Serve.tally report);
       Printf.printf "wrote %s\n" p);
-  match json_out with
+  (match json_out with
   | None -> ()
   | Some p ->
       write_file p (Trace.Json.to_string (Serve.to_json report) ^ "\n");
-      Printf.printf "wrote %s\n" p
+      Printf.printf "wrote %s\n" p)
+  end
 
 (* --- dot --- *)
 
@@ -954,7 +1128,9 @@ let serve_cmd =
   in
   let batch =
     Arg.(value & opt int Serve.default.Serve.max_batch
-         & info [ "batch"; "b" ] ~docv:"N" ~doc:"Maximum requests per dispatched batch.")
+         & info [ "batch"; "b" ] ~docv:"N"
+             ~doc:"Maximum requests per dispatched batch; in multi-tenant \
+                   mode 0 = autotune against the dispatch overhead.")
   in
   let queue_depth =
     Arg.(value & opt int Serve.default.Serve.queue_depth
@@ -977,7 +1153,10 @@ let serve_cmd =
     Arg.(value & opt string "closed"
          & info [ "arrival" ] ~docv:"MODE"
              ~doc:"$(b,closed) (saturating backlog, the throughput experiment) \
-                   or $(b,poisson) (open loop with exponential gaps).")
+                   or $(b,poisson) (open loop with exponential gaps); \
+                   multi-tenant mode adds $(b,diurnal) (gap mean sweeps \
+                   peak-to-trough over --period) and $(b,bursty) (--burst \
+                   requests at a time).")
   in
   let gap =
     Arg.(value & opt int 0
@@ -1033,6 +1212,58 @@ let serve_cmd =
                    Arrival times are unaffected. Gives $(b,--memoize) \
                    something to hit.")
   in
+  let model_flags =
+    Arg.(value & opt_all string []
+         & info [ "model" ] ~docv:"NAME=PATH"
+             ~doc:"Register an additional model (repeatable). The positional \
+                   MODEL.htvm is always registered as $(b,main). Any --model \
+                   or --class flag switches serve into multi-tenant mode.")
+  in
+  let class_flags =
+    Arg.(value & opt_all string []
+         & info [ "class" ] ~docv:"NAME=MODEL[:SLO[:WEIGHT]]"
+             ~doc:"Define a request class (repeatable): which registered \
+                   model it runs, an optional per-class sojourn SLO in \
+                   cycles (0 = none; requests whose predicted sojourn \
+                   exceeds it are shed), and its share of synthetic traffic \
+                   (default weight 1).")
+  in
+  let placement =
+    Arg.(value & opt string "swap"
+         & info [ "placement" ] ~docv:"MODE"
+             ~doc:"$(b,swap) (any instance serves any batch, paying \
+                   --swap-overhead per model change) or $(b,pinned) \
+                   (instance i permanently hosts model i mod n; needs \
+                   workers >= distinct models).")
+  in
+  let swap_overhead =
+    Arg.(value & opt int Serve.mt_default.Serve.mt_swap_overhead
+         & info [ "swap-overhead" ] ~docv:"CYCLES"
+             ~doc:"Model reload cost when an instance switches models.")
+  in
+  let period =
+    Arg.(value & opt int 0
+         & info [ "period" ] ~docv:"CYCLES"
+             ~doc:"Diurnal arrival period; 0 = auto (8 dispatch windows).")
+  in
+  let burst =
+    Arg.(value & opt int 4
+         & info [ "burst" ] ~docv:"N"
+             ~doc:"Requests per burst for $(b,--arrival bursty).")
+  in
+  let replay =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Replay a recorded arrival trace (cycles, classes, payload \
+                   seeds) instead of generating arrivals; implies \
+                   multi-tenant mode and requires matching --class flags.")
+  in
+  let arrival_trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Record the run's arrival stream in the replayable \
+                   $(b,htvm-serve-trace v1) format (multi-tenant mode).")
+  in
   let json_out =
     Arg.(value & opt (some string) None
          & info [ "json" ] ~docv:"FILE" ~doc:"Write the JSON serving report here.")
@@ -1048,13 +1279,15 @@ let serve_cmd =
        ~doc:"Serve a seeded synthetic request stream on a fleet of simulated \
              SoC instances: windowed admission with shedding, batched \
              dispatch, routing around degraded instances, latency/throughput \
-             aggregation")
+             aggregation. With --model/--class, a multi-tenant fleet hosting \
+             several artifacts under per-class latency SLOs.")
     Term.(const serve $ path_arg $ config_arg $ jobs_arg $ workers $ batch
           $ queue_depth $ requests $ seed $ arrival $ gap $ window $ overhead
           $ inject_arg $ faults_file_arg $ retry_budget_arg $ degrade_after
           $ degraded $ slo_sojourn $ no_plan_arg $ memoize $ input_mix
-          $ trace_arg $ json_out $ tally_out $ metrics_arg
-          $ metrics_format_arg)
+          $ model_flags $ class_flags $ placement $ swap_overhead $ period
+          $ burst $ replay $ arrival_trace_out $ trace_arg $ json_out
+          $ tally_out $ metrics_arg $ metrics_format_arg)
 
 let report_cmd =
   let out =

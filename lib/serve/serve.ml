@@ -881,17 +881,1171 @@ let run ?trace ?metrics cfg artifact ~graph =
     r_metrics = Metrics.snapshot reg;
   }
 
+let pp_percentiles buf label p =
+  Buffer.add_string buf
+    (Printf.sprintf "%s count=%d min=%d mean=%.3f p50=%d p95=%d p99=%d max=%d\n"
+       label p.p_count p.p_min p.p_mean p.p50 p.p95 p.p99 p.p_max)
+
+let percentiles_json p =
+  J.Obj
+    [
+      ("count", J.Int p.p_count);
+      ("min", J.Int p.p_min);
+      ("mean", J.Float p.p_mean);
+      ("p50", J.Int p.p50);
+      ("p95", J.Int p.p95);
+      ("p99", J.Int p.p99);
+      ("max", J.Int p.p_max);
+    ]
+
+(* --- multi-tenant serving --------------------------------------------- *)
+
+(* The tenancy layer hosts several compiled artifacts behind one fleet.
+   It keeps the single-model determinism architecture intact:
+
+   1. Generation + admission are pure functions of the seed (or of the
+      replayed trace file): the class mix, payload seeds and arrival
+      cycles come from one Rng stream, the per-window ingress cap sheds
+      from arrivals alone, and the SLO shed pass compares *predicted*
+      queueing-free sojourns — computed from exact per-request service
+      cycles, which are themselves pure functions of the request —
+      against per-class targets. The shed set never sees the fleet.
+   2. Execution is per-request on a fresh machine (no faults in the
+      multi-tenant path: tenancy composes with the single-model fault
+      machinery, it does not duplicate it).
+   3. Scheduling (pinning, hot swaps, per-instance clocks) happens on
+      the submitting domain and only feeds sched-track metrics. *)
+
+type model = {
+  m_name : string;
+  m_artifact : C.artifact;
+  m_graph : Ir.Graph.t;
+}
+
+type model_class = {
+  k_name : string;
+  k_model : string;
+  k_slo : int option;
+  k_weight : int;
+}
+
+type trace_entry = {
+  t_cycle : int;
+  t_class : string;
+  t_seed : int;
+  t_line : int;
+}
+
+type mt_arrival =
+  | Mt_closed
+  | Mt_poisson of { mean_gap : int }
+  | Mt_diurnal of { mean_gap : int; period : int }
+  | Mt_bursty of { mean_gap : int; burst : int }
+  | Mt_replay of trace_entry list
+
+type placement = Pinned | Swap
+
+type mt_config = {
+  mt_workers : int;
+  mt_max_batch : int;
+  mt_queue_depth : int;
+  mt_requests : int;
+  mt_seed : int;
+  mt_arrival : mt_arrival;
+  mt_window : int;
+  mt_dispatch_overhead : int;
+  mt_swap_overhead : int;
+  mt_placement : placement;
+  mt_jobs : int;
+  mt_use_plan : bool;
+}
+
+let mt_default =
+  {
+    mt_workers = 4;
+    mt_max_batch = 8;
+    mt_queue_depth = 32;
+    mt_requests = 64;
+    mt_seed = 42;
+    mt_arrival = Mt_closed;
+    mt_window = 0;
+    mt_dispatch_overhead = 1_000;
+    mt_swap_overhead = 5_000;
+    mt_placement = Swap;
+    mt_jobs = 1;
+    mt_use_plan = true;
+  }
+
+type mt_error =
+  | Unknown_model of { class_name : string; model : string }
+  | Unknown_class of { class_name : string; context : string }
+  | Bad_trace of { line : int; reason : string }
+  | Bad_config of string
+
+let mt_error_to_string = function
+  | Unknown_model { class_name; model } ->
+      Printf.sprintf "class %S names model %S, which is not in the registry"
+        class_name model
+  | Unknown_class { class_name; context } ->
+      Printf.sprintf "%s references class %S, which is not configured" context
+        class_name
+  | Bad_trace { line; reason } ->
+      Printf.sprintf "arrival trace line %d: %s" line reason
+  | Bad_config msg -> msg
+
+type mt_request = {
+  q_id : int;
+  q_class : int;  (* index into the class list *)
+  q_input_seed : int;
+  q_arrival : int;
+}
+
+type mt_outcome =
+  | Mt_served of {
+      mo_instance : int;
+      mo_batch : int;
+      mo_start : int;
+      mo_finish : int;
+      mo_service : int;
+      mo_digest : string;
+      mo_pred_sojourn : int;
+    }
+  | Mt_shed_queue of { mo_window : int }
+  | Mt_shed_slo of { mo_pred_sojourn : int }
+
+type class_stat = {
+  cs_name : string;
+  cs_model : string;
+  cs_slo : int option;
+  cs_weight : int;
+  cs_requests : int;
+  cs_served : int;
+  cs_shed_queue : int;
+  cs_shed_slo : int;
+  cs_observed_violations : int;
+  cs_service : percentiles;
+}
+
+type mt_instance_stat = {
+  mi_id : int;
+  mi_batches : int;
+  mi_served : int;
+  mi_busy : int;
+  mi_swaps : int;
+  mi_utilization : float;
+  mi_model : string option;
+}
+
+type mt_report = {
+  mt_cfg : mt_config;
+  mt_class_list : model_class list;
+  mt_resolved_window : int;
+  mt_resolved_gap : int;
+  mt_batch : int;  (** resolved batch size (autotuned when [mt_max_batch = 0]) *)
+  mt_outcomes : (mt_request * mt_outcome) list;
+  mt_served : int;
+  mt_shed_queue : int;
+  mt_shed_slo : int;
+  mt_swaps : int;
+  mt_class_stats : class_stat list;
+  mt_service : percentiles;
+  mt_sojourn : percentiles;
+  mt_makespan : int;
+  mt_throughput_rps : float;
+  mt_instances : mt_instance_stat list;
+  mt_metrics : Metrics.snapshot;
+}
+
+(* --- arrival trace format ---------------------------------------------
+
+   Line-oriented, replayable with `htvmc serve --replay`:
+
+     htvm-serve-trace v1
+     # comment
+     <cycle> <class-name> <seed>
+
+   Cycles must be non-negative and non-decreasing (requests are in
+   arrival order, line order breaks ties). *)
+
+let trace_header = "htvm-serve-trace v1"
+
+let render_arrival_trace r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (trace_header ^ "\n");
+  Buffer.add_string buf "# cycle class seed\n";
+  List.iter
+    (fun (q, _) ->
+      let cls = List.nth r.mt_class_list q.q_class in
+      Buffer.add_string buf
+        (Printf.sprintf "%d %s %d\n" q.q_arrival cls.k_name q.q_input_seed))
+    r.mt_outcomes;
+  Buffer.contents buf
+
+let parse_arrival_trace text =
+  let lines = String.split_on_char '\n' text in
+  match lines with
+  | [] -> Error (Bad_trace { line = 1; reason = "empty trace" })
+  | header :: rest ->
+      if String.trim header <> trace_header then
+        Error
+          (Bad_trace
+             { line = 1; reason = Printf.sprintf "expected header %S" trace_header })
+      else
+        let rec go line_no acc prev_cycle = function
+          | [] -> Ok (List.rev acc)
+          | line :: rest -> (
+              let trimmed = String.trim line in
+              if trimmed = "" || trimmed.[0] = '#' then
+                go (line_no + 1) acc prev_cycle rest
+              else
+                let tokens =
+                  List.filter (( <> ) "") (String.split_on_char ' ' trimmed)
+                in
+                match tokens with
+                | [ cycle; cls; seed ] -> (
+                    match (int_of_string_opt cycle, int_of_string_opt seed) with
+                    | None, _ ->
+                        Error
+                          (Bad_trace
+                             {
+                               line = line_no;
+                               reason = Printf.sprintf "bad cycle %S" cycle;
+                             })
+                    | _, None ->
+                        Error
+                          (Bad_trace
+                             {
+                               line = line_no;
+                               reason = Printf.sprintf "bad seed %S" seed;
+                             })
+                    | Some c, Some _ when c < 0 ->
+                        Error
+                          (Bad_trace
+                             {
+                               line = line_no;
+                               reason = "arrival cycle must be >= 0";
+                             })
+                    | Some c, Some _ when c < prev_cycle ->
+                        Error
+                          (Bad_trace
+                             {
+                               line = line_no;
+                               reason = "arrival cycles must be non-decreasing";
+                             })
+                    | Some c, Some s ->
+                        go (line_no + 1)
+                          ({ t_cycle = c; t_class = cls; t_seed = s; t_line = line_no }
+                          :: acc)
+                          c rest)
+                | _ ->
+                    Error
+                      (Bad_trace
+                         {
+                           line = line_no;
+                           reason =
+                             Printf.sprintf
+                               "expected `cycle class seed`, got %d token(s)"
+                               (List.length tokens);
+                         }))
+        in
+        go 2 [] 0 rest
+
+let load_arrival_trace path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse_arrival_trace text
+  | exception Sys_error e -> Error (Bad_trace { line = 0; reason = e })
+
+(* --- multi-tenant run -------------------------------------------------- *)
+
+let mt_arrival_to_string r =
+  match r.mt_cfg.mt_arrival with
+  | Mt_closed -> "closed"
+  | Mt_poisson _ -> Printf.sprintf "poisson gap %d" r.mt_resolved_gap
+  | Mt_diurnal { period; _ } ->
+      Printf.sprintf "diurnal gap %d period %d" r.mt_resolved_gap period
+  | Mt_bursty { burst; _ } ->
+      Printf.sprintf "bursty burst %d gap %d" burst r.mt_resolved_gap
+  | Mt_replay entries -> Printf.sprintf "replay n=%d" (List.length entries)
+
+let placement_to_string = function Pinned -> "pinned" | Swap -> "swap"
+
+(* Validate the static configuration; every violation is a typed
+   [Bad_config] rather than an exception, so `htvmc serve` can print it
+   and exit cleanly. *)
+let mt_validate cfg ~models ~classes =
+  let err msg = Error (Bad_config msg) in
+  if cfg.mt_workers < 1 then err "workers must be >= 1"
+  else if cfg.mt_max_batch < 0 then err "max_batch must be >= 1 (or 0 = autotune)"
+  else if cfg.mt_queue_depth < 1 then err "queue_depth must be >= 1"
+  else if cfg.mt_requests < 0 then err "requests must be >= 0"
+  else if cfg.mt_dispatch_overhead < 0 then err "dispatch_overhead must be >= 0"
+  else if cfg.mt_swap_overhead < 0 then err "swap_overhead must be >= 0"
+  else if models = [] then err "the model registry is empty"
+  else if classes = [] then err "at least one model class is required"
+  else if
+    List.length (List.sort_uniq compare (List.map (fun m -> m.m_name) models))
+    <> List.length models
+  then err "model registry names must be unique"
+  else if
+    List.length (List.sort_uniq compare (List.map (fun k -> k.k_name) classes))
+    <> List.length classes
+  then err "class names must be unique"
+  else if List.exists (fun k -> k.k_name = "" || String.contains k.k_name ' ') classes
+  then err "class names must be non-empty and contain no spaces"
+  else if List.exists (fun k -> k.k_weight < 1) classes then
+    err "class weights must be >= 1"
+  else if
+    List.exists (fun k -> match k.k_slo with Some t -> t < 1 | None -> false) classes
+  then err "class SLO targets must be >= 1"
+  else
+    match cfg.mt_arrival with
+    | Mt_diurnal { period; _ } when period < 0 ->
+        err "diurnal period must be >= 0 (0 = auto)"
+    | Mt_bursty { burst; _ } when burst < 1 -> err "burst must be >= 1"
+    | _ -> Ok ()
+
+(* Resolve each class's model name against the registry; the distinct
+   models actually referenced get dense indices in first-reference
+   order (the pinning map runs over those). *)
+let mt_resolve ~models ~classes =
+  let rec resolve acc used = function
+    | [] -> Ok (List.rev acc, List.rev used)
+    | k :: rest -> (
+        match List.find_opt (fun m -> m.m_name = k.k_model) models with
+        | None -> Error (Unknown_model { class_name = k.k_name; model = k.k_model })
+        | Some m ->
+            let used, idx =
+              match
+                List.mapi (fun i u -> (i, u)) (List.rev used)
+                |> List.find_opt (fun (_, u) -> u.m_name = m.m_name)
+              with
+              | Some (i, _) -> (used, i)
+              | None -> (m :: used, List.length used)
+            in
+            resolve ((k, idx) :: acc) used rest)
+  in
+  resolve [] [] classes
+
+let mt_run ?trace ?metrics cfg ~models ~classes =
+  match mt_validate cfg ~models ~classes with
+  | Error _ as e -> e
+  | Ok () ->
+  match mt_resolve ~models ~classes with
+  | Error _ as e -> e
+  | Ok (class_models, used_models) ->
+  let n_classes = List.length classes in
+  let class_arr = Array.of_list classes in
+  let model_of_class = Array.of_list (List.map snd class_models) in
+  let used = Array.of_list used_models in
+  let n_models = Array.length used in
+  (match cfg.mt_placement with
+  | Pinned when cfg.mt_workers < n_models ->
+      Error
+        (Bad_config
+           (Printf.sprintf
+              "pinned placement needs workers >= distinct models (%d < %d)"
+              cfg.mt_workers n_models))
+  | _ -> Ok ())
+  |> function
+  | Error _ as e -> e
+  | Ok () ->
+  (* Replayed traces must only reference configured classes. *)
+  let class_index name =
+    let rec go i = if i >= n_classes then None
+      else if class_arr.(i).k_name = name then Some i else go (i + 1)
+    in
+    go 0
+  in
+  let replay_resolved =
+    match cfg.mt_arrival with
+    | Mt_replay entries ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | e :: rest -> (
+              match class_index e.t_class with
+              | None ->
+                  Error
+                    (Unknown_class
+                       {
+                         class_name = e.t_class;
+                         context = Printf.sprintf "trace line %d" e.t_line;
+                       })
+              | Some i -> go ((e, i) :: acc) rest)
+        in
+        go [] entries
+    | _ -> Ok []
+  in
+  match replay_resolved with
+  | Error _ as e -> e
+  | Ok replay ->
+  let reg = match metrics with Some r -> r | None -> Metrics.create () in
+  (* --- probes: one fault-free execution per referenced model, pure
+     functions of (artifact, seed) — forced only when window or gap
+     auto-resolution needs them. *)
+  let probe =
+    lazy
+      (Array.fold_left
+         (fun acc m ->
+           let inputs = Models.Zoo.random_input ~seed:cfg.mt_seed m.m_graph in
+           let _, rep = C.run m.m_artifact ~inputs in
+           max acc (max 1 (C.full_cycles rep)))
+         1 used)
+  in
+  let open_mode =
+    match cfg.mt_arrival with Mt_closed -> false | _ -> true
+  in
+  let resolved_gap =
+    match cfg.mt_arrival with
+    | Mt_closed | Mt_replay _ -> 0
+    | Mt_poisson { mean_gap } | Mt_diurnal { mean_gap; _ }
+    | Mt_bursty { mean_gap; _ } ->
+        if mean_gap > 0 then mean_gap else max 1 (Lazy.force probe / 2)
+  in
+  let window =
+    if not open_mode then 0
+    else if cfg.mt_window > 0 then cfg.mt_window
+    else Lazy.force probe
+  in
+  let resolved_period =
+    match cfg.mt_arrival with
+    | Mt_diurnal { period; _ } -> if period > 0 then period else 8 * window
+    | _ -> 0
+  in
+  (* --- generation: class mix, payload seeds and arrivals from one Rng
+     stream (or verbatim from the replayed trace). *)
+  let total_weight =
+    Array.fold_left (fun acc k -> acc + k.k_weight) 0 class_arr
+  in
+  let pick_class rng =
+    let d = Util.Rng.int rng total_weight in
+    let rec go i acc =
+      let acc = acc + class_arr.(i).k_weight in
+      if d < acc then i else go (i + 1) acc
+    in
+    go 0 0
+  in
+  let requests =
+    match replay with
+    | _ :: _ | [] when (match cfg.mt_arrival with Mt_replay _ -> true | _ -> false)
+      ->
+        List.mapi
+          (fun i (e, cls) ->
+            { q_id = i; q_class = cls; q_input_seed = e.t_seed; q_arrival = e.t_cycle })
+          replay
+    | _ ->
+        let rng = Util.Rng.create cfg.mt_seed in
+        let clock = ref 0 in
+        List.init cfg.mt_requests (fun k ->
+            let cls = pick_class rng in
+            let seed = Util.Rng.int_in rng 1 1_000_000 in
+            (match cfg.mt_arrival with
+            | Mt_closed | Mt_replay _ -> ()
+            | Mt_poisson _ -> clock := !clock + exp_gap rng ~mean:resolved_gap
+            | Mt_diurnal _ ->
+                let pos = !clock mod resolved_period in
+                let half = max 1 (resolved_period / 2) in
+                let peak = max 1 (resolved_gap / 2) in
+                let trough = 2 * resolved_gap in
+                let d = abs (pos - half) in
+                let mean = peak + ((trough - peak) * d / half) in
+                clock := !clock + exp_gap rng ~mean
+            | Mt_bursty { burst; _ } ->
+                if k mod burst = 0 then
+                  clock := !clock + exp_gap rng ~mean:(burst * resolved_gap));
+            { q_id = k; q_class = cls; q_input_seed = seed; q_arrival = !clock })
+  in
+  let n_requests = List.length requests in
+  let outcomes = Array.make n_requests None in
+  (* --- ingress-cap admission: a pure function of the arrival stream. *)
+  let admitted =
+    if not open_mode then List.map (fun q -> (0, q)) requests
+    else begin
+      let in_window = Hashtbl.create 16 in
+      List.filter_map
+        (fun q ->
+          let w = q.q_arrival / window in
+          let n = Option.value ~default:0 (Hashtbl.find_opt in_window w) in
+          if n >= cfg.mt_queue_depth then begin
+            outcomes.(q.q_id) <- Some (Mt_shed_queue { mo_window = w });
+            Trace.interval trace ~track:"serve" ~cat:"serve" ~ts:q.q_arrival
+              ~dur:0
+              ~args:[ ("request", J.Int q.q_id); ("window", J.Int w) ]
+              "shed-queue";
+            None
+          end
+          else begin
+            Hashtbl.replace in_window w (n + 1);
+            Some (w, q)
+          end)
+        requests
+    end
+  in
+  (* --- execution: every ingress-admitted request on the pool. SLO
+     shedding needs exact service cycles, so candidates execute before
+     the shed pass decides — the simulator is cheap and the shed set
+     stays a pure function of the arrival stream. *)
+  let execs =
+    Util.Pool.with_pool ~jobs:cfg.mt_jobs (fun pool ->
+        Util.Pool.map pool
+          (fun (_, q) ->
+            let m = used.(model_of_class.(q.q_class)) in
+            let inputs = Models.Zoo.random_input ~seed:q.q_input_seed m.m_graph in
+            let out, rep = C.run ~use_plan:cfg.mt_use_plan m.m_artifact ~inputs in
+            (digest_tensor out, C.full_cycles rep, rep.Sim.Machine.totals))
+          admitted)
+  in
+  let work = List.combine admitted execs in
+  (* --- SLO shed + batch assembly, in arrival order. Batches group one
+     window's admitted requests per model (a batch executes on one
+     artifact); each batch is predicted to dispatch the moment its
+     window closes onto an idle machine, paying the dispatch overhead
+     plus — under [Swap] placement — one cold model load. A request
+     whose predicted sojourn exceeds its class SLO is shed and frees
+     its batch slot for the next arrival. *)
+  let swap_pred =
+    match cfg.mt_placement with Swap -> cfg.mt_swap_overhead | Pinned -> 0
+  in
+  let windows =
+    let tbl = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun (((w, _), _) as item) ->
+        (match Hashtbl.find_opt tbl w with
+        | None ->
+            Hashtbl.add tbl w (ref [ item ]);
+            order := w :: !order
+        | Some cell -> cell := item :: !cell))
+      work;
+    List.rev_map (fun w -> (w, List.rev !(Hashtbl.find tbl w))) !order
+    |> List.rev
+  in
+  (* One assembly pass at a given batch size; returns the batch list (in
+     dispatch order) plus the shed-SLO set, without mutating anything —
+     the autotuner evaluates several sizes before one is committed. *)
+  let assemble max_batch =
+    let batches = ref [] in
+    let shed = ref [] in
+    List.iter
+      (fun (w, items) ->
+        let dispatch_t = if open_mode then (w + 1) * window else 0 in
+        let base = dispatch_t + cfg.mt_dispatch_overhead + swap_pred in
+        (* per-model fill count and predicted cursor of the open batch *)
+        let fill = Array.make n_models 0 in
+        let cursor = Array.make n_models 0 in
+        let current = Array.make n_models [] in
+        let flush m =
+          if current.(m) <> [] then
+            batches := (w, m, List.rev current.(m)) :: !batches;
+          current.(m) <- [];
+          fill.(m) <- 0
+        in
+        List.iter
+          (fun (((_, q), (digest, service, totals)) : (int * mt_request) * _) ->
+            let m = model_of_class.(q.q_class) in
+            let start = if fill.(m) = 0 then base else cursor.(m) in
+            let pred_finish = start + service in
+            let pred_sojourn = pred_finish - q.q_arrival in
+            let violates =
+              match class_arr.(q.q_class).k_slo with
+              | Some t -> pred_sojourn > t
+              | None -> false
+            in
+            if violates then shed := (q, pred_sojourn) :: !shed
+            else begin
+              current.(m) <- (q, digest, service, totals, pred_sojourn) :: current.(m);
+              cursor.(m) <- pred_finish;
+              fill.(m) <- fill.(m) + 1;
+              if fill.(m) >= max_batch then flush m
+            end)
+          items;
+        for m = 0 to n_models - 1 do
+          flush m
+        done)
+      windows;
+    (List.rev !batches, List.rev !shed)
+  in
+  (* Batch autotune: with [mt_max_batch = 0], score candidate sizes on
+     the predicted (fleet-free) schedule — fewest SLO sheds first, then
+     lowest predicted total cost, then the smaller size. The cost is
+     total work (each batch pays the dispatch overhead and, under Swap,
+     one cold load — fewer batches amortize it) plus the summed
+     predicted sojourns (bigger batches queue requests behind each
+     other), so a dispatch overhead dwarfing per-request service pushes
+     the tuner toward wide batches and a cheap dispatch toward narrow
+     ones. A pure function of the arrival stream, so the choice is
+     workers/jobs-invariant like everything else in the tally. *)
+  let batch_size, batches, shed_slo_list =
+    if cfg.mt_max_batch > 0 then
+      let b, s = assemble cfg.mt_max_batch in
+      (cfg.mt_max_batch, b, s)
+    else
+      let candidates = [ 1; 2; 4; 8; 16; 32 ] in
+      let best =
+        List.fold_left
+          (fun best b ->
+            let batches, shed = assemble b in
+            let work =
+              List.fold_left
+                (fun acc (_, _, items) ->
+                  List.fold_left
+                    (fun acc (_, _, service, _, _) -> acc + service)
+                    (acc + cfg.mt_dispatch_overhead + swap_pred)
+                    items)
+                0 batches
+            in
+            let sojourns =
+              List.fold_left
+                (fun acc (_, _, items) ->
+                  List.fold_left
+                    (fun acc (_, _, _, _, pred) -> acc + pred)
+                    acc items)
+                0 batches
+            in
+            let cost = (List.length shed, work + sojourns, b) in
+            match best with
+            | Some (best_cost, _) when compare cost best_cost >= 0 -> best
+            | _ -> Some (cost, (b, batches, shed)))
+          None candidates
+      in
+      match best with
+      | Some (_, (b, batches, shed)) -> (b, batches, shed)
+      | None -> assert false
+  in
+  List.iter
+    (fun (q, pred) -> outcomes.(q.q_id) <- Some (Mt_shed_slo { mo_pred_sojourn = pred }))
+    shed_slo_list;
+  (* --- scheduling: the only fleet-shaped pass. Pinned placement maps
+     instance i to referenced model (i mod n_models); Swap placement
+     routes anywhere and charges [mt_swap_overhead] whenever the
+     instance's resident model changes. *)
+  let instances =
+    Array.init cfg.mt_workers (fun id ->
+        object
+          val mutable free_at = 0
+          val mutable busy = 0
+          val mutable served = 0
+          val mutable batches = 0
+          val mutable swaps = 0
+          val mutable loaded =
+            (match cfg.mt_placement with
+            | Pinned -> Some (id mod n_models)
+            | Swap -> None)
+          method id = id
+          method free_at = free_at
+          method busy = busy
+          method served = served
+          method batches = batches
+          method swaps = swaps
+          method loaded = loaded
+          method set_free_at t = free_at <- t
+          method add_busy d = busy <- busy + d
+          method add_served n = served <- served + n
+          method incr_batches = batches <- batches + 1
+          method incr_swaps = swaps <- swaps + 1
+          method set_loaded m = loaded <- Some m
+        end)
+  in
+  let eligible m =
+    match cfg.mt_placement with
+    | Swap -> Array.to_list instances
+    | Pinned ->
+        List.filter
+          (fun i -> i#id mod n_models = m)
+          (Array.to_list instances)
+  in
+  List.iteri
+    (fun batch_idx (w, m, items) ->
+      let pool = eligible m in
+      let dispatch_t =
+        if open_mode then (w + 1) * window
+        else List.fold_left (fun acc i -> min acc i#free_at) max_int pool
+      in
+      let inst =
+        List.fold_left
+          (fun best i -> if i#free_at < best#free_at then i else best)
+          (List.hd pool) (List.tl pool)
+      in
+      let start = max dispatch_t inst#free_at in
+      (* Resident model differs (or nothing is loaded yet): pay one
+         reload. Unreachable under Pinned — the eligible pool always
+         matches the batch's model. *)
+      let swap_cost =
+        if inst#loaded = Some m then 0
+        else begin
+          inst#incr_swaps;
+          inst#set_loaded m;
+          cfg.mt_swap_overhead
+        end
+      in
+      let cursor = ref (start + cfg.mt_dispatch_overhead + swap_cost) in
+      List.iter
+        (fun (q, digest, service, _totals, pred) ->
+          outcomes.(q.q_id) <-
+            Some
+              (Mt_served
+                 {
+                   mo_instance = inst#id;
+                   mo_batch = batch_idx;
+                   mo_start = !cursor;
+                   mo_finish = !cursor + service;
+                   mo_service = service;
+                   mo_digest = digest;
+                   mo_pred_sojourn = pred;
+                 });
+          cursor := !cursor + service;
+          inst#add_served 1)
+        items;
+      let finish = !cursor in
+      Trace.interval trace
+        ~track:(Printf.sprintf "instance %d" inst#id)
+        ~cat:"mtserve" ~ts:start ~dur:(finish - start)
+        ~args:
+          [
+            ("batch", J.Int batch_idx);
+            ("model", J.Str used.(m).m_name);
+            ("requests", J.Int (List.length items));
+          ]
+        (Printf.sprintf "batch %d [%s] (%d req)" batch_idx used.(m).m_name
+           (List.length items));
+      inst#set_free_at finish;
+      inst#add_busy (finish - start);
+      inst#incr_batches)
+    batches;
+  (* --- aggregation ----------------------------------------------- *)
+  let outcomes =
+    List.map
+      (fun q ->
+        match outcomes.(q.q_id) with
+        | Some o -> (q, o)
+        | None -> assert false)
+      requests
+  in
+  let served_list =
+    List.filter_map
+      (function _, Mt_served s -> Some s.mo_service | _ -> None)
+      outcomes
+  in
+  let sojourn_list =
+    List.filter_map
+      (function
+        | q, Mt_served s -> Some (s.mo_finish - q.q_arrival) | _ -> None)
+      outcomes
+  in
+  let served = List.length served_list in
+  let shed_queue =
+    List.length
+      (List.filter (function _, Mt_shed_queue _ -> true | _ -> false) outcomes)
+  in
+  let shed_slo =
+    List.length
+      (List.filter (function _, Mt_shed_slo _ -> true | _ -> false) outcomes)
+  in
+  let makespan =
+    Array.fold_left (fun acc i -> max acc i#free_at) 0 instances
+  in
+  let freq_hz =
+    float_of_int used.(0).m_artifact.C.cfg.C.platform.Arch.Platform.freq_mhz
+    *. 1.0e6
+  in
+  let throughput =
+    if makespan = 0 then 0.0
+    else float_of_int served /. (float_of_int makespan /. freq_hz)
+  in
+  let swaps = Array.fold_left (fun acc i -> acc + i#swaps) 0 instances in
+  (* per-class stats *)
+  let class_stats =
+    List.mapi
+      (fun ci k ->
+        let mine = List.filter (fun (q, _) -> q.q_class = ci) outcomes in
+        let count p = List.length (List.filter p mine) in
+        let observed =
+          match k.k_slo with
+          | None -> 0
+          | Some t ->
+              count (function
+                | q, Mt_served s -> s.mo_finish - q.q_arrival > t
+                | _ -> false)
+        in
+        {
+          cs_name = k.k_name;
+          cs_model = k.k_model;
+          cs_slo = k.k_slo;
+          cs_weight = k.k_weight;
+          cs_requests = List.length mine;
+          cs_served = count (function _, Mt_served _ -> true | _ -> false);
+          cs_shed_queue =
+            count (function _, Mt_shed_queue _ -> true | _ -> false);
+          cs_shed_slo = count (function _, Mt_shed_slo _ -> true | _ -> false);
+          cs_observed_violations = observed;
+          cs_service =
+            percentiles_of
+              (List.filter_map
+                 (function _, Mt_served s -> Some s.mo_service | _ -> None)
+                 mine);
+        })
+      classes
+  in
+  (* --- metrics: per-class admission/outcome counters and service
+     histograms on the cycles track (workers/jobs-invariant); swaps,
+     per-instance stats, makespan/throughput and observed SLO
+     violations on the sched track. *)
+  let cycle_buckets =
+    [ 1_000; 3_000; 10_000; 30_000; 100_000; 300_000; 1_000_000; 3_000_000;
+      10_000_000 ]
+  in
+  Metrics.inc
+    (Metrics.counter reg ~help:"Requests generated or replayed."
+       "htvm_mtserve_requests_total")
+    n_requests;
+  Metrics.inc
+    (Metrics.counter reg ~help:"Requests served to completion."
+       "htvm_mtserve_served_total")
+    served;
+  Metrics.inc
+    (Metrics.counter reg ~help:"Requests shed at the per-window ingress cap."
+       "htvm_mtserve_shed_queue_total")
+    shed_queue;
+  Metrics.inc
+    (Metrics.counter reg
+       ~help:"Requests shed because the predicted sojourn broke the class SLO."
+       "htvm_mtserve_shed_slo_total")
+    shed_slo;
+  Metrics.inc
+    (Metrics.counter reg ~help:"Batches assembled (predicted schedule)."
+       "htvm_mtserve_batches_total")
+    (List.length batches);
+  Metrics.set_int
+    (Metrics.gauge reg
+       ~help:"Resolved batch size (autotuned when max_batch = 0)."
+       "htvm_mtserve_batch_size")
+    batch_size;
+  List.iter
+    (fun cs ->
+      let labels = [ ("class", cs.cs_name) ] in
+      let c name help = Metrics.counter reg ~labels ~help name in
+      Metrics.inc
+        (c "htvm_mtserve_class_requests_total" "Per-class requests.")
+        cs.cs_requests;
+      Metrics.inc
+        (c "htvm_mtserve_class_served_total" "Per-class served requests.")
+        cs.cs_served;
+      Metrics.inc
+        (c "htvm_mtserve_class_shed_queue_total"
+           "Per-class ingress-cap sheds.")
+        cs.cs_shed_queue;
+      Metrics.inc
+        (c "htvm_mtserve_class_slo_pred_violations_total"
+           "Per-class predicted-SLO violations (shed before dispatch).")
+        cs.cs_shed_slo;
+      let h =
+        Metrics.histogram reg ~labels ~buckets:cycle_buckets
+          ~help:"Per-class service cycles." "htvm_mtserve_class_service_cycles"
+      in
+      List.iter
+        (fun (q, o) ->
+          match o with
+          | Mt_served s when class_arr.(q.q_class).k_name = cs.cs_name ->
+              Metrics.observe h s.mo_service
+          | _ -> ())
+        outcomes)
+    class_stats;
+  let m_window_series =
+    Metrics.series reg
+      ~columns:[ "arrivals"; "admitted"; "shed_queue"; "shed_slo" ]
+      ~help:"Per dispatch window: multi-tenant admission accounting."
+      "htvm_mtserve_window"
+  in
+  (let win_of q = if open_mode then q.q_arrival / window else 0 in
+   let win_ids = ref [] in
+   let tbl = Hashtbl.create 16 in
+   List.iter
+     (fun (q, o) ->
+       let w = win_of q in
+       let cell =
+         match Hashtbl.find_opt tbl w with
+         | Some c -> c
+         | None ->
+             let c = ref (0, 0, 0, 0) in
+             Hashtbl.add tbl w c;
+             win_ids := w :: !win_ids;
+             c
+       in
+       let arr, adm, sq, ss = !cell in
+       let adm, sq, ss =
+         match o with
+         | Mt_shed_queue _ -> (adm, sq + 1, ss)
+         | Mt_shed_slo _ -> (adm, sq, ss + 1)
+         | Mt_served _ -> (adm + 1, sq, ss)
+       in
+       cell := (arr + 1, adm, sq, ss))
+     outcomes;
+   List.iter
+     (fun w ->
+       let arr, adm, sq, ss = !(Hashtbl.find tbl w) in
+       let ts = if open_mode then (w + 1) * window else 0 in
+       Metrics.sample m_window_series ~ts
+         [ float_of_int arr; float_of_int adm; float_of_int sq; float_of_int ss ])
+     (List.rev !win_ids));
+  List.iter
+    (fun cs ->
+      Metrics.inc
+        (Metrics.counter reg ~track:Metrics.Sched
+           ~labels:[ ("class", cs.cs_name) ]
+           ~help:"Per-class observed SLO violations (fleet-shape dependent)."
+           "htvm_mtserve_class_slo_observed_violations_total")
+        cs.cs_observed_violations)
+    class_stats;
+  Array.iter
+    (fun i ->
+      let labels = [ ("instance", string_of_int i#id) ] in
+      let g name help = Metrics.gauge reg ~track:Metrics.Sched ~labels ~help name in
+      Metrics.set_int (g "htvm_mtsched_instance_busy_cycles" "Busy cycles.") i#busy;
+      Metrics.set_int (g "htvm_mtsched_instance_served" "Requests served.") i#served;
+      Metrics.set_int
+        (g "htvm_mtsched_instance_swaps" "Model reloads paid by this instance.")
+        i#swaps)
+    instances;
+  Metrics.set_int
+    (Metrics.gauge reg ~track:Metrics.Sched ~help:"End-to-end makespan cycles."
+       "htvm_mtsched_makespan_cycles")
+    makespan;
+  Metrics.set
+    (Metrics.gauge reg ~track:Metrics.Sched
+       ~help:"Served requests per second of simulated time."
+       "htvm_mtsched_throughput_rps")
+    throughput;
+  Ok
+    {
+      mt_cfg = cfg;
+      mt_class_list = classes;
+      mt_resolved_window = window;
+      mt_resolved_gap = resolved_gap;
+      mt_batch = batch_size;
+      mt_outcomes = outcomes;
+      mt_served = served;
+      mt_shed_queue = shed_queue;
+      mt_shed_slo = shed_slo;
+      mt_swaps = swaps;
+      mt_class_stats = class_stats;
+      mt_service = percentiles_of served_list;
+      mt_sojourn = percentiles_of sojourn_list;
+      mt_makespan = makespan;
+      mt_throughput_rps = throughput;
+      mt_instances =
+        Array.to_list
+          (Array.map
+             (fun i ->
+               {
+                 mi_id = i#id;
+                 mi_batches = i#batches;
+                 mi_served = i#served;
+                 mi_busy = i#busy;
+                 mi_swaps = i#swaps;
+                 mi_utilization =
+                   (if makespan = 0 then 0.0
+                    else float_of_int i#busy /. float_of_int makespan);
+                 mi_model = Option.map (fun m -> used.(m).m_name) i#loaded;
+               })
+             instances);
+      mt_metrics = Metrics.snapshot reg;
+    }
+
+(* --- multi-tenant rendering ------------------------------------------- *)
+
+(* The functional ledger of a multi-tenant run: per-request outcomes
+   (class, digest, service, predicted sojourn), per-class totals and
+   service percentiles. Pure function of the seed (or of the replayed
+   trace) — byte-identical at any workers/jobs. *)
+let mt_tally r =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "htvm-mtserve-tally v1\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "seed %d requests %d arrival %s batch %d queue-depth %d window %d \
+        placement %s swap-overhead %d\n"
+       r.mt_cfg.mt_seed
+       (List.length r.mt_outcomes)
+       (mt_arrival_to_string r) r.mt_batch r.mt_cfg.mt_queue_depth
+       r.mt_resolved_window
+       (placement_to_string r.mt_cfg.mt_placement)
+       r.mt_cfg.mt_swap_overhead);
+  List.iter
+    (fun k ->
+      Buffer.add_string buf
+        (Printf.sprintf "class %s model=%s slo=%s weight=%d\n" k.k_name k.k_model
+           (match k.k_slo with None -> "none" | Some t -> string_of_int t)
+           k.k_weight))
+    r.mt_class_list;
+  let class_name i = (List.nth r.mt_class_list i).k_name in
+  List.iter
+    (fun (q, o) ->
+      Buffer.add_string buf
+        (match o with
+        | Mt_served s ->
+            Printf.sprintf "req %d class=%s served digest=%s service=%d \
+                            pred-sojourn=%d\n"
+              q.q_id (class_name q.q_class) s.mo_digest s.mo_service
+              s.mo_pred_sojourn
+        | Mt_shed_queue { mo_window } ->
+            Printf.sprintf "req %d class=%s shed-queue window=%d\n" q.q_id
+              (class_name q.q_class) mo_window
+        | Mt_shed_slo { mo_pred_sojourn } ->
+            Printf.sprintf "req %d class=%s shed-slo pred-sojourn=%d\n" q.q_id
+              (class_name q.q_class) mo_pred_sojourn))
+    r.mt_outcomes;
+  Buffer.add_string buf
+    (Printf.sprintf "outcomes served=%d shed-queue=%d shed-slo=%d\n" r.mt_served
+       r.mt_shed_queue r.mt_shed_slo);
+  List.iter
+    (fun cs ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "class %s requests=%d served=%d shed-queue=%d shed-slo=%d\n"
+           cs.cs_name cs.cs_requests cs.cs_served cs.cs_shed_queue cs.cs_shed_slo);
+      pp_percentiles buf (Printf.sprintf "class %s service" cs.cs_name)
+        cs.cs_service)
+    r.mt_class_stats;
+  pp_percentiles buf "service" r.mt_service;
+  Buffer.contents buf
+
+let mt_summary r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "served %d/%d requests (%d shed at ingress, %d shed by SLO) on %d \
+        instance(s), batch %d, placement %s\n"
+       r.mt_served
+       (List.length r.mt_outcomes)
+       r.mt_shed_queue r.mt_shed_slo r.mt_cfg.mt_workers r.mt_batch
+       (placement_to_string r.mt_cfg.mt_placement));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "makespan %d cycles, throughput %.1f req/s, %d model swap(s)\n"
+       r.mt_makespan r.mt_throughput_rps r.mt_swaps);
+  List.iter
+    (fun cs ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "class %s [%s]: %d/%d served, %d shed-queue, %d shed-slo%s, \
+            p50=%d p99=%d\n"
+           cs.cs_name cs.cs_model cs.cs_served cs.cs_requests cs.cs_shed_queue
+           cs.cs_shed_slo
+           (match cs.cs_slo with
+           | None -> ""
+           | Some t ->
+               Printf.sprintf ", slo %d: %d observed violation(s)" t
+                 cs.cs_observed_violations)
+           cs.cs_service.p50 cs.cs_service.p99))
+    r.mt_class_stats;
+  pp_percentiles buf "service latency (cycles)" r.mt_service;
+  pp_percentiles buf "sojourn latency (cycles)" r.mt_sojourn;
+  List.iter
+    (fun i ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "instance %d: %d batch(es), %d served, %d swap(s), busy %d cycles \
+            (%.1f%% utilization)%s\n"
+           i.mi_id i.mi_batches i.mi_served i.mi_swaps i.mi_busy
+           (100.0 *. i.mi_utilization)
+           (match i.mi_model with
+           | None -> ""
+           | Some m -> Printf.sprintf ", model %s resident" m)))
+    r.mt_instances;
+  Buffer.contents buf
+
+let mt_to_json r =
+  let class_name i = (List.nth r.mt_class_list i).k_name in
+  let outcome_json (q, o) =
+    let base =
+      [
+        ("id", J.Int q.q_id);
+        ("class", J.Str (class_name q.q_class));
+        ("arrival", J.Int q.q_arrival);
+        ("input_seed", J.Int q.q_input_seed);
+      ]
+    in
+    J.Obj
+      (base
+      @
+      match o with
+      | Mt_served s ->
+          [
+            ("outcome", J.Str "served");
+            ("instance", J.Int s.mo_instance);
+            ("batch", J.Int s.mo_batch);
+            ("start", J.Int s.mo_start);
+            ("finish", J.Int s.mo_finish);
+            ("service_cycles", J.Int s.mo_service);
+            ("pred_sojourn_cycles", J.Int s.mo_pred_sojourn);
+            ("digest", J.Str s.mo_digest);
+          ]
+      | Mt_shed_queue { mo_window } ->
+          [ ("outcome", J.Str "shed_queue"); ("window", J.Int mo_window) ]
+      | Mt_shed_slo { mo_pred_sojourn } ->
+          [
+            ("outcome", J.Str "shed_slo");
+            ("pred_sojourn_cycles", J.Int mo_pred_sojourn);
+          ])
+  in
+  let class_json cs =
+    J.Obj
+      [
+        ("name", J.Str cs.cs_name);
+        ("model", J.Str cs.cs_model);
+        ("slo_cycles", match cs.cs_slo with None -> J.Null | Some t -> J.Int t);
+        ("weight", J.Int cs.cs_weight);
+        ("requests", J.Int cs.cs_requests);
+        ("served", J.Int cs.cs_served);
+        ("shed_queue", J.Int cs.cs_shed_queue);
+        ("shed_slo", J.Int cs.cs_shed_slo);
+        ("observed_violations", J.Int cs.cs_observed_violations);
+        ("service_cycles", percentiles_json cs.cs_service);
+      ]
+  in
+  let instance_json i =
+    J.Obj
+      [
+        ("id", J.Int i.mi_id);
+        ("batches", J.Int i.mi_batches);
+        ("served", J.Int i.mi_served);
+        ("busy_cycles", J.Int i.mi_busy);
+        ("swaps", J.Int i.mi_swaps);
+        ("utilization", J.Float i.mi_utilization);
+        ("model", match i.mi_model with None -> J.Null | Some m -> J.Str m);
+      ]
+  in
+  J.Obj
+    [
+      ("seed", J.Int r.mt_cfg.mt_seed);
+      ("requests", J.Int (List.length r.mt_outcomes));
+      ("workers", J.Int r.mt_cfg.mt_workers);
+      ("batch", J.Int r.mt_batch);
+      ("queue_depth", J.Int r.mt_cfg.mt_queue_depth);
+      ("arrival", J.Str (mt_arrival_to_string r));
+      ("window_cycles", J.Int r.mt_resolved_window);
+      ("dispatch_overhead_cycles", J.Int r.mt_cfg.mt_dispatch_overhead);
+      ("swap_overhead_cycles", J.Int r.mt_cfg.mt_swap_overhead);
+      ("placement", J.Str (placement_to_string r.mt_cfg.mt_placement));
+      ("served", J.Int r.mt_served);
+      ("shed_queue", J.Int r.mt_shed_queue);
+      ("shed_slo", J.Int r.mt_shed_slo);
+      ("swaps", J.Int r.mt_swaps);
+      ("service_cycles", percentiles_json r.mt_service);
+      ("sojourn_cycles", percentiles_json r.mt_sojourn);
+      ("makespan_cycles", J.Int r.mt_makespan);
+      ("throughput_rps", J.Float r.mt_throughput_rps);
+      ("classes", J.List (List.map class_json r.mt_class_stats));
+      ("instances", J.List (List.map instance_json r.mt_instances));
+      ("outcomes", J.List (List.map outcome_json r.mt_outcomes));
+      ("metrics", Metrics.to_json r.mt_metrics);
+    ]
+
 (* --- rendering -------------------------------------------------------- *)
 
 let arrival_to_string report =
   match report.r_config.arrival with
   | Closed -> "closed"
   | Poisson _ -> Printf.sprintf "poisson gap %d" report.r_mean_gap
-
-let pp_percentiles buf label p =
-  Buffer.add_string buf
-    (Printf.sprintf "%s count=%d min=%d mean=%.3f p50=%d p95=%d p99=%d max=%d\n"
-       label p.p_count p.p_min p.p_mean p.p50 p.p95 p.p99 p.p_max)
 
 (* The functional ledger: everything here is a pure function of the
    config seed (and the artifact), never of workers or jobs. Instance
@@ -991,18 +2145,6 @@ let summary r =
            | Some t -> Printf.sprintf ", degraded at cycle %d" t)))
     r.r_instances;
   Buffer.contents buf
-
-let percentiles_json p =
-  J.Obj
-    [
-      ("count", J.Int p.p_count);
-      ("min", J.Int p.p_min);
-      ("mean", J.Float p.p_mean);
-      ("p50", J.Int p.p50);
-      ("p95", J.Int p.p95);
-      ("p99", J.Int p.p99);
-      ("max", J.Int p.p_max);
-    ]
 
 let to_json r =
   let outcome_json (req, o) =

@@ -253,3 +253,259 @@ val to_json : report -> Trace.Json.t
 (** Machine-readable report: everything in {!report}, including the
     worker-dependent serving metrics ([htvmc serve --json] and
     [BENCH_serve.json]). *)
+
+(** {1 Multi-tenant serving}
+
+    {!mt_run} hosts {e several} compiled artifacts behind one fleet. A
+    {!model} registry maps names to artifacts; {!model_class}es describe
+    request populations (which model, what latency SLO, what share of
+    traffic); instances either pin one model each ({!Pinned}) or reload
+    on demand ({!Swap}, charging [mt_swap_overhead] per model change).
+
+    The single-model determinism architecture carries over wholesale:
+    generation, ingress-cap admission, SLO shedding and batch assembly
+    are pure functions of the seed (or of a replayed arrival trace), so
+    the {!mt_tally} — per-request outcomes, per-class totals, the shed
+    set — is byte-identical at any [mt_workers]/[mt_jobs]. Only the
+    scheduling pass (pinning, hot swaps, per-instance clocks) sees the
+    fleet, and it feeds the sched metrics track alone.
+
+    SLO shedding works off {e predicted} sojourns: exact per-request
+    service cycles plus a queueing-free dispatch model (window close +
+    dispatch overhead + one cold model load under {!Swap} + the in-batch
+    service prefix). Unlike the single-model predictor this is not a
+    lower bound on the observed sojourn — a warm instance skips the
+    reload the predictor always charges — it is the admission
+    controller's cost model, applied identically at any fleet shape.
+
+    The multi-tenant path runs fault-free: tenancy composes with the
+    single-model fault machinery rather than duplicating it. *)
+
+type model = {
+  m_name : string;
+  m_artifact : Htvm.Compile.artifact;
+  m_graph : Ir.Graph.t;  (** shapes the synthetic inputs *)
+}
+(** A registry entry: one compiled model a fleet can host. *)
+
+type model_class = {
+  k_name : string;  (** class name; non-empty, no spaces (trace grammar) *)
+  k_model : string;  (** registry name of the model this class runs *)
+  k_slo : int option;
+      (** per-class sojourn SLO in cycles; requests whose predicted
+          sojourn exceeds it are shed with {!Mt_shed_slo}. [None]
+          disables shedding for the class (a batch class). *)
+  k_weight : int;  (** share of synthetic traffic (>= 1) *)
+}
+
+type trace_entry = {
+  t_cycle : int;  (** arrival cycle (non-decreasing across a trace) *)
+  t_class : string;  (** class name; validated against the run's classes *)
+  t_seed : int;  (** payload seed for {!Models.Zoo.random_input} *)
+  t_line : int;  (** source line, for error context *)
+}
+(** One parsed line of an arrival trace. *)
+
+type mt_arrival =
+  | Mt_closed  (** saturating backlog at cycle 0; never queue-sheds *)
+  | Mt_poisson of { mean_gap : int }
+      (** exponential gaps; [mean_gap <= 0] = auto (half the largest
+          model's probe service time) *)
+  | Mt_diurnal of { mean_gap : int; period : int }
+      (** sinusoid-ish load: the gap mean sweeps from [mean_gap / 2]
+          (peak) to [2 * mean_gap] (trough) over each [period] cycles;
+          [period <= 0] = auto (8 dispatch windows) *)
+  | Mt_bursty of { mean_gap : int; burst : int }
+      (** [burst] requests arrive together, then an exponential idle
+          gap of mean [burst * mean_gap] *)
+  | Mt_replay of trace_entry list
+      (** replay a recorded arrival trace verbatim: cycles, classes and
+          payload seeds come from the file, [mt_requests] and [mt_seed]
+          are ignored for generation *)
+
+type placement =
+  | Pinned
+      (** instance [i] permanently hosts referenced model [i mod n];
+          requires [mt_workers >= n] distinct referenced models. No swap
+          cost is ever paid (or predicted). *)
+  | Swap
+      (** any instance serves any batch, reloading when the batch's
+          model differs from the resident one ([mt_swap_overhead]
+          cycles). The admission predictor charges one cold load per
+          batch. *)
+
+type mt_config = {
+  mt_workers : int;
+  mt_max_batch : int;
+      (** requests per dispatch batch; [0] = autotune (see {!mt_run}) *)
+  mt_queue_depth : int;  (** ingress cap per dispatch window *)
+  mt_requests : int;  (** ignored under {!Mt_replay} *)
+  mt_seed : int;
+  mt_arrival : mt_arrival;
+  mt_window : int;  (** [<= 0] = auto: the largest model's probe time *)
+  mt_dispatch_overhead : int;
+  mt_swap_overhead : int;  (** model reload cost in cycles *)
+  mt_placement : placement;
+  mt_jobs : int;  (** host domains; a wall-clock knob only *)
+  mt_use_plan : bool;  (** route executions through {!Sim.Plan} *)
+}
+
+val mt_default : mt_config
+(** [mt_workers = 4], [mt_max_batch = 8], [mt_queue_depth = 32],
+    [mt_requests = 64], [mt_seed = 42], closed arrivals, auto window,
+    1000-cycle dispatch overhead, 5000-cycle swap overhead, {!Swap}
+    placement, [mt_jobs = 1], plan fast path on. *)
+
+type mt_error =
+  | Unknown_model of { class_name : string; model : string }
+      (** a class names a model absent from the registry *)
+  | Unknown_class of { class_name : string; context : string }
+      (** a trace line references a class the run does not configure *)
+  | Bad_trace of { line : int; reason : string }
+      (** unparseable arrival trace ([line = 0]: the file itself) *)
+  | Bad_config of string  (** numeric/structural config violation *)
+
+val mt_error_to_string : mt_error -> string
+
+type mt_request = {
+  q_id : int;
+  q_class : int;  (** index into the run's class list *)
+  q_input_seed : int;
+  q_arrival : int;
+}
+
+type mt_outcome =
+  | Mt_served of {
+      mo_instance : int;
+      mo_batch : int;
+      mo_start : int;
+      mo_finish : int;
+      mo_service : int;  (** worker-invariant *)
+      mo_digest : string;  (** worker-invariant *)
+      mo_pred_sojourn : int;  (** the admission predictor's estimate *)
+    }
+  | Mt_shed_queue of { mo_window : int }
+      (** shed at the per-window ingress cap (arrival-stream-pure) *)
+  | Mt_shed_slo of { mo_pred_sojourn : int }
+      (** predicted sojourn broke the class SLO; the slot was freed for
+          later arrivals in the same window (arrival-stream-pure) *)
+
+type class_stat = {
+  cs_name : string;
+  cs_model : string;
+  cs_slo : int option;
+  cs_weight : int;
+  cs_requests : int;
+  cs_served : int;
+  cs_shed_queue : int;
+  cs_shed_slo : int;  (** = predicted SLO violations: shed at admission *)
+  cs_observed_violations : int;
+      (** served requests whose scheduled sojourn broke the SLO —
+          fleet-shape dependent, sched track only *)
+  cs_service : percentiles;
+}
+
+type mt_instance_stat = {
+  mi_id : int;
+  mi_batches : int;
+  mi_served : int;
+  mi_busy : int;
+  mi_swaps : int;  (** model reloads this instance paid *)
+  mi_utilization : float;
+  mi_model : string option;  (** resident model at end of run *)
+}
+
+type mt_report = {
+  mt_cfg : mt_config;
+  mt_class_list : model_class list;
+  mt_resolved_window : int;
+  mt_resolved_gap : int;
+  mt_batch : int;  (** resolved batch size (autotuned when [mt_max_batch = 0]) *)
+  mt_outcomes : (mt_request * mt_outcome) list;  (** in request order *)
+  mt_served : int;
+  mt_shed_queue : int;
+  mt_shed_slo : int;
+  mt_swaps : int;  (** total model reloads across the fleet *)
+  mt_class_stats : class_stat list;  (** in class-list order *)
+  mt_service : percentiles;
+  mt_sojourn : percentiles;
+  mt_makespan : int;
+  mt_throughput_rps : float;
+      (** at the {e first} registered model's platform clock *)
+  mt_instances : mt_instance_stat list;
+  mt_metrics : Metrics.snapshot;
+      (** cycles track: request/outcome totals, per-class counters
+          ([htvm_mtserve_class_*_total{class=...}]) including predicted
+          SLO violations, per-class service histograms, the per-window
+          admission series, resolved batch size — all byte-identical at
+          any [mt_workers]/[mt_jobs]. Sched track: observed per-class
+          SLO violations, per-instance busy/served/swaps, makespan,
+          throughput. *)
+}
+
+val mt_run :
+  ?trace:Trace.t ->
+  ?metrics:Metrics.t ->
+  mt_config ->
+  models:model list ->
+  classes:model_class list ->
+  (mt_report, mt_error) result
+(** Serve a multi-class request stream over a fleet hosting [models].
+
+    Pipeline: validate → probe each referenced model once (fault-free,
+    seeded by [mt_seed]; forced only when window/gap auto-resolution
+    needs it) → generate or replay arrivals → per-window ingress-cap
+    admission → execute every admitted request on the [mt_jobs]-domain
+    pool (order-preserving, so digests and service cycles are
+    jobs-invariant) → SLO shed + per-model batch assembly in arrival
+    order → schedule batches onto the fleet.
+
+    With [mt_max_batch = 0] the batch size is autotuned: candidate
+    sizes [1; 2; 4; 8; 16; 32] are scored on the predicted schedule —
+    fewest SLO sheds, then lowest predicted total cost (per-batch
+    dispatch + cold-load overheads, which wide batches amortize, plus
+    summed predicted sojourns, which wide batches inflate), then the
+    smaller size. A pure function of the arrival stream, so the chosen
+    size is itself workers/jobs-invariant and is reported in
+    {!mt_report.mt_batch} and the [htvm_mtserve_batch_size] gauge.
+
+    All failures are typed: numeric violations return [Error
+    (Bad_config _)], an unresolvable class model [Error (Unknown_model
+    _)], a trace naming an unconfigured class [Error (Unknown_class _)].
+    Nothing in the multi-tenant path raises. *)
+
+val render_arrival_trace : mt_report -> string
+(** Serialize the run's arrival stream in the replayable trace format:
+
+    {v
+    htvm-serve-trace v1
+    # comment
+    <cycle> <class-name> <seed>
+    v}
+
+    Replaying this text through {!parse_arrival_trace} + {!Mt_replay}
+    reproduces the run's tally byte-for-byte (at any fleet shape). *)
+
+val parse_arrival_trace : string -> (trace_entry list, mt_error) result
+(** Parse the trace grammar above. Rejects with [Bad_trace]: a missing
+    or wrong header (line 1), a line without exactly three tokens,
+    non-integer cycle/seed fields, negative cycles, and cycles that
+    decrease. Blank lines and [#] comments are skipped. Class names are
+    validated later, by {!mt_run}, against the run's class list. *)
+
+val load_arrival_trace : string -> (trace_entry list, mt_error) result
+(** Read and parse a trace file; IO failures map to [Bad_trace] with
+    [line = 0]. *)
+
+val mt_tally : mt_report -> string
+(** The multi-tenant functional ledger: config + class headers, one
+    line per request (class, outcome, digest, service, predicted
+    sojourn), outcome totals, per-class stats and service percentiles.
+    Contains the shed set and no instance assignments — byte-identical
+    for a fixed seed (or replayed trace) at any [mt_workers]/[mt_jobs]. *)
+
+val mt_summary : mt_report -> string
+(** Human-readable digest: totals, per-class p50/p99 and SLO
+    violations, per-instance utilization and swap counts. *)
+
+val mt_to_json : mt_report -> Trace.Json.t

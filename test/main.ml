@@ -36,5 +36,6 @@ let () =
          Test_size.suites;
          Test_fault.suites;
          Test_serve.suites;
+         Test_mtserve.suites;
          Test_metrics.suites;
        ])

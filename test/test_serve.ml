@@ -285,6 +285,93 @@ let test_percentiles () =
   Alcotest.(check int) "max" 100 p.Serve.p_max;
   Alcotest.(check (float 1e-9)) "mean" 50.5 p.Serve.p_mean
 
+(* Boundary-condition sweep for admission and batching: empty request
+   streams, batches wider than the stream, a zero queue depth, the
+   single-instance all-degraded fail-open, and the mean_gap <= 0 auto
+   mode must all either serve cleanly or reject loudly. *)
+let test_boundary_conditions () =
+  (* requests = 0: a clean no-op in both arrival modes. *)
+  List.iter
+    (fun arrival ->
+      let r = serve ~cfg:{ base with Serve.requests = 0; arrival } () in
+      Alcotest.(check int) "no outcomes" 0 (List.length r.Serve.r_outcomes);
+      Alcotest.(check int) "empty percentiles" 0 r.Serve.r_service.Serve.p_count;
+      Alcotest.(check int) "zero makespan" 0 r.Serve.r_makespan;
+      ignore (Serve.tally r);
+      ignore (Serve.summary r);
+      ignore (Trace.Json.to_string (Serve.to_json r)))
+    [ Serve.Closed; Serve.Poisson { mean_gap = 0 } ];
+  (* max_batch wider than the stream: one batch takes everything. *)
+  let wide = serve ~cfg:{ base with Serve.requests = 3; max_batch = 64 } () in
+  Alcotest.(check int) "one wide batch" 1
+    (List.fold_left (fun acc i -> acc + i.Serve.i_batches) 0 wide.Serve.r_instances);
+  Alcotest.(check int) "all served" 3 wide.Serve.r_served;
+  (* queue_depth = 0 cannot admit anything: rejected loudly. *)
+  (match serve ~cfg:{ base with Serve.queue_depth = 0 } () with
+  | _ -> Alcotest.fail "queue_depth 0 accepted"
+  | exception Invalid_argument _ -> ());
+  (* a single degraded instance is the whole fleet: fail open. *)
+  let alone =
+    serve ~cfg:{ base with Serve.workers = 1; degraded_instances = [ 0 ] } ()
+  in
+  Alcotest.(check int) "all-degraded singleton fleet fails open" 12
+    alone.Serve.r_served;
+  (* mean_gap <= 0 means auto, identically for any non-positive value. *)
+  let gap g =
+    Serve.tally
+      (serve ~cfg:{ base with Serve.arrival = Serve.Poisson { mean_gap = g } } ())
+  in
+  Alcotest.(check string) "gap 0 and -5 both resolve to auto" (gap 0) (gap (-5))
+
+(* The hand-picked sweep above, promoted to a generator: any workers,
+   jobs, arrival mode, queue depth, input mix and fault-plan toggle
+   leave the tally and the cycles-track metrics byte-identical to the
+   1-worker/1-job run. *)
+let prop_tally_invariance =
+  let gen =
+    QCheck.Gen.(
+      let* workers = int_range 1 4 in
+      let* jobs = oneofl [ 1; 4 ] in
+      let* poisson = bool in
+      let* queue_depth = int_range 1 4 in
+      let* input_mix = oneofl [ 0; 2 ] in
+      let* faulty = bool in
+      let* requests = int_range 0 10 in
+      let* seed = int_range 0 10_000 in
+      return (workers, jobs, poisson, queue_depth, input_mix, faulty, requests, seed))
+  in
+  let print (w, j, p, qd, mix, f, n, seed) =
+    Printf.sprintf
+      "workers=%d jobs=%d poisson=%b depth=%d mix=%d faulty=%b requests=%d seed=%d"
+      w j p qd mix f n seed
+  in
+  Helpers.qtest ~count:8 "serve tally/metrics invariant over fleet shape"
+    (QCheck.make ~print gen)
+    (fun (workers, jobs, poisson, queue_depth, input_mix, faulty, requests, seed) ->
+      let cfg w j =
+        {
+          base with
+          Serve.workers = w;
+          jobs = j;
+          arrival =
+            (if poisson then Serve.Poisson { mean_gap = 0 } else Serve.Closed);
+          queue_depth;
+          input_mix;
+          plan = (if faulty then flip_plan else Fault.Plan.empty);
+          retry_budget = 2;
+          requests;
+          seed;
+        }
+      in
+      let artifact, g = Lazy.force fixture in
+      let at w j =
+        let reg = Metrics.create () in
+        let r = Serve.run ~metrics:reg (cfg w j) artifact ~graph:g in
+        ( Serve.tally r,
+          Metrics.cycles_section (Metrics.to_prometheus r.Serve.r_metrics) )
+      in
+      at 1 1 = at workers jobs)
+
 let test_rejects_bad_config () =
   let expect field cfg =
     match serve ~cfg () with
@@ -330,7 +417,9 @@ let suites =
         Alcotest.test_case "input mix" `Quick test_input_mix;
         Alcotest.test_case "memoize" `Quick test_memoize;
         Alcotest.test_case "percentiles" `Quick test_percentiles;
+        Alcotest.test_case "boundary conditions" `Quick test_boundary_conditions;
         Alcotest.test_case "rejects bad config" `Quick test_rejects_bad_config;
         Alcotest.test_case "report renderings" `Quick test_report_renderings;
+        prop_tally_invariance;
       ] )
   ]

@@ -29,6 +29,9 @@ dune exec bench/main.exe -- serve-smoke
 echo "== bench smoke: metrics (instrument cost, cycles-track determinism) =="
 dune exec bench/main.exe -- metrics-smoke
 
+echo "== bench smoke: mtserve (multi-tenant tally invariance, trace replay) =="
+dune exec bench/main.exe -- mtserve-smoke
+
 # The compiled-plan fast path: output digests and simulated cycles must
 # be byte-identical to the slow oracle, and the memoize hit path must
 # leave the serve tally untouched. Exits nonzero on any divergence.
@@ -84,6 +87,48 @@ if ! diff _build/serve-metrics-w1.cycles _build/serve-metrics-w4.cycles; then
 fi
 if ! grep -q '^htvm_serve_slo_pred_violations_total ' _build/serve-metrics-w1.cycles; then
   echo "verify: metrics dump is missing SLO accounting" >&2
+  exit 1
+fi
+
+# Multi-tenant serve smoke: two models, two SLO classes. The w1/j1 run
+# records its arrival trace; the w4/j4 run replays it — so one diff
+# enforces both invariants at once: the tally is byte-identical at any
+# fleet shape AND a recorded trace reproduces the run that wrote it
+# (the config header line legitimately describes replay mode, so the
+# comparison starts at line 3). The metrics cycles track — per-class
+# admission/outcome/SLO counters, service histograms, the window
+# series — must also be byte-identical after stripping at the
+# `# track sched` marker.
+echo "== htvmc serve multi-tenant smoke (2 models, 2 classes, trace replay) =="
+dune exec bin/htvmc.exe -- export ds_cnn --policy mixed -o _build/mtserve-a.htvm
+dune exec bin/htvmc.exe -- serve _build/mtserve-a.htvm --config both \
+  --model vision=_build/serve-smoke.htvm \
+  --class keyword=main:2000000:2 --class vision=vision:0:1 \
+  --arrival poisson --requests 16 --workers 1 -j 1 \
+  --trace-out _build/mtserve.trace --tally _build/mtserve-tally-w1.txt \
+  --metrics _build/mtserve-metrics-w1.prom
+dune exec bin/htvmc.exe -- serve _build/mtserve-a.htvm --config both \
+  --model vision=_build/serve-smoke.htvm \
+  --class keyword=main:2000000:2 --class vision=vision:0:1 \
+  --replay _build/mtserve.trace --workers 4 -j 4 \
+  --tally _build/mtserve-tally-w4.txt --metrics _build/mtserve-metrics-w4.prom
+tail -n +3 _build/mtserve-tally-w1.txt > _build/mtserve-tally-w1.body
+tail -n +3 _build/mtserve-tally-w4.txt > _build/mtserve-tally-w4.body
+if ! diff _build/mtserve-tally-w1.body _build/mtserve-tally-w4.body; then
+  echo "verify: multi-tenant tallies differ between w1 and w4-replay" >&2
+  exit 1
+fi
+awk '/^# track sched/{exit} {print}' _build/mtserve-metrics-w1.prom \
+  > _build/mtserve-metrics-w1.cycles
+awk '/^# track sched/{exit} {print}' _build/mtserve-metrics-w4.prom \
+  > _build/mtserve-metrics-w4.cycles
+if ! diff _build/mtserve-metrics-w1.cycles _build/mtserve-metrics-w4.cycles; then
+  echo "verify: multi-tenant metrics cycles tracks differ" >&2
+  exit 1
+fi
+if ! grep -q 'htvm_mtserve_class_slo_pred_violations_total{class="keyword"}' \
+     _build/mtserve-metrics-w1.cycles; then
+  echo "verify: multi-tenant metrics dump is missing per-class SLO accounting" >&2
   exit 1
 fi
 
