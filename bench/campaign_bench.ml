@@ -1,0 +1,119 @@
+(* "campaign" experiment: sustained chaos-under-load sweeps. Drives the
+   full serving pipeline (health lifecycle enabled) across a fault-rate
+   ladder and reports the robustness curve — SLO violations, shed rate,
+   aborts, readmissions and fail-open dispatches as a function of fault
+   pressure — then checks the two campaign invariants: the tally is
+   byte-identical at every fleet shape / job count, and the curve is
+   monotone-plausible (a fault-free point is stress-free, the hottest
+   point is not calmer than it). Dumps BENCH_campaign.json. *)
+
+module J = Trace.Json
+
+let out_file = "BENCH_campaign.json"
+
+let artifact_and_graph () =
+  let g = (Models.Zoo.find Models.Resnet8.name).Models.Zoo.build Models.Policy.Mixed in
+  let cfg = Htvm.Compile.default_config Arch.Diana.platform in
+  match Htvm.Compile.compile cfg g with
+  | Ok a -> (a, g)
+  | Error e ->
+      Printf.eprintf "campaign bench: compile failed: %s\n"
+        (Htvm.Compile.error_to_string e);
+      exit 1
+
+let campaign_cfg ~requests ~workers ~jobs ~rates =
+  {
+    Campaign.default with
+    Campaign.c_rates = rates;
+    c_serve =
+      {
+        Campaign.default.Campaign.c_serve with
+        Serve.requests;
+        workers;
+        jobs;
+        retry_budget = 4;
+      };
+  }
+
+let stress (pt : Campaign.point) =
+  let r = pt.Campaign.pt_report in
+  let h =
+    match r.Serve.r_health with
+    | Some h -> h
+    | None ->
+        Printf.eprintf "campaign bench: point without a health summary\n";
+        exit 1
+  in
+  r.Serve.r_aborted + h.Serve.h_pred_relapses + h.Serve.h_pred_fail_open
+  + h.Serve.h_shed
+
+let run_campaign ~requests ~rates (fleets : (int * int) list) =
+  let artifact, g = artifact_and_graph () in
+  Printf.printf "== campaign: chaos-under-load fault-rate sweep ==\n%!";
+  let run_at (workers, jobs) =
+    match
+      Campaign.run (campaign_cfg ~requests ~workers ~jobs ~rates) artifact
+        ~graph:g
+    with
+    | Ok t -> t
+    | Error msg ->
+        Printf.eprintf "campaign bench: %s\n" msg;
+        exit 1
+  in
+  let reference = run_at (List.hd fleets) in
+  print_string (Campaign.summary reference);
+  let ref_tally = Campaign.tally reference in
+  let tally_identical =
+    List.for_all (fun fleet -> Campaign.tally (run_at fleet) = ref_tally)
+      (List.tl fleets)
+  in
+  Printf.printf "  tally identical across fleet shapes %s: %b\n%!"
+    (String.concat ", "
+       (List.map (fun (w, j) -> Printf.sprintf "w%d/j%d" w j) fleets))
+    tally_identical;
+  (* Monotone plausibility on the predicted plane: the first point is
+     rate 0 (stress-free by construction) and the last point must carry
+     at least as much stress as the first. Intermediate points may
+     wobble (retries absorb low rates), so only the endpoints gate. *)
+  let points = reference.Campaign.t_points in
+  let first = List.hd points and last = List.nth points (List.length points - 1) in
+  let monotone = stress first = 0 && stress last >= stress first in
+  Printf.printf "  curve plausible (stress %d at rate %g -> %d at rate %g): %b\n%!"
+    (stress first) first.Campaign.pt_rate (stress last) last.Campaign.pt_rate
+    monotone;
+  let doc =
+    J.Obj
+      [
+        ("model", J.Str Models.Resnet8.name);
+        ("platform", J.Str "diana (digital + analog)");
+        ("requests", J.Int requests);
+        ( "fleets",
+          J.List
+            (List.map
+               (fun (w, j) -> J.List [ J.Int w; J.Int j ])
+               fleets) );
+        ("tally_identical", J.Bool tally_identical);
+        ("curve_plausible", J.Bool monotone);
+        ("campaign", Campaign.to_json reference);
+      ]
+  in
+  let oc = open_out out_file in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" out_file;
+  if not tally_identical then begin
+    Printf.eprintf "campaign bench: tally diverged across fleet shapes\n";
+    exit 1
+  end;
+  if not monotone then begin
+    Printf.eprintf "campaign bench: robustness curve not plausible\n";
+    exit 1
+  end
+
+let run () =
+  run_campaign ~requests:48 ~rates:[ 0.0; 0.002; 0.01; 0.05; 0.2 ]
+    [ (1, 1); (2, 2); (4, 4) ]
+
+let run_smoke () =
+  run_campaign ~requests:12 ~rates:[ 0.0; 0.01; 0.2 ] [ (1, 1); (4, 4) ]

@@ -26,6 +26,8 @@ let experiments =
     ("simfast-smoke", Simfast.run_smoke);
     ("metrics", Metrics_bench.run);
     ("metrics-smoke", Metrics_bench.run_smoke);
+    ("campaign", Campaign_bench.run);
+    ("campaign-smoke", Campaign_bench.run_smoke);
   ]
 
 let () =

@@ -657,14 +657,33 @@ let parse_class_flag s =
       { Serve.k_name = name; k_model = model; k_slo = slo; k_weight = weight }
   | _ -> die ()
 
+(* Assemble the optional health-lifecycle config from its flags. The
+   0 / -1 defaults are the auto sentinels Serve resolves against the
+   probe request's service time. *)
+let health_config_of_args enabled threshold probation interval cost passes cap
+    fail seed =
+  if not enabled then None
+  else
+    Some
+      {
+        Health.fault_threshold = threshold;
+        probation_window = probation;
+        probe_interval = interval;
+        probe_cost = cost;
+        pass_threshold = passes;
+        backoff_cap = cap;
+        probe_fail_prob = fail;
+        probe_seed = seed;
+      }
+
 (* The multi-tenant serve path: a model registry (the positional
    artifact is model "main", --model adds more), per-class SLOs, and a
    fleet that pins or hot-swaps models. All failures are typed
    [Serve.mt_error]s, printed and mapped to exit 1. *)
 let serve_mt path config jobs workers batch queue_depth requests seed arrival
-    gap window overhead no_plan model_flags class_flags placement swap_overhead
-    period burst replay arrival_trace_out trace_out json_out tally_out
-    metrics_out metrics_format =
+    gap window overhead no_plan degraded health model_flags class_flags
+    placement swap_overhead period burst replay arrival_trace_out trace_out
+    json_out tally_out metrics_out metrics_format =
   let cfg = config_for config (Some jobs) in
   let model_paths = ("main", path) :: List.map parse_model_flag model_flags in
   let models =
@@ -722,6 +741,8 @@ let serve_mt path config jobs workers batch queue_depth requests seed arrival
       mt_placement = placement;
       mt_jobs = jobs;
       mt_use_plan = not no_plan;
+      mt_degraded_instances = degraded;
+      mt_health = health;
     }
   in
   (* Unlike the single-model path the registry is serve-only: the
@@ -759,9 +780,9 @@ let serve_mt path config jobs workers batch queue_depth requests seed arrival
 
 let serve path config jobs workers batch queue_depth requests seed arrival gap
     window overhead inject faults_file retry_budget degrade_after degraded
-    slo_sojourn no_plan memoize input_mix model_flags class_flags placement
-    swap_overhead period burst replay arrival_trace_out trace_out json_out
-    tally_out metrics_out metrics_format =
+    health slo_sojourn no_plan memoize input_mix model_flags class_flags
+    placement swap_overhead period burst replay arrival_trace_out trace_out
+    json_out tally_out metrics_out metrics_format =
   let jobs = resolve_jobs jobs in
   if model_flags <> [] || class_flags <> [] || replay <> None then begin
     (* Multi-tenant mode. The single-model knobs that tenancy does not
@@ -777,16 +798,15 @@ let serve path config jobs workers batch queue_depth requests seed arrival gap
         (inject <> None, "--inject");
         (faults_file <> None, "--faults");
         (degrade_after <> None, "--degrade-after");
-        (degraded <> [], "--degraded");
         (slo_sojourn <> None, "--slo-sojourn (use per-class SLOs)");
         (memoize, "--memoize");
         (input_mix <> 0, "--input-mix");
       ];
     ignore retry_budget;
     serve_mt path config jobs workers batch queue_depth requests seed arrival
-      gap window overhead no_plan model_flags class_flags placement
-      swap_overhead period burst replay arrival_trace_out trace_out json_out
-      tally_out metrics_out metrics_format
+      gap window overhead no_plan degraded health model_flags class_flags
+      placement swap_overhead period burst replay arrival_trace_out trace_out
+      json_out tally_out metrics_out metrics_format
   end
   else begin
   (match arrival_trace_out with
@@ -835,6 +855,7 @@ let serve path config jobs workers batch queue_depth requests seed arrival gap
       use_plan = not no_plan;
       memoize;
       input_mix;
+      health;
     }
   in
   let report =
@@ -862,6 +883,96 @@ let serve path config jobs workers batch queue_depth requests seed arrival gap
       write_file p (Trace.Json.to_string (Serve.to_json report) ^ "\n");
       Printf.printf "wrote %s\n" p)
   end
+
+(* --- campaign: fault-rate sweep under sustained load --- *)
+
+let parse_rates s =
+  let parts =
+    List.filter (fun p -> p <> "")
+      (List.map String.trim (String.split_on_char ',' s))
+  in
+  let rates =
+    List.map
+      (fun p ->
+        match float_of_string_opt p with
+        | Some f -> f
+        | None ->
+            Printf.eprintf "htvmc: bad --rates entry %S (expected a float)\n" p;
+            exit 1)
+      parts
+  in
+  if rates = [] then begin
+    Printf.eprintf "htvmc: --rates must name at least one fault rate\n";
+    exit 1
+  end;
+  rates
+
+let campaign path config jobs workers batch queue_depth requests seed arrival
+    gap window overhead retry_budget slo_sojourn no_plan health rates site kind
+    fault_seed json_out tally_out metrics_out metrics_format =
+  let jobs = resolve_jobs jobs in
+  let g = load_graph path in
+  let cfg = config_for config (Some jobs) in
+  let reg = metrics_registry metrics_out in
+  let artifact = compile_or_die ?metrics:reg cfg g in
+  let arrival =
+    match arrival with
+    | "closed" -> Serve.Closed
+    | "poisson" -> Serve.Poisson { mean_gap = gap }
+    | other ->
+        Printf.eprintf "htvmc: unknown arrival process %S (closed|poisson)\n"
+          other;
+        exit 1
+  in
+  let serve_cfg =
+    {
+      Serve.default with
+      Serve.workers;
+      max_batch = batch;
+      queue_depth;
+      requests;
+      seed;
+      arrival;
+      window;
+      dispatch_overhead = overhead;
+      retry_budget;
+      jobs;
+      slo_sojourn;
+      use_plan = not no_plan;
+      health;
+    }
+  in
+  let ccfg =
+    {
+      Campaign.c_serve = serve_cfg;
+      c_rates = parse_rates rates;
+      c_site = site;
+      c_kind = kind;
+      c_fault_seed = fault_seed;
+    }
+  in
+  match Campaign.run ?metrics:reg ccfg artifact ~graph:g with
+  | Error msg ->
+      Printf.eprintf "htvmc: %s\n" msg;
+      exit 1
+  | Ok t ->
+      Printf.printf "campaign %s on %s x%d\n" path
+        cfg.Htvm.Compile.platform.Arch.Platform.platform_name workers;
+      print_string (Campaign.summary t);
+      write_metrics metrics_out metrics_format
+        (match reg with
+        | Some r -> Metrics.snapshot r
+        | None -> Metrics.snapshot (Metrics.create ()));
+      (match tally_out with
+      | None -> ()
+      | Some p ->
+          write_file p (Campaign.tally t);
+          Printf.printf "wrote %s\n" p);
+      (match json_out with
+      | None -> ()
+      | Some p ->
+          write_file p (Trace.Json.to_string (Campaign.to_json t) ^ "\n");
+          Printf.printf "wrote %s\n" p)
 
 (* --- dot --- *)
 
@@ -1120,6 +1231,61 @@ let chaos_cmd =
           $ replay_seed $ out $ max_shrink_checks $ metrics_arg
           $ metrics_format_arg)
 
+(* Health-lifecycle knobs shared by `serve` and `campaign`. [enable] is
+   the command's on/off term (`--health` for serve, `--no-health` for
+   campaign, which defaults to on). *)
+let health_knobs enable =
+  let threshold =
+    Arg.(value & opt int Health.default.Health.fault_threshold
+         & info [ "health-threshold" ] ~docv:"N"
+             ~doc:"Faults accumulated during one healthy tenure before an \
+                   instance degrades.")
+  in
+  let probation =
+    Arg.(value & opt int 0
+         & info [ "probation" ] ~docv:"CYCLES"
+             ~doc:"Base cooldown between degrading and the first health \
+                   probe; escalates exponentially on relapse. 0 = auto \
+                   (twice a probe request's service time).")
+  in
+  let interval =
+    Arg.(value & opt int (-1)
+         & info [ "probe-interval" ] ~docv:"CYCLES"
+             ~doc:"Idle gap between probes while on probation; 0 = \
+                   back-to-back, -1 = auto (a quarter of a probe request's \
+                   service time).")
+  in
+  let cost =
+    Arg.(value & opt int 0
+         & info [ "probe-cost" ] ~docv:"CYCLES"
+             ~doc:"Cycles each health probe occupies the probed instance; \
+                   0 = auto (a tenth of a probe request's service time).")
+  in
+  let passes =
+    Arg.(value & opt int Health.default.Health.pass_threshold
+         & info [ "probe-passes" ] ~docv:"N"
+             ~doc:"Consecutive probe passes required for readmission.")
+  in
+  let cap =
+    Arg.(value & opt int 0
+         & info [ "health-cap" ] ~docv:"CYCLES"
+             ~doc:"Ceiling for the escalated probation cooldown; 0 = auto \
+                   (eight probation windows).")
+  in
+  let fail =
+    Arg.(value & opt float Health.default.Health.probe_fail_prob
+         & info [ "probe-fail" ] ~docv:"P"
+             ~doc:"Per-probe Bernoulli failure probability (seeded, \
+                   deterministic).")
+  in
+  let hseed =
+    Arg.(value & opt int Health.default.Health.probe_seed
+         & info [ "health-seed" ] ~docv:"S"
+             ~doc:"Base seed for the per-instance probe-outcome streams.")
+  in
+  Term.(const health_config_of_args $ enable $ threshold $ probation $ interval
+        $ cost $ passes $ cap $ fail $ hseed)
+
 let serve_cmd =
   let workers =
     Arg.(value & opt int Serve.default.Serve.workers
@@ -1184,7 +1350,21 @@ let serve_cmd =
   let degraded =
     Arg.(value & opt_all int []
          & info [ "degraded" ] ~docv:"ID"
-             ~doc:"Instance id degraded from cycle 0 (repeatable).")
+             ~doc:"Instance id degraded from cycle 0 (repeatable). Ids must \
+                   be distinct and in [0, workers). With $(b,--health) the \
+                   instance walks the probation/readmission lifecycle; \
+                   without it it stays out of rotation for the whole run.")
+  in
+  let health =
+    health_knobs
+      Arg.(value & flag
+           & info [ "health" ]
+               ~doc:"Enable the per-instance health lifecycle: degraded \
+                     instances re-enter probation after a cooldown, run \
+                     seeded probes (each costing cycles on the probed \
+                     instance) and are readmitted to the rotation after \
+                     consecutive passes. Mutually exclusive with \
+                     $(b,--degrade-after).")
   in
   let slo_sojourn =
     Arg.(value & opt (some int) None
@@ -1284,10 +1464,120 @@ let serve_cmd =
     Term.(const serve $ path_arg $ config_arg $ jobs_arg $ workers $ batch
           $ queue_depth $ requests $ seed $ arrival $ gap $ window $ overhead
           $ inject_arg $ faults_file_arg $ retry_budget_arg $ degrade_after
-          $ degraded $ slo_sojourn $ no_plan_arg $ memoize $ input_mix
+          $ degraded $ health $ slo_sojourn $ no_plan_arg $ memoize $ input_mix
           $ model_flags $ class_flags $ placement $ swap_overhead $ period
           $ burst $ replay $ arrival_trace_out $ trace_arg $ json_out
           $ tally_out $ metrics_arg $ metrics_format_arg)
+
+let campaign_cmd =
+  let workers =
+    Arg.(value & opt int Serve.default.Serve.workers
+         & info [ "workers"; "w" ] ~docv:"N"
+             ~doc:"Fleet size. The campaign tally is byte-identical at any \
+                   value.")
+  in
+  let batch =
+    Arg.(value & opt int Serve.default.Serve.max_batch
+         & info [ "batch"; "b" ] ~docv:"N"
+             ~doc:"Maximum requests per dispatched batch.")
+  in
+  let queue_depth =
+    Arg.(value & opt int Serve.default.Serve.queue_depth
+         & info [ "queue-depth" ] ~docv:"N"
+             ~doc:"Ingress buffer capacity per dispatch window.")
+  in
+  let requests =
+    Arg.(value & opt int Serve.default.Serve.requests
+         & info [ "requests"; "n" ] ~docv:"N"
+             ~doc:"Synthetic requests per rate point.")
+  in
+  let seed =
+    Arg.(value & opt int Serve.default.Serve.seed
+         & info [ "seed" ] ~docv:"S"
+             ~doc:"Seeds the arrival process and request payloads (shared by \
+                   every rate point).")
+  in
+  let arrival =
+    Arg.(value & opt string "poisson"
+         & info [ "arrival" ] ~docv:"MODE"
+             ~doc:"$(b,closed) or $(b,poisson) (default: the open-loop \
+                   experiment, so shedding has meaning).")
+  in
+  let gap =
+    Arg.(value & opt int 0
+         & info [ "gap" ] ~docv:"CYCLES"
+             ~doc:"Mean Poisson inter-arrival gap; 0 = auto.")
+  in
+  let window =
+    Arg.(value & opt int 0
+         & info [ "window" ] ~docv:"CYCLES"
+             ~doc:"Dispatch window length; 0 = auto.")
+  in
+  let overhead =
+    Arg.(value & opt int Serve.default.Serve.dispatch_overhead
+         & info [ "dispatch-overhead" ] ~docv:"CYCLES"
+             ~doc:"Cycles charged once per dispatched batch.")
+  in
+  let slo_sojourn =
+    Arg.(value & opt (some int) None
+         & info [ "slo-sojourn" ] ~docv:"CYCLES"
+             ~doc:"Sojourn SLO target; predicted violations per rate point \
+                   form the campaign's SLO curve.")
+  in
+  let health =
+    health_knobs
+      Term.(const not
+            $ Arg.(value & flag
+                   & info [ "no-health" ]
+                       ~doc:"Disable the health lifecycle (campaigns default \
+                             to running it, so readmission counts appear in \
+                             the curve)."))
+  in
+  let rates =
+    Arg.(value & opt string "0.002,0.01,0.05"
+         & info [ "rates" ] ~docv:"P,P,..."
+             ~doc:"Comma-separated fault injection probabilities to sweep, \
+                   each in [0, 1].")
+  in
+  let site =
+    Arg.(value & opt string "dma_in"
+         & info [ "site" ] ~docv:"SITE"
+             ~doc:"Fault site to inject at (plan grammar: dma_in, dma_out, \
+                   weight_load, compute[=ENGINE], l1, l2).")
+  in
+  let kind =
+    Arg.(value & opt string "flip"
+         & info [ "fault-kind" ] ~docv:"KIND"
+             ~doc:"Fault kind per injection (plan grammar: flip[=BIT], drop, \
+                   stall=CYCLES).")
+  in
+  let fault_seed =
+    Arg.(value & opt int 7
+         & info [ "fault-seed" ] ~docv:"S"
+             ~doc:"Seed shared by every generated fault plan.")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Write the JSON campaign report here.")
+  in
+  let tally_out =
+    Arg.(value & opt (some string) None
+         & info [ "tally" ] ~docv:"FILE"
+             ~doc:"Write the campaign tally here (byte-identical across \
+                   worker and job counts for a fixed seed).")
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Sustained chaos-under-load campaign: sweep a fault site's \
+             injection probability across rate points, serving the full \
+             request stream at each, and report SLO-violation / shed-rate / \
+             readmission curves. The health lifecycle is on by default so \
+             degraded instances re-enter rotation mid-run.")
+    Term.(const campaign $ path_arg $ config_arg $ jobs_arg $ workers $ batch
+          $ queue_depth $ requests $ seed $ arrival $ gap $ window $ overhead
+          $ retry_budget_arg $ slo_sojourn $ no_plan_arg $ health $ rates
+          $ site $ kind $ fault_seed $ json_out $ tally_out $ metrics_arg
+          $ metrics_format_arg)
 
 let report_cmd =
   let out =
@@ -1308,4 +1598,4 @@ let () =
              ~doc:"HTVM compiler driver for heterogeneous TinyML platforms")
           [ export_cmd; export_float_cmd; quantize_cmd; inspect_cmd; compile_cmd;
             run_cmd; profile_cmd; verify_cmd; check_cmd; chaos_cmd; serve_cmd;
-            report_cmd; dot_cmd ]))
+            campaign_cmd; report_cmd; dot_cmd ]))

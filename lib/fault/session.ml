@@ -102,7 +102,15 @@ let note_retry t ~cycles =
 
 let note_stall t ~cycles = t.stats.stall_cycles <- t.stats.stall_cycles + cycles
 
-(* Bounded exponential backoff charged before re-issuing an operation:
-   8, 16, 32, ... cycles, capped at 256. Documented in DESIGN.md; the
-   retry-accounting tests recompute this closed form. *)
-let backoff attempt = min 256 (8 lsl max 0 (attempt - 1))
+(* Bounded exponential backoff: base, 2*base, 4*base, ... capped at
+   [cap]. The shift is guarded so absurd attempt counts saturate at the
+   cap instead of overflowing the shift. *)
+let backoff_with ~base ~cap attempt =
+  let base = max 1 base and cap = max 1 cap in
+  let shift = max 0 (attempt - 1) in
+  if shift >= Sys.int_size - 2 then cap else min cap (base lsl shift)
+
+(* Retry backoff charged before re-issuing an operation: 8, 16, 32, ...
+   cycles, capped at 256. Documented in DESIGN.md; the retry-accounting
+   tests recompute this closed form. *)
+let backoff attempt = backoff_with ~base:8 ~cap:256 attempt

@@ -61,7 +61,14 @@ val note_silent : t -> unit
 val note_retry : t -> cycles:int -> unit
 val note_stall : t -> cycles:int -> unit
 
+val backoff_with : base:int -> cap:int -> int -> int
+(** [backoff_with ~base ~cap attempt] is the capped exponential back-off
+    shape shared by retry delays and health-probation escalation:
+    [min cap (base * 2^(attempt-1))] for the 1-based [attempt], with the
+    shift guarded against overflow (huge attempts saturate at [cap]). *)
+
 val backoff : int -> int
 (** [backoff attempt] is the modeled back-off delay charged before
-    re-issuing a failed operation: [min 256 (8 * 2^(attempt-1))] cycles
-    for the 1-based [attempt]. *)
+    re-issuing a failed operation: [backoff_with ~base:8 ~cap:256],
+    i.e. [min 256 (8 * 2^(attempt-1))] cycles for the 1-based
+    [attempt]. *)

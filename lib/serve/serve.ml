@@ -17,7 +17,23 @@
       degradation bookkeeping and the trace all happen on the
       submitting domain. Only this layer sees the worker count, and
       only serving metrics (throughput, waits, utilization) flow out of
-      it — the functional tally is assembled from layers 1 and 2. *)
+      it — the functional tally is assembled from layers 1 and 2.
+
+   The health lifecycle (lib/health) keeps that split by running on two
+   planes, mirroring the predicted/observed SLO accounting:
+
+   - The *predicted* plane is one logical Health.t advanced along the
+     queueing-free batch timeline (window closes, dispatch overheads,
+     exact service cycles). It never sees the fleet shape, so the
+     health-aware admission cap, the health-shed set, the predicted
+     fail-open count, readmission totals and every htvm_health_*
+     cycles-track counter stay byte-identical at any workers/jobs and
+     may appear in the tally.
+   - The *observed* plane is one Health.t per instance, fed by the
+     faults of the batches actually routed to it. It decides routing
+     eligibility, charges probe cycles to the probed instance, and
+     surfaces only through the summary, the per-instance JSON and the
+     sched metrics track — like makespan and throughput. *)
 
 module C = Htvm.Compile
 module J = Trace.Json
@@ -42,6 +58,7 @@ type config = {
   use_plan : bool;
   memoize : bool;
   input_mix : int;
+  health : Health.config option;
 }
 
 let default =
@@ -63,6 +80,7 @@ let default =
     use_plan = true;
     memoize = false;
     input_mix = 0;
+    health = None;
   }
 
 type request = { r_id : int; r_input_seed : int; r_arrival : int }
@@ -118,6 +136,17 @@ let percentiles_of xs =
         p_max = a.(n - 1);
       }
 
+(* Observed-plane lifecycle stats of one instance's Health.t machine. *)
+type health_stat = {
+  hs_state : Health.state;
+  hs_transitions : int;
+  hs_readmissions : int;
+  hs_relapses : int;
+  hs_probes_passed : int;
+  hs_probes_failed : int;
+  hs_probe_cycles : int;
+}
+
 type instance_stat = {
   i_id : int;
   i_batches : int;
@@ -127,6 +156,7 @@ type instance_stat = {
   i_utilization : float;
   i_faults : int;
   i_degraded_at : int option;
+  i_health : health_stat option;
   i_totals : Sim.Counters.t;
 }
 
@@ -144,6 +174,21 @@ type slo = {
   s_pred_violation_rate : float;  (* predicted violations / served *)
 }
 
+(* Health-lifecycle accounting. The h_pred_* fields come from the
+   predicted plane (workers/jobs-invariant, in the tally); h_shed is the
+   health-aware admission's shed count (same plane). The observed
+   counterparts live in instance_stat.i_health and r_fail_open. *)
+type health_summary = {
+  h_config : Health.config;  (* resolved: autos filled from the probe *)
+  h_pred_state : Health.state;
+  h_pred_transitions : int;
+  h_pred_readmissions : int;
+  h_pred_relapses : int;
+  h_pred_probe_cycles : int;
+  h_pred_fail_open : int;
+  h_shed : int;
+}
+
 type report = {
   r_config : config;
   r_window : int;
@@ -159,6 +204,8 @@ type report = {
   r_throughput_rps : float;
   r_instances : instance_stat list;
   r_slo : slo option;
+  r_health : health_summary option;
+  r_fail_open : int;  (* observed fail-open dispatches (fleet-shaped) *)
   r_memo_hits : int;
   r_memo_misses : int;
   r_metrics : Metrics.snapshot;
@@ -278,22 +325,69 @@ type instance = {
   mutable batches : int;
   mutable faults : int;
   mutable degraded_at : int option;
+  mutable probe_cyc : int;  (* observed-plane probe cycles charged *)
+  hm : Health.t option;  (* observed-plane machine (health mode only) *)
   totals : Sim.Counters.t;
 }
 
 let healthy_at inst t =
-  match inst.degraded_at with None -> true | Some d -> t < d
+  match inst.hm with
+  | Some m -> Health.eligible m
+  | None -> (
+      match inst.degraded_at with None -> true | Some d -> t < d)
 
 (* Earliest-free eligible instance, lowest id on ties. Falls open to the
-   whole fleet when every instance is degraded: a fully degraded fleet
-   keeps serving rather than shedding everything. *)
+   whole fleet when every instance is out of the rotation: a fully
+   degraded fleet keeps serving rather than shedding everything. The
+   second component reports that fail-open, for the dedicated counter. *)
 let route instances t =
-  let eligible = List.filter (fun i -> healthy_at i t) (Array.to_list instances) in
-  let eligible = if eligible = [] then Array.to_list instances else eligible in
-  List.fold_left
-    (fun best i ->
-      if i.free_at < best.free_at then i else best)
-    (List.hd eligible) (List.tl eligible)
+  let all = Array.to_list instances in
+  let eligible = List.filter (fun i -> healthy_at i t) all in
+  let fail_open = eligible = [] in
+  let pool = if fail_open then all else eligible in
+  ( List.fold_left
+      (fun best i -> if i.free_at < best.free_at then i else best)
+      (List.hd pool) (List.tl pool),
+    fail_open )
+
+(* Fill a health config's auto fields from the probe request's service
+   time: probation two probe-services, probes every quarter service
+   costing a tenth, escalation capped at 8 probation windows. A pure
+   function of (config, artifact, seed), like the window auto. *)
+let resolve_health hc ~probe_cycles =
+  let probation =
+    if hc.Health.probation_window > 0 then hc.Health.probation_window
+    else 2 * probe_cycles
+  in
+  let resolved =
+    {
+      hc with
+      Health.probation_window = probation;
+      probe_interval =
+        (if hc.Health.probe_interval >= 0 then hc.Health.probe_interval
+         else max 1 (probe_cycles / 4));
+      probe_cost =
+        (if hc.Health.probe_cost > 0 then hc.Health.probe_cost
+         else max 1 (probe_cycles / 10));
+      backoff_cap =
+        (if hc.Health.backoff_cap > 0 then hc.Health.backoff_cap
+         else 8 * probation);
+    }
+  in
+  match Health.validate resolved with
+  | Ok () -> Ok resolved
+  | Error msg -> Error msg
+
+let health_stat_of m =
+  {
+    hs_state = Health.state m;
+    hs_transitions = List.length (Health.transitions m);
+    hs_readmissions = Health.readmissions m;
+    hs_relapses = Health.relapses m;
+    hs_probes_passed = Health.probes_passed m;
+    hs_probes_failed = Health.probes_failed m;
+    hs_probe_cycles = Health.probe_cycles m;
+  }
 
 (* Split [xs] into consecutive chunks of at most [n]. *)
 let rec chunk n xs =
@@ -316,6 +410,28 @@ let run ?trace ?metrics cfg artifact ~graph =
   | Some t when t < 1 -> invalid_arg "Serve.run: slo_sojourn must be >= 1"
   | _ -> ());
   if cfg.input_mix < 0 then invalid_arg "Serve.run: input_mix must be >= 0";
+  (* Degraded ids must name real instances, once each — out-of-range or
+     duplicate ids were silently ignored before and always indicate a
+     config bug (a typo'd fleet size, a doubled flag). *)
+  (match
+     List.find_opt
+       (fun id -> id < 0 || id >= cfg.workers)
+       cfg.degraded_instances
+   with
+  | Some id ->
+      invalid_arg
+        (Printf.sprintf
+           "Serve.run: degraded instance id %d out of range [0, %d)" id
+           cfg.workers)
+  | None -> ());
+  if
+    List.length (List.sort_uniq compare cfg.degraded_instances)
+    <> List.length cfg.degraded_instances
+  then invalid_arg "Serve.run: degraded instance ids must be distinct";
+  (* The health lifecycle replaces the one-way degrade_after flag; the
+     two accounting schemes would fight over instance eligibility. *)
+  if cfg.health <> None && cfg.degrade_after <> None then
+    invalid_arg "Serve.run: health and degrade_after are mutually exclusive";
   (* Memoization reuses one execution across identical inputs, which is
      only sound when executions are input-pure — per-request fault
      sessions make them input-impure by design. *)
@@ -414,6 +530,78 @@ let run ?trace ?metrics cfg artifact ~graph =
       ~help:"Fleet state at each dispatch-window close."
       "htvm_sched_window"
   in
+  (* Fail-open accounting is split like the SLO counters: the dedicated
+     htvm_serve_fail_open_total counts predicted-plane fail-opens
+     (cycles track, worker-invariant, 0 without health); the observed
+     fleet-shaped count lands on the sched track. *)
+  let m_fail_open_pred =
+    Metrics.counter reg
+      ~help:
+        "Batches predicted to dispatch with no healthy capacity \
+         (fail-open), on the predicted health plane."
+      "htvm_serve_fail_open_total"
+  in
+  let m_health_shed =
+    Metrics.counter reg
+      ~help:
+        "Requests shed by health-aware admission while the predicted \
+         plane was out of the rotation."
+      "htvm_serve_health_shed_total"
+  in
+  let m_fail_open_observed =
+    Metrics.counter reg ~track:Metrics.Sched
+      ~help:
+        "Scheduled batches dispatched with every instance out of the \
+         healthy rotation (fail-open)."
+      "htvm_sched_fail_open_total"
+  in
+  let health_pair_labels (f, t) =
+    [ ("from", Health.state_label f); ("to", Health.state_label t) ]
+  in
+  let m_health_pred_transitions =
+    match cfg.health with
+    | None -> []
+    | Some _ ->
+        List.map
+          (fun pair ->
+            ( pair,
+              Metrics.counter reg ~labels:(health_pair_labels pair)
+                ~help:"Predicted-plane health transitions by (from, to)."
+                "htvm_health_pred_transitions_total" ))
+          Health.legal_pairs
+  in
+  let m_health_pred_counter name help =
+    match cfg.health with
+    | None -> None
+    | Some _ -> Some (Metrics.counter reg ~help name)
+  in
+  let m_health_pred_readmissions =
+    m_health_pred_counter "htvm_health_pred_readmissions_total"
+      "Predicted-plane readmissions to the healthy rotation."
+  in
+  let m_health_pred_relapses =
+    m_health_pred_counter "htvm_health_pred_relapses_total"
+      "Predicted-plane entries into the degraded state."
+  in
+  let m_health_pred_probe_cycles =
+    m_health_pred_counter "htvm_health_pred_probe_cycles_total"
+      "Predicted-plane cycles spent on health-check probes."
+  in
+  let m_health_observed_transitions =
+    match cfg.health with
+    | None -> []
+    | Some _ ->
+        List.map
+          (fun pair ->
+            ( pair,
+              Metrics.counter reg ~track:Metrics.Sched
+                ~labels:(health_pair_labels pair)
+                ~help:
+                  "Observed per-instance health transitions by (from, \
+                   to), summed over the fleet."
+                "htvm_health_observed_transitions_total" ))
+          Health.legal_pairs
+  in
   (* Auto window / gap probe: one fault-free execution of a seed-derived
      payload. A pure function of (artifact, seed) — independent of the
      fleet size, so auto values never leak worker count into the
@@ -434,6 +622,14 @@ let run ?trace ?metrics cfg artifact ~graph =
     match cfg.arrival with
     | Closed -> 0
     | Poisson _ -> if cfg.window > 0 then cfg.window else Lazy.force probe
+  in
+  let health_cfg =
+    match cfg.health with
+    | None -> None
+    | Some hc -> (
+        match resolve_health hc ~probe_cycles:(Lazy.force probe) with
+        | Ok resolved -> Some resolved
+        | Error msg -> invalid_arg ("Serve.run: " ^ msg))
   in
   let requests = generate cfg ~mean_gap in
   (* Admission: per dispatch window, the first [queue_depth] arrivals
@@ -532,35 +728,100 @@ let run ?trace ?metrics cfg artifact ~graph =
       work;
     List.rev_map (fun w -> (w, List.rev !(Hashtbl.find tbl w))) !order |> List.rev
   in
-  let batches =
-    List.concat_map
-      (fun (w, items) -> List.map (fun b -> (w, b)) (chunk cfg.max_batch items))
-      windows
+  (* Predicted (queueing-free) sojourn + the predicted health plane, one
+     forward pass in window order. Every batch is predicted to dispatch
+     the moment its window closes onto an idle machine; batch assembly
+     happens before routing, so this pass never sees the fleet shape —
+     pred_sojourn is the deterministic lower bound the SLO tally counts
+     against, and it never exceeds the scheduled sojourn (the real start
+     is the same expression with instance availability maxed in).
+
+     The health plane rides the same pass: one logical machine advanced
+     to each window open (admission consults it: the effective ingress
+     cap halves while it is out of the rotation) and to each predicted
+     dispatch (an ineligible dispatch is a predicted fail-open), then
+     fed the batch's fault count at the predicted finish. In closed mode
+     there are no windows, so the machine advances along the serialized
+     batch cursor instead; pred_sojourn keeps its historical zero-based
+     timing either way. *)
+  let pred_health =
+    Option.map
+      (fun hc ->
+        Health.create
+          ~degraded_at_start:(cfg.degraded_instances <> [])
+          hc ~instance:(-1))
+      health_cfg
   in
-  (* Predicted (queueing-free) sojourn: every batch dispatched the moment
-     its window closes onto an idle machine. Batch assembly happens
-     before routing, so this pass never sees the fleet shape — it is the
-     deterministic lower bound the SLO tally counts against, and it
-     never exceeds the scheduled sojourn (the real start is the same
-     expression with instance availability maxed in). *)
+  let pred_fail_open = ref 0 and health_shed = ref 0 in
   let pred_sojourn = Array.make cfg.requests 0 in
-  List.iter
-    (fun (w, items) ->
-      let dispatch_t =
-        match cfg.arrival with Closed -> 0 | Poisson _ -> (w + 1) * window
-      in
-      let cursor = ref (dispatch_t + cfg.dispatch_overhead) in
-      List.iter
-        (fun ((_, r), exec) ->
-          match exec with
-          | Done e ->
-              cursor := !cursor + e.e_service;
-              pred_sojourn.(r.r_id) <- !cursor - r.r_arrival
-          | Abort _ -> ())
-        items)
-    batches;
+  let pclock = ref 0 in
+  let process_window (w, items) =
+    let items =
+      match (pred_health, cfg.arrival) with
+      | Some pm, Poisson _ ->
+          ignore (Health.advance pm ~now:(w * window));
+          if Health.eligible pm then items
+          else begin
+            let cap = max 1 (cfg.queue_depth / 2) in
+            let rec split k acc = function
+              | x :: rest when k > 0 -> split (k - 1) (x :: acc) rest
+              | rest -> (List.rev acc, rest)
+            in
+            let kept, dropped = split cap [] items in
+            List.iter
+              (fun ((_, r), _) ->
+                incr health_shed;
+                outcomes.(r.r_id) <- Some (Rejected { o_window = w });
+                Trace.interval trace ~track:"serve" ~cat:"serve"
+                  ~ts:r.r_arrival ~dur:0
+                  ~args:[ ("request", J.Int r.r_id); ("window", J.Int w) ]
+                  "health-shed")
+              dropped;
+            kept
+          end
+      | _ -> items
+    in
+    let wbatches = chunk cfg.max_batch items in
+    List.iter
+      (fun b ->
+        let dispatch_t =
+          match cfg.arrival with Closed -> 0 | Poisson _ -> (w + 1) * window
+        in
+        let pdispatch =
+          match cfg.arrival with Closed -> !pclock | Poisson _ -> dispatch_t
+        in
+        (match pred_health with
+        | Some pm ->
+            ignore (Health.advance pm ~now:pdispatch);
+            if not (Health.eligible pm) then incr pred_fail_open
+        | None -> ());
+        let cursor = ref (dispatch_t + cfg.dispatch_overhead) in
+        let pcursor = ref (pdispatch + cfg.dispatch_overhead) in
+        let faults = ref 0 in
+        List.iter
+          (fun ((_, r), exec) ->
+            match exec with
+            | Done e ->
+                cursor := !cursor + e.e_service;
+                pcursor := !pcursor + e.e_service;
+                pred_sojourn.(r.r_id) <- !cursor - r.r_arrival;
+                faults := !faults + e.e_detected + e.e_silent
+            | Abort a -> faults := !faults + a.a_detected + a.a_silent)
+          b;
+        (match pred_health with
+        | Some pm -> Health.observe_faults pm ~now:!pcursor !faults
+        | None -> ());
+        pclock := !pcursor)
+      wbatches;
+    List.map (fun b -> (w, b)) wbatches
+  in
+  let batches = List.concat_map process_window windows in
+  (* Health shedding may have dropped executions from the stream; only
+     the work that survived to batch assembly counts downstream. *)
+  let kept_work = List.concat_map snd batches in
   let instances =
     Array.init cfg.workers (fun id ->
+        let boot_degraded = List.mem id cfg.degraded_instances in
         {
           id;
           free_at = 0;
@@ -570,7 +831,14 @@ let run ?trace ?metrics cfg artifact ~graph =
           batches = 0;
           faults = 0;
           degraded_at =
-            (if List.mem id cfg.degraded_instances then Some 0 else None);
+            (* with health, filled post-run from the machine's log *)
+            (if boot_degraded && health_cfg = None then Some 0 else None);
+          probe_cyc = 0;
+          hm =
+            Option.map
+              (fun hc ->
+                Health.create ~degraded_at_start:boot_degraded hc ~instance:id)
+              health_cfg;
           totals = Sim.Counters.create ();
         })
   in
@@ -598,6 +866,23 @@ let run ?trace ?metrics cfg artifact ~graph =
       [ float_of_int in_flight; float_of_int free_max;
         float_of_int !served_running; throughput ]
   in
+  let observed_fail_open = ref 0 in
+  (* Process every instance's pending health events (cooldown expiry,
+     probes — all scheduled at or before [now], so they never delay a
+     batch start) and charge the probe cycles to the probed instance. *)
+  let advance_machines now =
+    Array.iter
+      (fun i ->
+        match i.hm with
+        | None -> ()
+        | Some m ->
+            let pc = Health.advance m ~now in
+            if pc > 0 then begin
+              i.busy <- i.busy + pc;
+              i.probe_cyc <- i.probe_cyc + pc
+            end)
+      instances
+  in
   List.iteri
     (fun batch_idx (w, items) ->
       (match !open_window with
@@ -612,9 +897,12 @@ let run ?trace ?metrics cfg artifact ~graph =
             Array.fold_left (fun acc i -> min acc i.free_at) max_int instances
         | Poisson _ -> (w + 1) * window
       in
-      let inst = route instances dispatch_t in
+      advance_machines dispatch_t;
+      let inst, fail_open = route instances dispatch_t in
+      if fail_open then incr observed_fail_open;
       let start = max dispatch_t inst.free_at in
       let cursor = ref (start + cfg.dispatch_overhead) in
+      let batch_faults = ref 0 in
       List.iter
         (fun ((_, r), exec) ->
           match exec with
@@ -639,6 +927,7 @@ let run ?trace ?metrics cfg artifact ~graph =
               served_running := !served_running + 1;
               inst.served <- inst.served + 1;
               inst.faults <- inst.faults + e.e_detected + e.e_silent;
+              batch_faults := !batch_faults + e.e_detected + e.e_silent;
               Sim.Counters.add inst.totals e.e_totals
           | Abort a ->
               outcomes.(r.r_id) <-
@@ -651,7 +940,8 @@ let run ?trace ?metrics cfg artifact ~graph =
                        o_attempts = a.a_attempts;
                      });
               inst.aborted <- inst.aborted + 1;
-              inst.faults <- inst.faults + a.a_detected + a.a_silent)
+              inst.faults <- inst.faults + a.a_detected + a.a_silent;
+              batch_faults := !batch_faults + a.a_detected + a.a_silent)
         items;
       let finish = !cursor in
       Trace.interval trace
@@ -667,17 +957,56 @@ let run ?trace ?metrics cfg artifact ~graph =
       inst.free_at <- finish;
       inst.busy <- inst.busy + (finish - start);
       inst.batches <- inst.batches + 1;
-      (match (cfg.degrade_after, inst.degraded_at) with
-      | Some threshold, None when inst.faults >= threshold ->
-          inst.degraded_at <- Some finish;
-          Trace.interval trace
-            ~track:(Printf.sprintf "instance %d" inst.id)
-            ~cat:"serve" ~ts:finish ~dur:0
-            ~args:[ ("faults", J.Int inst.faults) ]
-            "degraded"
-      | _ -> ()))
+      (match inst.hm with
+      | Some m -> Health.observe_faults m ~now:finish !batch_faults
+      | None -> (
+          match (cfg.degrade_after, inst.degraded_at) with
+          | Some threshold, None when inst.faults >= threshold ->
+              inst.degraded_at <- Some finish;
+              Trace.interval trace
+                ~track:(Printf.sprintf "instance %d" inst.id)
+                ~cat:"serve" ~ts:finish ~dur:0
+                ~args:[ ("faults", J.Int inst.faults) ]
+                "degraded"
+          | _ -> ())))
     batches;
   (match !open_window with Some w -> sample_sched w | None -> ());
+  (* Drain the observed plane to the end of the run: probes scheduled
+     before the last completion still land, then each machine's log
+     yields the instance's first-degradation cycle (the JSON/summary
+     field the one-way flag used to fill) and the trace events. *)
+  (match health_cfg with
+  | None -> ()
+  | Some _ ->
+      let fleet_end =
+        Array.fold_left (fun acc i -> max acc i.free_at) 0 instances
+      in
+      advance_machines fleet_end;
+      Array.iter
+        (fun i ->
+          match i.hm with
+          | None -> ()
+          | Some m ->
+              i.degraded_at <-
+                List.find_opt
+                  (fun tr -> tr.Health.tr_to = Health.Degraded)
+                  (Health.transitions m)
+                |> Option.map (fun tr -> tr.Health.tr_at);
+              List.iter
+                (fun tr ->
+                  Trace.interval trace
+                    ~track:(Printf.sprintf "instance %d" i.id)
+                    ~cat:"health" ~ts:tr.Health.tr_at ~dur:0
+                    ~args:
+                      [
+                        ("from", J.Str (Health.state_label tr.Health.tr_from));
+                        ("to", J.Str (Health.state_label tr.Health.tr_to));
+                        ("cause", J.Str (Health.cause_label tr.Health.tr_cause));
+                      ]
+                    (Printf.sprintf "health %s"
+                       (Health.state_label tr.Health.tr_to)))
+                (Health.transitions m))
+        instances);
   (* --- aggregation --- *)
   let outcomes =
     List.map
@@ -730,7 +1059,7 @@ let run ?trace ?metrics cfg artifact ~graph =
         match e with
         | Done e -> (d + e.e_detected, s + e.e_silent, t + e.e_retries)
         | Abort a -> (d + a.a_detected, s + a.a_silent, t + max 0 (a.a_attempts - 1)))
-      (0, 0, 0) work
+      (0, 0, 0) kept_work
   in
   Metrics.inc m_faults_detected det;
   Metrics.inc m_faults_silent sil;
@@ -800,7 +1129,33 @@ let run ?trace ?metrics cfg artifact ~graph =
              outcomes)
   in
   Metrics.inc m_slo_pred pred_violations;
+  Metrics.inc m_fail_open_pred !pred_fail_open;
+  Metrics.inc m_health_shed !health_shed;
+  (match pred_health with
+  | None -> ()
+  | Some pm ->
+      List.iter2
+        (fun (_, c) (_, n) -> Metrics.inc c n)
+        m_health_pred_transitions
+        (Health.transition_counts pm);
+      let inc_opt m v = Option.iter (fun c -> Metrics.inc c v) m in
+      inc_opt m_health_pred_readmissions (Health.readmissions pm);
+      inc_opt m_health_pred_relapses (Health.relapses pm);
+      inc_opt m_health_pred_probe_cycles (Health.probe_cycles pm));
   Metrics.inc m_slo_observed observed_violations;
+  Metrics.inc m_fail_open_observed !observed_fail_open;
+  List.iter
+    (fun (pair, c) ->
+      let n =
+        Array.fold_left
+          (fun acc i ->
+            match i.hm with
+            | None -> acc
+            | Some m -> acc + List.assoc pair (Health.transition_counts m))
+          0 instances
+      in
+      Metrics.inc c n)
+    m_health_observed_transitions;
   let slo =
     match cfg.slo_sojourn with
     | None -> None
@@ -831,7 +1186,18 @@ let run ?trace ?metrics cfg artifact ~graph =
       Metrics.set_int
         (g "htvm_sched_instance_degraded"
            "1 when the instance left the healthy rotation.")
-        (match i.degraded_at with Some _ -> 1 | None -> 0))
+        (match i.degraded_at with Some _ -> 1 | None -> 0);
+      match i.hm with
+      | None -> ()
+      | Some m ->
+          Metrics.set_int
+            (g "htvm_sched_instance_probe_cycles"
+               "Cycles the instance spent on health probes.")
+            i.probe_cyc;
+          Metrics.set_int
+            (g "htvm_sched_instance_readmissions"
+               "Times the instance rejoined the healthy rotation.")
+            (Health.readmissions m))
     instances;
   Metrics.set_int
     (Metrics.gauge reg ~track:Metrics.Sched ~help:"End-to-end makespan cycles."
@@ -842,6 +1208,22 @@ let run ?trace ?metrics cfg artifact ~graph =
        ~help:"Served requests per second of simulated time."
        "htvm_sched_throughput_rps")
     throughput;
+  let health_sum =
+    match (pred_health, health_cfg) with
+    | Some pm, Some hc ->
+        Some
+          {
+            h_config = hc;
+            h_pred_state = Health.state pm;
+            h_pred_transitions = List.length (Health.transitions pm);
+            h_pred_readmissions = Health.readmissions pm;
+            h_pred_relapses = Health.relapses pm;
+            h_pred_probe_cycles = Health.probe_cycles pm;
+            h_pred_fail_open = !pred_fail_open;
+            h_shed = !health_shed;
+          }
+    | _ -> None
+  in
   {
     r_config = cfg;
     r_window = window;
@@ -872,10 +1254,13 @@ let run ?trace ?metrics cfg artifact ~graph =
                   else float_of_int i.busy /. float_of_int makespan);
                i_faults = i.faults;
                i_degraded_at = i.degraded_at;
+               i_health = Option.map health_stat_of i.hm;
                i_totals = i.totals;
              })
            instances);
     r_slo = slo;
+    r_health = health_sum;
+    r_fail_open = !observed_fail_open;
     r_memo_hits = !memo_hits;
     r_memo_misses = !memo_misses;
     r_metrics = Metrics.snapshot reg;
@@ -896,6 +1281,18 @@ let percentiles_json p =
       ("p95", J.Int p.p95);
       ("p99", J.Int p.p99);
       ("max", J.Int p.p_max);
+    ]
+
+let health_stat_json hs =
+  J.Obj
+    [
+      ("state", J.Str (Health.state_label hs.hs_state));
+      ("transitions", J.Int hs.hs_transitions);
+      ("readmissions", J.Int hs.hs_readmissions);
+      ("relapses", J.Int hs.hs_relapses);
+      ("probes_passed", J.Int hs.hs_probes_passed);
+      ("probes_failed", J.Int hs.hs_probes_failed);
+      ("probe_cycles", J.Int hs.hs_probe_cycles);
     ]
 
 (* --- multi-tenant serving --------------------------------------------- *)
@@ -958,6 +1355,8 @@ type mt_config = {
   mt_placement : placement;
   mt_jobs : int;
   mt_use_plan : bool;
+  mt_degraded_instances : int list;
+  mt_health : Health.config option;
 }
 
 let mt_default =
@@ -974,6 +1373,8 @@ let mt_default =
     mt_placement = Swap;
     mt_jobs = 1;
     mt_use_plan = true;
+    mt_degraded_instances = [];
+    mt_health = None;
   }
 
 type mt_error =
@@ -1034,6 +1435,7 @@ type mt_instance_stat = {
   mi_swaps : int;
   mi_utilization : float;
   mi_model : string option;
+  mi_health : health_stat option;
 }
 
 type mt_report = {
@@ -1052,6 +1454,7 @@ type mt_report = {
   mt_sojourn : percentiles;
   mt_makespan : int;
   mt_throughput_rps : float;
+  mt_fail_open : int;
   mt_instances : mt_instance_stat list;
   mt_metrics : Metrics.snapshot;
 }
@@ -1197,6 +1600,17 @@ let mt_validate cfg ~models ~classes =
   else if
     List.exists (fun k -> match k.k_slo with Some t -> t < 1 | None -> false) classes
   then err "class SLO targets must be >= 1"
+  else if
+    List.exists
+      (fun id -> id < 0 || id >= cfg.mt_workers)
+      cfg.mt_degraded_instances
+  then
+    err
+      (Printf.sprintf "degraded instance ids must be in [0, %d)" cfg.mt_workers)
+  else if
+    List.length (List.sort_uniq compare cfg.mt_degraded_instances)
+    <> List.length cfg.mt_degraded_instances
+  then err "degraded instance ids must be distinct"
   else
     match cfg.mt_arrival with
     | Mt_diurnal { period; _ } when period < 0 ->
@@ -1311,6 +1725,20 @@ let mt_run ?trace ?metrics cfg ~models ~classes =
     | Mt_diurnal { period; _ } -> if period > 0 then period else 8 * window
     | _ -> 0
   in
+  (* Health lifecycle (observed plane only — the multi-tenant path is
+     fault-free): auto fields resolve against the largest model's probe
+     time, violations surface as typed [Bad_config] errors. *)
+  let health_res =
+    match cfg.mt_health with
+    | None -> Ok None
+    | Some hc -> (
+        match resolve_health hc ~probe_cycles:(Lazy.force probe) with
+        | Ok hc -> Ok (Some hc)
+        | Error msg -> Error (Bad_config msg))
+  in
+  match health_res with
+  | Error _ as e -> e
+  | Ok mt_health_cfg ->
   (* --- generation: class mix, payload seeds and arrivals from one Rng
      stream (or verbatim from the replayed trace). *)
   let total_weight =
@@ -1520,12 +1948,19 @@ let mt_run ?trace ?metrics cfg ~models ~classes =
      instance's resident model changes. *)
   let instances =
     Array.init cfg.mt_workers (fun id ->
+        let boot_degraded = List.mem id cfg.mt_degraded_instances in
         object
           val mutable free_at = 0
           val mutable busy = 0
           val mutable served = 0
           val mutable batches = 0
           val mutable swaps = 0
+          val mutable probe_cyc = 0
+          val hm =
+            Option.map
+              (fun hc ->
+                Health.create ~degraded_at_start:boot_degraded hc ~instance:id)
+              mt_health_cfg
           val mutable loaded =
             (match cfg.mt_placement with
             | Pinned -> Some (id mod n_models)
@@ -1536,7 +1971,25 @@ let mt_run ?trace ?metrics cfg ~models ~classes =
           method served = served
           method batches = batches
           method swaps = swaps
+          method probe_cyc = probe_cyc
+          method hm = hm
           method loaded = loaded
+
+          (* Without a lifecycle a boot-degraded instance stays out of
+             rotation for the whole run. *)
+          method eligible =
+            match hm with
+            | Some m -> Health.eligible m
+            | None -> not boot_degraded
+
+          method advance now =
+            match hm with
+            | None -> ()
+            | Some m ->
+                let pc = Health.advance m ~now in
+                busy <- busy + pc;
+                probe_cyc <- probe_cyc + pc
+
           method set_free_at t = free_at <- t
           method add_busy d = busy <- busy + d
           method add_served n = served <- served + n
@@ -1545,6 +1998,7 @@ let mt_run ?trace ?metrics cfg ~models ~classes =
           method set_loaded m = loaded <- Some m
         end)
   in
+  let mt_fail_open = ref 0 in
   let eligible m =
     match cfg.mt_placement with
     | Swap -> Array.to_list instances
@@ -1559,6 +2013,18 @@ let mt_run ?trace ?metrics cfg ~models ~classes =
       let dispatch_t =
         if open_mode then (w + 1) * window
         else List.fold_left (fun acc i -> min acc i#free_at) max_int pool
+      in
+      (* Let lifecycles catch up to the dispatch instant (cooldowns
+         expire, probes run and charge their cycles), then route within
+         the in-rotation subset; an empty subset fails open to the full
+         placement pool. *)
+      List.iter (fun i -> i#advance dispatch_t) pool;
+      let pool =
+        match List.filter (fun i -> i#eligible) pool with
+        | [] ->
+            incr mt_fail_open;
+            pool
+        | live -> live
       in
       let inst =
         List.fold_left
@@ -1611,6 +2077,15 @@ let mt_run ?trace ?metrics cfg ~models ~classes =
       inst#add_busy (finish - start);
       inst#incr_batches)
     batches;
+  (* Drain the lifecycles to the fleet's last completion so in-flight
+     cooldowns and probes settle before stats are snapshotted. *)
+  (match mt_health_cfg with
+  | None -> ()
+  | Some _ ->
+      let fleet_end =
+        Array.fold_left (fun acc i -> max acc i#free_at) 0 instances
+      in
+      Array.iter (fun i -> i#advance fleet_end) instances);
   (* --- aggregation ----------------------------------------------- *)
   let outcomes =
     List.map
@@ -1803,8 +2278,24 @@ let mt_run ?trace ?metrics cfg ~models ~classes =
       Metrics.set_int (g "htvm_mtsched_instance_served" "Requests served.") i#served;
       Metrics.set_int
         (g "htvm_mtsched_instance_swaps" "Model reloads paid by this instance.")
-        i#swaps)
+        i#swaps;
+      match i#hm with
+      | None -> ()
+      | Some m ->
+          Metrics.set_int
+            (g "htvm_mtsched_instance_probe_cycles"
+               "Cycles the instance spent on health probes.")
+            i#probe_cyc;
+          Metrics.set_int
+            (g "htvm_mtsched_instance_readmissions"
+               "Times the instance rejoined the healthy rotation.")
+            (Health.readmissions m))
     instances;
+  Metrics.inc
+    (Metrics.counter reg ~track:Metrics.Sched
+       ~help:"Batches dispatched with no eligible instance in their pool."
+       "htvm_mtsched_fail_open_total")
+    !mt_fail_open;
   Metrics.set_int
     (Metrics.gauge reg ~track:Metrics.Sched ~help:"End-to-end makespan cycles."
        "htvm_mtsched_makespan_cycles")
@@ -1831,6 +2322,7 @@ let mt_run ?trace ?metrics cfg ~models ~classes =
       mt_sojourn = percentiles_of sojourn_list;
       mt_makespan = makespan;
       mt_throughput_rps = throughput;
+      mt_fail_open = !mt_fail_open;
       mt_instances =
         Array.to_list
           (Array.map
@@ -1845,6 +2337,7 @@ let mt_run ?trace ?metrics cfg ~models ~classes =
                    (if makespan = 0 then 0.0
                     else float_of_int i#busy /. float_of_int makespan);
                  mi_model = Option.map (fun m -> used.(m).m_name) i#loaded;
+                 mi_health = Option.map health_stat_of i#hm;
                })
              instances);
       mt_metrics = Metrics.snapshot reg;
@@ -1922,6 +2415,9 @@ let mt_summary r =
     (Printf.sprintf
        "makespan %d cycles, throughput %.1f req/s, %d model swap(s)\n"
        r.mt_makespan r.mt_throughput_rps r.mt_swaps);
+  if r.mt_cfg.mt_health <> None || r.mt_cfg.mt_degraded_instances <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "health: %d fail-open dispatch(es)\n" r.mt_fail_open);
   List.iter
     (fun cs ->
       Buffer.add_string buf
@@ -1944,12 +2440,20 @@ let mt_summary r =
       Buffer.add_string buf
         (Printf.sprintf
            "instance %d: %d batch(es), %d served, %d swap(s), busy %d cycles \
-            (%.1f%% utilization)%s\n"
+            (%.1f%% utilization)%s"
            i.mi_id i.mi_batches i.mi_served i.mi_swaps i.mi_busy
            (100.0 *. i.mi_utilization)
            (match i.mi_model with
            | None -> ""
-           | Some m -> Printf.sprintf ", model %s resident" m)))
+           | Some m -> Printf.sprintf ", model %s resident" m)
+        ^ (match i.mi_health with
+          | None -> ""
+          | Some hs ->
+              Printf.sprintf
+                ", health %s (%d readmission(s), %d probe cycles)"
+                (Health.state_label hs.hs_state)
+                hs.hs_readmissions hs.hs_probe_cycles)
+        ^ "\n"))
     r.mt_instances;
   Buffer.contents buf
 
@@ -2012,6 +2516,9 @@ let mt_to_json r =
         ("swaps", J.Int i.mi_swaps);
         ("utilization", J.Float i.mi_utilization);
         ("model", match i.mi_model with None -> J.Null | Some m -> J.Str m);
+        ( "health",
+          match i.mi_health with None -> J.Null | Some hs -> health_stat_json hs
+        );
       ]
   in
   J.Obj
@@ -2030,6 +2537,7 @@ let mt_to_json r =
       ("shed_queue", J.Int r.mt_shed_queue);
       ("shed_slo", J.Int r.mt_shed_slo);
       ("swaps", J.Int r.mt_swaps);
+      ("fail_open", J.Int r.mt_fail_open);
       ("service_cycles", percentiles_json r.mt_service);
       ("sojourn_cycles", percentiles_json r.mt_sojourn);
       ("makespan_cycles", J.Int r.mt_makespan);
@@ -2064,6 +2572,22 @@ let tally r =
     (Printf.sprintf "plan %s retry-budget %d\n"
        (Fault.Plan.to_string r.r_config.plan)
        r.r_config.retry_budget);
+  (* Health lines are conditional, like the slo footer: the resolved
+     lifecycle config and the predicted-plane stats are pure functions
+     of the config seed. *)
+  (match r.r_health with
+  | Some h ->
+      let c = h.h_config in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "health threshold=%d probation=%d interval=%d cost=%d passes=%d \
+            cap=%d fail-ppm=%d seed=%d\n"
+           c.Health.fault_threshold c.Health.probation_window
+           c.Health.probe_interval c.Health.probe_cost c.Health.pass_threshold
+           c.Health.backoff_cap
+           (int_of_float (c.Health.probe_fail_prob *. 1_000_000.))
+           c.Health.probe_seed)
+  | None -> ());
   List.iter
     (fun (req, o) ->
       Buffer.add_string buf
@@ -2102,6 +2626,18 @@ let tally r =
         (Printf.sprintf "slo target=%d pred-violations=%d pred-violation-rate=%.4f\n"
            s.s_target s.s_pred_violations s.s_pred_violation_rate)
   | None -> ());
+  (* Predicted plane only: observed fail-open and per-instance lifecycle
+     stats move with the fleet shape and stay out of the ledger. *)
+  (match r.r_health with
+  | Some h ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "health pred-state=%s transitions=%d readmissions=%d relapses=%d \
+            probe-cycles=%d fail-open=%d shed=%d\n"
+           (Health.state_label h.h_pred_state)
+           h.h_pred_transitions h.h_pred_readmissions h.h_pred_relapses
+           h.h_pred_probe_cycles h.h_pred_fail_open h.h_shed)
+  | None -> ());
   pp_percentiles buf "service" r.r_service;
   Buffer.contents buf
 
@@ -2129,6 +2665,16 @@ let summary r =
            s.s_target s.s_pred_violations s.s_observed_violations
            (100.0 *. s.s_pred_violation_rate))
   | None -> ());
+  (match r.r_health with
+  | Some h ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "health: pred %s, %d readmission(s), %d relapse(s), %d probe \
+            cycles, %d shed, %d pred / %d observed fail-open\n"
+           (Health.state_label h.h_pred_state)
+           h.h_pred_readmissions h.h_pred_relapses h.h_pred_probe_cycles
+           h.h_shed h.h_pred_fail_open r.r_fail_open)
+  | None -> ());
   pp_percentiles buf "service latency (cycles)" r.r_service;
   pp_percentiles buf "sojourn latency (cycles)" r.r_sojourn;
   List.iter
@@ -2136,13 +2682,19 @@ let summary r =
       Buffer.add_string buf
         (Printf.sprintf
            "instance %d: %d batch(es), %d served, %d aborted, busy %d cycles \
-            (%.1f%% utilization), %d fault(s)%s\n"
+            (%.1f%% utilization), %d fault(s)%s%s\n"
            i.i_id i.i_batches i.i_served i.i_aborted i.i_busy
            (100.0 *. i.i_utilization) i.i_faults
            (match i.i_degraded_at with
            | None -> ""
            | Some 0 -> ", degraded from start"
-           | Some t -> Printf.sprintf ", degraded at cycle %d" t)))
+           | Some t -> Printf.sprintf ", degraded at cycle %d" t)
+           (match i.i_health with
+           | None -> ""
+           | Some hs ->
+               Printf.sprintf ", health %s (%d readmission(s), %d probe cycles)"
+                 (Health.state_label hs.hs_state)
+                 hs.hs_readmissions hs.hs_probe_cycles)))
     r.r_instances;
   Buffer.contents buf
 
@@ -2191,6 +2743,9 @@ let to_json r =
         ("faults", J.Int i.i_faults);
         ( "degraded_at",
           match i.i_degraded_at with None -> J.Null | Some t -> J.Int t );
+        ( "health",
+          match i.i_health with None -> J.Null | Some hs -> health_stat_json hs
+        );
         ("dma_bytes_in", J.Int i.i_totals.Sim.Counters.dma_bytes_in);
         ("dma_bytes_out", J.Int i.i_totals.Sim.Counters.dma_bytes_out);
       ]
@@ -2230,6 +2785,26 @@ let to_json r =
                 ("observed_violations", J.Int s.s_observed_violations);
                 ("pred_violation_rate", J.Float s.s_pred_violation_rate);
               ] );
+      ( "health",
+        match r.r_health with
+        | None -> J.Null
+        | Some h ->
+            J.Obj
+              [
+                ("pred_state", J.Str (Health.state_label h.h_pred_state));
+                ("pred_transitions", J.Int h.h_pred_transitions);
+                ("pred_readmissions", J.Int h.h_pred_readmissions);
+                ("pred_relapses", J.Int h.h_pred_relapses);
+                ("pred_probe_cycles", J.Int h.h_pred_probe_cycles);
+                ("pred_fail_open", J.Int h.h_pred_fail_open);
+                ("shed", J.Int h.h_shed);
+                ( "probation_window",
+                  J.Int h.h_config.Health.probation_window );
+                ("probe_interval", J.Int h.h_config.Health.probe_interval);
+                ("probe_cost", J.Int h.h_config.Health.probe_cost);
+                ("backoff_cap", J.Int h.h_config.Health.backoff_cap);
+              ] );
+      ("fail_open", J.Int r.r_fail_open);
       ("instances", J.List (List.map instance_json r.r_instances));
       ("outcomes", J.List (List.map outcome_json r.r_outcomes));
       ("metrics", Metrics.to_json r.r_metrics);

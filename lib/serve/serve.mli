@@ -27,6 +27,11 @@
       marked degraded at the completion cycle of the offending batch and
       routed around from then on; if every instance is degraded the
       router fails open and keeps dispatching (degraded beats down).
+      With a [health] lifecycle configured, the one-way degraded flag is
+      replaced by a per-instance {!Health.t} state machine: degraded
+      instances re-enter probation after a (relapse-escalated) cooldown,
+      run seeded probes that cost cycles on the probed instance, and are
+      {e readmitted} to the rotation after enough consecutive passes.
     - {b Execution.} Every request runs on a fresh simulated machine
       (its own memories and counters) under its {e own} fault session —
       the campaign seed is derived from the plan seed and the request
@@ -102,13 +107,34 @@ type config = {
           request seeds are folded into a pool of [k] seeds derived from
           [seed], so requests repeat payloads and memoization has
           something to hit. Arrival times are unaffected by the mix. *)
+  health : Health.config option;
+      (** enable the health lifecycle. Mutually exclusive with
+          [degrade_after] (the lifecycle subsumes the one-way flag).
+          Auto-resolution against the probe request's service cycles:
+          [probation_window <= 0] becomes twice the probe service time,
+          [probe_interval < 0] a quarter of it (0 stays legal:
+          back-to-back probes), [probe_cost <= 0] a tenth (min 1), and
+          [backoff_cap <= 0] eight probation windows.
+
+          Two planes run the same machine. The {e predicted} plane is
+          one logical machine (instance id -1) advanced along the
+          queueing-free batch timeline — it feeds the tally footer, the
+          cycles-track [htvm_health_pred_*] counters, health-aware
+          admission shedding and the predicted fail-open count, all
+          byte-identical at any [workers]/[jobs]. The {e observed} plane
+          is one machine per instance fed by the faults of the batches
+          it actually served — it drives routing eligibility, charges
+          probe cycles to instance busy time, and reports via
+          {!instance_stat.i_health}, the sched track and {!run}'s
+          trace. *)
 }
 
 val default : config
 (** [workers = 4], [max_batch = 8], [queue_depth = 32], [requests = 64],
     [seed = 42], closed-loop arrivals, auto window, 1000-cycle dispatch
     overhead, no faults, retry budget 3, no degradation, [jobs = 1],
-    no SLO, plan fast path on, no memoization, fully-unique inputs. *)
+    no SLO, plan fast path on, no memoization, fully-unique inputs, no
+    health lifecycle. *)
 
 type request = {
   r_id : int;
@@ -159,15 +185,28 @@ val percentiles_of : int list -> percentiles
     percentile of n values is the value at rank ceil(p*n/100), 1-based);
     all-zero for the empty list. *)
 
+type health_stat = {
+  hs_state : Health.state;  (** end-of-run state *)
+  hs_transitions : int;
+  hs_readmissions : int;
+  hs_relapses : int;
+  hs_probes_passed : int;
+  hs_probes_failed : int;
+  hs_probe_cycles : int;
+}
+(** Observed-plane lifecycle stats of one instance's {!Health.t}. *)
+
 type instance_stat = {
   i_id : int;
   i_batches : int;
   i_served : int;
   i_aborted : int;
-  i_busy : int;  (** cycles spent executing batches *)
+  i_busy : int;  (** cycles spent executing batches (and health probes) *)
   i_utilization : float;  (** [i_busy] / makespan *)
   i_faults : int;  (** detected + silent faults over its requests *)
-  i_degraded_at : int option;  (** cycle it left the healthy rotation *)
+  i_degraded_at : int option;
+      (** cycle it first left the healthy rotation *)
+  i_health : health_stat option;  (** [Some] iff [config.health] was set *)
   i_totals : Sim.Counters.t;  (** summed counters of its served requests *)
 }
 
@@ -181,6 +220,25 @@ type slo = {
           moves with the fleet shape; always >= [s_pred_violations] *)
   s_pred_violation_rate : float;  (** predicted violations / served *)
 }
+
+type health_summary = {
+  h_config : Health.config;  (** resolved config (autos filled in) *)
+  h_pred_state : Health.state;  (** predicted plane's end-of-run state *)
+  h_pred_transitions : int;
+  h_pred_readmissions : int;
+  h_pred_relapses : int;
+  h_pred_probe_cycles : int;
+  h_pred_fail_open : int;
+      (** batches whose predicted dispatch found the predicted machine
+          ineligible (the admission controller's fail-open estimate) *)
+  h_shed : int;
+      (** requests shed by health-aware admission (the ingress cap is
+          halved while the predicted machine is out of rotation) *)
+}
+(** Predicted-plane health accounting — a pure function of the config,
+    so every field is byte-identical at any [workers]/[jobs] and lands
+    in the tally footer. Observed counterparts live in
+    {!instance_stat.i_health} and {!report.r_fail_open}. *)
 
 type report = {
   r_config : config;
@@ -200,6 +258,11 @@ type report = {
           clock *)
   r_instances : instance_stat list;
   r_slo : slo option;  (** [Some] iff [slo_sojourn] was set *)
+  r_health : health_summary option;  (** [Some] iff [health] was set *)
+  r_fail_open : int;
+      (** batches dispatched with {e no} eligible instance (the router
+          fails open rather than stall) — fleet-shape dependent, on the
+          sched track as [htvm_sched_fail_open_total] *)
   r_memo_hits : int;
       (** admitted requests served from a memoized execution (0 unless
           [memoize]) *)
@@ -235,7 +298,10 @@ val run :
     not have hosted a serve run before.
     @raise Invalid_argument on a non-positive [workers], [max_batch],
     [queue_depth], [slo_sojourn], a negative [requests] or [input_mix],
-    or [memoize] combined with a non-empty fault [plan]. *)
+    [memoize] combined with a non-empty fault [plan], a
+    [degraded_instances] id outside [[0, workers)] or listed twice, an
+    out-of-range [health] field (see {!Health.validate}), or [health]
+    combined with [degrade_after]. *)
 
 val tally : report -> string
 (** The canonical functional ledger: one line per request (outcome,
@@ -348,13 +414,26 @@ type mt_config = {
   mt_placement : placement;
   mt_jobs : int;  (** host domains; a wall-clock knob only *)
   mt_use_plan : bool;  (** route executions through {!Sim.Plan} *)
+  mt_degraded_instances : int list;
+      (** instance ids out of rotation from cycle 0. Without [mt_health]
+          they stay out for the whole run; with it they walk the
+          probation/readmission lifecycle. *)
+  mt_health : Health.config option;
+      (** per-instance health lifecycle (observed plane only — the
+          multi-tenant path is fault-free, so machines only move on the
+          boot flag and their own probe streams; auto fields resolve
+          against the largest model's probe time as in {!config}). The
+          {!mt_tally} is unaffected: lifecycle stats live in
+          {!mt_instance_stat.mi_health}, {!mt_report.mt_fail_open} and
+          the sched metrics track. *)
 }
 
 val mt_default : mt_config
 (** [mt_workers = 4], [mt_max_batch = 8], [mt_queue_depth = 32],
     [mt_requests = 64], [mt_seed = 42], closed arrivals, auto window,
     1000-cycle dispatch overhead, 5000-cycle swap overhead, {!Swap}
-    placement, [mt_jobs = 1], plan fast path on. *)
+    placement, [mt_jobs = 1], plan fast path on, no degraded instances,
+    no health lifecycle. *)
 
 type mt_error =
   | Unknown_model of { class_name : string; model : string }
@@ -413,6 +492,7 @@ type mt_instance_stat = {
   mi_swaps : int;  (** model reloads this instance paid *)
   mi_utilization : float;
   mi_model : string option;  (** resident model at end of run *)
+  mi_health : health_stat option;  (** [Some] iff [mt_health] was set *)
 }
 
 type mt_report = {
@@ -432,6 +512,9 @@ type mt_report = {
   mt_makespan : int;
   mt_throughput_rps : float;
       (** at the {e first} registered model's platform clock *)
+  mt_fail_open : int;
+      (** batches dispatched with no eligible instance in their
+          placement pool (fleet-shape dependent, sched track) *)
   mt_instances : mt_instance_stat list;
   mt_metrics : Metrics.snapshot;
       (** cycles track: request/outcome totals, per-class counters
@@ -469,7 +552,9 @@ val mt_run :
     size is itself workers/jobs-invariant and is reported in
     {!mt_report.mt_batch} and the [htvm_mtserve_batch_size] gauge.
 
-    All failures are typed: numeric violations return [Error
+    All failures are typed: numeric violations — including an
+    [mt_degraded_instances] id outside [[0, mt_workers)] or listed
+    twice, and an out-of-range [mt_health] field — return [Error
     (Bad_config _)], an unresolvable class model [Error (Unknown_model
     _)], a trace naming an unconfigured class [Error (Unknown_class _)].
     Nothing in the multi-tenant path raises. *)

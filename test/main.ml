@@ -37,5 +37,6 @@ let () =
          Test_fault.suites;
          Test_serve.suites;
          Test_mtserve.suites;
+         Test_health.suites;
          Test_metrics.suites;
        ])

@@ -132,6 +132,53 @@ if ! grep -q 'htvm_mtserve_class_slo_pred_violations_total{class="keyword"}' \
   exit 1
 fi
 
+# Health-lifecycle smoke: a boot-degraded instance under fault injection
+# walks probation -> readmission, and the functional tally — including
+# the new health header and predicted-plane footer — stays byte-identical
+# at any fleet shape / job count. The footer line proves the lifecycle
+# actually ran (readmissions/relapses are recorded there).
+echo "== htvmc serve health smoke (lifecycle, workers 2 vs 4) =="
+dune exec bin/htvmc.exe -- serve _build/serve-smoke.htvm --config both \
+  --workers 2 -j 1 --requests 16 --batch 4 --retry-budget 4 \
+  --inject "seed=3,dma_in@p=0.3:flip" --health --degraded 0 \
+  --tally _build/serve-health-w2.txt
+dune exec bin/htvmc.exe -- serve _build/serve-smoke.htvm --config both \
+  --workers 4 -j 4 --requests 16 --batch 4 --retry-budget 4 \
+  --inject "seed=3,dma_in@p=0.3:flip" --health --degraded 0 \
+  --tally _build/serve-health-w4.txt
+if ! diff _build/serve-health-w2.txt _build/serve-health-w4.txt; then
+  echo "verify: serve health tallies differ between workers 2 and 4" >&2
+  exit 1
+fi
+if ! grep -q '^health pred-state=' _build/serve-health-w2.txt; then
+  echo "verify: serve health tally is missing the lifecycle footer" >&2
+  exit 1
+fi
+
+# Campaign smoke: sweep three fault-rate points under sustained load.
+# The campaign tally (the SLO/shed/readmission curve) is built entirely
+# from the predicted plane, so the w1/j1 and w4/j4 sweeps must be
+# byte-identical; the rate lines carry the curve fields.
+echo "== htvmc campaign smoke (3 rate points, w1/j1 vs w4/j4) =="
+dune exec bin/htvmc.exe -- campaign _build/serve-smoke.htvm --config both \
+  --workers 1 -j 1 --requests 12 --batch 4 --retry-budget 4 \
+  --rates 0,0.01,0.2 --tally _build/campaign-tally-w1.txt
+dune exec bin/htvmc.exe -- campaign _build/serve-smoke.htvm --config both \
+  --workers 4 -j 4 --requests 12 --batch 4 --retry-budget 4 \
+  --rates 0,0.01,0.2 --tally _build/campaign-tally-w4.txt
+if ! diff _build/campaign-tally-w1.txt _build/campaign-tally-w4.txt; then
+  echo "verify: campaign tallies differ between w1/j1 and w4/j4" >&2
+  exit 1
+fi
+if [ "$(grep -c '^rate ' _build/campaign-tally-w1.txt)" != 3 ]; then
+  echo "verify: campaign tally does not carry one line per rate point" >&2
+  exit 1
+fi
+if ! grep -q 'readmissions=' _build/campaign-tally-w1.txt; then
+  echo "verify: campaign tally is missing the health curve fields" >&2
+  exit 1
+fi
+
 # Differential conformance smoke: compiled artifacts must agree with the
 # reference interpreter over a fixed seed range. Any failure prints a
 # minimized reproducer and exits nonzero.
