@@ -78,18 +78,58 @@ let resolve_jobs = function
 let config_for name jobs =
   { (config_of_name name) with Htvm.Compile.jobs = resolve_jobs jobs }
 
-let compile_or_die ?trace ?metrics cfg g =
-  match Htvm.Compile.compile ?trace ?metrics cfg g with
+let compile_or_die ?trace ?metrics ?store cfg g =
+  match Htvm.Compile.compile ?trace ?metrics ?store cfg g with
   | Ok a -> a
   | Error e ->
       Printf.eprintf "htvmc: compilation failed: %s\n" (Htvm.Compile.error_to_string e);
       exit 1
 
+(* Every result file (--tally/--metrics/--trace-out/--json/...) goes
+   through here: the atomic temp+rename write means an interrupted run
+   can never leave a truncated file for downstream diffs to misread. *)
 let write_file path contents =
-  try Out_channel.with_open_text path (fun oc -> output_string oc contents)
+  try Util.File.write_atomic path contents
   with Sys_error e ->
     Printf.eprintf "htvmc: cannot write %s\n" e;
     exit 1
+
+(* --- persistent store plumbing --- *)
+
+(* Resolve --cache / --cache-dir DIR / --no-cache into an optional store
+   handle. Default off: runs without a cache flag behave exactly as
+   before. --cache-dir implies --cache; --no-cache wins over both (so a
+   script can append it to override an aliased default). *)
+let store_of_args cache cache_dir no_cache =
+  if no_cache then None
+  else
+    match cache_dir with
+    | Some dir -> Some (Store.open_root dir)
+    | None -> if cache then Some (Store.open_root (Store.default_root ())) else None
+
+(* Store traffic counters ride the cycles track next to the compile
+   counters. Call this after the compiles and before any serve run (the
+   serve report snapshots the registry itself). *)
+let export_store_metrics reg store =
+  match (reg, store) with
+  | Some reg, Some st ->
+      let c name help v = Metrics.inc (Metrics.counter reg ~help name) v in
+      c "htvm_store_hits_total" "Persistent-store lookups served from disk."
+        (Store.hits st);
+      c "htvm_store_misses_total" "Persistent-store lookups finding no entry."
+        (Store.misses st);
+      c "htvm_store_rejects_total"
+        "Persistent-store entries failing verified replay (recomputed)."
+        (Store.rejects st);
+      c "htvm_store_evictions_total" "Persistent-store entries evicted by GC."
+        (Store.evictions st)
+  | _ -> ()
+
+let print_store_summary = function
+  | None -> ()
+  | Some st ->
+      Printf.printf "store: hits=%d misses=%d rejects=%d dir=%s\n"
+        (Store.hits st) (Store.misses st) (Store.rejects st) (Store.root st)
 
 (* --- metrics plumbing --- *)
 
@@ -237,10 +277,13 @@ let inspect path verbose =
 
 (* --- compile --- *)
 
-let compile path config jobs emit_c trace_out =
+let compile path config jobs emit_c trace_out cache cache_dir no_cache =
   let g = load_graph path in
   let cfg = config_for config jobs in
-  let artifact = with_trace trace_out (fun trace -> compile_or_die ?trace cfg g) in
+  let store = store_of_args cache cache_dir no_cache in
+  let artifact =
+    with_trace trace_out (fun trace -> compile_or_die ?trace ?store cfg g)
+  in
   Printf.printf "compiled %s for %s\n" path
     cfg.Htvm.Compile.platform.Arch.Platform.platform_name;
   List.iter
@@ -251,6 +294,8 @@ let compile path config jobs emit_c trace_out =
   Format.printf "%a@." Codegen.Size.pp artifact.Htvm.Compile.size;
   Printf.printf "L2: %d B weights resident, %d B activation arena\n"
     artifact.Htvm.Compile.l2_static_bytes artifact.Htvm.Compile.l2_arena_bytes;
+  Printf.printf "artifact digest: %s\n" (Htvm.Compile.artifact_digest artifact);
+  print_store_summary store;
   match emit_c with
   | None -> ()
   | Some out ->
@@ -260,14 +305,15 @@ let compile path config jobs emit_c trace_out =
 (* --- run --- *)
 
 let run path config jobs seed trace_out inject faults_file retry_budget degrade
-    no_plan metrics_out metrics_format =
+    no_plan metrics_out metrics_format cache cache_dir no_cache =
   let g = load_graph path in
   let cfg = degrade_config (config_for config jobs) degrade in
   let session = Option.map Fault.Session.create (plan_of_args inject faults_file) in
   let reg = metrics_registry metrics_out in
+  let store = store_of_args cache cache_dir no_cache in
   match
     with_trace trace_out (fun trace ->
-        let artifact = compile_or_die ?trace ?metrics:reg cfg g in
+        let artifact = compile_or_die ?trace ?metrics:reg ?store cfg g in
         print_demotions artifact;
         let inputs = Models.Zoo.random_input ~seed g in
         Htvm.Compile.run ?trace ?faults:session ~retry_budget
@@ -292,10 +338,12 @@ let run path config jobs seed trace_out inject faults_file retry_budget degrade
     (Htvm.Compile.latency_ms cfg peak)
     cfg.Htvm.Compile.platform.Arch.Platform.freq_mhz full;
   Printf.printf "output: %s\n" (Tensor.to_string out);
+  print_store_summary store;
   match reg with
   | None -> ()
   | Some reg ->
       export_sim_metrics reg report.Sim.Machine.totals session;
+      export_store_metrics (Some reg) store;
       write_metrics metrics_out metrics_format (Metrics.snapshot reg)
 
 (* --- report --- *)
@@ -318,13 +366,15 @@ let report path config jobs out json =
 (* --- profile --- *)
 
 let profile path config jobs seed trace_out json_out inject faults_file
-    retry_budget degrade no_plan metrics_out metrics_format =
+    retry_budget degrade no_plan metrics_out metrics_format cache cache_dir
+    no_cache =
   let g = load_graph path in
   let cfg = degrade_config (config_for config jobs) degrade in
   let session = Option.map Fault.Session.create (plan_of_args inject faults_file) in
   let reg = metrics_registry metrics_out in
+  let store = store_of_args cache cache_dir no_cache in
   let trace = Trace.create () in
-  let artifact = compile_or_die ~trace ?metrics:reg cfg g in
+  let artifact = compile_or_die ~trace ?metrics:reg ?store cfg g in
   print_demotions artifact;
   let inputs = Models.Zoo.random_input ~seed g in
   let out, report =
@@ -371,6 +421,7 @@ let profile path config jobs seed trace_out json_out inject faults_file
     (100.0 *. Sim.Counters.utilization totals);
   print_newline ();
   print_string (Trace.summary trace);
+  print_store_summary store;
   (match trace_out with
   | None -> ()
   | Some p ->
@@ -380,6 +431,7 @@ let profile path config jobs seed trace_out json_out inject faults_file
   | None -> ()
   | Some reg ->
       export_sim_metrics reg totals session;
+      export_store_metrics (Some reg) store;
       write_metrics metrics_out metrics_format (Metrics.snapshot reg));
   match json_out with
   | None -> ()
@@ -683,16 +735,20 @@ let health_config_of_args enabled threshold probation interval cost passes cap
 let serve_mt path config jobs workers batch queue_depth requests seed arrival
     gap window overhead no_plan degraded health model_flags class_flags
     placement swap_overhead period burst replay arrival_trace_out trace_out
-    json_out tally_out metrics_out metrics_format =
+    json_out tally_out metrics_out metrics_format store =
   let cfg = config_for config (Some jobs) in
   let model_paths = ("main", path) :: List.map parse_model_flag model_flags in
+  (* Fleet warmup: every model compiles through the shared store, so a
+     registry that was compiled anywhere before — or earlier in this
+     list — comes out of the artifact tier, and fresh models still share
+     layer-tier solves with each other. *)
   let models =
     List.map
       (fun (name, p) ->
         let g = load_graph p in
         {
           Serve.m_name = name;
-          m_artifact = compile_or_die cfg g;
+          m_artifact = compile_or_die ?store cfg g;
           m_graph = g;
         })
       model_paths
@@ -749,6 +805,9 @@ let serve_mt path config jobs workers batch queue_depth requests seed arrival
      compile-side metrics register strictly, and compiling several
      models into one registry would collide. *)
   let reg = metrics_registry metrics_out in
+  (* Before mt_run: the report snapshots the registry itself, and store
+     traffic stops accruing once the fleet is compiled. *)
+  export_store_metrics reg store;
   match
     with_trace trace_out (fun trace ->
         Serve.mt_run ?trace ?metrics:reg mcfg ~models ~classes)
@@ -760,6 +819,7 @@ let serve_mt path config jobs workers batch queue_depth requests seed arrival
       Printf.printf "serving %d model(s), %d class(es) on %s x%d\n"
         (List.length models) (List.length classes)
         cfg.Htvm.Compile.platform.Arch.Platform.platform_name workers;
+      print_store_summary store;
       print_string (Serve.mt_summary report);
       write_metrics metrics_out metrics_format report.Serve.mt_metrics;
       (match arrival_trace_out with
@@ -782,8 +842,9 @@ let serve path config jobs workers batch queue_depth requests seed arrival gap
     window overhead inject faults_file retry_budget degrade_after degraded
     health slo_sojourn no_plan memoize input_mix model_flags class_flags
     placement swap_overhead period burst replay arrival_trace_out trace_out
-    json_out tally_out metrics_out metrics_format =
+    json_out tally_out metrics_out metrics_format cache cache_dir no_cache =
   let jobs = resolve_jobs jobs in
+  let store = store_of_args cache cache_dir no_cache in
   if model_flags <> [] || class_flags <> [] || replay <> None then begin
     (* Multi-tenant mode. The single-model knobs that tenancy does not
        model are rejected loudly rather than silently ignored. *)
@@ -806,7 +867,7 @@ let serve path config jobs workers batch queue_depth requests seed arrival gap
     serve_mt path config jobs workers batch queue_depth requests seed arrival
       gap window overhead no_plan degraded health model_flags class_flags
       placement swap_overhead period burst replay arrival_trace_out trace_out
-      json_out tally_out metrics_out metrics_format
+      json_out tally_out metrics_out metrics_format store
   end
   else begin
   (match arrival_trace_out with
@@ -820,7 +881,8 @@ let serve path config jobs workers batch queue_depth requests seed arrival gap
      carries the wall-clock compile phases alongside the cycle-domain
      serving telemetry (in separate tracks). *)
   let reg = metrics_registry metrics_out in
-  let artifact = compile_or_die ?metrics:reg cfg g in
+  let artifact = compile_or_die ?metrics:reg ?store cfg g in
+  export_store_metrics reg store;
   let plan =
     Option.value ~default:Fault.Plan.empty (plan_of_args inject faults_file)
   in
@@ -858,6 +920,15 @@ let serve path config jobs workers batch queue_depth requests seed arrival gap
       health;
     }
   in
+  (* Diagnose bad flag combinations (e.g. --memoize with --inject) as a
+     typed config error before the run: one clear line and exit 1, not a
+     backtrace. The Invalid_argument catch below stays for violations
+     only the run itself can detect (health field ranges). *)
+  (match Serve.validate scfg with
+  | Ok () -> ()
+  | Error e ->
+      Printf.eprintf "htvmc: %s\n" (Serve.mt_error_to_string e);
+      exit 1);
   let report =
     match
       with_trace trace_out (fun trace ->
@@ -870,6 +941,7 @@ let serve path config jobs workers batch queue_depth requests seed arrival gap
   in
   Printf.printf "serving %s on %s x%d\n" path
     cfg.Htvm.Compile.platform.Arch.Platform.platform_name workers;
+  print_store_summary store;
   print_string (Serve.summary report);
   write_metrics metrics_out metrics_format report.Serve.r_metrics;
   (match tally_out with
@@ -1017,8 +1089,65 @@ let dot path config out =
   match out with
   | None -> print_string src
   | Some p ->
-      Out_channel.with_open_text p (fun oc -> output_string oc src);
+      write_file p src;
       Printf.printf "wrote %s\n" p
+
+(* --- cache: persistent-store maintenance --- *)
+
+let human_bytes n =
+  if n >= 1_048_576 then Printf.sprintf "%.1f MiB" (float_of_int n /. 1048576.0)
+  else if n >= 1024 then Printf.sprintf "%.1f KiB" (float_of_int n /. 1024.0)
+  else Printf.sprintf "%d B" n
+
+let cache_action action cache_dir max_bytes =
+  let root =
+    match cache_dir with Some d -> d | None -> Store.default_root ()
+  in
+  let st =
+    try Store.open_root root
+    with Sys_error e ->
+      Printf.eprintf "htvmc: cannot open cache: %s\n" e;
+      exit 1
+  in
+  match action with
+  | "stats" ->
+      let es = Store.entries st in
+      let count tier =
+        List.filter (fun (e : Store.entry) -> e.Store.e_tier = tier) es
+      in
+      let layer = count Store.Layer and artifact = count Store.Artifact in
+      Printf.printf "cache %s\n" root;
+      Printf.printf "  layer: %d entr(ies), %s\n" (List.length layer)
+        (human_bytes (Store.total_bytes layer));
+      Printf.printf "  artifact: %d entr(ies), %s\n" (List.length artifact)
+        (human_bytes (Store.total_bytes artifact));
+      Printf.printf "  total: %d entr(ies), %s\n" (List.length es)
+        (human_bytes (Store.total_bytes es));
+      Store.write_index st
+  | "verify" ->
+      let ok, removed = Store.verify st in
+      Printf.printf "verified %d entr(ies): %d ok, %d rejected and removed\n"
+        (ok + removed) ok removed
+  | "gc" -> (
+      match max_bytes with
+      | None ->
+          Printf.eprintf "htvmc: cache gc requires --max-bytes\n";
+          exit 1
+      | Some cap when cap < 0 ->
+          Printf.eprintf "htvmc: --max-bytes must be >= 0\n";
+          exit 1
+      | Some cap ->
+          let evicted = Store.gc st ~max_bytes:cap in
+          let left = Store.entries st in
+          Printf.printf
+            "gc: evicted %d entr(ies); %d entr(ies), %s retained under a %s \
+             cap\n"
+            evicted (List.length left)
+            (human_bytes (Store.total_bytes left))
+            (human_bytes cap))
+  | other ->
+      Printf.eprintf "htvmc: unknown cache action %S (stats|verify|gc)\n" other;
+      exit 1
 
 (* --- cmdliner wiring --- *)
 
@@ -1085,6 +1214,23 @@ let no_plan_arg =
                  counts and traces are byte-identical either way (the slow \
                  path is the conformance oracle).")
 
+let cache_arg =
+  Arg.(value & flag
+       & info [ "cache" ]
+           ~doc:"Read and write the persistent compilation store (default \
+                 $(b,~/.cache/htvm), see $(b,--cache-dir)). Warm compiles \
+                 are byte-identical to cold ones; corrupt entries are \
+                 recomputed, never served.")
+let cache_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Persistent-store directory (implies $(b,--cache)).")
+let no_cache_arg =
+  Arg.(value & flag
+       & info [ "no-cache" ]
+           ~doc:"Disable the persistent store even if $(b,--cache) or \
+                 $(b,--cache-dir) is given.")
+
 let export_cmd =
   let model = Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL") in
   let policy = Arg.(value & opt string "int8" & info [ "policy"; "p" ] ~doc:"int8|ternary|mixed") in
@@ -1102,14 +1248,16 @@ let compile_cmd =
     Arg.(value & opt (some string) None & info [ "emit-c" ] ~doc:"Write generated C here.")
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a model for DIANA")
-    Term.(const compile $ path_arg $ config_arg $ jobs_arg $ emit_c $ trace_arg)
+    Term.(const compile $ path_arg $ config_arg $ jobs_arg $ emit_c $ trace_arg
+          $ cache_arg $ cache_dir_arg $ no_cache_arg)
 
 let run_cmd =
   let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Input seed.") in
   Cmd.v (Cmd.info "run" ~doc:"Compile and simulate a model")
     Term.(const run $ path_arg $ config_arg $ jobs_arg $ seed $ trace_arg
           $ inject_arg $ faults_file_arg $ retry_budget_arg $ degrade_arg
-          $ no_plan_arg $ metrics_arg $ metrics_format_arg)
+          $ no_plan_arg $ metrics_arg $ metrics_format_arg $ cache_arg
+          $ cache_dir_arg $ no_cache_arg)
 
 let profile_cmd =
   let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Input seed.") in
@@ -1122,7 +1270,8 @@ let profile_cmd =
        ~doc:"Compile and simulate with tracing on; print a profile summary")
     Term.(const profile $ path_arg $ config_arg $ jobs_arg $ seed $ trace_arg
           $ json_out $ inject_arg $ faults_file_arg $ retry_budget_arg
-          $ degrade_arg $ no_plan_arg $ metrics_arg $ metrics_format_arg)
+          $ degrade_arg $ no_plan_arg $ metrics_arg $ metrics_format_arg
+          $ cache_arg $ cache_dir_arg $ no_cache_arg)
 
 let dot_cmd =
   let out = Arg.(value & opt (some string) None & info [ "o" ] ~doc:"Write DOT here.") in
@@ -1467,7 +1616,8 @@ let serve_cmd =
           $ degraded $ health $ slo_sojourn $ no_plan_arg $ memoize $ input_mix
           $ model_flags $ class_flags $ placement $ swap_overhead $ period
           $ burst $ replay $ arrival_trace_out $ trace_arg $ json_out
-          $ tally_out $ metrics_arg $ metrics_format_arg)
+          $ tally_out $ metrics_arg $ metrics_format_arg $ cache_arg
+          $ cache_dir_arg $ no_cache_arg)
 
 let campaign_cmd =
   let workers =
@@ -1579,6 +1729,27 @@ let campaign_cmd =
           $ site $ kind $ fault_seed $ json_out $ tally_out $ metrics_arg
           $ metrics_format_arg)
 
+let cache_cmd =
+  let action =
+    Arg.(value & pos 0 string "stats"
+         & info [] ~docv:"ACTION"
+             ~doc:"$(b,stats) (inventory per tier), $(b,verify) (re-check \
+                   every entry's header and digest, deleting invalid ones) \
+                   or $(b,gc) (LRU-by-mtime eviction down to \
+                   $(b,--max-bytes)).")
+  in
+  let max_bytes =
+    Arg.(value & opt (some int) None
+         & info [ "max-bytes" ] ~docv:"N"
+             ~doc:"Size cap for $(b,gc): least-recently-used entries are \
+                   evicted until the store fits.")
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:"Inspect and maintain the persistent compilation store \
+             (stats / verify / gc).")
+    Term.(const cache_action $ action $ cache_dir_arg $ max_bytes)
+
 let report_cmd =
   let out =
     Arg.(value & opt (some string) None & info [ "o" ] ~doc:"Write the report here.")
@@ -1598,4 +1769,4 @@ let () =
              ~doc:"HTVM compiler driver for heterogeneous TinyML platforms")
           [ export_cmd; export_float_cmd; quantize_cmd; inspect_cmd; compile_cmd;
             run_cmd; profile_cmd; verify_cmd; check_cmd; chaos_cmd; serve_cmd;
-            campaign_cmd; report_cmd; dot_cmd ]))
+            campaign_cmd; report_cmd; cache_cmd; dot_cmd ]))

@@ -33,37 +33,50 @@ let tensor_sig = function
 (* Everything [Tiling.solve_stats] can observe, except weight/bias tensor
    contents (cycle models, capacity rules and heuristics only read
    geometry and dtypes). Config floats are rendered in hex so distinct
-   alphas can never collide. *)
+   alphas can never collide.
+
+   Fields are assembled with [Util.Key.encode] (length-prefixed), not
+   concatenated with separators: the accelerator name is caller-supplied,
+   so a name containing a separator could otherwise shift field
+   boundaries and make two distinct (config, accel, layer) triples
+   collide — and a persistent store would then serve the wrong tile. *)
 let signature (cfg : Tiling.config) ~accel (l : Ir.Layer.t) =
-  let b = Buffer.create 160 in
-  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
-  add "%s|%h;%b;%b;%b;%d|" accel cfg.Tiling.alpha cfg.Tiling.use_pe_heuristics
-    cfg.Tiling.use_dma_heuristic cfg.Tiling.double_buffer cfg.Tiling.l1_budget;
-  (match l.Ir.Layer.kind with
-  | Ir.Layer.Conv p ->
-      let sy, sx = p.Nn.Kernels.stride and py, px = p.Nn.Kernels.padding in
-      add "conv:s%dx%d:p%dx%d:g%d" sy sx py px p.Nn.Kernels.groups
-  | Ir.Layer.Dense -> add "dense"
-  | Ir.Layer.Add -> add "add"
-  | Ir.Layer.Pool { max; attrs } ->
-      let py, px = attrs.Ir.Op.pool and sy, sx = attrs.Ir.Op.pool_stride in
-      add "pool:%b:%dx%d:s%dx%d" max py px sy sx);
-  (match l.Ir.Layer.fused_pool with
-  | None -> add "|-"
-  | Some a ->
-      let py, px = a.Ir.Op.pool and sy, sx = a.Ir.Op.pool_stride in
-      add "|fp%dx%d:s%dx%d" py px sy sx);
-  add "|%s|%s|%s" (dims l.Ir.Layer.in_shape)
-    (match l.Ir.Layer.in2_shape with None -> "-" | Some s -> dims s)
-    (dims l.Ir.Layer.out_shape);
-  add "|%s>%s"
-    (Tensor.Dtype.to_string l.Ir.Layer.in_dtype)
-    (Tensor.Dtype.to_string l.Ir.Layer.out_dtype);
-  add "|w:%s|b:%s" (tensor_sig l.Ir.Layer.weights) (tensor_sig l.Ir.Layer.bias);
-  add "|sh:%s|relu:%b"
-    (match l.Ir.Layer.shift with None -> "-" | Some s -> string_of_int s)
-    l.Ir.Layer.relu;
-  Buffer.contents b
+  let kind =
+    match l.Ir.Layer.kind with
+    | Ir.Layer.Conv p ->
+        let sy, sx = p.Nn.Kernels.stride and py, px = p.Nn.Kernels.padding in
+        Printf.sprintf "conv:s%dx%d:p%dx%d:g%d" sy sx py px p.Nn.Kernels.groups
+    | Ir.Layer.Dense -> "dense"
+    | Ir.Layer.Add -> "add"
+    | Ir.Layer.Pool { max; attrs } ->
+        let py, px = attrs.Ir.Op.pool and sy, sx = attrs.Ir.Op.pool_stride in
+        Printf.sprintf "pool:%b:%dx%d:s%dx%d" max py px sy sx
+  in
+  let fused_pool =
+    match l.Ir.Layer.fused_pool with
+    | None -> "-"
+    | Some a ->
+        let py, px = a.Ir.Op.pool and sy, sx = a.Ir.Op.pool_stride in
+        Printf.sprintf "fp%dx%d:s%dx%d" py px sy sx
+  in
+  Util.Key.encode
+    [
+      accel;
+      Printf.sprintf "%h;%b;%b;%b;%d" cfg.Tiling.alpha
+        cfg.Tiling.use_pe_heuristics cfg.Tiling.use_dma_heuristic
+        cfg.Tiling.double_buffer cfg.Tiling.l1_budget;
+      kind;
+      fused_pool;
+      dims l.Ir.Layer.in_shape;
+      (match l.Ir.Layer.in2_shape with None -> "-" | Some s -> dims s);
+      dims l.Ir.Layer.out_shape;
+      Tensor.Dtype.to_string l.Ir.Layer.in_dtype;
+      Tensor.Dtype.to_string l.Ir.Layer.out_dtype;
+      tensor_sig l.Ir.Layer.weights;
+      tensor_sig l.Ir.Layer.bias;
+      (match l.Ir.Layer.shift with None -> "-" | Some s -> string_of_int s);
+      string_of_bool l.Ir.Layer.relu;
+    ]
 
 let find t key = Hashtbl.find_opt t.table key
 let add t key outcome = Hashtbl.replace t.table key outcome

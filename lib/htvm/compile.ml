@@ -107,6 +107,132 @@ let is_resource_error = function
   | Out_of_memory _ | No_feasible_tile _ -> true
   | Empty_graph | Internal _ -> false
 
+(* ---- persistent store integration ----
+
+   Two tiers. The layer tier maps a tiling-problem signature to its
+   serialized [Dory.Tiling.outcome] — stats included, so a warm solve
+   replays the exact trace payload and solver totals of a cold one. The
+   artifact tier maps a graph+config+code-version digest to the full
+   compiled artifact (minus [cfg], supplied by the caller, and minus the
+   execution plan, a derived accelerator-closure structure rebuilt on
+   load with [Sim.Plan.build]).
+
+   Serialization is [Marshal] with [No_sharing]: every value stored is
+   closure-free pure data, and the structural (sharing-free) encoding
+   makes re-marshalling a round-tripped value reproduce the stored bytes
+   exactly — which is what makes [artifact_digest] of a warm artifact
+   byte-identical to the cold one. [code_version] is folded into every
+   key, so a format change after an upgrade is a clean miss, never a
+   misread; unmarshalling only ever runs on digest-verified payloads and
+   is still guarded, with a decode failure rejecting the entry. *)
+
+let code_version = "htvm-code-v1"
+
+let layer_store_key signature =
+  Util.Key.encode [ code_version; "layer"; signature ]
+
+let bytes_of_outcome (o : Dory.Tiling.outcome) =
+  Marshal.to_string o [ Marshal.No_sharing ]
+
+let outcome_of_bytes s =
+  match (Marshal.from_string s 0 : Dory.Tiling.outcome) with
+  | o -> Some o
+  | exception _ -> None
+
+(* Verified store lookup of one layer outcome: a digest-valid entry whose
+   payload still fails to unmarshal is invalidated so it cannot be served
+   again. *)
+let store_find_outcome st key =
+  match Store.find st Store.Layer ~key with
+  | None -> None
+  | Some payload -> (
+      match outcome_of_bytes payload with
+      | Some o -> Some o
+      | None ->
+          Store.invalidate st Store.Layer ~key;
+          None)
+
+(* Every config field that can influence the compiled artifact. [jobs]
+   and [solver_cache] are excluded on purpose: compilation is
+   deterministic in both (enforced by the test suite), so they must not
+   fragment the key space. The platform is identified by name — platform
+   definitions live in the [Arch] registry, so the name pins the
+   hardware model. *)
+let config_fingerprint cfg =
+  Util.Key.encode
+    [
+      cfg.platform.Arch.Platform.platform_name;
+      (match cfg.memory_strategy with
+      | Dory.Memplan.Reuse -> "reuse"
+      | Dory.Memplan.No_reuse -> "no-reuse");
+      string_of_bool cfg.double_buffer;
+      string_of_bool cfg.use_pe_heuristics;
+      string_of_bool cfg.use_dma_heuristic;
+      (match cfg.autotune_budget with None -> "-" | Some n -> string_of_int n);
+      string_of_bool cfg.exhaustive_tiling;
+      Util.Key.encode cfg.degraded_targets;
+      (match cfg.segment_budget_cycles with
+      | None -> "-"
+      | Some n -> string_of_int n);
+    ]
+
+let graph_digest graph =
+  Digest.to_hex (Digest.string (Marshal.to_string graph [ Marshal.No_sharing ]))
+
+let artifact_store_key cfg graph =
+  Util.Key.encode
+    [ code_version; "artifact"; config_fingerprint cfg; graph_digest graph ]
+
+(* The persisted subset of [artifact]. *)
+type stored_artifact = {
+  st_program : Sim.Program.t;
+  st_size : Codegen.Size.report;
+  st_layers : layer_info list;
+  st_c_source : string;
+  st_l2_static_bytes : int;
+  st_l2_arena_bytes : int;
+  st_tuning_trials : int;
+  st_solver : solver_stats;
+  st_demotions : demotion list;
+}
+
+let artifact_payload a =
+  Marshal.to_string
+    {
+      st_program = a.program;
+      st_size = a.size;
+      st_layers = a.layers;
+      st_c_source = a.c_source;
+      st_l2_static_bytes = a.l2_static_bytes;
+      st_l2_arena_bytes = a.l2_arena_bytes;
+      st_tuning_trials = a.tuning_trials;
+      st_solver = a.solver;
+      st_demotions = a.demotions;
+    }
+    [ Marshal.No_sharing ]
+
+let artifact_digest a = Digest.to_hex (Digest.string (artifact_payload a))
+
+let stored_of_bytes s =
+  match (Marshal.from_string s 0 : stored_artifact) with
+  | st -> Some st
+  | exception _ -> None
+
+let artifact_of_stored cfg st =
+  {
+    cfg;
+    program = st.st_program;
+    plan = Sim.Plan.build ~platform:cfg.platform st.st_program;
+    size = st.st_size;
+    layers = st.st_layers;
+    c_source = st.st_c_source;
+    l2_static_bytes = st.st_l2_static_bytes;
+    l2_arena_bytes = st.st_l2_arena_bytes;
+    tuning_trials = st.st_tuning_trials;
+    solver = st.st_solver;
+    demotions = st.st_demotions;
+  }
+
 (* One lowered execution unit, before buffer assignment. *)
 type lowered =
   | LAccel of {
@@ -264,7 +390,7 @@ let cpu_const_bytes g kernels =
       match G.node g id with G.Const t -> acc + Tensor.packed_bytes t | _ -> acc)
     0 ids
 
-let compile ?trace ?metrics cfg graph =
+let compile_cold ?trace ?metrics ?store cfg graph =
   let ( let* ) = Result.bind in
   Util.Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
   (* Wall-track phase gauges ride along with the trace spans. They are
@@ -359,7 +485,47 @@ let compile ?trace ?metrics cfg graph =
       in
       let solved =
         match cfg.solver_cache with
-        | None -> Util.Pool.map pool solve offloads
+        | None when store = None -> Util.Pool.map pool solve offloads
+        | None ->
+            (* Store, no in-process cache: each task consults the layer
+               tier individually — duplicates included — so the solver
+               totals folded from [seg_outcomes] match an uncached cold
+               compile exactly (a store hit replays the stored stats). *)
+            let st = Option.get store in
+            let looked =
+              List.map
+                (fun ((accel, layer) as task) ->
+                  let skey =
+                    layer_store_key
+                      (Dory.Tiling_cache.signature tiling_cfg
+                         ~accel:accel.Arch.Accel.accel_name layer)
+                  in
+                  (skey, store_find_outcome st skey, task))
+                offloads
+            in
+            let fresh =
+              List.filter_map
+                (function k, None, task -> Some (k, task) | _ -> None)
+                looked
+            in
+            let solved_fresh =
+              Util.Pool.map pool (fun (_, task) -> solve task) fresh
+            in
+            List.iter2
+              (fun (k, _) o -> Store.put st Store.Layer ~key:k (bytes_of_outcome o))
+              fresh solved_fresh;
+            let remaining = ref solved_fresh in
+            List.map
+              (fun (_, found, _) ->
+                match found with
+                | Some o -> o
+                | None -> (
+                    match !remaining with
+                    | o :: rest ->
+                        remaining := rest;
+                        o
+                    | [] -> assert false))
+              looked
         | Some cache ->
             (* Deterministic accounting regardless of pool scheduling: a
                segment counts as a hit when its signature is already
@@ -393,12 +559,36 @@ let compile ?trace ?metrics cfg graph =
                   end)
                 keyed
             in
+            (* In-process misses still get one shot at the layer tier of
+               the persistent store before burning solver work; they keep
+               counting as in-process misses either way, so the solver
+               stats stay byte-identical between cold and warm runs. *)
+            let from_store, to_solve =
+              match store with
+              | None -> ([], fresh)
+              | Some st ->
+                  List.partition_map
+                    (fun (key, task) ->
+                      match store_find_outcome st (layer_store_key key) with
+                      | Some o -> Either.Left (key, o)
+                      | None -> Either.Right (key, task))
+                    fresh
+            in
+            List.iter
+              (fun (key, o) -> Dory.Tiling_cache.add cache key o)
+              from_store;
             let solved_fresh =
-              Util.Pool.map pool (fun (_, task) -> solve task) fresh
+              Util.Pool.map pool (fun (_, task) -> solve task) to_solve
             in
             List.iter2
-              (fun (key, _) outcome -> Dory.Tiling_cache.add cache key outcome)
-              fresh solved_fresh;
+              (fun (key, _) outcome ->
+                Dory.Tiling_cache.add cache key outcome;
+                match store with
+                | Some st ->
+                    Store.put st Store.Layer ~key:(layer_store_key key)
+                      (bytes_of_outcome outcome)
+                | None -> ())
+              to_solve solved_fresh;
             List.map
               (fun (key, _) ->
                 match Dory.Tiling_cache.find cache key with
@@ -825,6 +1015,65 @@ let compile ?trace ?metrics cfg graph =
       solver;
       demotions = List.rev !demotions;
     }
+
+(* Artifact-tier front door. A verified hit skips every compile phase:
+   the stored program/report is replayed, the execution plan is rebuilt,
+   and the compile counters are registered from the stored solver stats —
+   so the warm report matches the cold one modulo the process-wide
+   solver-work counters that no work was done to advance. Any decode
+   failure (or digest/header mismatch inside the store) falls back to a
+   cold compile that overwrites the entry. *)
+let compile ?trace ?metrics ?store cfg graph =
+  match store with
+  | None -> compile_cold ?trace ?metrics cfg graph
+  | Some st -> (
+      let key = artifact_store_key cfg graph in
+      let recompute () =
+        let r = compile_cold ?trace ?metrics ~store:st cfg graph in
+        (match r with
+        | Ok a -> Store.put st Store.Artifact ~key (artifact_payload a)
+        | Error _ -> ());
+        r
+      in
+      match Store.find st Store.Artifact ~key with
+      | None -> recompute ()
+      | Some payload -> (
+          match stored_of_bytes payload with
+          | None ->
+              Store.invalidate st Store.Artifact ~key;
+              recompute ()
+          | Some stored ->
+              Trace.event trace ~cat:"store"
+                ~args:
+                  [
+                    ("tier", Trace.Json.Str "artifact");
+                    ("digest", Trace.Json.Str (Digest.to_hex (Digest.string payload)));
+                  ]
+                "store.artifact_hit";
+              (match metrics with
+              | None -> ()
+              | Some reg ->
+                  let c name help v =
+                    Metrics.inc (Metrics.counter reg ~help name) v
+                  in
+                  let s = stored.st_solver in
+                  c "htvm_compile_solver_explored_total"
+                    "Tiling candidates explored." s.ss_explored;
+                  c "htvm_compile_solver_infeasible_total"
+                    "Tiling candidates rejected as infeasible." s.ss_infeasible;
+                  c "htvm_compile_solver_pruned_total"
+                    "Tiling candidates pruned before full evaluation." s.ss_pruned;
+                  c "htvm_compile_cache_hits_total"
+                    "Tiling-cache hits this compile." s.ss_cache_hits;
+                  c "htvm_compile_cache_misses_total"
+                    "Tiling-cache misses this compile." s.ss_cache_misses;
+                  c "htvm_compile_demotions_total"
+                    "Segments demoted off their chosen target."
+                    (List.length stored.st_demotions);
+                  c "htvm_compile_tuning_trials_total"
+                    "Autotuning trials measured on host kernels."
+                    stored.st_tuning_trials);
+              Ok (artifact_of_stored cfg stored)))
 
 let run ?trace ?faults ?retry_budget ?(use_plan = true) artifact ~inputs =
   let plan = if use_plan then Some artifact.plan else None in

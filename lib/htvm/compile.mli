@@ -141,9 +141,24 @@ val is_resource_error : error -> bool
     rejections a correct compiler is allowed to produce on valid input
     when the platform is too small. *)
 
+val artifact_digest : artifact -> string
+(** Hex digest of the artifact's canonical serialized form (everything
+    except [cfg] and the derived execution plan). Compiling the same
+    graph under the same config twice — cold, warm from the persistent
+    store, or on another machine — must produce the same digest; the CI
+    smoke diffs it across a cold and a warm [htvmc compile]. *)
+
+val artifact_store_key : config -> Ir.Graph.t -> string
+(** The artifact-tier store key: an injective encoding of the code
+    version, every artifact-relevant config field (not [jobs] or
+    [solver_cache] — results are deterministic in both) and the graph's
+    content digest. Exposed for tests that need to corrupt or inspect a
+    specific store entry. *)
+
 val compile :
   ?trace:Trace.t ->
   ?metrics:Metrics.t ->
+  ?store:Store.t ->
   config ->
   Ir.Graph.t ->
   (artifact, error) result
@@ -164,7 +179,17 @@ val compile :
     With [cfg.jobs > 1] the per-segment tiling solves and per-kernel
     autotune trials run on a domain pool; trace events are replayed in
     segment order from the calling domain, so the artifact and the trace
-    are bit-identical (modulo timestamps) to a [jobs = 1] run. *)
+    are bit-identical (modulo timestamps) to a [jobs = 1] run.
+
+    When [store] is given, the compile reads and writes the persistent
+    content-addressed cache. An artifact-tier hit skips every phase and
+    replays the stored artifact (plan rebuilt, solver counters
+    registered from the stored stats); otherwise each tiling solve
+    consults the layer tier before burning search work, and the
+    finished artifact is written back. Warm compiles are byte-identical
+    to cold ones: same {!artifact_digest}, same solver stats. Corrupt,
+    truncated or version-skewed entries are rejected (counted on the
+    store handle), recomputed and overwritten — never served. *)
 
 val run :
   ?trace:Trace.t ->

@@ -401,7 +401,32 @@ let rec chunk n xs =
     let head, rest = take n [] xs in
     head :: chunk n rest
 
-let run ?trace ?metrics cfg artifact ~graph =
+(* Typed errors, shared between the single-tenant and multi-tenant
+   surfaces: the mt path returns them from [mt_run]; the single-tenant
+   path diagnoses config violations through [validate] (callers like
+   [htvmc serve] print the message and exit nonzero) while [run] itself
+   keeps its raising contract for programmatic misuse. *)
+type mt_error =
+  | Unknown_model of { class_name : string; model : string }
+  | Unknown_class of { class_name : string; context : string }
+  | Bad_trace of { line : int; reason : string }
+  | Bad_config of string
+
+let mt_error_to_string = function
+  | Unknown_model { class_name; model } ->
+      Printf.sprintf "class %S names model %S, which is not in the registry"
+        class_name model
+  | Unknown_class { class_name; context } ->
+      Printf.sprintf "%s references class %S, which is not configured" context
+        class_name
+  | Bad_trace { line; reason } ->
+      Printf.sprintf "arrival trace line %d: %s" line reason
+  | Bad_config msg -> msg
+
+(* Single-tenant config validation. Raises [Invalid_argument] — [run]'s
+   historical contract — with [validate] below wrapping the same checks
+   into a typed result. *)
+let check_config cfg =
   if cfg.workers < 1 then invalid_arg "Serve.run: workers must be >= 1";
   if cfg.max_batch < 1 then invalid_arg "Serve.run: max_batch must be >= 1";
   if cfg.queue_depth < 1 then invalid_arg "Serve.run: queue_depth must be >= 1";
@@ -436,7 +461,15 @@ let run ?trace ?metrics cfg artifact ~graph =
      only sound when executions are input-pure — per-request fault
      sessions make them input-impure by design. *)
   if cfg.memoize && not (Fault.Plan.is_empty cfg.plan) then
-    invalid_arg "Serve.run: memoize requires an empty fault plan";
+    invalid_arg "Serve.run: memoize requires an empty fault plan"
+
+let validate cfg =
+  match check_config cfg with
+  | () -> Ok ()
+  | exception Invalid_argument msg -> Error (Bad_config msg)
+
+let run ?trace ?metrics cfg artifact ~graph =
+  check_config cfg;
   (* The run always records into a registry — the caller's (so a serve
      dump can carry the compile-side metrics too) or a private one — and
      the report carries its snapshot. Registration is strict, so a
@@ -1376,23 +1409,6 @@ let mt_default =
     mt_degraded_instances = [];
     mt_health = None;
   }
-
-type mt_error =
-  | Unknown_model of { class_name : string; model : string }
-  | Unknown_class of { class_name : string; context : string }
-  | Bad_trace of { line : int; reason : string }
-  | Bad_config of string
-
-let mt_error_to_string = function
-  | Unknown_model { class_name; model } ->
-      Printf.sprintf "class %S names model %S, which is not in the registry"
-        class_name model
-  | Unknown_class { class_name; context } ->
-      Printf.sprintf "%s references class %S, which is not configured" context
-        class_name
-  | Bad_trace { line; reason } ->
-      Printf.sprintf "arrival trace line %d: %s" line reason
-  | Bad_config msg -> msg
 
 type mt_request = {
   q_id : int;

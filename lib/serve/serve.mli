@@ -277,6 +277,27 @@ type report = {
           throughput and observed SLO violations on the sched track. *)
 }
 
+(** Typed serving errors, shared by both surfaces: {!mt_run} returns
+    them; the single-tenant path surfaces config violations through
+    {!validate}. *)
+type mt_error =
+  | Unknown_model of { class_name : string; model : string }
+      (** a class names a model absent from the registry *)
+  | Unknown_class of { class_name : string; context : string }
+      (** a trace line references a class the run does not configure *)
+  | Bad_trace of { line : int; reason : string }
+      (** unparseable arrival trace ([line = 0]: the file itself) *)
+  | Bad_config of string  (** numeric/structural config violation *)
+
+val mt_error_to_string : mt_error -> string
+
+val validate : config -> (unit, mt_error) result
+(** Diagnose a single-tenant config without running it: [Error
+    (Bad_config msg)] for exactly the violations {!run} would raise
+    [Invalid_argument msg] on (e.g. [memoize] under a non-empty fault
+    plan). [htvmc serve] calls this first so a bad flag combination is
+    a clear one-line error and a nonzero exit, not a backtrace. *)
+
 val run :
   ?trace:Trace.t ->
   ?metrics:Metrics.t ->
@@ -434,17 +455,6 @@ val mt_default : mt_config
     1000-cycle dispatch overhead, 5000-cycle swap overhead, {!Swap}
     placement, [mt_jobs = 1], plan fast path on, no degraded instances,
     no health lifecycle. *)
-
-type mt_error =
-  | Unknown_model of { class_name : string; model : string }
-      (** a class names a model absent from the registry *)
-  | Unknown_class of { class_name : string; context : string }
-      (** a trace line references a class the run does not configure *)
-  | Bad_trace of { line : int; reason : string }
-      (** unparseable arrival trace ([line = 0]: the file itself) *)
-  | Bad_config of string  (** numeric/structural config violation *)
-
-val mt_error_to_string : mt_error -> string
 
 type mt_request = {
   q_id : int;

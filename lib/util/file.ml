@@ -1,0 +1,27 @@
+(* Atomic result-file writes.
+
+   A direct open-and-write can be interrupted (signal, crash, disk
+   full) after truncating the destination, leaving a partial file that
+   downstream diffs — or a persistent cache — would misread. Writing
+   to a temp file in the same directory and renaming over the target
+   makes the visible file either the old contents or the complete new
+   contents, never a prefix: rename(2) is atomic within a filesystem,
+   and [Filename.temp_file ~temp_dir] keeps the temp on that same
+   filesystem. This protects against interrupted processes, not power
+   loss (no fsync). *)
+
+let with_atomic_out path f =
+  let dir = Filename.dirname path in
+  let tmp =
+    Filename.temp_file ~temp_dir:dir ("." ^ Filename.basename path ^ ".") ".tmp"
+  in
+  match Out_channel.with_open_bin tmp f with
+  | result ->
+      Sys.rename tmp path;
+      result
+  | exception e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
+
+let write_atomic path contents =
+  with_atomic_out path (fun oc -> Out_channel.output_string oc contents)

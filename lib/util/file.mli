@@ -1,0 +1,14 @@
+(** Atomic file writes: temp file + rename, so a reader never observes
+    a partially written file. The temp file lives in the destination's
+    directory (same filesystem, so the rename is atomic) and is removed
+    if the writer raises. Guards against interrupted processes, not
+    power loss (no fsync). *)
+
+val with_atomic_out : string -> (out_channel -> 'a) -> 'a
+(** [with_atomic_out path f] runs [f] on a temp out_channel and
+    atomically renames it over [path] when [f] returns. If [f] raises,
+    [path] is left untouched and the temp file is removed. *)
+
+val write_atomic : string -> string -> unit
+(** [write_atomic path contents] atomically replaces [path] with
+    [contents]. *)

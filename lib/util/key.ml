@@ -1,0 +1,40 @@
+(* Injective encoding of field lists into flat cache keys.
+
+   Plain concatenation with a separator is not injective: a field that
+   contains the separator shifts the boundaries, so two distinct field
+   lists can render to the same key. Length-prefixing every field makes
+   the encoding uniquely decodable (read digits up to ':', take that
+   many bytes, repeat), hence injective over arbitrary field contents —
+   including empty fields and fields containing ':' or digits. *)
+
+let add_field buf s =
+  Buffer.add_string buf (string_of_int (String.length s));
+  Buffer.add_char buf ':';
+  Buffer.add_string buf s
+
+let encode fields =
+  let buf = Buffer.create 64 in
+  List.iter (add_field buf) fields;
+  Buffer.contents buf
+
+let decode key =
+  let n = String.length key in
+  let rec len_at i acc saw_digit =
+    if i >= n then None
+    else
+      match key.[i] with
+      | '0' .. '9' as c ->
+          len_at (i + 1) ((acc * 10) + (Char.code c - Char.code '0')) true
+      | ':' when saw_digit -> Some (i + 1, acc)
+      | _ -> None
+  in
+  let rec go i acc =
+    if i = n then Some (List.rev acc)
+    else
+      match len_at i 0 false with
+      | None -> None
+      | Some (j, len) ->
+          if j + len > n then None
+          else go (j + len) (String.sub key j len :: acc)
+  in
+  go 0 []

@@ -1,0 +1,14 @@
+(** Injective encoding of field lists into flat string keys.
+
+    [encode fields] length-prefixes every field, so distinct field
+    lists always produce distinct keys — no separator character can be
+    smuggled in via field contents. Used for cache keys wherever a
+    composite of untrusted strings (accelerator names, layer
+    renderings) must be collision-free. *)
+
+val encode : string list -> string
+(** [encode fields] is the uniquely decodable rendering of [fields]. *)
+
+val decode : string -> string list option
+(** [decode key] recovers the field list, or [None] if [key] is not a
+    well-formed encoding. [decode (encode l) = Some l] for every [l]. *)

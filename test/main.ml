@@ -39,4 +39,5 @@ let () =
          Test_mtserve.suites;
          Test_health.suites;
          Test_metrics.suites;
+         Test_store.suites;
        ])

@@ -403,6 +403,38 @@ let test_cache_keeps_infeasible_outcomes () =
         inf.Dory.Tiling.inf_accel
   | _ -> Alcotest.fail "expected the cached infeasible outcome"
 
+let test_cache_signature_adversarial_names () =
+  (* Regression: the signature used to be plain concatenation with
+     '|'/';'/':' separators, so an accelerator name containing a
+     separator could shift field boundaries and collide two distinct
+     (config, accel, layer) triples. The length-prefixed encoding makes
+     every adversarial name produce its own key. *)
+  let c = cfg () in
+  let sg = Dory.Tiling_cache.signature in
+  let layer = T.conv_layer () in
+  let names =
+    [ "a"; "a|"; "|a"; "a|b"; "a;b"; "a:b"; "|"; ";"; ""; "a|b;c:d";
+      "diana_digital"; "diana_digital|" ]
+  in
+  let keys = List.map (fun accel -> sg c ~accel layer) names in
+  Alcotest.(check int) "adversarial accel names all keyed apart"
+    (List.length keys)
+    (List.length (List.sort_uniq compare keys));
+  (* Cross-field injection: a name that textually contains the start of
+     the config rendering still cannot impersonate a different config. *)
+  let smuggled = sg c ~accel:"a|1.0;true" layer in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "no cross-field impersonation" false (k = smuggled))
+    keys;
+  (* The encoding is decodable, so the accel field survives verbatim. *)
+  List.iter2
+    (fun accel key ->
+      match Util.Key.decode key with
+      | Some (first :: _) -> Alcotest.(check string) "accel field" accel first
+      | _ -> Alcotest.fail "signature is not a well-formed key encoding")
+    names keys
+
 let test_emit_layer_mentions_structure () =
   let layer = T.conv_layer ~c:16 ~k:32 ~hw:32 () in
   let s = build_schedule ~budget:(Util.Ints.kib 8) layer digital in
@@ -444,6 +476,8 @@ let suites =
         prop_memplan_no_overlap;
         prop_memplan_invariants;
         Alcotest.test_case "cache signature keys" `Quick test_cache_signature_keys;
+        Alcotest.test_case "cache signature adversarial names" `Quick
+          test_cache_signature_adversarial_names;
         Alcotest.test_case "cache collision replay" `Quick
           test_cache_collision_replays_outcome;
         Alcotest.test_case "cache keeps infeasible" `Quick

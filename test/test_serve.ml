@@ -383,6 +383,39 @@ let test_rejects_bad_config () =
   expect "queue_depth 0" { base with Serve.queue_depth = 0 };
   expect "requests -1" { base with Serve.requests = -1 }
 
+(* [validate] diagnoses the same violations [run] raises on, as typed
+   [Bad_config] values — what `htvmc serve` prints before exiting 1
+   instead of surfacing a backtrace. *)
+let test_validate_typed_errors () =
+  let expect_bad field cfg =
+    match Serve.validate cfg with
+    | Error (Serve.Bad_config msg) ->
+        Alcotest.(check bool)
+          (field ^ ": message names the violation")
+          true
+          (Helpers.contains msg "Serve.run:")
+    | Error e ->
+        Alcotest.failf "%s: expected Bad_config, got %s" field
+          (Serve.mt_error_to_string e)
+    | Ok () -> Alcotest.failf "%s: accepted" field
+  in
+  Alcotest.(check bool) "default config validates" true
+    (Serve.validate base = Ok ());
+  expect_bad "memoize under faults"
+    { base with Serve.memoize = true; plan = flip_plan };
+  expect_bad "workers 0" { base with Serve.workers = 0 };
+  expect_bad "duplicate degraded ids"
+    { base with Serve.workers = 4; degraded_instances = [ 1; 1 ] };
+  (* The diagnosis matches what [run] would raise, message for message. *)
+  let bad = { base with Serve.memoize = true; plan = flip_plan } in
+  match serve ~cfg:bad () with
+  | _ -> Alcotest.fail "run accepted memoize under a fault plan"
+  | exception Invalid_argument msg -> (
+      match Serve.validate bad with
+      | Error (Serve.Bad_config msg') ->
+          Alcotest.(check string) "same message on both surfaces" msg msg'
+      | _ -> Alcotest.fail "validate accepted what run rejected")
+
 (* The report renderers agree with the outcome list they render. *)
 let test_report_renderings () =
   let r = serve ~cfg:base () in
@@ -419,6 +452,8 @@ let suites =
         Alcotest.test_case "percentiles" `Quick test_percentiles;
         Alcotest.test_case "boundary conditions" `Quick test_boundary_conditions;
         Alcotest.test_case "rejects bad config" `Quick test_rejects_bad_config;
+        Alcotest.test_case "validate typed errors" `Quick
+          test_validate_typed_errors;
         Alcotest.test_case "report renderings" `Quick test_report_renderings;
         prop_tally_invariance;
       ] )

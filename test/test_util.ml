@@ -153,6 +153,120 @@ let prop_clamp_in_range =
       let r = Util.Ints.clamp ~lo ~hi v in
       r >= lo && r <= hi)
 
+(* --- Util.Key: injective field encoding --- *)
+
+let test_key_roundtrip () =
+  let cases =
+    [
+      [];
+      [ "" ];
+      [ ""; "" ];
+      [ "a" ];
+      [ "a"; "b" ];
+      [ "a:b"; "3:c" ];
+      [ "12:"; ":" ];
+      [ "\x00\xff"; "5" ];
+      [ String.make 300 'x'; "" ];
+    ]
+  in
+  List.iter
+    (fun fields ->
+      match Util.Key.decode (Util.Key.encode fields) with
+      | Some got ->
+          Alcotest.(check (list string)) "decode (encode l) = l" fields got
+      | None -> Alcotest.fail "decode failed on a well-formed encoding")
+    cases
+
+let test_key_rejects_malformed () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("rejects " ^ String.escaped s) true
+        (Util.Key.decode s = None))
+    [ "x"; "1"; "2:a"; "1:ab"; ":a"; "01x"; "1:a2"; "-1:" ]
+
+let prop_key_injective =
+  let field = QCheck.Gen.(string_size ~gen:printable (int_bound 6)) in
+  let fields = QCheck.Gen.(list_size (int_bound 4) field) in
+  Helpers.qtest "Key.encode is injective"
+    (QCheck.make QCheck.Gen.(pair fields fields))
+    (fun (a, b) ->
+      if a = b then Util.Key.encode a = Util.Key.encode b
+      else Util.Key.encode a <> Util.Key.encode b)
+
+(* --- Util.File: atomic writes --- *)
+
+let in_temp_dir f =
+  let dir = Filename.temp_file "htvm-test-file" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let test_atomic_write_roundtrip () =
+  in_temp_dir (fun dir ->
+      let path = Filename.concat dir "out.txt" in
+      Util.File.write_atomic path "first";
+      Alcotest.(check string) "written" "first"
+        (In_channel.with_open_bin path In_channel.input_all);
+      Util.File.write_atomic path "second, longer";
+      Alcotest.(check string) "replaced" "second, longer"
+        (In_channel.with_open_bin path In_channel.input_all);
+      Alcotest.(check (list string)) "no temp litter" [ "out.txt" ]
+        (Array.to_list (Sys.readdir dir)))
+
+exception Boom
+
+let test_atomic_write_aborts_cleanly () =
+  in_temp_dir (fun dir ->
+      let path = Filename.concat dir "out.txt" in
+      Util.File.write_atomic path "intact";
+      (* A writer that dies mid-stream must leave the old contents
+         visible and no temp file behind. *)
+      (match
+         Util.File.with_atomic_out path (fun oc ->
+             output_string oc "partial garbage";
+             raise Boom)
+       with
+      | () -> Alcotest.fail "expected the writer exception to propagate"
+      | exception Boom -> ());
+      Alcotest.(check string) "old contents intact" "intact"
+        (In_channel.with_open_bin path In_channel.input_all);
+      Alcotest.(check (list string)) "no temp litter" [ "out.txt" ]
+        (Array.to_list (Sys.readdir dir)))
+
+(* Kill a forked writer with SIGKILL while it is blocked mid-write —
+   after it has written payload bytes into its temp file but before the
+   rename — and assert the destination never becomes visible. The child
+   signals readiness through a pipe so the parent never kills too
+   early. *)
+let test_atomic_write_survives_kill () =
+  in_temp_dir (fun dir ->
+      let path = Filename.concat dir "out.txt" in
+      let r, w = Unix.pipe () in
+      match Unix.fork () with
+      | 0 ->
+          Unix.close r;
+          (try
+             Util.File.with_atomic_out path (fun oc ->
+                 output_string oc (String.make 4096 'x');
+                 flush oc;
+                 ignore (Unix.write w (Bytes.of_string "!") 0 1);
+                 (* Block until killed; the rename is never reached. *)
+                 Unix.sleep 600)
+           with _ -> ());
+          Unix._exit 0
+      | pid ->
+          Unix.close w;
+          ignore (Unix.read r (Bytes.create 1) 0 1);
+          Unix.kill pid Sys.sigkill;
+          ignore (Unix.waitpid [] pid);
+          Unix.close r;
+          Alcotest.(check bool) "no partial file visible" false
+            (Sys.file_exists path))
+
 let suites =
   [ ( "util",
       [ Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
@@ -176,5 +290,15 @@ let suites =
         prop_divisors_divide;
         prop_divisors_complete_sorted;
         prop_clamp_in_range;
+        Alcotest.test_case "key roundtrip" `Quick test_key_roundtrip;
+        Alcotest.test_case "key rejects malformed" `Quick
+          test_key_rejects_malformed;
+        prop_key_injective;
+        Alcotest.test_case "atomic write roundtrip" `Quick
+          test_atomic_write_roundtrip;
+        Alcotest.test_case "atomic write aborts cleanly" `Quick
+          test_atomic_write_aborts_cleanly;
+        Alcotest.test_case "atomic write survives kill" `Quick
+          test_atomic_write_survives_kill;
       ] )
   ]

@@ -179,6 +179,38 @@ if ! grep -q 'readmissions=' _build/campaign-tally-w1.txt; then
   exit 1
 fi
 
+# Persistent-store smoke: compiling the same model twice into a fresh
+# cache directory must (a) produce byte-identical artifact digests,
+# (b) report zero hits cold and nonzero hits warm, and (c) leave a
+# store that `htvmc cache` can inspect, verify, and gc — the tight
+# --max-bytes cap forces the LRU eviction path to run.
+echo "== htvmc store smoke (cold vs warm, cache stats/verify/gc) =="
+rm -rf _build/store-cache
+dune exec bin/htvmc.exe -- compile _build/serve-smoke.htvm --config both \
+  --cache-dir _build/store-cache > _build/store-cold.out
+dune exec bin/htvmc.exe -- compile _build/serve-smoke.htvm --config both \
+  --cache-dir _build/store-cache > _build/store-warm.out
+grep '^artifact digest: ' _build/store-cold.out > _build/store-cold.digest
+grep '^artifact digest: ' _build/store-warm.out > _build/store-warm.digest
+if ! diff _build/store-cold.digest _build/store-warm.digest; then
+  echo "verify: warm compile artifact digest differs from cold" >&2
+  exit 1
+fi
+cold_hits=$(sed -n 's/^store: hits=\([0-9]*\).*/\1/p' _build/store-cold.out)
+warm_hits=$(sed -n 's/^store: hits=\([0-9]*\).*/\1/p' _build/store-warm.out)
+if [ "$cold_hits" != 0 ]; then
+  echo "verify: cold compile reported $cold_hits store hits (want 0)" >&2
+  exit 1
+fi
+if [ "$warm_hits" = "" ] || [ "$warm_hits" = 0 ]; then
+  echo "verify: warm compile reported no store hits" >&2
+  exit 1
+fi
+dune exec bin/htvmc.exe -- cache stats --cache-dir _build/store-cache
+dune exec bin/htvmc.exe -- cache verify --cache-dir _build/store-cache
+dune exec bin/htvmc.exe -- cache gc --cache-dir _build/store-cache --max-bytes 2048
+dune exec bin/htvmc.exe -- cache stats --cache-dir _build/store-cache
+
 # Differential conformance smoke: compiled artifacts must agree with the
 # reference interpreter over a fixed seed range. Any failure prints a
 # minimized reproducer and exits nonzero.
